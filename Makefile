@@ -1,0 +1,39 @@
+# mxtasking-go build targets.
+
+GO ?= go
+
+.PHONY: all build vet test race bench figures verify dat clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# Race-detect the packages designed to be race-free. The optimistic index
+# structures intentionally perform validated racy reads (seqlock pattern)
+# and are excluded by design; see README "Status".
+race:
+	$(GO) test -race ./internal/mxtask ./internal/queue ./internal/latch \
+		./internal/epoch ./internal/alloc ./internal/tbb ./internal/metrics \
+		./internal/ycsb ./internal/tpch ./internal/hashjoin ./internal/sim
+
+bench:
+	$(GO) test -bench=. -benchmem .
+
+figures:
+	$(GO) run ./cmd/mxbench
+
+verify:
+	$(GO) run ./cmd/mxbench -verify -experiment fig7
+
+dat:
+	$(GO) run ./cmd/mxbench -dat out -experiment fig7
+
+clean:
+	rm -rf out test_output.txt bench_output.txt

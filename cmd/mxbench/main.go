@@ -1,0 +1,89 @@
+// Command mxbench regenerates the paper's evaluation figures.
+//
+// By default it renders the simulated series for every figure (see
+// DESIGN.md for the machine-model rationale). With -real it additionally
+// runs scaled-down workloads on the real MxTasking runtime of this host,
+// reporting wall-clock throughput.
+//
+// Usage:
+//
+//	mxbench                  # all figures
+//	mxbench -experiment fig9 # one figure
+//	mxbench -list            # available ids
+//	mxbench -real            # append real-runtime measurements
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+
+	"mxtasking/internal/experiments"
+)
+
+func main() {
+	var (
+		expID     = flag.String("experiment", "", "figure id to run (default: all)")
+		list      = flag.Bool("list", false, "list experiment ids")
+		real      = flag.Bool("real", false, "also run scaled-down real-runtime workloads")
+		ablations = flag.Bool("ablations", false, "also run the design-decision ablations")
+		verify    = flag.Bool("verify", false, "check the paper's shape claims against the model")
+		datDir    = flag.String("dat", "", "also export every figure as gnuplot .dat files into this directory")
+		ops       = flag.Int("ops", 200000, "operations per real workload")
+		recs      = flag.Int("records", 100000, "records in the real tree")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Println(strings.Join(experiments.IDs(), "\n"))
+		return
+	}
+	if *expID != "" {
+		report, ok := experiments.ByID(*expID)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q; try -list\n", *expID)
+			os.Exit(1)
+		}
+		report.Fprint(os.Stdout)
+	} else {
+		for _, report := range experiments.All() {
+			report.Fprint(os.Stdout)
+		}
+	}
+	if *ablations {
+		for _, report := range experiments.Ablations() {
+			report.Fprint(os.Stdout)
+		}
+	}
+	if *verify {
+		failed := 0
+		for _, c := range experiments.Verify() {
+			mark := "PASS"
+			if !c.Pass {
+				mark = "FAIL"
+				failed++
+			}
+			fmt.Printf("[%s] %-8s %s — %s\n", mark, c.Figure, c.Text, c.Detail)
+		}
+		if failed > 0 {
+			fmt.Fprintf(os.Stderr, "%d claims failed\n", failed)
+			os.Exit(1)
+		}
+	}
+	if *datDir != "" {
+		paths, err := experiments.ExportAll(*datDir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %d .dat files to %s\n", len(paths), *datDir)
+	}
+	if *real {
+		workers := runtime.GOMAXPROCS(0)
+		cfg := experiments.RealConfig{Workers: workers, Records: *recs, Ops: *ops}
+		experiments.RealYCSB(cfg).Fprint(os.Stdout)
+		experiments.RealJoin(cfg).Fprint(os.Stdout)
+	}
+}

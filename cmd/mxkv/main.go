@@ -1,0 +1,59 @@
+// Command mxkv serves the MxTask-based key-value store over TCP (the
+// paper's end-to-end application). Protocol:
+//
+//	SET <key> <value> | GET <key> | DEL <key> | COUNT | PING | QUIT
+//
+// Example:
+//
+//	mxkv -addr 127.0.0.1:7070 -workers 4
+//	printf 'SET 1 42\nGET 1\nQUIT\n' | nc 127.0.0.1 7070
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"runtime"
+
+	"mxtasking/internal/epoch"
+	"mxtasking/internal/kvstore"
+	"mxtasking/internal/mxtask"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", "127.0.0.1:7070", "listen address")
+		workers  = flag.Int("workers", runtime.GOMAXPROCS(0), "worker count")
+		distance = flag.Int("prefetch", 2, "prefetch distance (0 disables)")
+		pin      = flag.Bool("pin", false, "pin workers to OS threads")
+	)
+	flag.Parse()
+
+	rt := mxtask.New(mxtask.Config{
+		Workers:          *workers,
+		PrefetchDistance: *distance,
+		EpochPolicy:      epoch.Batched,
+		PinWorkers:       *pin,
+	})
+	rt.Start()
+	defer rt.Stop()
+
+	store := kvstore.New(rt)
+	srv, err := kvstore.NewServer(store, *addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("mxkv: %s listening on %s\n", rt, srv.Addr())
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	<-sig
+	fmt.Println("\nmxkv: shutting down")
+	if err := srv.Close(); err != nil {
+		log.Printf("mxkv: close: %v", err)
+	}
+	st := store.Stats()
+	fmt.Printf("mxkv: served %d gets, %d sets, %d dels\n", st.Gets, st.Sets, st.Dels)
+}

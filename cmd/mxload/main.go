@@ -1,0 +1,143 @@
+// Command mxload drives a running mxkv server with YCSB workloads over
+// TCP, reporting throughput and latency percentiles — the "first results
+// of an MxTask-based key-value store" pipeline (§1, §7) end to end.
+//
+// Usage:
+//
+//	mxkv -addr 127.0.0.1:7070 &
+//	mxload -addr 127.0.0.1:7070 -records 10000 -ops 50000 -workload C
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"sync"
+	"time"
+
+	"mxtasking/internal/kvstore"
+	"mxtasking/internal/metrics"
+	"mxtasking/internal/ycsb"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", "127.0.0.1:7070", "mxkv server address")
+		records  = flag.Int("records", 10000, "records to load")
+		ops      = flag.Int("ops", 50000, "workload operations")
+		workload = flag.String("workload", "C", "workload: A (50/50) or C (read-only)")
+		clients  = flag.Int("clients", 4, "concurrent client connections")
+	)
+	flag.Parse()
+
+	var w ycsb.Workload
+	switch *workload {
+	case "A", "a":
+		w = ycsb.WorkloadA
+	case "C", "c":
+		w = ycsb.WorkloadC
+	default:
+		log.Fatalf("unknown workload %q (want A or C)", *workload)
+	}
+
+	// Load phase.
+	loadStart := time.Now()
+	if err := loadPhase(*addr, *records, *clients); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("loaded %d records in %v\n", *records, time.Since(loadStart).Round(time.Millisecond))
+
+	// Run phase.
+	var tp metrics.Throughput
+	var hist metrics.Histogram
+	batches := ycsb.NewBatches(ycsb.NewGenerator(w, uint64(*records), 7), *ops, ycsb.DefaultBatchSize)
+	tp.Start()
+	var wg sync.WaitGroup
+	errs := make(chan error, *clients)
+	for c := 0; c < *clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := runClient(*addr, batches, &tp, &hist); err != nil {
+				errs <- err
+			}
+		}()
+	}
+	wg.Wait()
+	select {
+	case err := <-errs:
+		log.Fatal(err)
+	default:
+	}
+	fmt.Printf("workload %s: %.0f ops/s over %d ops (%s)\n",
+		w, tp.PerSecond(), tp.Ops(), hist.String())
+}
+
+// loadPhase inserts the records, sharded across client connections.
+func loadPhase(addr string, records, clients int) error {
+	gen := ycsb.NewGenerator(ycsb.WorkloadInsert, uint64(records), 1)
+	batches := ycsb.NewBatches(gen, records, ycsb.DefaultBatchSize)
+	var wg sync.WaitGroup
+	errs := make(chan error, clients)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			client, err := kvstore.Dial(addr)
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer client.Close()
+			for {
+				batch := batches.Next()
+				if batch == nil {
+					return
+				}
+				for _, op := range batch {
+					if _, err := client.Set(op.Key, op.Value); err != nil {
+						errs <- err
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	select {
+	case err := <-errs:
+		return err
+	default:
+		return nil
+	}
+}
+
+// runClient executes workload batches until the stream is exhausted.
+func runClient(addr string, batches *ycsb.Batches, tp *metrics.Throughput, hist *metrics.Histogram) error {
+	client, err := kvstore.Dial(addr)
+	if err != nil {
+		return err
+	}
+	defer client.Close()
+	for {
+		batch := batches.Next()
+		if batch == nil {
+			return nil
+		}
+		for _, op := range batch {
+			start := time.Now()
+			switch op.Kind {
+			case ycsb.OpRead:
+				if _, _, err := client.Get(op.Key); err != nil {
+					return err
+				}
+			case ycsb.OpUpdate, ycsb.OpInsert:
+				if _, err := client.Set(op.Key, op.Value); err != nil {
+					return err
+				}
+			}
+			hist.Observe(time.Since(start))
+			tp.Add(1)
+		}
+	}
+}

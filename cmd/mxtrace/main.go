@@ -1,0 +1,139 @@
+// Command mxtrace runs a YCSB workload on the task-based Blink-tree with
+// the runtime tracer enabled and prints an execution profile: what each
+// worker spent its events on (executions by synchronization class, steals,
+// optimistic retries, prefetches, reclamation).
+//
+// Usage:
+//
+//	mxtrace -workers 4 -records 50000 -ops 100000 -workload A
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"runtime"
+	"sort"
+	"text/tabwriter"
+
+	"mxtasking/internal/blinktree"
+	"mxtasking/internal/epoch"
+	"mxtasking/internal/mxtask"
+	"mxtasking/internal/ycsb"
+)
+
+func main() {
+	var (
+		workers  = flag.Int("workers", runtime.GOMAXPROCS(0), "worker count")
+		records  = flag.Int("records", 20000, "records to load")
+		ops      = flag.Int("ops", 50000, "workload operations")
+		workload = flag.String("workload", "A", "workload: A or C")
+		capacity = flag.Int("trace", 65536, "trace ring capacity per worker")
+	)
+	flag.Parse()
+
+	var w ycsb.Workload
+	switch *workload {
+	case "A", "a":
+		w = ycsb.WorkloadA
+	case "C", "c":
+		w = ycsb.WorkloadC
+	default:
+		log.Fatalf("unknown workload %q", *workload)
+	}
+
+	rt := mxtask.New(mxtask.Config{
+		Workers:          *workers,
+		PrefetchDistance: 2,
+		EpochPolicy:      epoch.Batched,
+		EpochInterval:    -1,
+		TraceCapacity:    *capacity,
+	})
+	rt.Start()
+	tree := blinktree.NewTaskTree(rt, blinktree.TaskSyncOptimistic)
+
+	load := ycsb.NewGenerator(ycsb.WorkloadInsert, uint64(*records), 1)
+	for i := 0; i < *records; i++ {
+		op := load.Next()
+		tree.Insert(op.Key, op.Value)
+	}
+	rt.Drain()
+
+	gen := ycsb.NewGenerator(w, uint64(*records), 7)
+	for i := 0; i < *ops; i++ {
+		op := gen.Next()
+		switch op.Kind {
+		case ycsb.OpRead:
+			tree.Lookup(op.Key)
+		case ycsb.OpUpdate:
+			tree.Update(op.Key, op.Value)
+		}
+	}
+	rt.Drain()
+	rt.Stop()
+
+	profile(rt.Trace(), *workers)
+	s := rt.Stats()
+	fmt.Printf("\ntotals: executed=%d spawned=%d prefetches=%d retries=%d steals=%d localFastPath=%d\n",
+		s.Executed, s.Spawned, s.Prefetches, s.ReadRetries, s.PoolsStolen, s.LocalFastPath)
+}
+
+// execClass names the TraceExecute Info codes.
+var execClass = [...]string{"plain", "latched", "optimistic-read", "write-sync"}
+
+func profile(events []mxtask.TraceEvent, workers int) {
+	type row struct {
+		exec     [4]int
+		steals   int
+		retries  int
+		prefetch int
+		collect  int
+	}
+	rows := make([]row, workers)
+	for _, e := range events {
+		r := &rows[e.Worker]
+		switch e.Kind {
+		case mxtask.TraceExecute:
+			if e.Info < uint64(len(r.exec)) {
+				r.exec[e.Info]++
+			}
+		case mxtask.TraceSteal:
+			r.steals++
+		case mxtask.TraceRetry:
+			r.retries++
+		case mxtask.TracePrefetch:
+			r.prefetch++
+		case mxtask.TraceCollect:
+			r.collect++
+		}
+	}
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprint(tw, "worker")
+	for _, c := range execClass {
+		fmt.Fprintf(tw, "\t%s", c)
+	}
+	fmt.Fprintln(tw, "\tsteals\tretries\tprefetch\tcollect")
+	order := make([]int, workers)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Ints(order)
+	for _, i := range order {
+		r := rows[i]
+		fmt.Fprintf(tw, "%d", i)
+		for _, c := range r.exec {
+			fmt.Fprintf(tw, "\t%d", c)
+		}
+		fmt.Fprintf(tw, "\t%d\t%d\t%d\t%d\n", r.steals, r.retries, r.prefetch, r.collect)
+	}
+	tw.Flush()
+	fmt.Printf("(last %d events per worker; enlarge -trace for full runs)\n", capEvents(events, workers))
+}
+
+func capEvents(events []mxtask.TraceEvent, workers int) int {
+	if workers == 0 {
+		return 0
+	}
+	return len(events) / workers
+}

@@ -1,0 +1,3 @@
+module mxtasking
+
+go 1.22

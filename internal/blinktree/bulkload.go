@@ -1,0 +1,93 @@
+package blinktree
+
+import "sort"
+
+// BulkLoad builds a ThreadTree bottom-up from key/value pairs, packing
+// leaves to the given fill factor (0 < fill <= 1; the benchmarks use 0.7,
+// the steady-state occupancy of random inserts). Pairs may arrive in any
+// order; duplicate keys keep the last value. BulkLoad is not safe to run
+// concurrently with other operations — it is the initialization path that
+// replaces millions of individual inserts when preparing an experiment.
+func BulkLoad(mode SyncMode, pairs []KV, fill float64) *ThreadTree {
+	t := NewThreadTree(mode)
+	if len(pairs) == 0 {
+		return t
+	}
+	if fill <= 0 || fill > 1 {
+		fill = 0.7
+	}
+	perLeaf := int(float64(Capacity) * fill)
+	if perLeaf < 1 {
+		perLeaf = 1
+	}
+
+	sorted := append([]KV(nil), pairs...)
+	// Stable sort: equal keys keep input order, so "last value wins"
+	// below means last *inserted*, matching incremental Insert semantics.
+	sort.SliceStable(sorted, func(i, j int) bool { return sorted[i].Key < sorted[j].Key })
+	// Deduplicate, last value wins.
+	dedup := sorted[:0]
+	for i, kv := range sorted {
+		if i+1 < len(sorted) && sorted[i+1].Key == kv.Key {
+			continue
+		}
+		dedup = append(dedup, kv)
+	}
+	sorted = dedup
+
+	// Build the leaf level.
+	var leaves []*Node
+	for lo := 0; lo < len(sorted); lo += perLeaf {
+		hi := lo + perLeaf
+		if hi > len(sorted) {
+			hi = len(sorted)
+		}
+		leaf := newNode(LeafNode, 0)
+		for _, kv := range sorted[lo:hi] {
+			leaf.keys[leaf.count] = kv.Key
+			leaf.values[leaf.count] = kv.Value
+			leaf.count++
+		}
+		leaves = append(leaves, leaf)
+	}
+	linkSiblings(leaves, func(n *Node) Key { return n.keys[0] })
+
+	// Build inner levels until one node remains.
+	level := uint8(1)
+	nodes := leaves
+	for len(nodes) > 1 {
+		var parents []*Node
+		perInner := perLeaf
+		for lo := 0; lo < len(nodes); lo += perInner {
+			hi := lo + perInner
+			if hi > len(nodes) {
+				hi = len(nodes)
+			}
+			inner := newNode(nodeTypeFor(level), level)
+			for i, child := range nodes[lo:hi] {
+				sep := child.keys[0]
+				if lo == 0 && i == 0 {
+					sep = 0 // leftmost sentinel
+				}
+				inner.keys[inner.count] = sep
+				inner.children[inner.count] = child
+				inner.count++
+			}
+			parents = append(parents, inner)
+		}
+		linkSiblings(parents, func(n *Node) Key { return n.keys[0] })
+		nodes = parents
+		level++
+	}
+	t.root.Store(nodes[0])
+	return t
+}
+
+// linkSiblings chains nodes left-to-right and sets high keys from each
+// right sibling's smallest key.
+func linkSiblings(nodes []*Node, firstKey func(*Node) Key) {
+	for i := 0; i+1 < len(nodes); i++ {
+		nodes[i].right = nodes[i+1]
+		nodes[i].highKey = firstKey(nodes[i+1])
+	}
+}

@@ -1,0 +1,124 @@
+package blinktree
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestBulkLoadBasic(t *testing.T) {
+	pairs := make([]KV, 10000)
+	for i := range pairs {
+		pairs[i] = KV{Key: Key(i), Value: Value(i * 3)}
+	}
+	tr := BulkLoad(SyncOptimistic, pairs, 0.7)
+	if c := tr.Count(); c != len(pairs) {
+		t.Fatalf("Count = %d, want %d", c, len(pairs))
+	}
+	for i := range pairs {
+		if v, ok := tr.Lookup(Key(i)); !ok || v != Value(i*3) {
+			t.Fatalf("Lookup(%d) = %d,%v", i, v, ok)
+		}
+	}
+	if h := tr.Height(); h < 3 {
+		t.Fatalf("height = %d, want >= 3", h)
+	}
+}
+
+func TestBulkLoadUnsortedAndDuplicates(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	var pairs []KV
+	for i := 0; i < 5000; i++ {
+		k := Key(rng.Intn(2000))
+		pairs = append(pairs, KV{Key: k, Value: Value(i)})
+	}
+	tr := BulkLoad(SyncOptimistic, pairs, 0.7)
+	// Last value per key must win.
+	want := map[Key]Value{}
+	for _, kv := range pairs {
+		want[kv.Key] = kv.Value
+	}
+	if c := tr.Count(); c != len(want) {
+		t.Fatalf("Count = %d, want %d distinct keys", c, len(want))
+	}
+	for k, v := range want {
+		got, ok := tr.Lookup(k)
+		if !ok || got != v {
+			t.Fatalf("Lookup(%d) = %d,%v, want %d (last write must win)", k, got, ok, v)
+		}
+	}
+}
+
+func TestBulkLoadThenMutate(t *testing.T) {
+	pairs := make([]KV, 3000)
+	for i := range pairs {
+		pairs[i] = KV{Key: Key(i * 2), Value: Value(i)}
+	}
+	tr := BulkLoad(SyncSpin, pairs, 0.7)
+	// The loaded tree must accept ordinary inserts/splits afterwards.
+	for i := 0; i < 3000; i++ {
+		tr.Insert(Key(i*2+1), Value(i+100000))
+	}
+	if c := tr.Count(); c != 6000 {
+		t.Fatalf("Count after mutation = %d, want 6000", c)
+	}
+	var prev Key
+	first := true
+	count := 0
+	tr.Scan(0, ^Key(0), func(k Key, v Value) bool {
+		if !first && k <= prev {
+			t.Fatalf("scan order broken: %d after %d", k, prev)
+		}
+		first = false
+		prev = k
+		count++
+		return true
+	})
+	if count != 6000 {
+		t.Fatalf("scan visited %d records, want 6000", count)
+	}
+}
+
+func TestBulkLoadEmptyAndTiny(t *testing.T) {
+	tr := BulkLoad(SyncOptimistic, nil, 0.7)
+	if tr.Count() != 0 {
+		t.Fatal("empty bulk load not empty")
+	}
+	tr.Insert(1, 2) // still usable
+	if v, ok := tr.Lookup(1); !ok || v != 2 {
+		t.Fatal("empty-loaded tree unusable")
+	}
+	one := BulkLoad(SyncOptimistic, []KV{{Key: 9, Value: 90}}, 1.0)
+	if v, ok := one.Lookup(9); !ok || v != 90 {
+		t.Fatal("single-record bulk load broken")
+	}
+}
+
+func TestBulkLoadEquivalentToInsertsQuick(t *testing.T) {
+	f := func(keys []uint16, fillSel uint8) bool {
+		fill := 0.3 + float64(fillSel%70)/100
+		pairs := make([]KV, len(keys))
+		ref := NewThreadTree(SyncOptimistic)
+		for i, k := range keys {
+			pairs[i] = KV{Key: Key(k), Value: Value(i)}
+			ref.Insert(Key(k), Value(i))
+		}
+		tr := BulkLoad(SyncOptimistic, pairs, fill)
+		if tr.Count() != ref.Count() {
+			return false
+		}
+		ok := true
+		ref.Scan(0, ^Key(0), func(k Key, v Value) bool {
+			got, found := tr.Lookup(k)
+			if !found || got != v {
+				ok = false
+				return false
+			}
+			return true
+		})
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

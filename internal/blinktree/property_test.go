@@ -1,0 +1,156 @@
+package blinktree
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestTaskTreeMapEquivalence drives the task-based tree and a reference
+// map with the same operation stream, draining between dependent phases,
+// and checks they agree — the task-tree twin of the thread-tree property
+// test.
+func TestTaskTreeMapEquivalence(t *testing.T) {
+	f := func(ops []uint16, seed int64) bool {
+		rt := newTreeRuntime(2)
+		rt.Start()
+		defer rt.Stop()
+		tree := NewTaskTree(rt, TaskSyncOptimistic)
+		ref := make(map[Key]Value)
+		rng := rand.New(rand.NewSource(seed))
+
+		for _, op := range ops {
+			key := Key(op % 307)
+			switch rng.Intn(4) {
+			case 0, 1:
+				val := Value(rng.Uint64())
+				tree.Insert(key, val)
+				rt.Drain() // define the order of same-key inserts
+				ref[key] = val
+			case 2:
+				look := tree.Lookup(key)
+				rt.Drain()
+				want, wok := ref[key]
+				if look.Found != wok || (wok && look.Result != want) {
+					return false
+				}
+			case 3:
+				del := tree.Delete(key)
+				rt.Drain()
+				_, wok := ref[key]
+				if del.Found != wok {
+					return false
+				}
+				delete(ref, key)
+			}
+		}
+		rt.Drain()
+		if tree.Count() != len(ref) {
+			return false
+		}
+		for k, want := range ref {
+			look := tree.Lookup(k)
+			rt.Drain()
+			if !look.Found || look.Result != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Writes issued before a Drain must be visible to lookups issued after it
+// (the tree's external consistency contract).
+func TestTaskTreeDrainVisibility(t *testing.T) {
+	rt := newTreeRuntime(4)
+	rt.Start()
+	defer rt.Stop()
+	tree := NewTaskTree(rt, TaskSyncOptimistic)
+	for round := 0; round < 50; round++ {
+		k := Key(round)
+		tree.Insert(k, Value(round*100))
+		rt.Drain()
+		look := tree.Lookup(k)
+		rt.Drain()
+		if !look.Found || look.Result != Value(round*100) {
+			t.Fatalf("round %d: write not visible after drain (%+v)", round, look)
+		}
+	}
+}
+
+// TestTaskTreeScanMatchesThreadTree cross-checks the two implementations
+// on identical contents.
+func TestTaskTreeScanMatchesThreadTree(t *testing.T) {
+	rt := newTreeRuntime(2)
+	rt.Start()
+	defer rt.Stop()
+	taskTree := NewTaskTree(rt, TaskSyncOptimistic)
+	threadTree := NewThreadTree(SyncOptimistic)
+
+	// Unique keys: concurrent same-key inserts would have no defined
+	// winner in the asynchronous tree.
+	rng := rand.New(rand.NewSource(17))
+	perm := rng.Perm(20000)[:4000]
+	for _, k := range perm {
+		v := Value(rng.Uint64())
+		taskTree.Insert(Key(k), v)
+		threadTree.Insert(Key(k), v)
+	}
+	rt.Drain()
+
+	for trial := 0; trial < 20; trial++ {
+		from := Key(rng.Intn(15000))
+		to := from + Key(rng.Intn(5000))
+		op := taskTree.Scan(from, to, nil)
+		rt.Drain()
+		var want []KV
+		threadTree.Scan(from, to, func(k Key, v Value) bool {
+			want = append(want, KV{Key: k, Value: v})
+			return true
+		})
+		if len(op.Results) != len(want) {
+			t.Fatalf("scan [%d,%d): task tree %d records, thread tree %d",
+				from, to, len(op.Results), len(want))
+		}
+		for i := range want {
+			if op.Results[i] != want[i] {
+				t.Fatalf("scan [%d,%d) record %d: %+v vs %+v",
+					from, to, i, op.Results[i], want[i])
+			}
+		}
+	}
+}
+
+// Thread-tree scans racing inserts must never return duplicates or
+// out-of-order keys (they may legitimately miss or include concurrently
+// inserted keys).
+func TestThreadTreeScanUnderInserts(t *testing.T) {
+	tr := NewThreadTree(SyncOptimistic)
+	for i := Key(0); i < 2000; i++ {
+		tr.Insert(i*2, Value(i))
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := Key(0); i < 2000; i++ {
+			tr.Insert(i*2+1, Value(i)) // odd keys appear concurrently
+		}
+	}()
+	for trial := 0; trial < 50; trial++ {
+		var last Key
+		first := true
+		tr.Scan(100, 3900, func(k Key, v Value) bool {
+			if !first && k <= last {
+				t.Errorf("scan keys not strictly increasing: %d after %d", k, last)
+				return false
+			}
+			first = false
+			last = k
+			return true
+		})
+	}
+	<-done
+}

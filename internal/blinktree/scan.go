@@ -1,0 +1,133 @@
+package blinktree
+
+import (
+	"sort"
+
+	"mxtasking/internal/mxtask"
+)
+
+// ScanOp is an asynchronous range scan over [From, To). It showcases how
+// larger operations compose from MxTasks: each leaf is read by an
+// optimistic task; the per-leaf results are handed to collector tasks that
+// the runtime serializes through the scan's own exclusive resource — no
+// mutex in sight, exactly the paper's "synchronization through scheduling".
+//
+// Read Results only after completion (the Done task, or Runtime.Drain).
+type ScanOp struct {
+	tree *TaskTree
+	from Key
+	to   Key
+
+	// collect is the scan's result buffer's annotated resource: exclusive
+	// isolation serializes all collector tasks onto one pool.
+	collect *mxtask.Resource
+
+	// Results holds the matching pairs, sorted by key after completion.
+	Results []KV
+
+	// Done, when non-nil, is spawned with the ScanOp as Arg once the
+	// scan has visited every leaf in range and sorted the results.
+	Done mxtask.Func
+}
+
+// KV is one scanned record.
+type KV struct {
+	Key   Key
+	Value Value
+}
+
+// leafBatch carries one leaf's matching records to the collector.
+type leafBatch struct {
+	op   *ScanOp
+	kv   []KV
+	last bool // no further leaves in range
+}
+
+// Scan spawns a range scan of [from, to). The Done task (optional) fires
+// after the results are complete and sorted.
+func (t *TaskTree) Scan(from, to Key, done mxtask.Func) *ScanOp {
+	op := &ScanOp{tree: t, from: from, to: to, Done: done}
+	// The collector buffer is a data object like any other: exclusive
+	// isolation → serialize-by-scheduling (§4.2).
+	op.collect = t.rt.CreateResource(op, 0,
+		mxtask.IsolationExclusive, mxtask.RWWriteHeavy, mxtask.FrequencyLow)
+	root := t.loadRoot()
+	t.spawnOnNode(nil, op, root, scanStep, t.scanStepMode())
+	return op
+}
+
+// scanStepMode: scans only read tree nodes.
+func (t *TaskTree) scanStepMode() mxtask.AccessMode {
+	if t.mode == TaskSyncSerialized {
+		return mxtask.Write // pools make no distinction; keep routing uniform
+	}
+	return mxtask.ReadOnly
+}
+
+// scanStep visits one node on the way to (and then along) the leaf level.
+// Restartable: it reads tree state and spawns buffered follow-ups only.
+func scanStep(ctx *mxtask.Context, task *mxtask.Task) {
+	op := task.Arg.(*ScanOp)
+	node := task.Arg2.(*Node)
+	t := op.tree
+
+	if !node.covers(op.from) && node.Type() != LeafNode {
+		next := node.right
+		if next == nil {
+			next = node
+		}
+		t.spawnOnNode(ctx, op, next, scanStep, t.scanStepMode())
+		return
+	}
+	if node.Type() != LeafNode {
+		next := node.childFor(op.from)
+		if next == nil {
+			next = node
+		}
+		t.spawnOnNode(ctx, op, next, scanStep, t.scanStepMode())
+		return
+	}
+	// Leaf: gather matches into a fresh batch (fresh per attempt, so a
+	// retried optimistic read cannot double-collect), then hand it to a
+	// collector task and continue along the sibling chain.
+	batch := &leafBatch{op: op}
+	for i := 0; i < node.Count(); i++ {
+		if k := node.keys[i]; k >= op.from && k < op.to {
+			batch.kv = append(batch.kv, KV{Key: k, Value: node.values[i]})
+		}
+	}
+	next := node.right
+	if next == nil || node.highKey >= op.to {
+		batch.last = true
+	}
+	collector := ctx.NewTask(collectStep, batch)
+	collector.AnnotateResource(op.collect, mxtask.Write)
+	ctx.Spawn(collector) // buffered under the optimistic read: fires once
+	if !batch.last {
+		t.spawnOnNode(ctx, op, next, scanLeafStep, t.scanStepMode())
+	}
+}
+
+// scanLeafStep continues a scan along the leaf chain (the node is already
+// a leaf; no descent logic needed).
+func scanLeafStep(ctx *mxtask.Context, task *mxtask.Task) {
+	scanStep(ctx, task)
+}
+
+// collectStep appends one leaf's batch to the result buffer. All
+// collectors of a scan run in the same pool, in order, so the append is
+// unsynchronized by construction. The final collector sorts and fires
+// Done.
+func collectStep(ctx *mxtask.Context, task *mxtask.Task) {
+	batch := task.Arg.(*leafBatch)
+	op := batch.op
+	op.Results = append(op.Results, batch.kv...)
+	if batch.last {
+		sort.Slice(op.Results, func(i, j int) bool {
+			return op.Results[i].Key < op.Results[j].Key
+		})
+		if op.Done != nil {
+			ctx.Spawn(ctx.NewTask(op.Done, op))
+		}
+	}
+}

@@ -1,0 +1,149 @@
+package blinktree
+
+import (
+	"math/rand"
+	"sync/atomic"
+	"testing"
+
+	"mxtasking/internal/mxtask"
+)
+
+func TestTaskTreeScanBasic(t *testing.T) {
+	for _, mode := range taskModes {
+		t.Run(mode.String(), func(t *testing.T) {
+			rt := newTreeRuntime(2)
+			rt.Start()
+			defer rt.Stop()
+			tree := NewTaskTree(rt, mode)
+			for i := Key(0); i < 1000; i++ {
+				tree.Insert(i*2, Value(i)) // even keys
+			}
+			rt.Drain()
+
+			op := tree.Scan(100, 200, nil)
+			rt.Drain()
+			if len(op.Results) != 50 {
+				t.Fatalf("scan returned %d records, want 50", len(op.Results))
+			}
+			for i, kv := range op.Results {
+				want := Key(100 + 2*i)
+				if kv.Key != want || kv.Value != Value(want/2) {
+					t.Fatalf("result %d = %+v, want key %d", i, kv, want)
+				}
+			}
+		})
+	}
+}
+
+func TestTaskTreeScanSpansLeaves(t *testing.T) {
+	rt := newTreeRuntime(4)
+	rt.Start()
+	defer rt.Stop()
+	tree := NewTaskTree(rt, TaskSyncOptimistic)
+	const n = 10000
+	for i := Key(0); i < n; i++ {
+		tree.Insert(i, Value(i))
+	}
+	rt.Drain()
+	if tree.Height() < 3 {
+		t.Fatal("tree too small for a multi-leaf scan test")
+	}
+
+	op := tree.Scan(500, 7500, nil)
+	rt.Drain()
+	if len(op.Results) != 7000 {
+		t.Fatalf("scan returned %d records, want 7000", len(op.Results))
+	}
+	for i, kv := range op.Results {
+		if kv.Key != Key(500+i) {
+			t.Fatalf("result %d = key %d, want %d (order or completeness broken)", i, kv.Key, 500+i)
+		}
+	}
+}
+
+func TestTaskTreeScanEmptyRangeAndBounds(t *testing.T) {
+	rt := newTreeRuntime(2)
+	rt.Start()
+	defer rt.Stop()
+	tree := NewTaskTree(rt, TaskSyncOptimistic)
+	for i := Key(0); i < 500; i++ {
+		tree.Insert(i*10, Value(i))
+	}
+	rt.Drain()
+
+	empty := tree.Scan(4991, 4999, nil) // between keys
+	rt.Drain()
+	if len(empty.Results) != 0 {
+		t.Fatalf("empty range returned %d records", len(empty.Results))
+	}
+	// Inclusive lower, exclusive upper.
+	edge := tree.Scan(10, 21, nil)
+	rt.Drain()
+	if len(edge.Results) != 2 || edge.Results[0].Key != 10 || edge.Results[1].Key != 20 {
+		t.Fatalf("edge scan = %+v, want keys [10 20]", edge.Results)
+	}
+	// Whole-tree scan.
+	all := tree.Scan(0, ^Key(0), nil)
+	rt.Drain()
+	if len(all.Results) != 500 {
+		t.Fatalf("full scan returned %d records, want 500", len(all.Results))
+	}
+}
+
+func TestTaskTreeScanDoneFiresOnce(t *testing.T) {
+	rt := newTreeRuntime(4)
+	rt.Start()
+	defer rt.Stop()
+	tree := NewTaskTree(rt, TaskSyncOptimistic)
+	for i := Key(0); i < 5000; i++ {
+		tree.Insert(i, Value(i))
+	}
+	rt.Drain()
+
+	var fired atomic.Int64
+	var sawCount atomic.Int64
+	tree.Scan(0, 5000, func(_ *mxtask.Context, task *mxtask.Task) {
+		op := task.Arg.(*ScanOp)
+		sawCount.Store(int64(len(op.Results)))
+		fired.Add(1)
+	})
+	rt.Drain()
+	if fired.Load() != 1 {
+		t.Fatalf("Done fired %d times", fired.Load())
+	}
+	if sawCount.Load() != 5000 {
+		t.Fatalf("Done observed %d results, want 5000", sawCount.Load())
+	}
+}
+
+func TestTaskTreeScanUnderConcurrentUpdates(t *testing.T) {
+	rt := newTreeRuntime(4)
+	rt.Start()
+	defer rt.Stop()
+	tree := NewTaskTree(rt, TaskSyncOptimistic)
+	const n = 3000
+	for i := Key(0); i < n; i++ {
+		tree.Insert(i, Value(i))
+	}
+	rt.Drain()
+
+	// Updates fly while scans run; every scanned value must be one some
+	// writer wrote for its key (k mod n invariant).
+	rng := rand.New(rand.NewSource(5))
+	var scans []*ScanOp
+	for round := 0; round < 20; round++ {
+		for i := 0; i < 200; i++ {
+			k := Key(rng.Intn(n))
+			tree.Update(k, Value(k)+n*Value(rng.Intn(3)))
+		}
+		scans = append(scans, tree.Scan(Key(rng.Intn(n/2)), Key(n/2+rng.Intn(n/2)), nil))
+	}
+	rt.Drain()
+	for _, op := range scans {
+		for _, kv := range op.Results {
+			if kv.Value%n != kv.Key {
+				t.Fatalf("scan observed foreign value %d for key %d", kv.Value, kv.Key)
+			}
+		}
+	}
+}

@@ -1,0 +1,462 @@
+package blinktree
+
+import (
+	"runtime"
+	"sync/atomic"
+
+	"mxtasking/internal/latch"
+)
+
+// SyncMode selects the synchronization protocol of a ThreadTree, matching
+// the baselines of Figure 12.
+type SyncMode int
+
+const (
+	// SyncSpin serializes every node access with a spinlock (Fig. 12a).
+	SyncSpin SyncMode = iota
+	// SyncRW uses reader/writer latches: shared for traversal, exclusive
+	// for modification (Fig. 12b).
+	SyncRW
+	// SyncOptimistic uses optimistic lock coupling: validated reads,
+	// latched writes (Fig. 12c).
+	SyncOptimistic
+)
+
+// String names the mode.
+func (m SyncMode) String() string {
+	switch m {
+	case SyncSpin:
+		return "spinlock"
+	case SyncRW:
+		return "rwlock"
+	case SyncOptimistic:
+		return "optimistic"
+	default:
+		return "invalid"
+	}
+}
+
+// nodeTypeFor maps a level to the node type (level 1 inner nodes are branch
+// nodes, §5.1).
+func nodeTypeFor(level uint8) NodeType {
+	switch level {
+	case 0:
+		return LeafNode
+	case 1:
+		return BranchNode
+	default:
+		return InnerNode
+	}
+}
+
+// ThreadTree is the thread-based Blink-tree baseline: operations are
+// synchronous calls; each node access is protected according to the tree's
+// SyncMode. It is safe for concurrent use by any number of goroutines.
+type ThreadTree struct {
+	mode   SyncMode
+	root   atomic.Pointer[Node]
+	rootMu latch.Spinlock
+}
+
+// NewThreadTree returns an empty tree.
+func NewThreadTree(mode SyncMode) *ThreadTree {
+	t := &ThreadTree{mode: mode}
+	t.root.Store(newNode(LeafNode, 0))
+	return t
+}
+
+// Mode returns the tree's synchronization mode.
+func (t *ThreadTree) Mode() SyncMode { return t.mode }
+
+// Height returns the tree height (1 for a lone leaf).
+func (t *ThreadTree) Height() int { return t.root.Load().Level() + 1 }
+
+// lockShared acquires node for reading per the mode. Optimistic mode does
+// not use this path.
+func (t *ThreadTree) lockShared(n *Node) {
+	if t.mode == SyncSpin {
+		n.Latch.Lock()
+	} else {
+		n.Latch.RLock()
+	}
+}
+
+func (t *ThreadTree) unlockShared(n *Node) {
+	if t.mode == SyncSpin {
+		n.Latch.Unlock()
+	} else {
+		n.Latch.RUnlock()
+	}
+}
+
+// lockExclusive acquires node for writing per the mode.
+func (t *ThreadTree) lockExclusive(n *Node) {
+	if t.mode == SyncOptimistic {
+		n.Version.Lock()
+	} else {
+		n.Latch.Lock()
+	}
+}
+
+func (t *ThreadTree) unlockExclusive(n *Node) {
+	if t.mode == SyncOptimistic {
+		n.Version.Unlock()
+	} else {
+		n.Latch.Unlock()
+	}
+}
+
+// Lookup returns the value stored under key.
+func (t *ThreadTree) Lookup(key Key) (Value, bool) {
+	if t.mode == SyncOptimistic {
+		return t.lookupOptimistic(key)
+	}
+	node := t.root.Load()
+	for {
+		t.lockShared(node)
+		if !node.covers(key) {
+			next := node.right
+			t.unlockShared(node)
+			node = next
+			continue
+		}
+		if node.typ == LeafNode {
+			v, ok := node.leafLookup(key)
+			t.unlockShared(node)
+			return v, ok
+		}
+		next := node.childFor(key)
+		t.unlockShared(node)
+		node = next
+	}
+}
+
+// lookupOptimistic is the optimistic-lock-coupling read path: node contents
+// are read without latches and validated against the version afterwards.
+func (t *ThreadTree) lookupOptimistic(key Key) (Value, bool) {
+	for attempt := 0; ; attempt++ {
+		if attempt > 0 && attempt%16 == 0 {
+			runtime.Gosched()
+		}
+		node := t.root.Load()
+		val, ok, done := t.tryReadDescend(node, key)
+		if done {
+			return val, ok
+		}
+	}
+}
+
+// tryReadDescend performs one validated descent; done is false when a
+// validation failed and the whole descent must restart.
+func (t *ThreadTree) tryReadDescend(node *Node, key Key) (val Value, ok, done bool) {
+	for {
+		v, live := node.Version.ReadBegin()
+		if !live {
+			return 0, false, false
+		}
+		if !node.covers(key) {
+			next := node.right
+			if !node.Version.ReadValidate(v) || next == nil {
+				return 0, false, false
+			}
+			node = next
+			continue
+		}
+		if node.typ == LeafNode {
+			val, ok = node.leafLookup(key)
+			if !node.Version.ReadValidate(v) {
+				return 0, false, false
+			}
+			return val, ok, true
+		}
+		next := node.childFor(key)
+		if !node.Version.ReadValidate(v) || next == nil {
+			return 0, false, false
+		}
+		node = next
+	}
+}
+
+// descendToLeaf finds the leaf that covered key at observation time, using
+// the mode's read protocol. The caller re-checks coverage under its write
+// lock (splits may intervene).
+func (t *ThreadTree) descendToLeaf(key Key) *Node {
+	if t.mode == SyncOptimistic {
+		for attempt := 0; ; attempt++ {
+			if attempt > 0 && attempt%16 == 0 {
+				runtime.Gosched()
+			}
+			if leaf := t.tryDescendToLevel(key, 0); leaf != nil {
+				return leaf
+			}
+		}
+	}
+	node := t.root.Load()
+	for {
+		t.lockShared(node)
+		if !node.covers(key) {
+			next := node.right
+			t.unlockShared(node)
+			node = next
+			continue
+		}
+		if node.typ == LeafNode {
+			t.unlockShared(node)
+			return node
+		}
+		next := node.childFor(key)
+		t.unlockShared(node)
+		node = next
+	}
+}
+
+// tryDescendToLevel optimistically descends to the node at the given level
+// covering key; nil means a validation failed.
+func (t *ThreadTree) tryDescendToLevel(key Key, level uint8) *Node {
+	node := t.root.Load()
+	for {
+		v, live := node.Version.ReadBegin()
+		if !live {
+			return nil
+		}
+		if !node.covers(key) {
+			next := node.right
+			if !node.Version.ReadValidate(v) || next == nil {
+				return nil
+			}
+			node = next
+			continue
+		}
+		if node.level == level {
+			if !node.Version.ReadValidate(v) {
+				return nil
+			}
+			return node
+		}
+		next := node.childFor(key)
+		if !node.Version.ReadValidate(v) || next == nil {
+			return nil
+		}
+		node = next
+	}
+}
+
+// lockCovering write-locks node, moving right until the node covers key
+// (lock coupling along the sibling chain only, never downward — the
+// Blink-tree's deadlock-freedom argument).
+func (t *ThreadTree) lockCovering(node *Node, key Key) *Node {
+	t.lockExclusive(node)
+	for !node.covers(key) {
+		next := node.right
+		t.unlockExclusive(node)
+		node = next
+		t.lockExclusive(node)
+	}
+	return node
+}
+
+// Insert stores value under key, overwriting any existing record. It
+// reports whether the key was newly inserted (false = overwrite).
+func (t *ThreadTree) Insert(key Key, value Value) bool {
+	leaf := t.descendToLeaf(key)
+	leaf = t.lockCovering(leaf, key)
+	full, existed := leaf.leafInsert(key, value)
+	if !full {
+		t.unlockExclusive(leaf)
+		return !existed
+	}
+	// Split: build and lock the new sibling before publishing it, insert
+	// into the proper half, then link the new node into the parent level.
+	right, sep, leftCount := leaf.splitPrepare()
+	t.lockExclusive(right)
+	leaf.splitCommit(right, sep, leftCount)
+	target := leaf
+	if key >= sep {
+		target = right
+	}
+	if f, _ := target.leafInsert(key, value); f {
+		panic("blinktree: post-split leaf still full")
+	}
+	t.unlockExclusive(right)
+	t.unlockExclusive(leaf)
+	t.insertSeparator(1, sep, right)
+	return true
+}
+
+// Update overwrites the value of an existing key, reporting whether the key
+// was found.
+func (t *ThreadTree) Update(key Key, value Value) bool {
+	leaf := t.descendToLeaf(key)
+	leaf = t.lockCovering(leaf, key)
+	i := leaf.lowerBound(key)
+	found := i < leaf.Count() && leaf.keys[i] == key
+	if found {
+		leaf.values[i] = value
+	}
+	t.unlockExclusive(leaf)
+	return found
+}
+
+// Delete removes key, reporting whether it was present. Nodes are never
+// merged (matching the paper's evaluation, which has no deletes in the
+// measured workloads).
+func (t *ThreadTree) Delete(key Key) bool {
+	leaf := t.descendToLeaf(key)
+	leaf = t.lockCovering(leaf, key)
+	ok := leaf.leafDelete(key)
+	t.unlockExclusive(leaf)
+	return ok
+}
+
+// insertSeparator installs (sep, child) at the given level, splitting
+// upwards as needed. child.level == level-1.
+func (t *ThreadTree) insertSeparator(level uint8, sep Key, child *Node) {
+	for {
+		root := t.root.Load()
+		if root.level < level {
+			if t.growRoot(level, sep, child) {
+				return
+			}
+			continue // lost the race; the root is taller now
+		}
+		var node *Node
+		if t.mode == SyncOptimistic {
+			node = t.tryDescendToLevel(sep, level)
+			if node == nil {
+				runtime.Gosched()
+				continue
+			}
+		} else {
+			node = t.descendToLevel(sep, level)
+		}
+		node = t.lockCovering(node, sep)
+		if full := node.innerInsert(sep, child); !full {
+			t.unlockExclusive(node)
+			return
+		}
+		right, upSep, leftCount := node.splitPrepare()
+		t.lockExclusive(right)
+		node.splitCommit(right, upSep, leftCount)
+		target := node
+		if sep >= upSep {
+			target = right
+		}
+		if full := target.innerInsert(sep, child); full {
+			panic("blinktree: post-split inner node still full")
+		}
+		t.unlockExclusive(right)
+		t.unlockExclusive(node)
+		level++
+		sep, child = upSep, right
+	}
+}
+
+// descendToLevel is the latched variant of tryDescendToLevel.
+func (t *ThreadTree) descendToLevel(key Key, level uint8) *Node {
+	node := t.root.Load()
+	for {
+		t.lockShared(node)
+		if !node.covers(key) {
+			next := node.right
+			t.unlockShared(node)
+			node = next
+			continue
+		}
+		if node.level == level {
+			t.unlockShared(node)
+			return node
+		}
+		next := node.childFor(key)
+		t.unlockShared(node)
+		node = next
+	}
+}
+
+// growRoot installs a new root one level above the current one, with the
+// old root as leftmost child. Returns false if another goroutine grew the
+// tree first.
+func (t *ThreadTree) growRoot(level uint8, sep Key, child *Node) bool {
+	t.rootMu.Lock()
+	defer t.rootMu.Unlock()
+	cur := t.root.Load()
+	if cur.level >= level {
+		return false
+	}
+	newRoot := newNode(nodeTypeFor(level), level)
+	newRoot.keys[0] = 0 // sentinel: leftmost child covers everything below sep
+	newRoot.children[0] = cur
+	newRoot.keys[1] = sep
+	newRoot.children[1] = child
+	newRoot.count = 2
+	t.root.Store(newRoot)
+	return true
+}
+
+// Scan visits records in [from, to) in key order, calling fn for each; fn
+// returning false stops the scan. Scan uses the mode's read protocol per
+// leaf.
+func (t *ThreadTree) Scan(from, to Key, fn func(Key, Value) bool) {
+	leaf := t.descendToLeaf(from)
+	for leaf != nil {
+		type rec struct {
+			k Key
+			v Value
+		}
+		var buf [Capacity]rec
+		nrec := 0
+		read := func() {
+			nrec = 0
+			for i := 0; i < leaf.Count(); i++ {
+				if leaf.keys[i] >= from && leaf.keys[i] < to {
+					buf[nrec] = rec{leaf.keys[i], leaf.values[i]}
+					nrec++
+				}
+			}
+		}
+		var next *Node
+		var high Key
+		if t.mode == SyncOptimistic {
+			for {
+				v, live := leaf.Version.ReadBegin()
+				if !live {
+					runtime.Gosched()
+					continue
+				}
+				read()
+				next, high = leaf.right, leaf.highKey
+				if leaf.Version.ReadValidate(v) {
+					break
+				}
+			}
+		} else {
+			t.lockShared(leaf)
+			read()
+			next, high = leaf.right, leaf.highKey
+			t.unlockShared(leaf)
+		}
+		for i := 0; i < nrec; i++ {
+			if !fn(buf[i].k, buf[i].v) {
+				return
+			}
+		}
+		if next == nil || high >= to {
+			return
+		}
+		leaf = next
+	}
+}
+
+// Count returns the total number of records (O(n), test helper).
+func (t *ThreadTree) Count() int {
+	// Walk down the leftmost spine, then across the leaf chain.
+	node := t.root.Load()
+	for node.typ != LeafNode {
+		node = node.children[0]
+	}
+	n := 0
+	for node != nil {
+		n += node.Count()
+		node = node.right
+	}
+	return n
+}

@@ -1,0 +1,278 @@
+package blinktree
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+var threadModes = []SyncMode{SyncSpin, SyncRW, SyncOptimistic}
+
+func TestThreadTreeBasic(t *testing.T) {
+	for _, mode := range threadModes {
+		t.Run(mode.String(), func(t *testing.T) {
+			tr := NewThreadTree(mode)
+			if _, ok := tr.Lookup(42); ok {
+				t.Fatal("lookup in empty tree succeeded")
+			}
+			if !tr.Insert(42, 420) {
+				t.Fatal("fresh insert reported overwrite")
+			}
+			if v, ok := tr.Lookup(42); !ok || v != 420 {
+				t.Fatalf("Lookup(42) = %d,%v, want 420,true", v, ok)
+			}
+			if tr.Insert(42, 421) {
+				t.Fatal("overwrite reported fresh insert")
+			}
+			if v, _ := tr.Lookup(42); v != 421 {
+				t.Fatalf("overwrite not visible, got %d", v)
+			}
+			if !tr.Update(42, 422) {
+				t.Fatal("update of existing key failed")
+			}
+			if tr.Update(7, 1) {
+				t.Fatal("update of missing key succeeded")
+			}
+			if !tr.Delete(42) {
+				t.Fatal("delete of existing key failed")
+			}
+			if _, ok := tr.Lookup(42); ok {
+				t.Fatal("deleted key still found")
+			}
+			if tr.Delete(42) {
+				t.Fatal("double delete succeeded")
+			}
+		})
+	}
+}
+
+func TestThreadTreeSplitsAndHeight(t *testing.T) {
+	for _, mode := range threadModes {
+		t.Run(mode.String(), func(t *testing.T) {
+			tr := NewThreadTree(mode)
+			const n = 10000
+			for i := Key(0); i < n; i++ {
+				tr.Insert(i, Value(i*2))
+			}
+			if h := tr.Height(); h < 3 {
+				t.Fatalf("height = %d after %d inserts, want >= 3", h, n)
+			}
+			if c := tr.Count(); c != n {
+				t.Fatalf("Count = %d, want %d", c, n)
+			}
+			for i := Key(0); i < n; i++ {
+				v, ok := tr.Lookup(i)
+				if !ok || v != Value(i*2) {
+					t.Fatalf("Lookup(%d) = %d,%v, want %d,true", i, v, ok, i*2)
+				}
+			}
+		})
+	}
+}
+
+func TestThreadTreeReverseAndRandomOrder(t *testing.T) {
+	tr := NewThreadTree(SyncOptimistic)
+	const n = 5000
+	for i := n - 1; i >= 0; i-- {
+		tr.Insert(Key(i), Value(i))
+	}
+	rng := rand.New(rand.NewSource(7))
+	perm := rng.Perm(n)
+	for _, i := range perm {
+		if v, ok := tr.Lookup(Key(i)); !ok || v != Value(i) {
+			t.Fatalf("Lookup(%d) = %d,%v", i, v, ok)
+		}
+	}
+}
+
+func TestThreadTreeScan(t *testing.T) {
+	for _, mode := range threadModes {
+		t.Run(mode.String(), func(t *testing.T) {
+			tr := NewThreadTree(mode)
+			for i := Key(0); i < 1000; i++ {
+				tr.Insert(i*2, Value(i)) // even keys only
+			}
+			var got []Key
+			tr.Scan(100, 200, func(k Key, v Value) bool {
+				got = append(got, k)
+				return true
+			})
+			if len(got) != 50 {
+				t.Fatalf("scan returned %d keys, want 50", len(got))
+			}
+			for i, k := range got {
+				if k != Key(100+2*i) {
+					t.Fatalf("scan[%d] = %d, want %d", i, k, 100+2*i)
+				}
+			}
+			// Early termination.
+			count := 0
+			tr.Scan(0, 2000, func(Key, Value) bool {
+				count++
+				return count < 10
+			})
+			if count != 10 {
+				t.Fatalf("early-terminated scan visited %d, want 10", count)
+			}
+		})
+	}
+}
+
+// TestThreadTreeMapEquivalence drives the tree and a map with the same
+// random operation sequence and checks they agree.
+func TestThreadTreeMapEquivalence(t *testing.T) {
+	f := func(ops []uint32, seed int64) bool {
+		tr := NewThreadTree(SyncOptimistic)
+		ref := make(map[Key]Value)
+		rng := rand.New(rand.NewSource(seed))
+		for _, op := range ops {
+			key := Key(op % 512) // small key space to force collisions
+			switch rng.Intn(4) {
+			case 0, 1:
+				val := Value(rng.Uint64())
+				tr.Insert(key, val)
+				ref[key] = val
+			case 2:
+				got, ok := tr.Lookup(key)
+				want, wok := ref[key]
+				if ok != wok || (ok && got != want) {
+					return false
+				}
+			case 3:
+				ok := tr.Delete(key)
+				_, wok := ref[key]
+				if ok != wok {
+					return false
+				}
+				delete(ref, key)
+			}
+		}
+		for k, want := range ref {
+			got, ok := tr.Lookup(k)
+			if !ok || got != want {
+				return false
+			}
+		}
+		return tr.Count() == len(ref)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestThreadTreeConcurrentInserts(t *testing.T) {
+	for _, mode := range threadModes {
+		t.Run(mode.String(), func(t *testing.T) {
+			tr := NewThreadTree(mode)
+			const goroutines = 4
+			const perG = 3000
+			var wg sync.WaitGroup
+			for g := 0; g < goroutines; g++ {
+				wg.Add(1)
+				go func(g int) {
+					defer wg.Done()
+					base := Key(g * perG)
+					for i := Key(0); i < perG; i++ {
+						tr.Insert(base+i, Value(base+i))
+					}
+				}(g)
+			}
+			wg.Wait()
+			if c := tr.Count(); c != goroutines*perG {
+				t.Fatalf("Count = %d, want %d", c, goroutines*perG)
+			}
+			for i := Key(0); i < goroutines*perG; i++ {
+				if v, ok := tr.Lookup(i); !ok || v != Value(i) {
+					t.Fatalf("Lookup(%d) = %d,%v after concurrent inserts", i, v, ok)
+				}
+			}
+		})
+	}
+}
+
+func TestThreadTreeConcurrentMixed(t *testing.T) {
+	tr := NewThreadTree(SyncOptimistic)
+	const n = 4000
+	for i := Key(0); i < n; i++ {
+		tr.Insert(i, Value(i))
+	}
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	// Writers update in place; readers must always find every key with a
+	// value that some writer wrote.
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			for i := 0; i < 20000; i++ {
+				k := Key(rng.Intn(n))
+				tr.Update(k, Value(k)+Value(rng.Intn(5))*n)
+			}
+		}(w)
+	}
+	for r := 0; r < 2; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(100 + r)))
+			for i := 0; i < 20000; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				k := Key(rng.Intn(n))
+				v, ok := tr.Lookup(k)
+				if !ok {
+					t.Errorf("key %d vanished", k)
+					return
+				}
+				if v%n != k {
+					t.Errorf("Lookup(%d) = %d: not a value any writer wrote", k, v)
+					return
+				}
+			}
+		}(r)
+	}
+	wg.Wait()
+	close(stop)
+}
+
+func TestNodeTypeForLevels(t *testing.T) {
+	if nodeTypeFor(0) != LeafNode || nodeTypeFor(1) != BranchNode || nodeTypeFor(2) != InnerNode || nodeTypeFor(5) != InnerNode {
+		t.Fatal("nodeTypeFor mapping broken")
+	}
+	if LeafNode.String() != "leaf" || BranchNode.String() != "branch" || InnerNode.String() != "inner" {
+		t.Fatal("NodeType.String broken")
+	}
+}
+
+func TestNodeSplitKeepsOrder(t *testing.T) {
+	n := newNode(LeafNode, 0)
+	for i := 0; i < Capacity; i++ {
+		n.leafInsert(Key(i*10), Value(i))
+	}
+	right, sep, leftCount := n.splitPrepare()
+	n.splitCommit(right, sep, leftCount)
+	if n.Count()+right.Count() != Capacity {
+		t.Fatalf("split lost entries: %d + %d != %d", n.Count(), right.Count(), Capacity)
+	}
+	if n.HighKey() != sep || n.Right() != right {
+		t.Fatal("split did not link sibling correctly")
+	}
+	for i := 1; i < n.Count(); i++ {
+		if n.keys[i-1] >= n.keys[i] {
+			t.Fatal("left half unsorted")
+		}
+	}
+	for i := 1; i < right.Count(); i++ {
+		if right.keys[i-1] >= right.keys[i] {
+			t.Fatal("right half unsorted")
+		}
+	}
+	if right.keys[0] != sep {
+		t.Fatalf("separator %d != first right key %d", sep, right.keys[0])
+	}
+}

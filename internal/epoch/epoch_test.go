@@ -1,0 +1,205 @@
+package epoch
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestPolicyString(t *testing.T) {
+	for p, want := range map[Policy]string{
+		Off: "No Reclamation", EveryTask: "Every Task", Batched: "Batching Tasks",
+	} {
+		if got := p.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", p, got, want)
+		}
+	}
+}
+
+func TestOffDiscardsRetirees(t *testing.T) {
+	m := NewManager(1, Off, 0)
+	w := m.Worker(0)
+	freed := false
+	w.Retire(func() { freed = true })
+	m.Advance()
+	if n := w.Collect(); n != 0 {
+		t.Fatalf("Collect under Off freed %d, want 0", n)
+	}
+	if freed {
+		t.Fatal("Off policy ran a reclamation callback")
+	}
+	if w.Pending() != 0 {
+		t.Fatal("Off policy buffered a retiree")
+	}
+}
+
+func TestReclaimAfterAllWorkersAdvance(t *testing.T) {
+	m := NewManager(2, EveryTask, 0)
+	w0, w1 := m.Worker(0), m.Worker(1)
+
+	w0.Enter() // w0 in epoch 1
+	freed := 0
+	w0.Retire(func() { freed++ }) // retired at epoch 1
+	w0.Leave()
+
+	// w1 lingers in epoch 1 — a potential optimistic reader.
+	w1.Enter()
+
+	m.Advance() // global -> 2
+	if n := w0.Collect(); n != 0 {
+		t.Fatalf("Collect freed %d while w1 was still in the retire epoch", n)
+	}
+
+	w1.Leave() // w1 exits its critical section
+	m.Advance()
+	if n := w0.Collect(); n != 1 {
+		t.Fatalf("Collect freed %d after all workers advanced, want 1", n)
+	}
+	if freed != 1 {
+		t.Fatalf("callback ran %d times, want 1", freed)
+	}
+	if got := w0.Reclaimed.Load(); got != 1 {
+		t.Fatalf("Reclaimed = %d, want 1", got)
+	}
+}
+
+func TestNeverReclaimWhileReferenced(t *testing.T) {
+	// The core safety property: an object retired in epoch E is not freed
+	// while any worker's local epoch is <= E.
+	m := NewManager(3, EveryTask, 0)
+	w := m.Worker(0)
+	reader := m.Worker(2)
+
+	reader.Enter() // pins epoch 1
+	w.Enter()
+	w.Retire(func() {})
+	w.Leave()
+	for i := 0; i < 10; i++ {
+		m.Advance()
+		if w.Collect() != 0 {
+			t.Fatal("reclaimed while a reader pinned the retire epoch")
+		}
+	}
+	reader.Leave()
+	m.Advance()
+	if w.Collect() != 1 {
+		t.Fatal("failed to reclaim once the reader left")
+	}
+}
+
+func TestBatchedAdvancesEveryN(t *testing.T) {
+	const batch = 5
+	m := NewManager(1, Batched, batch)
+	w := m.Worker(0)
+
+	w.Enter() // publishes epoch 1
+	if got := w.LocalEpoch(); got != 1 {
+		t.Fatalf("local epoch = %d, want 1", got)
+	}
+	m.Advance() // global -> 2
+	// Executions 2..batch must NOT refresh the local epoch.
+	for i := 1; i < batch; i++ {
+		w.Leave()
+		w.Enter()
+		if got := w.LocalEpoch(); got != 1 {
+			t.Fatalf("execution %d refreshed local epoch to %d mid-batch", i+1, got)
+		}
+	}
+	// Execution batch+1 starts a new batch and refreshes.
+	w.Leave()
+	w.Enter()
+	if got := w.LocalEpoch(); got != 2 {
+		t.Fatalf("local epoch after batch = %d, want 2", got)
+	}
+}
+
+func TestIdleUnpinsEpoch(t *testing.T) {
+	m := NewManager(1, Batched, 10)
+	w := m.Worker(0)
+	w.Enter()
+	if w.LocalEpoch() == math.MaxUint64 {
+		t.Fatal("Enter did not publish an epoch")
+	}
+	w.Idle()
+	if w.LocalEpoch() != math.MaxUint64 {
+		t.Fatal("Idle did not reset the local epoch to infinity")
+	}
+	// After idling, a retiree from before must become reclaimable.
+	w.Enter()
+	w.Retire(func() {})
+	w.Idle()
+	m.Advance()
+	if w.Collect() != 1 {
+		t.Fatal("retiree not reclaimed after Idle + Advance")
+	}
+}
+
+func TestEveryTaskLeaveUnpins(t *testing.T) {
+	m := NewManager(1, EveryTask, 0)
+	w := m.Worker(0)
+	w.Enter()
+	w.Leave()
+	if w.LocalEpoch() != math.MaxUint64 {
+		t.Fatal("Leave under EveryTask did not reset the local epoch")
+	}
+}
+
+func TestQuickSafety(t *testing.T) {
+	// Property: for any interleaving of retire/advance/collect with one
+	// pinned reader, nothing retired at or after the reader's pin epoch is
+	// freed until the reader leaves.
+	f := func(ops []uint8) bool {
+		m := NewManager(2, Batched, 3)
+		w := m.Worker(0)
+		reader := m.Worker(1)
+		reader.Enter()
+		pin := reader.LocalEpoch()
+		live := 0 // retirees at epoch >= pin that must not be freed
+		violated := false
+		for _, op := range ops {
+			switch op % 4 {
+			case 0:
+				w.Enter()
+				epochNow := m.Global()
+				if epochNow >= pin {
+					live++
+					w.Retire(func() { violated = true })
+				} else {
+					w.Retire(func() {})
+				}
+				w.Leave()
+			case 1:
+				m.Advance()
+			case 2:
+				w.Collect()
+			case 3:
+				w.Idle()
+			}
+			if violated {
+				return false
+			}
+		}
+		return !violated
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkEnterLeaveEveryTask(b *testing.B) {
+	m := NewManager(1, EveryTask, 0)
+	w := m.Worker(0)
+	for i := 0; i < b.N; i++ {
+		w.Enter()
+		w.Leave()
+	}
+}
+
+func BenchmarkEnterLeaveBatched(b *testing.B) {
+	m := NewManager(1, Batched, DefaultBatchSize)
+	w := m.Worker(0)
+	for i := 0; i < b.N; i++ {
+		w.Enter()
+		w.Leave()
+	}
+}

@@ -1,0 +1,118 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§5–§6). Each experiment produces structured series plus a
+// textual rendering that mirrors what the figure reports; EXPERIMENTS.md
+// records the paper-vs-measured comparison.
+//
+// The multi-core series come from the machine model in internal/sim (see
+// DESIGN.md for the substitution rationale); the companion benchmarks in
+// bench_test.go exercise the same code paths on the real runtime at host
+// scale.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// CoreAxis is the x-axis used by the paper's scaling figures.
+var CoreAxis = []int{1, 2, 4, 8, 12, 16, 20, 24, 28, 32, 36, 40, 44, 48}
+
+// Series is one labelled curve.
+type Series struct {
+	Name string
+	X    []float64
+	Y    []float64
+}
+
+// At returns the Y value at x (exact match; NaN-free by construction).
+func (s Series) At(x float64) (float64, bool) {
+	for i, v := range s.X {
+		if v == x {
+			return s.Y[i], true
+		}
+	}
+	return 0, false
+}
+
+// Report is one regenerated figure.
+type Report struct {
+	ID     string // "fig7", "fig10a", ...
+	Title  string
+	YLabel string
+	XLabel string
+	Paper  string // the paper's headline observation for this figure
+	Series []Series
+}
+
+// Fprint renders the report as an aligned text table, one row per x value.
+func (r Report) Fprint(w io.Writer) {
+	fmt.Fprintf(w, "== %s — %s ==\n", r.ID, r.Title)
+	fmt.Fprintf(w, "paper: %s\n", r.Paper)
+	if len(r.Series) == 0 {
+		return
+	}
+	fmt.Fprintf(w, "%-12s", r.XLabel)
+	for _, s := range r.Series {
+		fmt.Fprintf(w, "%16s", truncate(s.Name, 16))
+	}
+	fmt.Fprintf(w, "   (%s)\n", r.YLabel)
+	for i, x := range r.Series[0].X {
+		fmt.Fprintf(w, "%-12.6g", x)
+		for _, s := range r.Series {
+			if i < len(s.Y) {
+				fmt.Fprintf(w, "%16.2f", s.Y[i])
+			} else {
+				fmt.Fprintf(w, "%16s", "-")
+			}
+		}
+		fmt.Fprintln(w)
+	}
+	fmt.Fprintln(w)
+}
+
+func truncate(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n-1] + "…"
+}
+
+// All returns every experiment keyed by ID, in presentation order.
+func All() []Report {
+	return []Report{
+		Fig04(), Fig07(), Fig09(), Fig10a(), Fig10b(), Fig10c(), Fig11(),
+		Fig12a(), Fig12b(), Fig12c(), Fig13(), Distance(),
+	}
+}
+
+// ByID returns one experiment ("fig7".."fig13", "distance", or an
+// ablation id), or false.
+func ByID(id string) (Report, bool) {
+	id = strings.ToLower(strings.TrimSpace(id))
+	for _, r := range All() {
+		if r.ID == id {
+			return r, true
+		}
+	}
+	for _, r := range Ablations() {
+		if r.ID == id {
+			return r, true
+		}
+	}
+	return Report{}, false
+}
+
+// IDs lists the available experiment identifiers, figures first.
+func IDs() []string {
+	var ids []string
+	for _, r := range All() {
+		ids = append(ids, r.ID)
+	}
+	for _, r := range Ablations() {
+		ids = append(ids, r.ID)
+	}
+	sort.Strings(ids)
+	return ids
+}

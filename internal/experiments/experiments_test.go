@@ -1,0 +1,288 @@
+package experiments
+
+import (
+	"bytes"
+	"os"
+	"strings"
+	"testing"
+
+	"mxtasking/internal/sim"
+)
+
+func TestAllExperimentsProduceSeries(t *testing.T) {
+	for _, r := range All() {
+		if r.ID == "" || r.Title == "" || r.Paper == "" {
+			t.Errorf("experiment %q missing metadata", r.ID)
+		}
+		if len(r.Series) == 0 {
+			t.Errorf("experiment %q produced no series", r.ID)
+		}
+		for _, s := range r.Series {
+			if len(s.X) == 0 || len(s.X) != len(s.Y) {
+				t.Errorf("experiment %q series %q malformed (%d x, %d y)",
+					r.ID, s.Name, len(s.X), len(s.Y))
+			}
+			for i, y := range s.Y {
+				if y < 0 || y != y { // negative or NaN
+					t.Errorf("experiment %q series %q has bad value %v at %d",
+						r.ID, s.Name, y, i)
+				}
+			}
+		}
+	}
+}
+
+func TestByID(t *testing.T) {
+	for _, id := range IDs() {
+		r, ok := ByID(id)
+		if !ok || r.ID != id {
+			t.Errorf("ByID(%q) failed", id)
+		}
+	}
+	if _, ok := ByID("fig99"); ok {
+		t.Error("ByID accepted a bogus id")
+	}
+	if r, ok := ByID("  FIG10A "); !ok || r.ID != "fig10a" {
+		t.Error("ByID is not case/space tolerant")
+	}
+}
+
+func TestFprintRendersEverySeries(t *testing.T) {
+	var buf bytes.Buffer
+	r := Fig10a()
+	r.Fprint(&buf)
+	out := buf.String()
+	if !strings.Contains(out, "fig10a") || !strings.Contains(out, "paper:") {
+		t.Fatal("rendering lacks header")
+	}
+	// Every core count shows up as a row.
+	for _, c := range []string{"\n1 ", "\n48 "} {
+		if !strings.Contains(out, c) {
+			t.Errorf("rendered table missing row %q", strings.TrimSpace(c))
+		}
+	}
+}
+
+func TestFig10aHeadlineNumbers(t *testing.T) {
+	r := Fig10a()
+	var pf, nopf Series
+	for _, s := range r.Series {
+		switch s.Name {
+		case "Read only +pf":
+			pf = s
+		case "Read only -pf":
+			nopf = s
+		}
+	}
+	a, _ := pf.At(48)
+	b, _ := nopf.At(48)
+	if gain := a/b - 1; gain < 0.25 || gain > 0.65 {
+		t.Errorf("read-only prefetch gain at 48 cores = %.2f, want ~0.45", gain)
+	}
+}
+
+func TestFig9PlateauInReport(t *testing.T) {
+	r := Fig09()
+	s := r.Series[0]
+	v128, _ := s.At(128)
+	v65536, _ := s.At(65536)
+	v8, _ := s.At(8)
+	if v8 > 0.5*v128 {
+		t.Errorf("fig9 report lost the small-granularity collapse: %f vs %f", v8, v128)
+	}
+	if d := v65536/v128 - 1; d > 0.1 || d < -0.1 {
+		t.Errorf("fig9 plateau not flat: %f", d)
+	}
+}
+
+func TestFig7Segments(t *testing.T) {
+	r := Fig07()
+	if len(r.Series) != 2 {
+		t.Fatalf("fig7 has %d series, want 2", len(r.Series))
+	}
+	// Series Y layout: app, runtime, alloc, total.
+	libc, ml := r.Series[0], r.Series[1]
+	if libc.Y[2] <= ml.Y[2]*5 {
+		t.Errorf("libc allocation segment (%.2f) must dwarf multi-level (%.2f)", libc.Y[2], ml.Y[2])
+	}
+	if libc.Y[3] <= ml.Y[3] {
+		t.Error("libc total must exceed multi-level total")
+	}
+}
+
+func TestDistanceSweepShape(t *testing.T) {
+	s := Distance().Series[0]
+	d0, _ := s.At(0)
+	d1, _ := s.At(1)
+	d2, _ := s.At(2)
+	d8, _ := s.At(8)
+	if !(d2 > d1 && d1 > d0 && d8 > d0 && d8 < d2) {
+		t.Errorf("distance sweep shape broken: d0=%.1f d1=%.1f d2=%.1f d8=%.1f", d0, d1, d2, d8)
+	}
+}
+
+func TestVerifyAllClaimsPass(t *testing.T) {
+	for _, c := range Verify() {
+		if !c.Pass {
+			t.Errorf("[%s] %s — %s", c.Figure, c.Text, c.Detail)
+		}
+	}
+}
+
+func TestAblationsProduceSeries(t *testing.T) {
+	for _, r := range Ablations() {
+		if len(r.Series) == 0 {
+			t.Errorf("ablation %q empty", r.ID)
+		}
+		if _, ok := ByID(r.ID); !ok {
+			t.Errorf("ablation %q not resolvable via ByID", r.ID)
+		}
+	}
+}
+
+func TestAblationAllocatorOrdering(t *testing.T) {
+	r := AblationAllocatorLevels()
+	// Allocation segment: libc > processor-only > multi-level.
+	get := func(name string) float64 {
+		for _, s := range r.Series {
+			if s.Name == name {
+				return s.Y[2]
+			}
+		}
+		t.Fatalf("series %q missing", name)
+		return 0
+	}
+	libc, proc, ml := get("libc-2.31"), get("Processor-heap"), get("Multi-level")
+	// The core-heap level is the win: without it, even per-processor
+	// heaps cost more than libc's thread-local tcache fast path.
+	if !(proc > libc && libc > ml) {
+		t.Fatalf("allocator ablation ordering broken: libc=%.2f proc=%.2f ml=%.2f", libc, proc, ml)
+	}
+}
+
+func TestAblationEpochBatchFlattens(t *testing.T) {
+	s := AblationEpochBatch().Series[0]
+	b1, _ := s.At(1)
+	b50, _ := s.At(50)
+	b200, _ := s.At(200)
+	if !(b50 > b1) {
+		t.Fatal("batching must beat per-task advancement")
+	}
+	if (b200-b50)/b50 > 0.01 {
+		t.Fatal("gains past batch 50 should be negligible (the paper's choice)")
+	}
+}
+
+func TestAblationSMTInteraction(t *testing.T) {
+	r := AblationSMT()
+	gain := func(name string) float64 {
+		for _, s := range r.Series {
+			if s.Name == name {
+				return s.Y[1] / s.Y[0]
+			}
+		}
+		t.Fatalf("series %q missing", name)
+		return 0
+	}
+	noPf, pf := gain("distance=0"), gain("distance=2")
+	if noPf < pf-1e-9 {
+		t.Fatalf("SMT must help the stall-bound configuration no less (nopf %.2fx vs pf %.2fx)", noPf, pf)
+	}
+	// Hyperthreads are far from free cores: the 12->24 gain stays well
+	// below 2x (the knee at 13+ cores in every scaling figure).
+	if noPf > 1.7 || pf > 1.7 {
+		t.Fatalf("SMT gain unrealistically high: nopf %.2fx pf %.2fx", noPf, pf)
+	}
+}
+
+func TestWriteDat(t *testing.T) {
+	dir := t.TempDir()
+	paths, err := ExportAll(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := len(All()) + len(Ablations())
+	if len(paths) != want {
+		t.Fatalf("exported %d files, want %d", len(paths), want)
+	}
+	data, err := os.ReadFile(paths[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	content := string(data)
+	if !strings.HasPrefix(content, "# fig") {
+		t.Fatalf("dat header malformed: %q", content[:40])
+	}
+	lines := strings.Split(strings.TrimSpace(content), "\n")
+	dataLines := 0
+	for _, l := range lines {
+		if !strings.HasPrefix(l, "#") {
+			dataLines++
+			if strings.Contains(l, "NaN") {
+				t.Fatalf("NaN in dat output: %q", l)
+			}
+		}
+	}
+	if dataLines == 0 {
+		t.Fatal("no data rows exported")
+	}
+}
+
+func TestRealExperimentsSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real-runtime experiments are wall-clock bound")
+	}
+	cfg := RealConfig{Workers: 2, Records: 5000, Ops: 10000}
+	ycsbReport := RealYCSB(cfg)
+	if len(ycsbReport.Series) != 2 || len(ycsbReport.Series[0].Y) != 3 {
+		t.Fatalf("real YCSB report malformed: %+v", ycsbReport.Series)
+	}
+	for _, s := range ycsbReport.Series {
+		for i, y := range s.Y {
+			if y <= 0 {
+				t.Fatalf("series %q value %d = %f", s.Name, i, y)
+			}
+		}
+	}
+	join := RealJoin(RealConfig{Workers: 2, Records: 2000, Ops: 0})
+	ys := join.Series[0].Y
+	if len(ys) != 5 {
+		t.Fatalf("real join report has %d points", len(ys))
+	}
+	// The tiny-task point must be visibly below the best plateau point.
+	best := 0.0
+	for _, y := range ys[1:] {
+		if y > best {
+			best = y
+		}
+	}
+	if ys[0] >= best {
+		t.Fatalf("tiny-task join (%f) not below plateau (%f)", ys[0], best)
+	}
+}
+
+func TestExtensionWorkloadBOrdering(t *testing.T) {
+	r := ExtensionWorkloadB()
+	at48 := func(name string) float64 {
+		for _, s := range r.Series {
+			if s.Name == name {
+				v, _ := s.At(48)
+				return v
+			}
+		}
+		t.Fatalf("series %q missing", name)
+		return 0
+	}
+	mx, th := at48("MxTasking"), at48("p_thread")
+	if !(mx > th) {
+		t.Fatalf("B workload: mx (%.1f) must stay ahead of threads (%.1f)", mx, th)
+	}
+	// B must land between A and C for MxTasking.
+	a := sim.SimulateTree(sim.TreeConfig{System: sim.SysMxTasking, Sync: sim.FamOptimistic,
+		Workload: sim.WReadUpdate, PrefetchDistance: 2, EBMR: sim.EBMRBatched}, 48).ThroughputMops
+	c := sim.SimulateTree(sim.TreeConfig{System: sim.SysMxTasking, Sync: sim.FamOptimistic,
+		Workload: sim.WReadOnly, PrefetchDistance: 2, EBMR: sim.EBMRBatched}, 48).ThroughputMops
+	if !(mx > a && mx < c) {
+		t.Fatalf("B (%.1f) must sit between A (%.1f) and C (%.1f)", mx, a, c)
+	}
+}

@@ -1,0 +1,58 @@
+package experiments
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// WriteDat renders the report as a gnuplot-style .dat file (the paper's
+// figures are gnuplot plots): a comment header, one column per series,
+// one row per x value. Returns the written path.
+func (r Report) WriteDat(dir string) (string, error) {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "# %s — %s\n", r.ID, r.Title)
+	fmt.Fprintf(&sb, "# paper: %s\n", r.Paper)
+	fmt.Fprintf(&sb, "# x: %s, y: %s\n", r.XLabel, r.YLabel)
+	fmt.Fprintf(&sb, "# columns: %s", r.XLabel)
+	for _, s := range r.Series {
+		fmt.Fprintf(&sb, "\t%q", s.Name)
+	}
+	sb.WriteByte('\n')
+	if len(r.Series) > 0 {
+		for i, x := range r.Series[0].X {
+			fmt.Fprintf(&sb, "%g", x)
+			for _, s := range r.Series {
+				if i < len(s.Y) {
+					fmt.Fprintf(&sb, "\t%.4f", s.Y[i])
+				} else {
+					sb.WriteString("\t-")
+				}
+			}
+			sb.WriteByte('\n')
+		}
+	}
+	path := filepath.Join(dir, r.ID+".dat")
+	if err := os.WriteFile(path, []byte(sb.String()), 0o644); err != nil {
+		return "", fmt.Errorf("experiments: write %s: %w", path, err)
+	}
+	return path, nil
+}
+
+// ExportAll writes every figure (and ablation) as a .dat file into dir,
+// creating it if needed. Returns the written paths.
+func ExportAll(dir string) ([]string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("experiments: mkdir %s: %w", dir, err)
+	}
+	var paths []string
+	for _, r := range append(All(), Ablations()...) {
+		p, err := r.WriteDat(dir)
+		if err != nil {
+			return paths, err
+		}
+		paths = append(paths, p)
+	}
+	return paths, nil
+}

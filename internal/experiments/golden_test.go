@@ -1,0 +1,52 @@
+package experiments
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite the golden figure output")
+
+// TestGoldenFigures pins the complete rendered output of every simulated
+// figure. The model is deterministic, so any diff here is a deliberate
+// recalibration — rerun with -update and re-check EXPERIMENTS.md's numbers
+// when that happens.
+func TestGoldenFigures(t *testing.T) {
+	var buf bytes.Buffer
+	for _, r := range All() {
+		r.Fprint(&buf)
+	}
+	for _, r := range Ablations() {
+		r.Fprint(&buf)
+	}
+	golden := filepath.Join("testdata", "figures.golden")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("golden updated: %s (%d bytes)", golden, buf.Len())
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("missing golden file (run `go test ./internal/experiments -run Golden -update`): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		// Locate the first differing line for a readable failure.
+		gotLines := bytes.Split(buf.Bytes(), []byte("\n"))
+		wantLines := bytes.Split(want, []byte("\n"))
+		for i := 0; i < len(gotLines) && i < len(wantLines); i++ {
+			if !bytes.Equal(gotLines[i], wantLines[i]) {
+				t.Fatalf("figure output diverged from golden at line %d:\n got: %s\nwant: %s\n(recalibration? rerun with -update and refresh EXPERIMENTS.md)",
+					i+1, gotLines[i], wantLines[i])
+			}
+		}
+		t.Fatalf("figure output length changed: got %d lines, want %d", len(gotLines), len(wantLines))
+	}
+}

@@ -1,0 +1,120 @@
+package experiments
+
+import (
+	"fmt"
+
+	"mxtasking/internal/sim"
+)
+
+// Claim is one of the paper's verifiable shape statements, evaluated
+// against the regenerated data.
+type Claim struct {
+	Figure string
+	Text   string
+	Pass   bool
+	Detail string
+}
+
+// Verify evaluates every headline claim of §5–§6 against the model and
+// returns the results (all claims are also enforced as unit tests; this
+// form feeds `mxbench -verify` for human inspection).
+func Verify() []Claim {
+	var claims []Claim
+	add := func(fig, text string, pass bool, detail string) {
+		claims = append(claims, Claim{Figure: fig, Text: text, Pass: pass, Detail: detail})
+	}
+	mx := func(w sim.Workload, d, c int) sim.Result {
+		return sim.SimulateTree(sim.TreeConfig{System: sim.SysMxTasking, Sync: sim.FamOptimistic,
+			Workload: w, PrefetchDistance: d, EBMR: sim.EBMRBatched}, c)
+	}
+	at48 := func(s sim.System, fam sim.SyncFamily, w sim.Workload) float64 {
+		cfg := sim.TreeConfig{System: s, Sync: fam, Workload: w}
+		if s == sim.SysMxTasking {
+			cfg.PrefetchDistance = 2
+			cfg.EBMR = sim.EBMRBatched
+		}
+		return sim.SimulateTree(cfg, 48).ThroughputMops
+	}
+
+	// Figure 7.
+	libc := sim.SimulateAlloc(sim.AllocLibc, 48)
+	ml := sim.SimulateAlloc(sim.AllocMultiLevel, 48)
+	add("fig7", "multi-level allocation costs an order of magnitude less than malloc",
+		libc.Allocation > 8*ml.Allocation,
+		fmt.Sprintf("libc %.0f vs multi-level %.0f cycles/lookup", libc.Allocation, ml.Allocation))
+
+	// Figure 9.
+	plateau := sim.SimulateJoin(sim.DefaultJoin(1024)).OutputMtuples
+	tiny := sim.SimulateJoin(sim.DefaultJoin(8)).OutputMtuples
+	heavy := sim.SimulateJoin(sim.DefaultJoin(1 << 18)).OutputMtuples
+	add("fig9", "tiny tasks collapse, heavyweight tasks droop, plateau in between",
+		tiny < 0.5*plateau && heavy < 0.92*plateau,
+		fmt.Sprintf("2^3: %.0f, plateau: %.0f, 2^18: %.0f Mtuples/s", tiny, plateau, heavy))
+
+	// Figure 10.
+	roGain := mx(sim.WReadOnly, 2, 48).ThroughputMops/mx(sim.WReadOnly, 0, 48).ThroughputMops - 1
+	add("fig10a", "prefetching lifts read-only throughput by tens of percent (paper: 45 %)",
+		roGain > 0.25 && roGain < 0.65, fmt.Sprintf("gain %.0f%%", roGain*100))
+	stallRed := 1 - mx(sim.WReadOnly, 2, 48).StallsPerOp/mx(sim.WReadOnly, 0, 48).StallsPerOp
+	add("fig10b", "read-only memory stalls drop by about half (paper: 52 %)",
+		stallRed > 0.35 && stallRed < 0.65, fmt.Sprintf("reduction %.0f%%", stallRed*100))
+	extra := mx(sim.WReadOnly, 2, 48).InstrPerOp - mx(sim.WReadOnly, 0, 48).InstrPerOp
+	add("fig10c", "prefetching costs ~245 extra instructions/op",
+		extra > 180 && extra < 320, fmt.Sprintf("+%.0f instructions", extra))
+
+	// §6.2 distance sweep.
+	d1 := mx(sim.WReadOnly, 1, 48).ThroughputMops
+	d2 := mx(sim.WReadOnly, 2, 48).ThroughputMops
+	d6 := mx(sim.WReadOnly, 6, 48).ThroughputMops
+	d0 := mx(sim.WReadOnly, 0, 48).ThroughputMops
+	add("distance", "distance 2 best; 1 too late; beyond 4 smaller but noticeable",
+		d2 > d1 && d1 > d0 && d6 < d2 && d6 > d0,
+		fmt.Sprintf("d0=%.1f d1=%.1f d2=%.1f d6=%.1f Mops", d0, d1, d2, d6))
+
+	// Figure 11.
+	off := mx(sim.WReadOnly, 2, 48).ThroughputMops
+	every := sim.SimulateTree(sim.TreeConfig{System: sim.SysMxTasking, Sync: sim.FamOptimistic,
+		Workload: sim.WReadOnly, PrefetchDistance: 2, EBMR: sim.EBMREvery}, 48).ThroughputMops
+	add("fig11", "every-task EBMR visibly slower on read-only; batching near-free",
+		every < off && (off-every)/off < 0.2,
+		fmt.Sprintf("every-task loses %.1f%%", (off-every)/off*100))
+
+	// Figure 12a.
+	mxSer12 := at48(sim.SysMxTasking, sim.FamSerialized, sim.WReadOnly)
+	mxSer24 := sim.SimulateTree(sim.TreeConfig{System: sim.SysMxTasking, Sync: sim.FamSerialized, Workload: sim.WReadOnly}, 24).ThroughputMops
+	thSer := at48(sim.SysThreads, sim.FamSerialized, sim.WReadOnly)
+	add("fig12a", "scheduling beats spinlocks; both stop scaling (root serialization)",
+		mxSer12 > 2*thSer && mxSer12 < mxSer24,
+		fmt.Sprintf("mx 24c=%.1f 48c=%.1f, spinlocks 48c=%.1f Mops", mxSer24, mxSer12, thSer))
+
+	// Figure 12b.
+	mxRW := at48(sim.SysMxTasking, sim.FamRWLatch, sim.WReadOnly)
+	thRW := at48(sim.SysThreads, sim.FamRWLatch, sim.WReadOnly)
+	tbbRW := at48(sim.SysTBB, sim.FamRWLatch, sim.WReadOnly)
+	add("fig12b", "mx ahead of threads (prefetching); HTM TBB ahead of both",
+		mxRW > 1.2*thRW && tbbRW > 1.4*mxRW,
+		fmt.Sprintf("mx=%.1f threads=%.1f tbb=%.1f Mops", mxRW, thRW, tbbRW))
+
+	// Figure 12c.
+	ro := func(s sim.System) float64 { return at48(s, sim.FamOptimistic, sim.WReadOnly) }
+	order := ro(sim.SysMxTasking) > ro(sim.SysMasstree) &&
+		ro(sim.SysMasstree) > ro(sim.SysThreads) &&
+		ro(sim.SysThreads) > ro(sim.SysBtreeOLC) &&
+		ro(sim.SysBtreeOLC) > ro(sim.SysOpenBwTree) &&
+		ro(sim.SysThreads) > ro(sim.SysTBB)
+	add("fig12c", "read-only ordering: mx > Masstree > threads > BtreeOLC > BwTree; TBB behind",
+		order, fmt.Sprintf("mx=%.1f mass=%.1f th=%.1f olc=%.1f bw=%.1f tbb=%.1f",
+			ro(sim.SysMxTasking), ro(sim.SysMasstree), ro(sim.SysThreads),
+			ro(sim.SysBtreeOLC), ro(sim.SysOpenBwTree), ro(sim.SysTBB)))
+
+	// Figure 13.
+	mxBD := mx(sim.WReadOnly, 2, 48).Breakdown
+	thBD := sim.SimulateTree(sim.TreeConfig{System: sim.SysThreads, Sync: sim.FamOptimistic, Workload: sim.WReadOnly}, 48).Breakdown
+	tbbBD := sim.SimulateTree(sim.TreeConfig{System: sim.SysTBB, Sync: sim.FamOptimistic, Workload: sim.WReadOnly}, 48).Breakdown
+	add("fig13", "mx traverses cheapest; runtimes pay scheduling overhead, TBB most",
+		mxBD.Traverse < thBD.Traverse && mxBD.Runtime > thBD.Runtime && tbbBD.Runtime > mxBD.Runtime,
+		fmt.Sprintf("traverse mx=%.0f th=%.0f; runtime mx=%.0f th=%.0f tbb=%.0f cycles",
+			mxBD.Traverse, thBD.Traverse, mxBD.Runtime, thBD.Runtime, tbbBD.Runtime))
+
+	return claims
+}

@@ -1,0 +1,29 @@
+package hashindex_test
+
+import (
+	"fmt"
+
+	"mxtasking/internal/epoch"
+	"mxtasking/internal/hashindex"
+	"mxtasking/internal/mxtask"
+)
+
+// A task-based hash table: every bucket is an annotated resource, so the
+// runtime injects all synchronization.
+func Example() {
+	rt := mxtask.New(mxtask.Config{Workers: 2, EpochPolicy: epoch.Batched, EpochInterval: -1})
+	rt.Start()
+	defer rt.Stop()
+
+	idx := hashindex.New(rt, hashindex.SyncOptimistic, 1024)
+	for k := uint64(0); k < 100; k++ {
+		idx.Put(k, k+1000)
+	}
+	rt.Drain()
+
+	get := idx.Get(42)
+	rt.Drain()
+	fmt.Println(get.Result, get.Found)
+	// Output:
+	// 1042 true
+}

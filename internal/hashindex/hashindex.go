@@ -1,0 +1,228 @@
+// Package hashindex is a task-based hash table built on MxTasking,
+// demonstrating that annotation-driven synchronization generalizes beyond
+// trees (the paper's §2.1 cites task-based B-trees *and hash tables*).
+//
+// The table is an array of buckets; every bucket is an annotated data
+// object, so the runtime — not this package — synchronizes access:
+//
+//   - with IsolationExclusive annotations, all operations on a bucket are
+//     serialized through the bucket's task pool (zero latches);
+//   - with the optimistic annotation set, lookups run validated and
+//     writers take the bucket's version latch.
+//
+// Operations are asynchronous like the Blink-tree's: they spawn exactly
+// one task (hashing replaces traversal), so the per-op task overhead is
+// minimal — the structure the paper's granularity discussion (§5.3) calls
+// implicit.
+package hashindex
+
+import (
+	"mxtasking/internal/mxtask"
+)
+
+// SyncMode selects the annotation set for buckets.
+type SyncMode int
+
+const (
+	// SyncSerialized: every bucket access is serialized by scheduling.
+	SyncSerialized SyncMode = iota
+	// SyncOptimistic: validated reads, latched writes.
+	SyncOptimistic
+)
+
+// String names the mode.
+func (m SyncMode) String() string {
+	if m == SyncSerialized {
+		return "serialized"
+	}
+	return "optimistic"
+}
+
+// bucket is one chained bucket. The chain is mutated only under the
+// bucket resource's injected synchronization.
+type bucket struct {
+	res  *mxtask.Resource
+	head *entry
+}
+
+type entry struct {
+	key   uint64
+	value uint64
+	next  *entry
+}
+
+// Prefetch pulls the first chain links toward the cache (the annotated
+// object of every bucket task).
+func (b *bucket) Prefetch() {
+	var sink uint64
+	for e, i := b.head, 0; e != nil && i < 4; e, i = e.next, i+1 {
+		sink += e.key
+	}
+	_ = sink
+}
+
+// Index is the task-based hash table.
+type Index struct {
+	rt      *mxtask.Runtime
+	mode    SyncMode
+	buckets []bucket
+	mask    uint64
+}
+
+// Op is one asynchronous operation; read Result/Found after completion.
+type Op struct {
+	idx   *Index
+	key   uint64
+	value uint64
+	kind  opKind
+
+	Result uint64
+	Found  bool
+
+	// Done, when non-nil, is spawned with the Op as Arg on completion.
+	Done mxtask.Func
+}
+
+type opKind uint8
+
+const (
+	opGet opKind = iota
+	opPut
+	opDelete
+)
+
+// New creates an index with capacity for roughly n entries (bucket count
+// is the next power of two above n/4, i.e. mean chain length ~4).
+func New(rt *mxtask.Runtime, mode SyncMode, n int) *Index {
+	nBuckets := 16
+	for nBuckets < n/4 {
+		nBuckets <<= 1
+	}
+	idx := &Index{rt: rt, mode: mode, buckets: make([]bucket, nBuckets), mask: uint64(nBuckets - 1)}
+	for i := range idx.buckets {
+		b := &idx.buckets[i]
+		switch mode {
+		case SyncSerialized:
+			b.res = rt.CreateResource(b, 64,
+				mxtask.IsolationExclusive, mxtask.RWBalanced, mxtask.FrequencyNormal)
+		default:
+			b.res = rt.CreateResource(b, 64,
+				mxtask.IsolationExclusiveWriteSharedRead, mxtask.RWBalanced, mxtask.FrequencyLow)
+		}
+	}
+	return idx
+}
+
+// Mode returns the index's annotation mode.
+func (x *Index) Mode() SyncMode { return x.mode }
+
+func hash64(k uint64) uint64 {
+	k ^= k >> 33
+	k *= 0xff51afd7ed558ccd
+	k ^= k >> 33
+	k *= 0xc4ceb9fe1a85ec53
+	return k ^ (k >> 33)
+}
+
+func (x *Index) bucketFor(key uint64) *bucket {
+	return &x.buckets[hash64(key)&x.mask]
+}
+
+// spawn creates the single task an operation needs.
+func (x *Index) spawn(op *Op) {
+	b := x.bucketFor(op.key)
+	mode := mxtask.ReadOnly
+	if op.kind != opGet {
+		mode = mxtask.Write
+	}
+	task := x.rt.NewTask(bucketTask, op)
+	task.Arg2 = b
+	task.AnnotateResource(b.res, mode)
+	x.rt.Spawn(task)
+}
+
+// Get fetches key asynchronously.
+func (x *Index) Get(key uint64) *Op {
+	op := &Op{idx: x, key: key, kind: opGet}
+	x.spawn(op)
+	return op
+}
+
+// GetWith is Get with a completion task.
+func (x *Index) GetWith(key uint64, done mxtask.Func) *Op {
+	op := &Op{idx: x, key: key, kind: opGet, Done: done}
+	x.spawn(op)
+	return op
+}
+
+// Put stores key=value asynchronously (overwrites).
+func (x *Index) Put(key, value uint64) *Op {
+	op := &Op{idx: x, key: key, value: value, kind: opPut}
+	x.spawn(op)
+	return op
+}
+
+// Delete removes key asynchronously.
+func (x *Index) Delete(key uint64) *Op {
+	op := &Op{idx: x, key: key, kind: opDelete}
+	x.spawn(op)
+	return op
+}
+
+// bucketTask executes one operation on its bucket. The body is
+// restartable for Get (pure read + idempotent Op writes); Put/Delete run
+// under the bucket's write synchronization.
+func bucketTask(ctx *mxtask.Context, t *mxtask.Task) {
+	op := t.Arg.(*Op)
+	b := t.Arg2.(*bucket)
+	switch op.kind {
+	case opGet:
+		op.Found = false
+		for e := b.head; e != nil; e = e.next {
+			if e.key == op.key {
+				op.Result = e.value
+				op.Found = true
+				break
+			}
+		}
+	case opPut:
+		op.Found = false
+		for e := b.head; e != nil; e = e.next {
+			if e.key == op.key {
+				e.value = op.value
+				op.Found = true
+				break
+			}
+		}
+		if !op.Found {
+			b.head = &entry{key: op.key, value: op.value, next: b.head}
+		}
+	case opDelete:
+		op.Found = false
+		for p := &b.head; *p != nil; p = &(*p).next {
+			if (*p).key == op.key {
+				removed := *p
+				*p = removed.next
+				op.Found = true
+				// Readers may still traverse the removed entry
+				// optimistically; retire it through EBMR.
+				ctx.Retire(func() { removed.next = nil })
+				break
+			}
+		}
+	}
+	if op.Done != nil {
+		ctx.Spawn(ctx.NewTask(op.Done, op))
+	}
+}
+
+// Count returns the number of entries (quiescent helper).
+func (x *Index) Count() int {
+	n := 0
+	for i := range x.buckets {
+		for e := x.buckets[i].head; e != nil; e = e.next {
+			n++
+		}
+	}
+	return n
+}

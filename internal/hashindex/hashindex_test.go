@@ -1,0 +1,222 @@
+package hashindex
+
+import (
+	"math/rand"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+
+	"mxtasking/internal/epoch"
+	"mxtasking/internal/mxtask"
+)
+
+var modes = []SyncMode{SyncSerialized, SyncOptimistic}
+
+func newRT(workers int) *mxtask.Runtime {
+	return mxtask.New(mxtask.Config{
+		Workers:       workers,
+		EpochPolicy:   epoch.Batched,
+		EpochInterval: -1,
+	})
+}
+
+func TestBasic(t *testing.T) {
+	for _, mode := range modes {
+		t.Run(mode.String(), func(t *testing.T) {
+			rt := newRT(2)
+			rt.Start()
+			defer rt.Stop()
+			idx := New(rt, mode, 1000)
+
+			get := idx.Get(1)
+			rt.Drain()
+			if get.Found {
+				t.Fatal("empty index found a key")
+			}
+			put := idx.Put(1, 10)
+			rt.Drain()
+			if put.Found {
+				t.Fatal("fresh put reported overwrite")
+			}
+			get = idx.Get(1)
+			rt.Drain()
+			if !get.Found || get.Result != 10 {
+				t.Fatalf("Get = %+v", get)
+			}
+			over := idx.Put(1, 11)
+			rt.Drain()
+			if !over.Found {
+				t.Fatal("overwrite not reported")
+			}
+			del := idx.Delete(1)
+			rt.Drain()
+			if !del.Found {
+				t.Fatal("delete missed existing key")
+			}
+			del = idx.Delete(1)
+			rt.Drain()
+			if del.Found {
+				t.Fatal("double delete succeeded")
+			}
+		})
+	}
+}
+
+func TestBulkAndChains(t *testing.T) {
+	for _, mode := range modes {
+		t.Run(mode.String(), func(t *testing.T) {
+			rt := newRT(4)
+			rt.Start()
+			defer rt.Stop()
+			// Tiny capacity forces long chains.
+			idx := New(rt, mode, 64)
+			const n = 5000
+			for i := uint64(0); i < n; i++ {
+				idx.Put(i, i*2)
+			}
+			rt.Drain()
+			if c := idx.Count(); c != n {
+				t.Fatalf("Count = %d, want %d", c, n)
+			}
+			ops := make([]*Op, n)
+			for i := uint64(0); i < n; i++ {
+				ops[i] = idx.Get(i)
+			}
+			rt.Drain()
+			for i := uint64(0); i < n; i++ {
+				if !ops[i].Found || ops[i].Result != i*2 {
+					t.Fatalf("Get(%d) = %+v", i, ops[i])
+				}
+			}
+		})
+	}
+}
+
+func TestDoneFiresOnce(t *testing.T) {
+	rt := newRT(2)
+	rt.Start()
+	defer rt.Stop()
+	idx := New(rt, SyncOptimistic, 100)
+	for i := uint64(0); i < 1000; i++ {
+		idx.Put(i, i)
+	}
+	rt.Drain()
+	var fired atomic.Int64
+	for i := uint64(0); i < 1000; i++ {
+		idx.GetWith(i, func(_ *mxtask.Context, task *mxtask.Task) {
+			op := task.Arg.(*Op)
+			if !op.Found {
+				t.Errorf("existing key %d not found", op.key)
+			}
+			fired.Add(1)
+		})
+	}
+	rt.Drain()
+	if fired.Load() != 1000 {
+		t.Fatalf("Done fired %d times, want 1000", fired.Load())
+	}
+}
+
+func TestMapEquivalenceQuick(t *testing.T) {
+	f := func(ops []uint16, seed int64) bool {
+		rt := newRT(2)
+		rt.Start()
+		defer rt.Stop()
+		idx := New(rt, SyncOptimistic, 128)
+		ref := make(map[uint64]uint64)
+		rng := rand.New(rand.NewSource(seed))
+		for _, o := range ops {
+			key := uint64(o % 251)
+			switch rng.Intn(4) {
+			case 0, 1:
+				val := rng.Uint64()
+				idx.Put(key, val)
+				rt.Drain()
+				ref[key] = val
+			case 2:
+				get := idx.Get(key)
+				rt.Drain()
+				want, wok := ref[key]
+				if get.Found != wok || (wok && get.Result != want) {
+					return false
+				}
+			case 3:
+				del := idx.Delete(key)
+				rt.Drain()
+				if _, wok := ref[key]; del.Found != wok {
+					return false
+				}
+				delete(ref, key)
+			}
+		}
+		rt.Drain()
+		return idx.Count() == len(ref)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConcurrentMixed(t *testing.T) {
+	rt := newRT(4)
+	rt.Start()
+	defer rt.Stop()
+	idx := New(rt, SyncOptimistic, 512)
+	const n = 1000
+	for i := uint64(0); i < n; i++ {
+		idx.Put(i, i)
+	}
+	rt.Drain()
+	var bad atomic.Int64
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 20000; i++ {
+		k := uint64(rng.Intn(n))
+		if rng.Intn(2) == 0 {
+			idx.Put(k, k+n*uint64(rng.Intn(4)))
+		} else {
+			idx.GetWith(k, func(_ *mxtask.Context, task *mxtask.Task) {
+				op := task.Arg.(*Op)
+				if !op.Found || op.Result%n != op.key {
+					bad.Add(1)
+				}
+			})
+		}
+	}
+	rt.Drain()
+	if bad.Load() != 0 {
+		t.Fatalf("%d inconsistent reads", bad.Load())
+	}
+	if c := idx.Count(); c != n {
+		t.Fatalf("Count = %d, want %d", c, n)
+	}
+}
+
+func TestDeleteWithConcurrentReaders(t *testing.T) {
+	rt := newRT(4)
+	rt.Start()
+	defer rt.Stop()
+	idx := New(rt, SyncOptimistic, 64) // long chains: deletes unlink mid-chain
+	const n = 2000
+	for i := uint64(0); i < n; i++ {
+		idx.Put(i, i)
+	}
+	rt.Drain()
+	// Interleave deletes of odd keys with reads of even keys; even keys
+	// must never disappear.
+	var lost atomic.Int64
+	for i := uint64(0); i < n; i += 2 {
+		idx.Delete(i + 1)
+		idx.GetWith(i, func(_ *mxtask.Context, task *mxtask.Task) {
+			if op := task.Arg.(*Op); !op.Found {
+				lost.Add(1)
+			}
+		})
+	}
+	rt.Drain()
+	if lost.Load() != 0 {
+		t.Fatalf("%d surviving keys vanished during deletes", lost.Load())
+	}
+	if c := idx.Count(); c != n/2 {
+		t.Fatalf("Count = %d, want %d", c, n/2)
+	}
+}

@@ -1,0 +1,199 @@
+// Package hashjoin implements the morsel-style, task-based parallel hash
+// join of paper §5.3 (Figure 9): the inputs are partitioned across workers,
+// each worker builds a core-local hash table from its customer partition,
+// and probe tasks — carrying a configurable number of records each — join
+// the orders partition against it. Partitions are pinned to cores with
+// task annotations, so builds and probes run NUMA-locally and without
+// synchronization, exploiting run-to-completion.
+//
+// The build→probe ordering uses the runtime's dependency barriers (§4.1's
+// generalized scheduling-based synchronization): probe tasks are spawned
+// up front, annotated after the partition's barrier, and the runtime
+// withholds them until the last build task arrives.
+package hashjoin
+
+import (
+	"sync/atomic"
+
+	"mxtasking/internal/mxtask"
+	"mxtasking/internal/tpch"
+)
+
+// Table is a minimal open-addressing hash table (linear probing) from
+// customer key to nation key. Each worker owns one, so no synchronization
+// is needed.
+type Table struct {
+	keys  []uint64 // 0 = empty (custkeys start at 1)
+	vals  []uint8
+	mask  uint64
+	count int
+}
+
+// NewTable sizes a table for n entries at 50 % max load.
+func NewTable(n int) *Table {
+	capacity := 16
+	for capacity < n*2 {
+		capacity <<= 1
+	}
+	return &Table{
+		keys: make([]uint64, capacity),
+		vals: make([]uint8, capacity),
+		mask: uint64(capacity - 1),
+	}
+}
+
+func hash64(k uint64) uint64 {
+	k ^= k >> 33
+	k *= 0xff51afd7ed558ccd
+	k ^= k >> 33
+	k *= 0xc4ceb9fe1a85ec53
+	return k ^ (k >> 33)
+}
+
+// Insert adds key -> val (keys must be non-zero and unique).
+func (t *Table) Insert(key uint64, val uint8) {
+	i := hash64(key) & t.mask
+	for t.keys[i] != 0 {
+		i = (i + 1) & t.mask
+	}
+	t.keys[i] = key
+	t.vals[i] = val
+	t.count++
+}
+
+// Lookup finds key.
+func (t *Table) Lookup(key uint64) (uint8, bool) {
+	i := hash64(key) & t.mask
+	for {
+		k := t.keys[i]
+		if k == key {
+			return t.vals[i], true
+		}
+		if k == 0 {
+			return 0, false
+		}
+		i = (i + 1) & t.mask
+	}
+}
+
+// Count returns the number of entries.
+func (t *Table) Count() int { return t.count }
+
+// Join is a prepared customers ⋈ orders join on a runtime. recordsPerTask
+// is the task granularity swept in Figure 9.
+type Join struct {
+	rt             *mxtask.Runtime
+	recordsPerTask int
+
+	custParts  [][]tpch.Customer
+	orderParts [][]tpch.Order
+	tables     []*Table
+	barriers   []*mxtask.Barrier // build completion per partition
+	output     atomic.Int64
+}
+
+// morsel identifies one build or probe task's slice of a partition.
+type morsel struct {
+	j    *Join
+	part int
+	lo   int
+	hi   int
+}
+
+// NewJoin prepares a join of customers ⋈ orders on the runtime.
+func NewJoin(rt *mxtask.Runtime, customers []tpch.Customer, orders []tpch.Order, recordsPerTask int) *Join {
+	if recordsPerTask < 1 {
+		recordsPerTask = 1
+	}
+	j := &Join{rt: rt, recordsPerTask: recordsPerTask}
+	w := rt.Workers()
+	j.custParts = make([][]tpch.Customer, w)
+	j.orderParts = make([][]tpch.Order, w)
+	j.tables = make([]*Table, w)
+	j.barriers = make([]*mxtask.Barrier, w)
+
+	// Partition by join-key hash so matching rows land in the same
+	// partition (and therefore on the same core).
+	for _, c := range customers {
+		p := int(hash64(c.CustKey) % uint64(w))
+		j.custParts[p] = append(j.custParts[p], c)
+	}
+	for _, o := range orders {
+		p := int(hash64(o.CustKey) % uint64(w))
+		j.orderParts[p] = append(j.orderParts[p], o)
+	}
+	for p := 0; p < w; p++ {
+		j.tables[p] = NewTable(len(j.custParts[p]) + 1)
+	}
+	return j
+}
+
+// tasksFor splits n records into morsel bounds of the join's granularity.
+func (j *Join) tasksFor(n int) int {
+	return (n + j.recordsPerTask - 1) / j.recordsPerTask
+}
+
+// Run executes the join to completion and returns the output-tuple count.
+func (j *Join) Run() int64 {
+	w := j.rt.Workers()
+	// Spawn everything up front: builds run immediately, probes are
+	// annotated after their partition's barrier and released by the last
+	// build task's Arrive.
+	for p := 0; p < w; p++ {
+		builds := j.tasksFor(len(j.custParts[p]))
+		if builds > 0 {
+			j.barriers[p] = j.rt.NewBarrier(builds)
+		}
+		for lo := 0; lo < len(j.custParts[p]); lo += j.recordsPerTask {
+			hi := min(lo+j.recordsPerTask, len(j.custParts[p]))
+			task := j.rt.NewTask(buildTask, &morsel{j: j, part: p, lo: lo, hi: hi})
+			task.AnnotateCore(p) // data affinity: partition p lives on core p
+			j.rt.Spawn(task)
+		}
+		for lo := 0; lo < len(j.orderParts[p]); lo += j.recordsPerTask {
+			hi := min(lo+j.recordsPerTask, len(j.orderParts[p]))
+			task := j.rt.NewTask(probeTask, &morsel{j: j, part: p, lo: lo, hi: hi})
+			task.AnnotateCore(p)
+			if j.barriers[p] != nil {
+				task.AnnotateAfter(j.barriers[p])
+			}
+			j.rt.Spawn(task)
+		}
+	}
+	j.rt.Drain()
+	return j.output.Load()
+}
+
+// buildTask inserts one morsel of customers into the partition's table.
+// The partition's table is only ever touched by tasks pinned to its core
+// and — thanks to run-to-completion under the pool's consume latch —
+// never concurrently.
+func buildTask(_ *mxtask.Context, t *mxtask.Task) {
+	m := t.Arg.(*morsel)
+	table := m.j.tables[m.part]
+	for _, c := range m.j.custParts[m.part][m.lo:m.hi] {
+		table.Insert(c.CustKey, c.NationKey)
+	}
+	// The last build task of the partition releases the probes.
+	m.j.barriers[m.part].Arrive()
+}
+
+// probeTask joins one morsel of orders against the partition's table.
+func probeTask(_ *mxtask.Context, t *mxtask.Task) {
+	m := t.Arg.(*morsel)
+	table := m.j.tables[m.part]
+	matches := int64(0)
+	for _, o := range m.j.orderParts[m.part][m.lo:m.hi] {
+		if _, ok := table.Lookup(o.CustKey); ok {
+			matches++
+		}
+	}
+	m.j.output.Add(matches)
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,375 @@
+// Package btreeolc is a from-scratch Go implementation of a B+-tree with
+// Optimistic Lock Coupling (Leis, Haubenschild, Neumann: "Optimistic Lock
+// Coupling: A Scalable and Efficient General-Purpose Synchronization
+// Method"), the BtreeOLC baseline in Figure 12c of the MxTasks paper.
+//
+// Readers descend without acquiring latches, validating each node's version
+// after use (coupled with the parent's validation); writers upgrade the
+// optimistic read to an exclusive latch only on the nodes they modify,
+// splitting full nodes eagerly on the way down. Unlike the Blink-tree there
+// are no sibling links on inner nodes; restarts handle every conflict.
+//
+// As in the paper's index-microbench configuration, BtreeOLC does not
+// implement memory reclamation (the paper notes this explicitly); nodes
+// are garbage-collected by the Go runtime.
+package btreeolc
+
+import (
+	"runtime"
+	"sync/atomic"
+
+	"mxtasking/internal/latch"
+)
+
+// Capacity is entries per node (~1 kB nodes with 8-byte keys and values,
+// matching the paper's record format).
+const Capacity = 60
+
+type node struct {
+	version latch.VersionLock
+	leaf    bool
+	count   int32
+	keys    [Capacity]uint64
+	values  [Capacity]uint64    // leaves
+	childs  [Capacity + 1]*node // inner: childs[i] covers keys < keys[i]; childs[count] the rest
+}
+
+// Tree is the OLC B+-tree. The zero value is not usable; call New.
+type Tree struct {
+	root atomic.Pointer[node]
+}
+
+// New returns an empty tree.
+func New() *Tree {
+	t := &Tree{}
+	t.root.Store(&node{leaf: true})
+	return t
+}
+
+// lowerBound returns the first i with keys[i] >= key (clamped for torn
+// reads; validation rejects results computed from them).
+func (n *node) lowerBound(key uint64) int {
+	lo, hi := 0, int(n.count)
+	if hi > Capacity {
+		hi = Capacity
+	}
+	if hi < 0 {
+		hi = 0
+	}
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if n.keys[mid] < key {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// childFor picks the child slot for key in an inner node: childs[i] holds
+// keys < keys[i]; keys >= keys[count-1] go to childs[count].
+func (n *node) childFor(key uint64) *node {
+	i := n.lowerBound(key)
+	if i < int(n.count) && n.keys[i] == key {
+		i++
+	}
+	if i > Capacity {
+		i = Capacity
+	}
+	return n.childs[i]
+}
+
+func (n *node) full() bool { return int(n.count) == Capacity }
+
+// splitLeaf splits a full leaf; returns new right and separator (first key
+// of right). Caller holds the write lock.
+func (n *node) splitLeaf() (*node, uint64) {
+	mid := int(n.count) / 2
+	right := &node{leaf: true}
+	copy(right.keys[:], n.keys[mid:n.count])
+	copy(right.values[:], n.values[mid:n.count])
+	right.count = n.count - int32(mid)
+	n.count = int32(mid)
+	return right, right.keys[0]
+}
+
+// splitInner splits a full inner node; the middle key moves up.
+func (n *node) splitInner() (*node, uint64) {
+	mid := int(n.count) / 2
+	sep := n.keys[mid]
+	right := &node{}
+	copy(right.keys[:], n.keys[mid+1:n.count])
+	copy(right.childs[:], n.childs[mid+1:n.count+1])
+	right.count = n.count - int32(mid) - 1
+	n.count = int32(mid)
+	return right, sep
+}
+
+// insertInner inserts (sep, right) into a non-full inner node so that keys
+// >= sep route to right. Caller holds the write lock.
+func (n *node) insertInner(sep uint64, right *node) {
+	i := n.lowerBound(sep)
+	copy(n.keys[i+1:n.count+1], n.keys[i:n.count])
+	copy(n.childs[i+2:n.count+2], n.childs[i+1:n.count+1])
+	n.keys[i] = sep
+	n.childs[i+1] = right
+	n.count++
+}
+
+// Lookup returns the value stored under key.
+func (t *Tree) Lookup(key uint64) (uint64, bool) {
+	for attempt := 0; ; attempt++ {
+		if attempt > 0 && attempt%16 == 0 {
+			runtime.Gosched()
+		}
+		v, ok, done := t.tryLookup(key)
+		if done {
+			return v, ok
+		}
+	}
+}
+
+func (t *Tree) tryLookup(key uint64) (uint64, bool, bool) {
+	node := t.root.Load()
+	ver, live := node.version.ReadBegin()
+	if !live {
+		return 0, false, false
+	}
+	for !node.leaf {
+		next := node.childFor(key)
+		if !node.version.ReadValidate(ver) || next == nil {
+			return 0, false, false
+		}
+		nextVer, live := next.version.ReadBegin()
+		if !live {
+			return 0, false, false
+		}
+		// Lock coupling, optimistically: re-validate the parent after
+		// latching the child's version so the child pointer was stable.
+		if !node.version.ReadValidate(ver) {
+			return 0, false, false
+		}
+		node, ver = next, nextVer
+	}
+	i := node.lowerBound(key)
+	var val uint64
+	found := i < int(node.count) && i < Capacity && node.keys[i] == key
+	if found {
+		val = node.values[i]
+	}
+	if !node.version.ReadValidate(ver) {
+		return 0, false, false
+	}
+	return val, found, true
+}
+
+// Insert stores value under key (overwriting). Reports whether the key was
+// newly inserted.
+func (t *Tree) Insert(key, value uint64) bool {
+	for attempt := 0; ; attempt++ {
+		if attempt > 0 && attempt%16 == 0 {
+			runtime.Gosched()
+		}
+		inserted, done := t.tryInsert(key, value)
+		if done {
+			return inserted
+		}
+	}
+}
+
+// tryInsert performs one optimistic descent; done=false requests a restart.
+func (t *Tree) tryInsert(key, value uint64) (inserted, done bool) {
+	node := t.root.Load()
+	ver, live := node.version.ReadBegin()
+	if !live {
+		return false, false
+	}
+	return t.descendInsert(nil, 0, node, ver, key, value)
+}
+
+type nodeT = node
+
+// descendInsert walks down from node (validated at ver), splitting full
+// nodes eagerly. parent (validated at parentVer) is the already-traversed
+// parent, nil at the root.
+func (t *Tree) descendInsert(parent *nodeT, parentVer uint64, n *nodeT, ver uint64, key, value uint64) (inserted, done bool) {
+	for {
+		if n.full() {
+			// Eager split: upgrade parent and node locks.
+			if parent != nil {
+				if !parent.version.TryLockVersion(parentVer) {
+					return false, false
+				}
+				if !n.version.TryLockVersion(ver) {
+					parent.version.UnlockUnmodified()
+					return false, false
+				}
+				var right *nodeT
+				var sep uint64
+				if n.leaf {
+					right, sep = n.splitLeaf()
+				} else {
+					right, sep = n.splitInner()
+				}
+				parent.insertInner(sep, right)
+				n.version.Unlock()
+				parent.version.Unlock()
+				return false, false // restart from the root
+			}
+			// Root split.
+			if !n.version.TryLockVersion(ver) {
+				return false, false
+			}
+			if t.root.Load() != n {
+				n.version.UnlockUnmodified()
+				return false, false
+			}
+			var right *nodeT
+			var sep uint64
+			if n.leaf {
+				right, sep = n.splitLeaf()
+			} else {
+				right, sep = n.splitInner()
+			}
+			newRoot := &nodeT{count: 1}
+			newRoot.keys[0] = sep
+			newRoot.childs[0] = n
+			newRoot.childs[1] = right
+			t.root.Store(newRoot)
+			n.version.Unlock()
+			return false, false // restart
+		}
+		if n.leaf {
+			if !n.version.TryLockVersion(ver) {
+				return false, false
+			}
+			i := n.lowerBound(key)
+			if i < int(n.count) && n.keys[i] == key {
+				n.values[i] = value
+				n.version.Unlock()
+				return false, true
+			}
+			copy(n.keys[i+1:n.count+1], n.keys[i:n.count])
+			copy(n.values[i+1:n.count+1], n.values[i:n.count])
+			n.keys[i] = key
+			n.values[i] = value
+			n.count++
+			n.version.Unlock()
+			return true, true
+		}
+		next := n.childFor(key)
+		if !n.version.ReadValidate(ver) || next == nil {
+			return false, false
+		}
+		nextVer, live := next.version.ReadBegin()
+		if !live {
+			return false, false
+		}
+		if !n.version.ReadValidate(ver) {
+			return false, false
+		}
+		parent, parentVer = n, ver
+		n, ver = next, nextVer
+	}
+}
+
+// Update overwrites an existing key; reports whether it was found.
+func (t *Tree) Update(key, value uint64) bool {
+	for attempt := 0; ; attempt++ {
+		if attempt > 0 && attempt%16 == 0 {
+			runtime.Gosched()
+		}
+		found, done := t.tryLeafWrite(key, func(n *nodeT, i int, hit bool) bool {
+			if hit {
+				n.values[i] = value
+			}
+			return hit
+		})
+		if done {
+			return found
+		}
+	}
+}
+
+// Delete removes a key; reports whether it was present. Underfull nodes
+// are not merged (matching the benchmark configuration).
+func (t *Tree) Delete(key uint64) bool {
+	for attempt := 0; ; attempt++ {
+		if attempt > 0 && attempt%16 == 0 {
+			runtime.Gosched()
+		}
+		found, done := t.tryLeafWrite(key, func(n *nodeT, i int, hit bool) bool {
+			if hit {
+				copy(n.keys[i:n.count-1], n.keys[i+1:n.count])
+				copy(n.values[i:n.count-1], n.values[i+1:n.count])
+				n.count--
+			}
+			return hit
+		})
+		if done {
+			return found
+		}
+	}
+}
+
+// tryLeafWrite descends to the leaf and applies fn under the leaf's write
+// lock. fn receives the slot index and whether the key was found.
+func (t *Tree) tryLeafWrite(key uint64, fn func(n *nodeT, i int, hit bool) bool) (result, done bool) {
+	n := t.root.Load()
+	ver, live := n.version.ReadBegin()
+	if !live {
+		return false, false
+	}
+	for !n.leaf {
+		next := n.childFor(key)
+		if !n.version.ReadValidate(ver) || next == nil {
+			return false, false
+		}
+		nextVer, live := next.version.ReadBegin()
+		if !live {
+			return false, false
+		}
+		if !n.version.ReadValidate(ver) {
+			return false, false
+		}
+		n, ver = next, nextVer
+	}
+	if !n.version.TryLockVersion(ver) {
+		return false, false
+	}
+	i := n.lowerBound(key)
+	hit := i < int(n.count) && n.keys[i] == key
+	changed := fn(n, i, hit)
+	if changed {
+		n.version.Unlock()
+	} else {
+		n.version.UnlockUnmodified()
+	}
+	return hit, true
+}
+
+// Count returns the number of records (single-threaded helper).
+func (t *Tree) Count() int {
+	var walk func(n *nodeT) int
+	walk = func(n *nodeT) int {
+		if n.leaf {
+			return int(n.count)
+		}
+		total := 0
+		for i := 0; i <= int(n.count); i++ {
+			total += walk(n.childs[i])
+		}
+		return total
+	}
+	return walk(t.root.Load())
+}
+
+// Height returns the tree height (1 = single leaf).
+func (t *Tree) Height() int {
+	h := 1
+	for n := t.root.Load(); !n.leaf; n = n.childs[0] {
+		h++
+	}
+	return h
+}

@@ -1,0 +1,210 @@
+package btreeolc
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestBasic(t *testing.T) {
+	tr := New()
+	if _, ok := tr.Lookup(1); ok {
+		t.Fatal("lookup in empty tree succeeded")
+	}
+	if !tr.Insert(1, 10) {
+		t.Fatal("fresh insert reported overwrite")
+	}
+	if v, ok := tr.Lookup(1); !ok || v != 10 {
+		t.Fatalf("Lookup = %d,%v", v, ok)
+	}
+	if tr.Insert(1, 11) {
+		t.Fatal("overwrite reported fresh insert")
+	}
+	if v, _ := tr.Lookup(1); v != 11 {
+		t.Fatal("overwrite not visible")
+	}
+	if !tr.Update(1, 12) || tr.Update(2, 0) {
+		t.Fatal("update semantics broken")
+	}
+	if !tr.Delete(1) || tr.Delete(1) {
+		t.Fatal("delete semantics broken")
+	}
+}
+
+func TestBulkSequential(t *testing.T) {
+	tr := New()
+	const n = 20000
+	for i := uint64(0); i < n; i++ {
+		tr.Insert(i, i*2)
+	}
+	if h := tr.Height(); h < 3 {
+		t.Fatalf("height = %d, want >= 3", h)
+	}
+	if c := tr.Count(); c != n {
+		t.Fatalf("Count = %d, want %d", c, n)
+	}
+	for i := uint64(0); i < n; i++ {
+		if v, ok := tr.Lookup(i); !ok || v != i*2 {
+			t.Fatalf("Lookup(%d) = %d,%v", i, v, ok)
+		}
+	}
+}
+
+func TestBulkReverseAndRandom(t *testing.T) {
+	tr := New()
+	const n = 10000
+	for i := n; i > 0; i-- {
+		tr.Insert(uint64(i), uint64(i))
+	}
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < n; i++ {
+		k := uint64(rng.Intn(n) + 1)
+		if v, ok := tr.Lookup(k); !ok || v != k {
+			t.Fatalf("Lookup(%d) = %d,%v", k, v, ok)
+		}
+	}
+}
+
+func TestMapEquivalenceQuick(t *testing.T) {
+	f := func(ops []uint16, seed int64) bool {
+		tr := New()
+		ref := make(map[uint64]uint64)
+		rng := rand.New(rand.NewSource(seed))
+		for _, op := range ops {
+			key := uint64(op % 997)
+			switch rng.Intn(4) {
+			case 0, 1:
+				val := rng.Uint64()
+				tr.Insert(key, val)
+				ref[key] = val
+			case 2:
+				got, ok := tr.Lookup(key)
+				want, wok := ref[key]
+				if ok != wok || (ok && got != want) {
+					return false
+				}
+			case 3:
+				if tr.Delete(key) != (func() bool { _, ok := ref[key]; return ok })() {
+					return false
+				}
+				delete(ref, key)
+			}
+		}
+		return tr.Count() == len(ref)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConcurrentInserts(t *testing.T) {
+	tr := New()
+	const goroutines = 4
+	const perG = 4000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			base := uint64(g * perG)
+			for i := uint64(0); i < perG; i++ {
+				tr.Insert(base+i, base+i)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if c := tr.Count(); c != goroutines*perG {
+		t.Fatalf("Count = %d, want %d", c, goroutines*perG)
+	}
+	for i := uint64(0); i < goroutines*perG; i++ {
+		if v, ok := tr.Lookup(i); !ok || v != i {
+			t.Fatalf("Lookup(%d) = %d,%v", i, v, ok)
+		}
+	}
+}
+
+func TestConcurrentReadWrite(t *testing.T) {
+	tr := New()
+	const n = 4000
+	for i := uint64(0); i < n; i++ {
+		tr.Insert(i, i)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			for i := 0; i < 20000; i++ {
+				k := uint64(rng.Intn(n))
+				tr.Update(k, k+n*uint64(rng.Intn(3)))
+			}
+		}(w)
+	}
+	errs := make(chan string, 4)
+	for r := 0; r < 2; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(50 + r)))
+			for i := 0; i < 20000; i++ {
+				k := uint64(rng.Intn(n))
+				v, ok := tr.Lookup(k)
+				if !ok || v%n != k {
+					errs <- "inconsistent read"
+					return
+				}
+			}
+		}(r)
+	}
+	wg.Wait()
+	select {
+	case e := <-errs:
+		t.Fatal(e)
+	default:
+	}
+}
+
+func TestDeleteDoesNotMerge(t *testing.T) {
+	tr := New()
+	const n = 5000
+	for i := uint64(0); i < n; i++ {
+		tr.Insert(i, i)
+	}
+	h := tr.Height()
+	for i := uint64(0); i < n; i += 2 {
+		if !tr.Delete(i) {
+			t.Fatalf("Delete(%d) missed", i)
+		}
+	}
+	if tr.Height() != h {
+		t.Fatal("height changed: deletes must not restructure")
+	}
+	if c := tr.Count(); c != n/2 {
+		t.Fatalf("Count = %d, want %d", c, n/2)
+	}
+	for i := uint64(1); i < n; i += 2 {
+		if v, ok := tr.Lookup(i); !ok || v != i {
+			t.Fatalf("survivor %d lost", i)
+		}
+	}
+}
+
+func TestUpdateUnderSplitPressure(t *testing.T) {
+	tr := New()
+	// Fill exactly around capacity boundaries to exercise eager splits.
+	for i := uint64(0); i < Capacity*3; i++ {
+		tr.Insert(i, i)
+	}
+	for i := uint64(0); i < Capacity*3; i++ {
+		if !tr.Update(i, i*7) {
+			t.Fatalf("Update(%d) missed", i)
+		}
+	}
+	for i := uint64(0); i < Capacity*3; i++ {
+		if v, _ := tr.Lookup(i); v != i*7 {
+			t.Fatalf("Lookup(%d) = %d", i, v)
+		}
+	}
+}

@@ -1,0 +1,186 @@
+package bwtree
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestBasic(t *testing.T) {
+	tr := New()
+	if _, ok := tr.Lookup(1); ok {
+		t.Fatal("lookup in empty tree succeeded")
+	}
+	if !tr.Insert(1, 10) {
+		t.Fatal("fresh insert reported overwrite")
+	}
+	if v, ok := tr.Lookup(1); !ok || v != 10 {
+		t.Fatalf("Lookup = %d,%v", v, ok)
+	}
+	if tr.Insert(1, 11) {
+		t.Fatal("overwrite reported fresh insert")
+	}
+	if v, _ := tr.Lookup(1); v != 11 {
+		t.Fatal("overwrite not visible")
+	}
+	if !tr.Update(1, 12) || tr.Update(2, 0) {
+		t.Fatal("update semantics broken")
+	}
+	if !tr.Delete(1) || tr.Delete(1) {
+		t.Fatal("delete semantics broken")
+	}
+	if _, ok := tr.Lookup(1); ok {
+		t.Fatal("deleted key still visible")
+	}
+}
+
+func TestDeltaChainsConsolidate(t *testing.T) {
+	tr := New()
+	// Hammer one leaf with updates; the chain must stay bounded.
+	tr.Insert(7, 0)
+	for i := uint64(1); i <= 1000; i++ {
+		tr.Update(7, i)
+	}
+	if d := tr.DeltaChainDepth(7); d > consolidateAfter {
+		t.Fatalf("delta chain depth %d exceeds consolidation threshold %d", d, consolidateAfter)
+	}
+	if v, ok := tr.Lookup(7); !ok || v != 1000 {
+		t.Fatalf("value after updates = %d,%v", v, ok)
+	}
+}
+
+func TestBulkSequential(t *testing.T) {
+	tr := New()
+	const n = 20000
+	for i := uint64(0); i < n; i++ {
+		tr.Insert(i, i*2)
+	}
+	if c := tr.Count(); c != n {
+		t.Fatalf("Count = %d, want %d", c, n)
+	}
+	for i := uint64(0); i < n; i++ {
+		if v, ok := tr.Lookup(i); !ok || v != i*2 {
+			t.Fatalf("Lookup(%d) = %d,%v", i, v, ok)
+		}
+	}
+}
+
+func TestBulkRandom(t *testing.T) {
+	tr := New()
+	rng := rand.New(rand.NewSource(9))
+	keys := make([]uint64, 10000)
+	for i := range keys {
+		keys[i] = rng.Uint64()
+		tr.Insert(keys[i], uint64(i))
+	}
+	for i, k := range keys {
+		if v, ok := tr.Lookup(k); !ok || v != uint64(i) {
+			t.Fatalf("Lookup(%d) = %d,%v, want %d", k, v, ok, i)
+		}
+	}
+}
+
+func TestMapEquivalenceQuick(t *testing.T) {
+	f := func(ops []uint16, seed int64) bool {
+		tr := New()
+		ref := make(map[uint64]uint64)
+		rng := rand.New(rand.NewSource(seed))
+		for _, op := range ops {
+			key := uint64(op % 499)
+			switch rng.Intn(4) {
+			case 0, 1:
+				val := rng.Uint64()
+				tr.Insert(key, val)
+				ref[key] = val
+			case 2:
+				got, ok := tr.Lookup(key)
+				want, wok := ref[key]
+				if ok != wok || (ok && got != want) {
+					return false
+				}
+			case 3:
+				_, wok := ref[key]
+				if tr.Delete(key) != wok {
+					return false
+				}
+				delete(ref, key)
+			}
+		}
+		return tr.Count() == len(ref)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConcurrentInserts(t *testing.T) {
+	tr := New()
+	const goroutines = 4
+	const perG = 4000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			base := uint64(g * perG)
+			for i := uint64(0); i < perG; i++ {
+				tr.Insert(base+i, base+i)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if c := tr.Count(); c != goroutines*perG {
+		t.Fatalf("Count = %d, want %d", c, goroutines*perG)
+	}
+	for i := uint64(0); i < goroutines*perG; i++ {
+		if v, ok := tr.Lookup(i); !ok || v != i {
+			t.Fatalf("Lookup(%d) = %d,%v", i, v, ok)
+		}
+	}
+}
+
+func TestConcurrentMixed(t *testing.T) {
+	tr := New()
+	const n = 3000
+	for i := uint64(0); i < n; i++ {
+		tr.Insert(i, i)
+	}
+	var wg sync.WaitGroup
+	bad := make(chan uint64, 8)
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			for i := 0; i < 15000; i++ {
+				k := uint64(rng.Intn(n))
+				tr.Update(k, k+n*uint64(rng.Intn(3)))
+			}
+		}(w)
+	}
+	for r := 0; r < 2; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(70 + r)))
+			for i := 0; i < 15000; i++ {
+				k := uint64(rng.Intn(n))
+				v, ok := tr.Lookup(k)
+				if !ok || v%n != k {
+					select {
+					case bad <- k:
+					default:
+					}
+					return
+				}
+			}
+		}(r)
+	}
+	wg.Wait()
+	select {
+	case k := <-bad:
+		t.Fatalf("inconsistent read for key %d", k)
+	default:
+	}
+}

@@ -1,0 +1,241 @@
+package masstree
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestBasic64(t *testing.T) {
+	tr := New()
+	if _, ok := tr.Lookup64(1); ok {
+		t.Fatal("lookup in empty tree succeeded")
+	}
+	if !tr.Insert64(1, 10) {
+		t.Fatal("fresh insert reported overwrite")
+	}
+	if v, ok := tr.Lookup64(1); !ok || v != 10 {
+		t.Fatalf("Lookup = %d,%v", v, ok)
+	}
+	if tr.Insert64(1, 11) {
+		t.Fatal("overwrite reported fresh insert")
+	}
+	if !tr.Update64(1, 12) || tr.Update64(2, 0) {
+		t.Fatal("update semantics broken")
+	}
+	if v, _ := tr.Lookup64(1); v != 12 {
+		t.Fatal("update not visible")
+	}
+	if !tr.Delete64(1) || tr.Delete64(1) {
+		t.Fatal("delete semantics broken")
+	}
+}
+
+func TestBulk64(t *testing.T) {
+	tr := New()
+	const n = 15000
+	for i := uint64(0); i < n; i++ {
+		tr.Insert64(i, i*3)
+	}
+	for i := uint64(0); i < n; i++ {
+		if v, ok := tr.Lookup64(i); !ok || v != i*3 {
+			t.Fatalf("Lookup(%d) = %d,%v", i, v, ok)
+		}
+	}
+}
+
+func TestVariableLengthKeys(t *testing.T) {
+	tr := New()
+	keys := []string{
+		"", "a", "ab", "abcdefgh", "abcdefghi", "abcdefghij",
+		"abcdefgh12345678", "abcdefgh12345679", "abcdefgh1234567890",
+		"zzzzzzzzzzzzzzzzzzzzzzzzzzzzzzzz",
+	}
+	for i, k := range keys {
+		if !tr.Put([]byte(k), uint64(i)) {
+			t.Fatalf("fresh Put(%q) reported overwrite", k)
+		}
+	}
+	for i, k := range keys {
+		v, ok := tr.Get([]byte(k))
+		if !ok || v != uint64(i) {
+			t.Fatalf("Get(%q) = %d,%v, want %d,true", k, v, ok, i)
+		}
+	}
+	// Prefix keys must be distinct from their extensions.
+	if v, _ := tr.Get([]byte("abcdefgh")); v != 3 {
+		t.Fatalf("prefix key clobbered by extension: got %d", v)
+	}
+}
+
+func TestSharedPrefixLayers(t *testing.T) {
+	tr := New()
+	// 1000 keys sharing a 16-byte prefix force two nested layers.
+	prefix := "0123456789abcdef"
+	for i := 0; i < 1000; i++ {
+		tr.Put([]byte(fmt.Sprintf("%s%08d", prefix, i)), uint64(i))
+	}
+	for i := 0; i < 1000; i++ {
+		v, ok := tr.Get([]byte(fmt.Sprintf("%s%08d", prefix, i)))
+		if !ok || v != uint64(i) {
+			t.Fatalf("nested-layer key %d = %d,%v", i, v, ok)
+		}
+	}
+}
+
+func TestMapEquivalenceQuick(t *testing.T) {
+	f := func(ops []uint16, seed int64) bool {
+		tr := New()
+		ref := make(map[uint64]uint64)
+		rng := rand.New(rand.NewSource(seed))
+		for _, op := range ops {
+			key := uint64(op % 509)
+			switch rng.Intn(4) {
+			case 0, 1:
+				val := rng.Uint64()
+				tr.Insert64(key, val)
+				ref[key] = val
+			case 2:
+				got, ok := tr.Lookup64(key)
+				want, wok := ref[key]
+				if ok != wok || (ok && got != want) {
+					return false
+				}
+			case 3:
+				_, wok := ref[key]
+				if tr.Delete64(key) != wok {
+					return false
+				}
+				delete(ref, key)
+			}
+		}
+		for k, want := range ref {
+			if got, ok := tr.Lookup64(k); !ok || got != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConcurrent(t *testing.T) {
+	tr := New()
+	const goroutines = 4
+	const perG = 3000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			base := uint64(g * perG)
+			for i := uint64(0); i < perG; i++ {
+				tr.Insert64(base+i, base+i)
+			}
+		}(g)
+	}
+	wg.Wait()
+	for i := uint64(0); i < goroutines*perG; i++ {
+		if v, ok := tr.Lookup64(i); !ok || v != i {
+			t.Fatalf("Lookup(%d) = %d,%v", i, v, ok)
+		}
+	}
+}
+
+func TestConcurrentReadWrite(t *testing.T) {
+	tr := New()
+	const n = 3000
+	for i := uint64(0); i < n; i++ {
+		tr.Insert64(i, i)
+	}
+	var wg sync.WaitGroup
+	var failed sync.Map
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			for i := 0; i < 15000; i++ {
+				k := uint64(rng.Intn(n))
+				tr.Update64(k, k+n*uint64(rng.Intn(3)))
+			}
+		}(w)
+	}
+	for r := 0; r < 2; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(40 + r)))
+			for i := 0; i < 15000; i++ {
+				k := uint64(rng.Intn(n))
+				v, ok := tr.Lookup64(k)
+				if !ok || v%n != k {
+					failed.Store(k, v)
+					return
+				}
+			}
+		}(r)
+	}
+	wg.Wait()
+	failed.Range(func(k, v any) bool {
+		t.Fatalf("inconsistent read: key %v value %v", k, v)
+		return false
+	})
+}
+
+func TestSliceExtraction(t *testing.T) {
+	s, last := slice([]byte("abcdefgh"), 0)
+	if !last || s == 0 {
+		t.Fatalf("slice of exactly 8 bytes: last=%v", last)
+	}
+	s2, last2 := slice([]byte("abcdefghX"), 0)
+	if last2 {
+		t.Fatal("9-byte key reported last at depth 0")
+	}
+	if s != s2 {
+		t.Fatal("shared 8-byte prefix produced different slices")
+	}
+	_, last3 := slice([]byte("abcdefghX"), 1)
+	if !last3 {
+		t.Fatal("9-byte key not last at depth 1")
+	}
+}
+
+func TestRemoveKeepsLayerEntriesWithChildren(t *testing.T) {
+	tr := New()
+	// "abcdefgh" terminates at the slice that also prefixes longer keys;
+	// removing it must not orphan the nested layer.
+	tr.Put([]byte("abcdefgh"), 1)
+	tr.Put([]byte("abcdefghXYZ"), 2)
+	if !tr.Remove([]byte("abcdefgh")) {
+		t.Fatal("Remove missed the short key")
+	}
+	if _, ok := tr.Get([]byte("abcdefgh")); ok {
+		t.Fatal("removed key still visible")
+	}
+	if v, ok := tr.Get([]byte("abcdefghXYZ")); !ok || v != 2 {
+		t.Fatal("nested key lost after prefix removal")
+	}
+}
+
+func TestDeepLayers(t *testing.T) {
+	tr := New()
+	// 40-byte keys force five trie layers.
+	long := make([]byte, 40)
+	for i := 0; i < 200; i++ {
+		copy(long, "0123456789012345678901234567890123456789")
+		long[39] = byte(i)
+		tr.Put(long, uint64(i))
+	}
+	for i := 0; i < 200; i++ {
+		copy(long, "0123456789012345678901234567890123456789")
+		long[39] = byte(i)
+		if v, ok := tr.Get(long); !ok || v != uint64(i) {
+			t.Fatalf("deep key %d = %d,%v", i, v, ok)
+		}
+	}
+}

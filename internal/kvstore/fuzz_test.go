@@ -1,0 +1,40 @@
+package kvstore
+
+import (
+	"strings"
+	"testing"
+
+	"mxtasking/internal/epoch"
+	"mxtasking/internal/mxtask"
+)
+
+// FuzzServerHandle throws arbitrary request lines at the protocol handler:
+// it must never panic and must answer every line with exactly one line.
+func FuzzServerHandle(f *testing.F) {
+	for _, seed := range []string{
+		"GET 1", "SET 1 2", "DEL 1", "SCAN 0 10", "COUNT", "PING", "QUIT",
+		"get 7", "SET", "SET a b", "SCAN x", "BOGUS stuff", "SET 18446744073709551615 1",
+		"GET -1", "SCAN 10 0", "   ", "SET 1 2 3 4",
+	} {
+		f.Add(seed)
+	}
+	rt := mxtask.New(mxtask.Config{Workers: 1, EpochPolicy: epoch.Off, EpochInterval: -1})
+	rt.Start()
+	defer rt.Stop()
+	store := New(rt)
+	srv := &Server{store: store}
+
+	f.Fuzz(func(t *testing.T, line string) {
+		line = strings.TrimSpace(line)
+		if line == "" {
+			return // serve() skips blank lines before handle()
+		}
+		reply, _ := srv.handle(line)
+		if reply == "" {
+			t.Fatalf("empty reply for %q", line)
+		}
+		if strings.ContainsAny(reply, "\n\r") {
+			t.Fatalf("multi-line reply for %q: %q", line, reply)
+		}
+	})
+}

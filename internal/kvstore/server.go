@@ -1,0 +1,362 @@
+package kvstore
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"strconv"
+	"strings"
+	"sync"
+
+	"mxtasking/internal/blinktree"
+)
+
+// Server exposes a Store over a line-based TCP protocol:
+//
+//	SET <key> <value>   -> STORED | OVERWRITTEN
+//	GET <key>           -> VALUE <value> | NOT_FOUND
+//	DEL <key>           -> DELETED | NOT_FOUND
+//	SCAN <from> <to>    -> RANGE <n> k1 v1 k2 v2 ... (keys in [from,to))
+//	MSET k1 v1 k2 v2 .. -> STORED <n>
+//	MGET k1 k2 ..       -> VALUES v1 v2 .. (missing keys render as "-")
+//	STATS               -> STATS gets=<n> sets=<n> dels=<n>
+//	COUNT               -> COUNT <n>        (quiescent stores only)
+//	PING                -> PONG
+//	QUIT                -> BYE (closes the connection)
+//
+// Keys and values are decimal uint64. Each request is executed as an
+// MxTask chain; the connection handler blocks per request (no pipelining),
+// which keeps responses ordered.
+type Server struct {
+	store *Store
+	ln    net.Listener
+	wg    sync.WaitGroup
+	done  chan struct{}
+}
+
+// NewServer starts listening on addr (e.g. "127.0.0.1:0"). The returned
+// server is already accepting; call Close to stop.
+func NewServer(store *Store, addr string) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("kvstore: listen: %w", err)
+	}
+	s := &Server{store: store, ln: ln, done: make(chan struct{})}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the bound address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops accepting and waits for in-flight connections to finish
+// their current request.
+func (s *Server) Close() error {
+	close(s.done)
+	err := s.ln.Close()
+	s.wg.Wait()
+	return err
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			select {
+			case <-s.done:
+				return
+			default:
+				continue
+			}
+		}
+		s.wg.Add(1)
+		go s.serve(conn)
+	}
+}
+
+func (s *Server) serve(conn net.Conn) {
+	defer s.wg.Done()
+	defer conn.Close()
+	r := bufio.NewScanner(conn)
+	w := bufio.NewWriter(conn)
+	for r.Scan() {
+		line := strings.TrimSpace(r.Text())
+		if line == "" {
+			continue
+		}
+		reply, quit := s.handle(line)
+		fmt.Fprintln(w, reply)
+		if err := w.Flush(); err != nil || quit {
+			return
+		}
+		select {
+		case <-s.done:
+			return
+		default:
+		}
+	}
+}
+
+// handle executes one request line and returns the response.
+func (s *Server) handle(line string) (reply string, quit bool) {
+	fields := strings.Fields(line)
+	cmd := strings.ToUpper(fields[0])
+	switch cmd {
+	case "PING":
+		return "PONG", false
+	case "QUIT":
+		return "BYE", true
+	case "COUNT":
+		return fmt.Sprintf("COUNT %d", s.store.Count()), false
+	case "GET":
+		key, err := parseKey(fields, 2)
+		if err != nil {
+			return "ERR " + err.Error(), false
+		}
+		res := s.store.GetSync(key)
+		if !res.Found {
+			return "NOT_FOUND", false
+		}
+		return fmt.Sprintf("VALUE %d", res.Value), false
+	case "SET":
+		if len(fields) != 3 {
+			return "ERR usage: SET <key> <value>", false
+		}
+		key, err1 := strconv.ParseUint(fields[1], 10, 64)
+		val, err2 := strconv.ParseUint(fields[2], 10, 64)
+		if err1 != nil || err2 != nil {
+			return "ERR key and value must be uint64", false
+		}
+		res := s.store.SetSync(key, val)
+		if res.Found {
+			return "OVERWRITTEN", false
+		}
+		return "STORED", false
+	case "SCAN":
+		if len(fields) != 3 {
+			return "ERR usage: SCAN <from> <to>", false
+		}
+		from, err1 := strconv.ParseUint(fields[1], 10, 64)
+		to, err2 := strconv.ParseUint(fields[2], 10, 64)
+		if err1 != nil || err2 != nil {
+			return "ERR bounds must be uint64", false
+		}
+		res := s.store.ScanSync(from, to)
+		var sb strings.Builder
+		fmt.Fprintf(&sb, "RANGE %d", len(res.Pairs))
+		for _, kv := range res.Pairs {
+			fmt.Fprintf(&sb, " %d %d", kv.Key, kv.Value)
+		}
+		return sb.String(), false
+	case "MSET":
+		if len(fields) < 3 || len(fields)%2 == 0 {
+			return "ERR usage: MSET <key> <value> [<key> <value> ...]", false
+		}
+		type pair struct{ k, v uint64 }
+		pairs := make([]pair, 0, (len(fields)-1)/2)
+		for i := 1; i+1 < len(fields); i += 2 {
+			k, err1 := strconv.ParseUint(fields[i], 10, 64)
+			v, err2 := strconv.ParseUint(fields[i+1], 10, 64)
+			if err1 != nil || err2 != nil {
+				return "ERR keys and values must be uint64", false
+			}
+			pairs = append(pairs, pair{k, v})
+		}
+		// Issue all sets, then wait for all: one runtime drain per
+		// batch instead of one per key.
+		done := make(chan struct{}, len(pairs))
+		for _, p := range pairs {
+			s.store.Set(p.k, p.v, func(Result) { done <- struct{}{} })
+		}
+		for range pairs {
+			<-done
+		}
+		return fmt.Sprintf("STORED %d", len(pairs)), false
+	case "MGET":
+		if len(fields) < 2 {
+			return "ERR usage: MGET <key> [<key> ...]", false
+		}
+		keys := make([]uint64, 0, len(fields)-1)
+		for _, f := range fields[1:] {
+			k, err := strconv.ParseUint(f, 10, 64)
+			if err != nil {
+				return "ERR keys must be uint64", false
+			}
+			keys = append(keys, k)
+		}
+		results := make([]Result, len(keys))
+		done := make(chan int, len(keys))
+		for i, k := range keys {
+			i := i
+			s.store.Get(k, func(r Result) {
+				results[i] = r
+				done <- i
+			})
+		}
+		for range keys {
+			<-done
+		}
+		var sb strings.Builder
+		sb.WriteString("VALUES")
+		for _, r := range results {
+			if r.Found {
+				fmt.Fprintf(&sb, " %d", r.Value)
+			} else {
+				sb.WriteString(" -")
+			}
+		}
+		return sb.String(), false
+	case "STATS":
+		st := s.store.Stats()
+		return fmt.Sprintf("STATS gets=%d sets=%d dels=%d", st.Gets, st.Sets, st.Dels), false
+	case "DEL":
+		key, err := parseKey(fields, 2)
+		if err != nil {
+			return "ERR " + err.Error(), false
+		}
+		if s.store.DeleteSync(key).Found {
+			return "DELETED", false
+		}
+		return "NOT_FOUND", false
+	default:
+		return "ERR unknown command " + cmd, false
+	}
+}
+
+func parseKey(fields []string, want int) (uint64, error) {
+	if len(fields) != want {
+		return 0, errors.New("wrong argument count")
+	}
+	key, err := strconv.ParseUint(fields[1], 10, 64)
+	if err != nil {
+		return 0, errors.New("key must be uint64")
+	}
+	return key, nil
+}
+
+// Client is a minimal blocking client for the Server's protocol.
+type Client struct {
+	conn net.Conn
+	r    *bufio.Scanner
+	w    *bufio.Writer
+}
+
+// Dial connects to a Server.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("kvstore: dial: %w", err)
+	}
+	return &Client{conn: conn, r: bufio.NewScanner(conn), w: bufio.NewWriter(conn)}, nil
+}
+
+// Close closes the connection.
+func (c *Client) Close() error { return c.conn.Close() }
+
+// roundTrip sends one line and reads one response line.
+func (c *Client) roundTrip(line string) (string, error) {
+	if _, err := c.w.WriteString(line + "\n"); err != nil {
+		return "", err
+	}
+	if err := c.w.Flush(); err != nil {
+		return "", err
+	}
+	if !c.r.Scan() {
+		if err := c.r.Err(); err != nil {
+			return "", err
+		}
+		return "", errors.New("kvstore: connection closed")
+	}
+	return c.r.Text(), nil
+}
+
+// Get fetches a key.
+func (c *Client) Get(key uint64) (value uint64, found bool, err error) {
+	reply, err := c.roundTrip(fmt.Sprintf("GET %d", key))
+	if err != nil {
+		return 0, false, err
+	}
+	if reply == "NOT_FOUND" {
+		return 0, false, nil
+	}
+	if v, ok := strings.CutPrefix(reply, "VALUE "); ok {
+		value, err = strconv.ParseUint(v, 10, 64)
+		return value, err == nil, err
+	}
+	return 0, false, errors.New("kvstore: " + reply)
+}
+
+// Set stores key=value; overwrote reports whether the key existed.
+func (c *Client) Set(key, value uint64) (overwrote bool, err error) {
+	reply, err := c.roundTrip(fmt.Sprintf("SET %d %d", key, value))
+	if err != nil {
+		return false, err
+	}
+	switch reply {
+	case "STORED":
+		return false, nil
+	case "OVERWRITTEN":
+		return true, nil
+	}
+	return false, errors.New("kvstore: " + reply)
+}
+
+// Delete removes a key.
+func (c *Client) Delete(key uint64) (existed bool, err error) {
+	reply, err := c.roundTrip(fmt.Sprintf("DEL %d", key))
+	if err != nil {
+		return false, err
+	}
+	switch reply {
+	case "DELETED":
+		return true, nil
+	case "NOT_FOUND":
+		return false, nil
+	}
+	return false, errors.New("kvstore: " + reply)
+}
+
+// Ping checks liveness.
+func (c *Client) Ping() error {
+	reply, err := c.roundTrip("PING")
+	if err != nil {
+		return err
+	}
+	if reply != "PONG" {
+		return errors.New("kvstore: " + reply)
+	}
+	return nil
+}
+
+// Scan fetches all records with keys in [from, to), sorted by key.
+func (c *Client) Scan(from, to uint64) ([]blinktree.KV, error) {
+	reply, err := c.roundTrip(fmt.Sprintf("SCAN %d %d", from, to))
+	if err != nil {
+		return nil, err
+	}
+	rest, ok := strings.CutPrefix(reply, "RANGE ")
+	if !ok {
+		return nil, errors.New("kvstore: " + reply)
+	}
+	fields := strings.Fields(rest)
+	if len(fields) == 0 {
+		return nil, errors.New("kvstore: malformed RANGE reply")
+	}
+	n, err := strconv.Atoi(fields[0])
+	if err != nil || len(fields) != 1+2*n {
+		return nil, errors.New("kvstore: malformed RANGE reply")
+	}
+	pairs := make([]blinktree.KV, n)
+	for i := 0; i < n; i++ {
+		k, err1 := strconv.ParseUint(fields[1+2*i], 10, 64)
+		v, err2 := strconv.ParseUint(fields[2+2*i], 10, 64)
+		if err1 != nil || err2 != nil {
+			return nil, errors.New("kvstore: malformed RANGE pair")
+		}
+		pairs[i] = blinktree.KV{Key: k, Value: v}
+	}
+	return pairs, nil
+}

@@ -1,0 +1,136 @@
+// Package kvstore is the MxTask-based key-value store the paper's
+// introduction and conclusion describe: a Blink-tree index driven by
+// annotated tasks, fronted by an embedded API and a small TCP text
+// protocol (server.go). Each client request becomes a chain of MxTasks;
+// responses are delivered through completion tasks, so the store inherits
+// the runtime's prefetching and injected synchronization end to end.
+package kvstore
+
+import (
+	"sync/atomic"
+
+	"mxtasking/internal/blinktree"
+	"mxtasking/internal/mxtask"
+)
+
+// Store is an embedded key-value store.
+type Store struct {
+	rt   *mxtask.Runtime
+	tree *blinktree.TaskTree
+
+	// Stats
+	gets atomic.Uint64
+	sets atomic.Uint64
+	dels atomic.Uint64
+}
+
+// Stats reports operation counts since creation.
+type Stats struct {
+	Gets, Sets, Dels uint64
+}
+
+// New creates a store on the runtime using the optimistic annotation
+// scheme (§4.2's cost-model defaults).
+func New(rt *mxtask.Runtime) *Store {
+	return &Store{rt: rt, tree: blinktree.NewTaskTree(rt, blinktree.TaskSyncOptimistic)}
+}
+
+// Runtime returns the store's runtime.
+func (s *Store) Runtime() *mxtask.Runtime { return s.rt }
+
+// Result is a completed operation's outcome.
+type Result struct {
+	Value uint64
+	Found bool
+}
+
+// Get fetches key asynchronously; done receives the outcome on the
+// worker that completed the lookup.
+func (s *Store) Get(key uint64, done func(Result)) {
+	s.gets.Add(1)
+	s.tree.LookupWith(key, func(_ *mxtask.Context, t *mxtask.Task) {
+		op := t.Arg.(*blinktree.Op)
+		done(Result{Value: op.Result, Found: op.Found})
+	})
+}
+
+// Set stores key=value asynchronously; done (optional) fires on completion.
+func (s *Store) Set(key, value uint64, done func(Result)) {
+	s.sets.Add(1)
+	op := s.tree.NewOp("insert", key, value, nil)
+	if done != nil {
+		op.Done = func(_ *mxtask.Context, t *mxtask.Task) {
+			o := t.Arg.(*blinktree.Op)
+			done(Result{Value: value, Found: o.Found})
+		}
+	}
+	s.startOp(op)
+}
+
+// Delete removes key asynchronously; done (optional) reports whether the
+// key existed.
+func (s *Store) Delete(key uint64, done func(Result)) {
+	s.dels.Add(1)
+	op := s.tree.NewOp("delete", key, 0, nil)
+	if done != nil {
+		op.Done = func(_ *mxtask.Context, t *mxtask.Task) {
+			o := t.Arg.(*blinktree.Op)
+			done(Result{Found: o.Found})
+		}
+	}
+	s.startOp(op)
+}
+
+func (s *Store) startOp(op *blinktree.Op) {
+	s.tree.StartFrom(nil, op)
+}
+
+// ScanResult is a completed range scan's outcome.
+type ScanResult struct {
+	Pairs []blinktree.KV
+}
+
+// Scan fetches all records in [from, to) asynchronously; done receives the
+// sorted results.
+func (s *Store) Scan(from, to uint64, done func(ScanResult)) {
+	s.tree.Scan(from, to, func(_ *mxtask.Context, t *mxtask.Task) {
+		op := t.Arg.(*blinktree.ScanOp)
+		done(ScanResult{Pairs: op.Results})
+	})
+}
+
+// ScanSync is a blocking Scan.
+func (s *Store) ScanSync(from, to uint64) ScanResult {
+	ch := make(chan ScanResult, 1)
+	s.Scan(from, to, func(r ScanResult) { ch <- r })
+	return <-ch
+}
+
+// GetSync is a blocking Get for tests and simple clients.
+func (s *Store) GetSync(key uint64) Result {
+	ch := make(chan Result, 1)
+	s.Get(key, func(r Result) { ch <- r })
+	return <-ch
+}
+
+// SetSync is a blocking Set.
+func (s *Store) SetSync(key, value uint64) Result {
+	ch := make(chan Result, 1)
+	s.Set(key, value, func(r Result) { ch <- r })
+	return <-ch
+}
+
+// DeleteSync is a blocking Delete.
+func (s *Store) DeleteSync(key uint64) Result {
+	ch := make(chan Result, 1)
+	s.Delete(key, func(r Result) { ch <- r })
+	return <-ch
+}
+
+// Count returns the number of records (quiescent only).
+func (s *Store) Count() int { return s.tree.Count() }
+
+// Stats returns operation counters.
+func (s *Store) Stats() Stats {
+	return Stats{Gets: s.gets.Load(), Sets: s.sets.Load(), Dels: s.dels.Load()}
+}

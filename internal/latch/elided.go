@@ -1,0 +1,56 @@
+package latch
+
+// ElidedRWLock emulates a hardware-transactional-memory (HTM) reader/writer
+// latch of the kind Intel TBB offers (speculative spin-rw-mutex): readers
+// execute speculatively without writing the lock word at all; only on
+// conflict do they abort and retry, eventually falling back to real
+// acquisition. Writers always acquire.
+//
+// Real HTM aborts a transaction when its read set is invalidated. Without
+// ISA access we approximate the observable behaviour with a version lock:
+// a speculative read validates the version after running and re-executes on
+// conflict, which costs the same "wasted work on abort, zero coherence
+// traffic on success" profile HTM exhibits. The critical section passed to
+// ReadCritical must therefore be safe to re-execute (side-effect free until
+// it succeeds), the same restriction HTM imposes in practice.
+type ElidedRWLock struct {
+	vl VersionLock
+}
+
+// speculationAttempts bounds optimistic retries before falling back to
+// pessimistic acquisition, mirroring HTM retry heuristics.
+const speculationAttempts = 8
+
+// ReadCritical runs fn as a speculative read-only critical section.
+// fn may run multiple times; only the final (validated or pessimistic)
+// execution's effects should be published by the caller.
+func (l *ElidedRWLock) ReadCritical(fn func()) {
+	for attempt := 0; attempt < speculationAttempts; attempt++ {
+		v, ok := l.vl.ReadBegin()
+		if ok {
+			fn()
+			if l.vl.ReadValidate(v) {
+				return
+			}
+		}
+		spinWait(attempt * spinBudget)
+	}
+	// Fallback: acquire exclusively, which serializes with writers.
+	l.vl.Lock()
+	fn()
+	l.vl.UnlockUnmodified()
+}
+
+// WriteCritical runs fn under the exclusive lock and publishes a new
+// version, aborting concurrent speculative readers.
+func (l *ElidedRWLock) WriteCritical(fn func()) {
+	l.vl.Lock()
+	fn()
+	l.vl.Unlock()
+}
+
+// Lock acquires the underlying lock exclusively (non-speculative path).
+func (l *ElidedRWLock) Lock() { l.vl.Lock() }
+
+// Unlock releases the exclusive lock, bumping the version.
+func (l *ElidedRWLock) Unlock() { l.vl.Unlock() }

@@ -1,0 +1,140 @@
+// Package latch implements the synchronization primitives that MxTasking
+// selects among at runtime (paper §4.1): a test-and-test-and-set spinlock, a
+// ticket lock, a reader/writer spinlock, an optimistic version lock (seqlock
+// style, as used by optimistic lock coupling), and an elided latch that
+// emulates the behaviour of a hardware-transactional-memory lock (optimistic
+// execution with abort-and-fallback on conflict).
+//
+// The worker thread acquires and releases these on behalf of tasks; tasks
+// themselves never name a primitive (unless they request one explicitly
+// through annotations).
+package latch
+
+import (
+	"runtime"
+	"sync/atomic"
+)
+
+// Locker is the minimal mutual-exclusion interface shared by all latches.
+type Locker interface {
+	Lock()
+	Unlock()
+}
+
+// RWLocker extends Locker with shared (reader) acquisition.
+type RWLocker interface {
+	Locker
+	RLock()
+	RUnlock()
+}
+
+// spinBudget is how many spins a waiter performs before yielding the
+// processor. Yielding keeps single-core test environments live.
+const spinBudget = 64
+
+func spinWait(i int) {
+	if i%spinBudget == spinBudget-1 {
+		runtime.Gosched()
+	}
+}
+
+// Spinlock is a test-and-test-and-set spinlock: the classic primitive used
+// to serialize all accesses (paper §4.1, "Latches"). The zero value is
+// unlocked.
+type Spinlock struct {
+	state atomic.Uint32
+}
+
+// Lock acquires the latch, spinning until it is free.
+func (l *Spinlock) Lock() {
+	for i := 0; ; i++ {
+		if l.state.Load() == 0 && l.state.CompareAndSwap(0, 1) {
+			return
+		}
+		spinWait(i)
+	}
+}
+
+// TryLock attempts a single acquisition without spinning.
+func (l *Spinlock) TryLock() bool {
+	return l.state.Load() == 0 && l.state.CompareAndSwap(0, 1)
+}
+
+// Unlock releases the latch. Calling Unlock on an unlocked Spinlock is a
+// programming error and panics.
+func (l *Spinlock) Unlock() {
+	if l.state.Swap(0) != 1 {
+		panic("latch: unlock of unlocked Spinlock")
+	}
+}
+
+// TicketLock is a fair FIFO spinlock. Acquisition order equals arrival
+// order, which bounds starvation under heavy contention (the regime Figure
+// 12a exercises).
+type TicketLock struct {
+	next    atomic.Uint64
+	serving atomic.Uint64
+}
+
+// Lock takes a ticket and spins until it is served.
+func (l *TicketLock) Lock() {
+	ticket := l.next.Add(1) - 1
+	for i := 0; l.serving.Load() != ticket; i++ {
+		spinWait(i)
+	}
+}
+
+// Unlock passes the latch to the next ticket holder.
+func (l *TicketLock) Unlock() {
+	l.serving.Add(1)
+}
+
+// RWSpinLock is a reader/writer spinlock with writer preference encoded in a
+// single word: the low 31 bits count readers, the top bit marks a writer.
+// This mirrors the folly-style RW latch the paper borrows for its thread
+// baseline (§6.4).
+type RWSpinLock struct {
+	state atomic.Int32 // >0: reader count, -1: writer held
+}
+
+const rwWriter = -1
+
+// Lock acquires the latch exclusively.
+func (l *RWSpinLock) Lock() {
+	for i := 0; ; i++ {
+		if l.state.Load() == 0 && l.state.CompareAndSwap(0, rwWriter) {
+			return
+		}
+		spinWait(i)
+	}
+}
+
+// Unlock releases exclusive ownership.
+func (l *RWSpinLock) Unlock() {
+	if !l.state.CompareAndSwap(rwWriter, 0) {
+		panic("latch: Unlock of RWSpinLock not held exclusively")
+	}
+}
+
+// RLock acquires the latch in shared mode.
+func (l *RWSpinLock) RLock() {
+	for i := 0; ; i++ {
+		s := l.state.Load()
+		if s >= 0 && l.state.CompareAndSwap(s, s+1) {
+			return
+		}
+		spinWait(i)
+	}
+}
+
+// RUnlock releases one shared acquisition.
+func (l *RWSpinLock) RUnlock() {
+	if l.state.Add(-1) < 0 {
+		panic("latch: RUnlock of RWSpinLock without RLock")
+	}
+}
+
+// TryLock attempts a single exclusive acquisition without spinning.
+func (l *RWSpinLock) TryLock() bool {
+	return l.state.Load() == 0 && l.state.CompareAndSwap(0, rwWriter)
+}

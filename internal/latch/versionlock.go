@@ -1,0 +1,82 @@
+package latch
+
+import "sync/atomic"
+
+// VersionLock is an optimistic version lock (seqlock family), the primitive
+// behind "Optimistic Versioning" in paper §4.1 and behind optimistic lock
+// coupling in the BtreeOLC baseline.
+//
+// The 64-bit word encodes a version counter in the upper bits and a locked
+// flag in bit 0. Readers sample the version before and after reading; if the
+// versions match and neither sample had the locked bit set, the read was
+// consistent. Writers acquire the lock bit and bump the version on release,
+// which invalidates concurrent readers.
+type VersionLock struct {
+	word atomic.Uint64
+}
+
+const lockedBit = 1
+
+// ReadBegin samples the version for an optimistic read. ok is false when a
+// writer currently holds the lock, in which case the caller should back off
+// and retry.
+func (l *VersionLock) ReadBegin() (version uint64, ok bool) {
+	v := l.word.Load()
+	if v&lockedBit != 0 {
+		return 0, false
+	}
+	return v, true
+}
+
+// ReadValidate reports whether a read that began at version was free of
+// concurrent writes.
+func (l *VersionLock) ReadValidate(version uint64) bool {
+	return l.word.Load() == version
+}
+
+// Lock acquires the write lock, spinning until available.
+func (l *VersionLock) Lock() {
+	for i := 0; ; i++ {
+		v := l.word.Load()
+		if v&lockedBit == 0 && l.word.CompareAndSwap(v, v|lockedBit) {
+			return
+		}
+		spinWait(i)
+	}
+}
+
+// TryLockVersion atomically upgrades an optimistic read at the given version
+// to a write lock. It fails if any writer intervened since ReadBegin.
+func (l *VersionLock) TryLockVersion(version uint64) bool {
+	if version&lockedBit != 0 {
+		return false
+	}
+	return l.word.CompareAndSwap(version, version|lockedBit)
+}
+
+// Unlock releases the write lock and increments the version so concurrent
+// optimistic readers detect the write.
+func (l *VersionLock) Unlock() {
+	v := l.word.Load()
+	if v&lockedBit == 0 {
+		panic("latch: Unlock of unlocked VersionLock")
+	}
+	l.word.Store(v + 1) // clears the lock bit and bumps the version
+}
+
+// UnlockUnmodified releases the write lock without changing the version.
+// Use when the writer turned out not to modify the protected object, so
+// optimistic readers need not retry.
+func (l *VersionLock) UnlockUnmodified() {
+	v := l.word.Load()
+	if v&lockedBit == 0 {
+		panic("latch: UnlockUnmodified of unlocked VersionLock")
+	}
+	l.word.Store(v &^ lockedBit)
+}
+
+// Version returns the current raw word; useful for tests and diagnostics.
+func (l *VersionLock) Version() uint64 { return l.word.Load() }
+
+// Locked reports whether a writer currently holds the lock.
+func (l *VersionLock) Locked() bool { return l.word.Load()&lockedBit != 0 }

@@ -1,0 +1,103 @@
+// Package metrics provides the small measurement helpers used by the
+// real-runtime benchmarks and the command-line tools: monotonic stopwatch
+// throughput meters and fixed-range histograms. Everything is
+// allocation-free on the hot path.
+package metrics
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+)
+
+// Throughput measures operations per second over a wall-clock interval.
+type Throughput struct {
+	ops   atomic.Uint64
+	start time.Time
+}
+
+// Start begins (or restarts) the measurement window.
+func (t *Throughput) Start() {
+	t.ops.Store(0)
+	t.start = time.Now()
+}
+
+// Add records n completed operations. Safe for concurrent use.
+func (t *Throughput) Add(n uint64) { t.ops.Add(n) }
+
+// Ops returns the operations recorded so far.
+func (t *Throughput) Ops() uint64 { return t.ops.Load() }
+
+// PerSecond returns the rate since Start.
+func (t *Throughput) PerSecond() float64 {
+	elapsed := time.Since(t.start).Seconds()
+	if elapsed <= 0 {
+		return 0
+	}
+	return float64(t.ops.Load()) / elapsed
+}
+
+// Mops returns the rate in million operations per second.
+func (t *Throughput) Mops() float64 { return t.PerSecond() / 1e6 }
+
+// Histogram is a fixed-bucket latency histogram with power-of-two bucket
+// boundaries in nanoseconds: bucket i covers [2^i, 2^(i+1)) ns.
+type Histogram struct {
+	buckets [40]atomic.Uint64
+	count   atomic.Uint64
+	sum     atomic.Uint64
+}
+
+// Observe records one duration.
+func (h *Histogram) Observe(d time.Duration) {
+	ns := uint64(d.Nanoseconds())
+	if d < 0 {
+		ns = 0
+	}
+	i := 0
+	for v := ns; v > 1 && i < len(h.buckets)-1; v >>= 1 {
+		i++
+	}
+	h.buckets[i].Add(1)
+	h.count.Add(1)
+	h.sum.Add(ns)
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Mean returns the average duration.
+func (h *Histogram) Mean() time.Duration {
+	c := h.count.Load()
+	if c == 0 {
+		return 0
+	}
+	return time.Duration(h.sum.Load() / c)
+}
+
+// Quantile returns an upper bound for the q-quantile (0 < q <= 1) from the
+// bucket boundaries.
+func (h *Histogram) Quantile(q float64) time.Duration {
+	total := h.count.Load()
+	if total == 0 || q <= 0 {
+		return 0
+	}
+	target := uint64(q * float64(total))
+	if target == 0 {
+		target = 1
+	}
+	var seen uint64
+	for i := range h.buckets {
+		seen += h.buckets[i].Load()
+		if seen >= target {
+			return time.Duration(uint64(1) << uint(i+1))
+		}
+	}
+	return time.Duration(uint64(1) << uint(len(h.buckets)))
+}
+
+// String summarizes the histogram.
+func (h *Histogram) String() string {
+	return fmt.Sprintf("n=%d mean=%v p50<=%v p99<=%v",
+		h.Count(), h.Mean(), h.Quantile(0.50), h.Quantile(0.99))
+}

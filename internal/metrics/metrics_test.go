@@ -1,0 +1,81 @@
+package metrics
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestThroughput(t *testing.T) {
+	var th Throughput
+	th.Start()
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				th.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if th.Ops() != 4000 {
+		t.Fatalf("Ops = %d, want 4000", th.Ops())
+	}
+	if th.PerSecond() <= 0 {
+		t.Fatal("rate must be positive")
+	}
+	if th.Mops() <= 0 || th.Mops() > th.PerSecond() {
+		t.Fatalf("Mops = %f out of range (rate %f)", th.Mops(), th.PerSecond())
+	}
+}
+
+func TestHistogramBasics(t *testing.T) {
+	var h Histogram
+	if h.Mean() != 0 || h.Quantile(0.5) != 0 {
+		t.Fatal("empty histogram must report zeros")
+	}
+	for i := 0; i < 100; i++ {
+		h.Observe(1 * time.Microsecond)
+	}
+	if h.Count() != 100 {
+		t.Fatalf("Count = %d", h.Count())
+	}
+	if m := h.Mean(); m != time.Microsecond {
+		t.Fatalf("Mean = %v, want 1µs", m)
+	}
+	// 1µs = 1000ns falls in bucket [512, 1024): the p50 upper bound is
+	// 1024ns.
+	if q := h.Quantile(0.5); q < time.Microsecond || q > 2*time.Microsecond {
+		t.Fatalf("Quantile(0.5) = %v", q)
+	}
+}
+
+func TestHistogramQuantileOrdering(t *testing.T) {
+	var h Histogram
+	for i := 0; i < 90; i++ {
+		h.Observe(time.Microsecond)
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(time.Millisecond)
+	}
+	p50, p99 := h.Quantile(0.50), h.Quantile(0.99)
+	if !(p50 < p99) {
+		t.Fatalf("p50 (%v) must be below p99 (%v)", p50, p99)
+	}
+	if p99 < time.Millisecond {
+		t.Fatalf("p99 = %v, want >= 1ms", p99)
+	}
+	if h.String() == "" {
+		t.Fatal("String must render")
+	}
+}
+
+func TestHistogramNegative(t *testing.T) {
+	var h Histogram
+	h.Observe(-time.Second) // clamps to zero instead of corrupting buckets
+	if h.Count() != 1 {
+		t.Fatal("negative observation lost")
+	}
+}

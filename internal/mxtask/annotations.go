@@ -1,0 +1,141 @@
+// Package mxtask implements MxTasking: a task-based runtime in which
+// applications attach annotations to tasks and data objects, and the runtime
+// uses those annotations to inject memory prefetching (§3 of the paper) and
+// synchronization (§4) on the application's behalf.
+//
+// The central abstraction is the MxTask (Task): a short unit of work that
+// runs uninterruptedly to completion on one of the runtime's workers. Tasks
+// are annotated with the data object (Resource) they access, their access
+// mode (read or write), a priority, and optionally an explicit target core
+// or NUMA node (Figure 1). Resources carry an isolation level, an expected
+// read/write ratio and an access frequency; from these the runtime selects
+// a synchronization primitive (§4.2) — the task never names one.
+package mxtask
+
+// Priority orders tasks within a pool: High tasks run before Normal, Normal
+// before Low. The paper uses Low for per-core batch-grabber tasks that pull
+// new work only when nothing else is ready (§6.1).
+type Priority int8
+
+const (
+	PriorityNormal Priority = iota
+	PriorityLow
+	PriorityHigh
+)
+
+// String returns the annotation spelling used in Figure 1.
+func (p Priority) String() string {
+	switch p {
+	case PriorityLow:
+		return "low"
+	case PriorityNormal:
+		return "normal"
+	case PriorityHigh:
+		return "high"
+	default:
+		return "invalid"
+	}
+}
+
+// AccessMode is a task's declared intention toward its annotated resource.
+type AccessMode int8
+
+const (
+	// ReadOnly marks a task that does not modify the resource; the
+	// runtime may execute it optimistically in parallel with other
+	// readers.
+	ReadOnly AccessMode = iota
+	// Write marks a task that may modify the resource.
+	Write
+)
+
+// String returns the annotation spelling used in the paper's API examples
+// (access::readonly, access::write).
+func (m AccessMode) String() string {
+	if m == ReadOnly {
+		return "readonly"
+	}
+	return "write"
+}
+
+// Isolation is a resource's required isolation level (Figure 1:
+// "none", "exclusive", or "exclusive write; shared read").
+type Isolation int8
+
+const (
+	// IsolationNone requests no synchronization at all; the application
+	// guarantees safety by construction.
+	IsolationNone Isolation = iota
+	// IsolationExclusive serializes every access to the resource.
+	IsolationExclusive
+	// IsolationExclusiveWriteSharedRead allows parallel readers while
+	// writers remain mutually exclusive (the "relaxed" level that maps
+	// to optimistic strategies, §4.2).
+	IsolationExclusiveWriteSharedRead
+)
+
+// String returns the annotation spelling used in Figure 1.
+func (i Isolation) String() string {
+	switch i {
+	case IsolationNone:
+		return "none"
+	case IsolationExclusive:
+		return "exclusive"
+	case IsolationExclusiveWriteSharedRead:
+		return "exclusive write; shared read"
+	default:
+		return "invalid"
+	}
+}
+
+// RWRatio is the application's hint about a resource's expected read/write
+// mix (Figure 1: "read-heavy", "balanced", "write-heavy").
+type RWRatio int8
+
+const (
+	RWBalanced RWRatio = iota
+	RWReadHeavy
+	RWWriteHeavy
+)
+
+// String returns the annotation spelling used in Figure 1.
+func (r RWRatio) String() string {
+	switch r {
+	case RWReadHeavy:
+		return "read-heavy"
+	case RWBalanced:
+		return "balanced"
+	case RWWriteHeavy:
+		return "write-heavy"
+	default:
+		return "invalid"
+	}
+}
+
+// Frequency is the application's hint about how often a resource is
+// accessed (Figure 1: "low", "normal", "high").
+type Frequency int8
+
+const (
+	FrequencyNormal Frequency = iota
+	FrequencyLow
+	FrequencyHigh
+)
+
+// String returns the annotation spelling used in Figure 1.
+func (f Frequency) String() string {
+	switch f {
+	case FrequencyLow:
+		return "low"
+	case FrequencyNormal:
+		return "normal"
+	case FrequencyHigh:
+		return "high"
+	default:
+		return "invalid"
+	}
+}
+
+// AnyCore is the value of a task's target-core/target-NUMA annotation when
+// the application expressed no placement preference.
+const AnyCore = -1

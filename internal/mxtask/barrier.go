@@ -1,0 +1,99 @@
+package mxtask
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Barrier realizes the generalized form of scheduling-based
+// synchronization (§4.1): annotating dependencies between tasks. Tasks
+// annotated with AnnotateAfter(b) are withheld from the pools until the
+// barrier's count reaches zero — "in a task-based hash join implementation,
+// the first probe task will not start before all build tasks have finished
+// populating the in-memory hash table."
+//
+// A Barrier releases exactly once; after release, dependent spawns pass
+// through immediately.
+type Barrier struct {
+	rt        *Runtime
+	remaining atomic.Int64
+	released  atomic.Bool
+
+	mu      sync.Mutex
+	waiting []pendingSpawn
+}
+
+// pendingSpawn remembers where a withheld task would have been scheduled.
+type pendingSpawn struct {
+	task  *Task
+	local int // spawning worker, or AnyCore
+}
+
+// NewBarrier creates a barrier that releases after n arrivals. n must be
+// positive; a zero-dependency barrier would be a plain spawn.
+func (rt *Runtime) NewBarrier(n int) *Barrier {
+	if n <= 0 {
+		panic("mxtask: NewBarrier requires a positive count")
+	}
+	b := &Barrier{rt: rt}
+	b.remaining.Store(int64(n))
+	return b
+}
+
+// Arrive records one completed dependency. The arrival that brings the
+// count to zero releases all withheld tasks (scheduling them by their
+// annotations as usual). Extra arrivals panic: they indicate a
+// miscounted dependency graph.
+func (b *Barrier) Arrive() {
+	n := b.remaining.Add(-1)
+	switch {
+	case n > 0:
+		return
+	case n < 0:
+		panic("mxtask: Barrier.Arrive after release")
+	}
+	b.released.Store(true)
+	b.mu.Lock()
+	waiting := b.waiting
+	b.waiting = nil
+	b.mu.Unlock()
+	for _, w := range waiting {
+		b.rt.schedule(w.task, w.local)
+	}
+}
+
+// Released reports whether all dependencies arrived.
+func (b *Barrier) Released() bool { return b.released.Load() }
+
+// Remaining returns the outstanding dependency count.
+func (b *Barrier) Remaining() int64 {
+	n := b.remaining.Load()
+	if n < 0 {
+		return 0
+	}
+	return n
+}
+
+// enqueue withholds a spawn until release; returns false if the barrier
+// already released (the caller should schedule directly).
+func (b *Barrier) enqueue(t *Task, local int) bool {
+	if b.released.Load() {
+		return false
+	}
+	b.mu.Lock()
+	if b.released.Load() {
+		b.mu.Unlock()
+		return false
+	}
+	b.waiting = append(b.waiting, pendingSpawn{task: t, local: local})
+	b.mu.Unlock()
+	return true
+}
+
+// AnnotateAfter withholds the task until the barrier releases (Figure 1's
+// dependency arrow between tasks). Combine freely with the other
+// annotations; the task's resource routing applies at release time.
+func (t *Task) AnnotateAfter(b *Barrier) *Task {
+	t.after = b
+	return t
+}

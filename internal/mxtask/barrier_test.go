@@ -1,0 +1,141 @@
+package mxtask
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestBarrierWithholdsUntilRelease(t *testing.T) {
+	rt := newTestRuntime(2)
+	rt.Start()
+	defer rt.Stop()
+
+	b := rt.NewBarrier(3)
+	var order atomic.Int64 // bit 0: dependent ran; bits 1..: deps done
+
+	dependent := rt.NewTask(func(*Context, *Task) {
+		if order.Load() != 3 {
+			t.Errorf("dependent ran before all dependencies (state %b)", order.Load())
+		}
+		order.Add(100)
+	}, nil)
+	dependent.AnnotateAfter(b)
+	rt.Spawn(dependent)
+
+	if b.Released() {
+		t.Fatal("barrier released before any arrival")
+	}
+	if b.Remaining() != 3 {
+		t.Fatalf("Remaining = %d, want 3", b.Remaining())
+	}
+
+	for i := 0; i < 3; i++ {
+		dep := rt.NewTask(func(*Context, *Task) {
+			order.Add(1)
+			b.Arrive()
+		}, nil)
+		rt.Spawn(dep)
+	}
+	rt.Drain()
+	if !b.Released() {
+		t.Fatal("barrier not released after all arrivals")
+	}
+	if got := order.Load(); got != 103 {
+		t.Fatalf("final state = %d, want 103 (dependent must have run once)", got)
+	}
+}
+
+func TestBarrierSpawnAfterRelease(t *testing.T) {
+	rt := newTestRuntime(1)
+	rt.Start()
+	defer rt.Stop()
+
+	b := rt.NewBarrier(1)
+	b.Arrive()
+	var ran atomic.Int64
+	task := rt.NewTask(func(*Context, *Task) { ran.Add(1) }, nil)
+	task.AnnotateAfter(b)
+	rt.Spawn(task) // must pass straight through
+	rt.Drain()
+	if ran.Load() != 1 {
+		t.Fatal("task annotated to a released barrier never ran")
+	}
+}
+
+func TestBarrierHonorsTaskAnnotationsAtRelease(t *testing.T) {
+	rt := newTestRuntime(4)
+	b := rt.NewBarrier(1)
+	task := rt.NewTask(func(*Context, *Task) {}, nil)
+	task.AnnotateCore(3)
+	task.AnnotateAfter(b)
+	rt.Spawn(task)
+	// Not started yet: the withheld task must not sit in any pool.
+	total := 0
+	for _, w := range rt.workers {
+		total += w.pool.Len()
+	}
+	if total != 0 {
+		t.Fatalf("withheld task already pooled (%d)", total)
+	}
+	b.Arrive()
+	if got := rt.workers[3].pool.Len(); got != 1 {
+		t.Fatalf("released task not routed to annotated core (pool 3 len %d)", got)
+	}
+	rt.Start()
+	defer rt.Stop()
+	rt.Drain()
+}
+
+func TestBarrierOverArrivePanics(t *testing.T) {
+	rt := newTestRuntime(1)
+	b := rt.NewBarrier(1)
+	b.Arrive()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("extra Arrive did not panic")
+		}
+	}()
+	b.Arrive()
+}
+
+func TestBarrierZeroCountPanics(t *testing.T) {
+	rt := newTestRuntime(1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewBarrier(0) did not panic")
+		}
+	}()
+	rt.NewBarrier(0)
+}
+
+func TestBarrierFanInFanOut(t *testing.T) {
+	// The hash-join pattern: many producers arrive, many consumers wait.
+	rt := newTestRuntime(4)
+	rt.Start()
+	defer rt.Stop()
+
+	const producers = 50
+	const consumers = 50
+	b := rt.NewBarrier(producers)
+	var produced, consumedEarly atomic.Int64
+
+	for i := 0; i < consumers; i++ {
+		c := rt.NewTask(func(*Context, *Task) {
+			if produced.Load() != producers {
+				consumedEarly.Add(1)
+			}
+		}, nil)
+		c.AnnotateAfter(b)
+		rt.Spawn(c)
+	}
+	for i := 0; i < producers; i++ {
+		rt.Spawn(rt.NewTask(func(*Context, *Task) {
+			produced.Add(1)
+			b.Arrive()
+		}, nil))
+	}
+	rt.Drain()
+	if got := consumedEarly.Load(); got != 0 {
+		t.Fatalf("%d consumers ran before all producers finished", got)
+	}
+}

@@ -1,0 +1,59 @@
+package mxtask
+
+// Context is handed to every executing task. It identifies the worker the
+// task runs on and offers the fast paths that exploit run-to-completion:
+// allocator access without synchronization (§5.2) and local spawning
+// (Figure 5, scheduler side, line 5).
+type Context struct {
+	w  *Worker
+	rt *Runtime
+}
+
+// WorkerID returns the logical core executing the task.
+func (c *Context) WorkerID() int { return c.w.id }
+
+// NUMANode returns the executing worker's NUMA node.
+func (c *Context) NUMANode() int { return c.w.numa }
+
+// Runtime returns the owning runtime.
+func (c *Context) Runtime() *Runtime { return c.rt }
+
+// NewTask allocates a task from the worker's core heap. Because tasks run
+// to completion, the heap needs no synchronization, making this a handful
+// of instructions in the steady state (§5.2, Figure 7).
+func (c *Context) NewTask(fn Func, arg any) *Task {
+	return c.w.newTask(fn, arg)
+}
+
+// Spawn submits a follow-up task. Unless annotations or the resource's
+// primitive dictate otherwise, the task lands in this worker's own pool,
+// avoiding cache-coherence traffic.
+//
+// Inside an optimistic read, the spawn is buffered and only published once
+// the read validates, making read-task bodies safely restartable.
+func (c *Context) Spawn(t *Task) {
+	if t.fn == nil {
+		panic("mxtask: Spawn of task with nil function")
+	}
+	c.w.stats.spawned.Add(1)
+	if c.w.buffering {
+		c.w.spawnBuf = append(c.w.spawnBuf, t)
+		return
+	}
+	c.rt.pending.Add(1)
+	if b := t.after; b != nil && b.enqueue(t, c.w.id) {
+		return // withheld until the barrier releases
+	}
+	c.rt.schedule(t, c.w.id)
+}
+
+// Retire registers free to run once no task can still hold an optimistic
+// reference to a logically removed object (§4.4). Inside an optimistic
+// read, the retire is buffered like Spawn.
+func (c *Context) Retire(free func()) {
+	if c.w.buffering {
+		c.w.retireBuf = append(c.w.retireBuf, free)
+		return
+	}
+	c.w.epoch.Retire(free)
+}

@@ -1,0 +1,118 @@
+package mxtask
+
+import (
+	"sync/atomic"
+
+	"mxtasking/internal/latch"
+)
+
+// taskLane is an intrusive Vyukov MPSC queue of tasks. Push is the single
+// atomic exchange that makes task spawning lightweight (§2.3); Pop is
+// restricted to one consumer at a time, which the enclosing Pool enforces
+// with its consume latch.
+type taskLane struct {
+	tail atomic.Pointer[Task]
+	head *Task
+	stub Task
+}
+
+func (l *taskLane) init() {
+	l.tail.Store(&l.stub)
+	l.head = &l.stub
+}
+
+// push enqueues t. Safe for any number of concurrent producers.
+func (l *taskLane) push(t *Task) {
+	t.next.Store(nil)
+	prev := l.tail.Swap(t) // the single atomic xchg
+	prev.next.Store(t)
+}
+
+// pop dequeues the oldest task; the caller must hold the pool's consume
+// latch. ok is false when the lane is empty or a producer is mid-push.
+func (l *taskLane) pop() (t *Task, ok bool) {
+	head := l.head
+	next := head.next.Load()
+	if head == &l.stub {
+		if next == nil {
+			return nil, false
+		}
+		l.head = next
+		head = next
+		next = head.next.Load()
+	}
+	if next != nil {
+		l.head = next
+		return head, true
+	}
+	if head != l.tail.Load() {
+		return nil, false // producer in flight
+	}
+	// head is the last task: re-insert the stub to detach it.
+	l.stub.next.Store(nil)
+	prev := l.tail.Swap(&l.stub)
+	prev.next.Store(&l.stub)
+	next = head.next.Load()
+	if next == nil {
+		return nil, false
+	}
+	l.head = next
+	return head, true
+}
+
+// Pool is a task pool: the unit of scheduling-based synchronization. Tasks
+// routed to one pool execute in order under the pool's consume latch, so a
+// resource whose writers all land in one pool needs no further
+// synchronization (§4.1).
+//
+// Pools hold three lanes, one per priority; consumers drain High before
+// Normal before Low.
+//
+// Workers normally drain their own pool, but an idle worker may steal a
+// whole pool (never individual tasks, §4.1 "worker threads may also steal
+// task pools") by winning the consume latch.
+type Pool struct {
+	lanes   [3]taskLane // indexed by Priority
+	consume latch.Spinlock
+	size    atomic.Int64
+	home    int // worker that owns the pool by default
+}
+
+func newPool(home int) *Pool {
+	p := &Pool{home: home}
+	for i := range p.lanes {
+		p.lanes[i].init()
+	}
+	return p
+}
+
+// Push adds a task according to its priority annotation. Safe for
+// concurrent use.
+func (p *Pool) Push(t *Task) {
+	p.lanes[t.prio].push(t)
+	p.size.Add(1)
+}
+
+// TryAcquire attempts to become the pool's consumer.
+func (p *Pool) TryAcquire() bool { return p.consume.TryLock() }
+
+// Release gives up consumption rights.
+func (p *Pool) Release() { p.consume.Unlock() }
+
+// Pop removes the highest-priority ready task. The caller must hold the
+// consume latch.
+func (p *Pool) Pop() (*Task, bool) {
+	for _, prio := range [3]Priority{PriorityHigh, PriorityNormal, PriorityLow} {
+		if t, ok := p.lanes[prio].pop(); ok {
+			p.size.Add(-1)
+			return t, true
+		}
+	}
+	return nil, false
+}
+
+// Len reports the approximate number of queued tasks.
+func (p *Pool) Len() int { return int(p.size.Load()) }
+
+// Home returns the index of the worker that owns this pool by default.
+func (p *Pool) Home() int { return p.home }

@@ -1,0 +1,167 @@
+package mxtask
+
+import (
+	"mxtasking/internal/latch"
+)
+
+// Primitive is a synchronization mechanism the runtime may inject around a
+// task's execution (§4.1). Applications normally never pick one — the
+// runtime's cost model does (§4.2) — but an explicit choice can be forced
+// through Resource.ForcePrimitive.
+type Primitive int8
+
+const (
+	// PrimNone executes tasks without synchronization.
+	PrimNone Primitive = iota
+	// PrimSerialize synchronizes by scheduling: every access is routed to
+	// the resource's task pool and executed in order; no latch, no
+	// version check (§4.1 "Synchronization through Scheduling").
+	PrimSerialize
+	// PrimOptimisticScheduling lets readers run optimistically (validated
+	// by a version counter) while writers are serialized by scheduling
+	// them to the resource's pool (§4.2: preferred for read-heavy
+	// resources).
+	PrimOptimisticScheduling
+	// PrimOptimisticLatch lets readers run optimistically while writers
+	// acquire a latch (§4.2: preferred for write-heavy resources accessed
+	// moderately or sparsely, where pool contention would dominate).
+	PrimOptimisticLatch
+	// PrimSpinlock serializes every access with a test-and-set spinlock
+	// (the classic latch baseline).
+	PrimSpinlock
+	// PrimRWLock uses a reader/writer spinlock: shared for ReadOnly
+	// tasks, exclusive for Write tasks.
+	PrimRWLock
+)
+
+// String names the primitive for logs and experiment output.
+func (p Primitive) String() string {
+	switch p {
+	case PrimNone:
+		return "none"
+	case PrimSerialize:
+		return "serialize-by-scheduling"
+	case PrimOptimisticScheduling:
+		return "optimistic-scheduling"
+	case PrimOptimisticLatch:
+		return "optimistic-latch"
+	case PrimSpinlock:
+		return "spinlock"
+	case PrimRWLock:
+		return "rwlock"
+	default:
+		return "invalid"
+	}
+}
+
+// serializesWrites reports whether the scheduler must route writing tasks to
+// the resource's pool (Figure 5, scheduler side, lines 1–3).
+func (p Primitive) serializesWrites() bool {
+	return p == PrimSerialize || p == PrimOptimisticScheduling
+}
+
+// serializesAll reports whether every access must be routed to the
+// resource's pool.
+func (p Primitive) serializesAll() bool { return p == PrimSerialize }
+
+// Prefetchable is implemented by data objects that can pull themselves into
+// the CPU cache. The runtime calls Prefetch ahead of executing a task
+// annotated with the object (§3). Implementations typically read one word
+// per cache line of their backing storage.
+//
+// This stands in for the prefetcht0 instructions the paper's C++ runtime
+// injects: Go exposes no prefetch intrinsic, but an actual read brings the
+// line into the cache just the same (at the cost of blocking on the load,
+// which the simulator models more faithfully).
+type Prefetchable interface {
+	Prefetch()
+}
+
+// Resource is an annotated data object (Figure 1, right side). Tasks link
+// themselves to the resource they access; the runtime uses the resource's
+// metadata for placement, prefetching and synchronization.
+type Resource struct {
+	// Object is the application's data object. If it implements
+	// Prefetchable the runtime will prefetch it ahead of task execution.
+	Object any
+	// Size is the annotated object size in bytes; it bounds how much the
+	// prefetcher pulls in.
+	Size int
+
+	isolation Isolation
+	rwRatio   RWRatio
+	frequency Frequency
+	prim      Primitive
+
+	// pool is the index of the worker whose task pool serializes this
+	// resource when prim serializes accesses.
+	pool int
+
+	version latch.VersionLock // optimistic primitives
+	mu      latch.Spinlock    // PrimSpinlock
+	rw      latch.RWSpinLock  // PrimRWLock
+}
+
+// SelectPrimitive is the runtime's cost model (§4.2): it maps a resource's
+// annotated access properties to the cheapest safe primitive.
+//
+//   - exclusive isolation     → serialize by scheduling (beats spinlocks in
+//     the paper's benchmarks for exclusive access);
+//   - shared reads, read-heavy → optimistic with writers scheduled: readers
+//     at the resource's own worker never even need a version check;
+//   - shared reads, write-heavy → optimistic latches: for frequently written
+//     objects the contention on a single task pool would exceed latch
+//     contention on the object itself;
+//   - balanced mixes follow the access frequency: hot objects behave like
+//     read-heavy ones (the pool's worker keeps them cached), cold ones like
+//     write-heavy ones.
+func SelectPrimitive(iso Isolation, ratio RWRatio, freq Frequency) Primitive {
+	switch iso {
+	case IsolationNone:
+		return PrimNone
+	case IsolationExclusive:
+		return PrimSerialize
+	case IsolationExclusiveWriteSharedRead:
+		switch ratio {
+		case RWReadHeavy:
+			return PrimOptimisticScheduling
+		case RWWriteHeavy:
+			return PrimOptimisticLatch
+		default: // RWBalanced
+			if freq == FrequencyHigh {
+				return PrimOptimisticScheduling
+			}
+			return PrimOptimisticLatch
+		}
+	default:
+		return PrimNone
+	}
+}
+
+// Isolation returns the resource's annotated isolation level.
+func (r *Resource) Isolation() Isolation { return r.isolation }
+
+// RWRatio returns the resource's annotated read/write ratio.
+func (r *Resource) RWRatio() RWRatio { return r.rwRatio }
+
+// Frequency returns the resource's annotated access frequency.
+func (r *Resource) Frequency() Frequency { return r.frequency }
+
+// Primitive returns the synchronization primitive in effect.
+func (r *Resource) Primitive() Primitive { return r.prim }
+
+// Pool returns the worker index whose pool serializes this resource.
+func (r *Resource) Pool() int { return r.pool }
+
+// ForcePrimitive overrides the cost model with an explicit primitive
+// (the "unless the task requests a particular primitive explicitly through
+// annotations" escape hatch of §4.1). It must be called before any task
+// annotated with the resource is spawned.
+func (r *Resource) ForcePrimitive(p Primitive) { r.prim = p }
+
+// prefetch pulls the resource's object toward the cache.
+func (r *Resource) prefetch() {
+	if p, ok := r.Object.(Prefetchable); ok {
+		p.Prefetch()
+	}
+}

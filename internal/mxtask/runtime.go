@@ -1,0 +1,286 @@
+package mxtask
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"mxtasking/internal/alloc"
+	"mxtasking/internal/epoch"
+)
+
+// Config parameterizes a Runtime.
+type Config struct {
+	// Workers is the number of logical cores (worker goroutines).
+	// Defaults to runtime.GOMAXPROCS(0).
+	Workers int
+	// NUMANodes is the number of NUMA regions workers are spread over
+	// (contiguous ranges, like the paper's machine). Defaults to 1.
+	NUMANodes int
+	// PrefetchDistance is how many tasks ahead the worker prefetches
+	// data objects (§3; the paper found 2 best on its hardware). 0
+	// disables prefetching.
+	PrefetchDistance int
+	// EpochPolicy selects the memory-reclamation mode (§4.4).
+	// Defaults to epoch.Batched.
+	EpochPolicy epoch.Policy
+	// EpochBatch is the Batched policy's advancement batch (default 50).
+	EpochBatch int
+	// EpochInterval is the global epoch clock period (default 50ms,
+	// following §4.4). Set negative to disable the ticker (tests and the
+	// simulator advance epochs manually via AdvanceEpoch).
+	EpochInterval time.Duration
+	// PinWorkers locks each worker goroutine to an OS thread,
+	// the closest available analogue to CPU pinning.
+	PinWorkers bool
+	// OnTaskPanic, when set, contains panics raised by task bodies: the
+	// handler runs on the worker, the task counts as completed, and the
+	// worker continues. When nil (default), a panicking task crashes the
+	// program — the behaviour of a plain function call.
+	OnTaskPanic func(recovered any, t *Task)
+	// TraceCapacity, when positive, enables the per-worker event tracer
+	// with a ring of this many events per worker (see Runtime.Trace).
+	TraceCapacity int
+	// AdaptivePrefetch lets each worker tune its own prefetch distance
+	// at runtime within [1, PrefetchDistance*2] by hill-climbing on
+	// batch execution time — the dynamic adjustment §3 sketches as a
+	// natural extension. PrefetchDistance remains the starting point.
+	AdaptivePrefetch bool
+}
+
+func (c *Config) applyDefaults() {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.NUMANodes <= 0 {
+		c.NUMANodes = 1
+	}
+	if c.EpochBatch <= 0 {
+		c.EpochBatch = epoch.DefaultBatchSize
+	}
+	if c.EpochInterval == 0 {
+		c.EpochInterval = 50 * time.Millisecond
+	}
+}
+
+// Runtime is the MxTasking engine: a set of workers, their task pools, the
+// epoch manager and the task allocator. It mediates between the task-based
+// execution model and Go's scheduler the way the paper's library mediates
+// between tasks and OS threads (§2.3).
+type Runtime struct {
+	cfg      Config
+	workers  []*Worker
+	epochMgr *epoch.Manager
+	alloc    *alloc.Allocator
+
+	pending  atomic.Int64 // spawned but not yet completed tasks
+	spawnRR  atomic.Uint64
+	resRR    atomic.Uint64
+	stopped  atomic.Bool
+	started  atomic.Bool
+	wg       sync.WaitGroup
+	stopTick chan struct{}
+}
+
+// New creates a runtime. Call Start before spawning tasks.
+func New(cfg Config) *Runtime {
+	cfg.applyDefaults()
+	rt := &Runtime{
+		cfg:      cfg,
+		epochMgr: epoch.NewManager(cfg.Workers, cfg.EpochPolicy, cfg.EpochBatch),
+		alloc:    alloc.New(cfg.Workers, cfg.NUMANodes),
+		stopTick: make(chan struct{}),
+	}
+	perNode := (cfg.Workers + cfg.NUMANodes - 1) / cfg.NUMANodes
+	rt.workers = make([]*Worker, cfg.Workers)
+	for i := range rt.workers {
+		node := i / perNode
+		if node >= cfg.NUMANodes {
+			node = cfg.NUMANodes - 1
+		}
+		w := &Worker{
+			id:    i,
+			numa:  node,
+			rt:    rt,
+			pool:  newPool(i),
+			epoch: rt.epochMgr.Worker(i),
+			heap:  rt.alloc.Core(i),
+			trace: newTracer(cfg.TraceCapacity),
+		}
+		w.ctx = Context{w: w, rt: rt}
+		rt.workers[i] = w
+	}
+	return rt
+}
+
+// Workers returns the number of logical cores.
+func (rt *Runtime) Workers() int { return rt.cfg.Workers }
+
+// Config returns the runtime's effective configuration.
+func (rt *Runtime) Config() Config { return rt.cfg }
+
+// Start launches the worker goroutines and the epoch clock.
+func (rt *Runtime) Start() {
+	if rt.started.Swap(true) {
+		panic("mxtask: Runtime started twice")
+	}
+	for _, w := range rt.workers {
+		rt.wg.Add(1)
+		go w.run()
+	}
+	if rt.cfg.EpochInterval > 0 && rt.cfg.EpochPolicy != epoch.Off {
+		rt.wg.Add(1)
+		go rt.epochClock()
+	}
+}
+
+func (rt *Runtime) epochClock() {
+	defer rt.wg.Done()
+	ticker := time.NewTicker(rt.cfg.EpochInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-rt.stopTick:
+			return
+		case <-ticker.C:
+			rt.epochMgr.Advance()
+		}
+	}
+}
+
+// AdvanceEpoch manually advances the global epoch (for tests and harnesses
+// that disabled the ticker).
+func (rt *Runtime) AdvanceEpoch() { rt.epochMgr.Advance() }
+
+// Stop shuts the runtime down. Workers finish their current batch and
+// exit; queued tasks that have not started are dropped. Use Drain first to
+// run everything to completion.
+func (rt *Runtime) Stop() {
+	if !rt.started.Load() || rt.stopped.Swap(true) {
+		return
+	}
+	close(rt.stopTick)
+	rt.wg.Wait()
+}
+
+// Drain blocks until every spawned task has completed. It must not be
+// called from a task (a task waiting for all tasks deadlocks by
+// construction).
+func (rt *Runtime) Drain() {
+	for rt.pending.Load() > 0 {
+		runtime.Gosched()
+	}
+}
+
+// Pending returns the number of spawned-but-incomplete tasks.
+func (rt *Runtime) Pending() int64 { return rt.pending.Load() }
+
+// CreateResource wraps obj in an annotated Resource (paper Fig. 2 line 1).
+// size is the object's size in bytes, which bounds prefetching. The
+// synchronization primitive is selected by the cost model (§4.2) from the
+// three annotations; the resource's serializing pool is assigned
+// round-robin across workers.
+func (rt *Runtime) CreateResource(obj any, size int, iso Isolation, ratio RWRatio, freq Frequency) *Resource {
+	r := &Resource{
+		Object:    obj,
+		Size:      size,
+		isolation: iso,
+		rwRatio:   ratio,
+		frequency: freq,
+		prim:      SelectPrimitive(iso, ratio, freq),
+	}
+	r.pool = int(rt.resRR.Add(1)-1) % rt.cfg.Workers
+	return r
+}
+
+// NewTask creates a task outside any worker (e.g. from the application's
+// driver goroutine). Tasks created this way are garbage-collected rather
+// than recycled; inside tasks, use Context.NewTask to hit the core-heap
+// fast path.
+func (rt *Runtime) NewTask(fn Func, arg any) *Task {
+	t := &Task{}
+	t.reset(fn, arg)
+	return t
+}
+
+// Spawn submits a task for execution (paper Fig. 2 line 6). It is safe to
+// call from anywhere; inside a task body, Context.Spawn is equivalent and
+// counts toward the spawning worker's statistics.
+func (rt *Runtime) Spawn(t *Task) {
+	if t.fn == nil {
+		panic("mxtask: Spawn of task with nil function")
+	}
+	rt.pending.Add(1)
+	if b := t.after; b != nil && b.enqueue(t, AnyCore) {
+		return // withheld until the barrier releases
+	}
+	rt.schedule(t, AnyCore)
+}
+
+// schedule implements the scheduler side of Figure 5: route to the
+// resource's pool when scheduling synchronizes the access, else honour an
+// explicit core/NUMA annotation, else stay local.
+func (rt *Runtime) schedule(t *Task, localWorker int) {
+	res := t.res
+	switch {
+	case res != nil && (res.prim.serializesAll() ||
+		(res.prim.serializesWrites() && t.mode == Write)):
+		rt.workers[res.pool].pool.Push(t)
+	case t.targetCore != AnyCore:
+		rt.workers[t.targetCore%rt.cfg.Workers].pool.Push(t)
+	case t.targetNUMA != AnyCore:
+		rt.workers[rt.pickInNUMA(t.targetNUMA)].pool.Push(t)
+	case localWorker != AnyCore:
+		rt.workers[localWorker].pool.Push(t)
+	default:
+		// External producers have no local pool; distribute
+		// round-robin.
+		rt.workers[int(rt.spawnRR.Add(1)-1)%rt.cfg.Workers].pool.Push(t)
+	}
+}
+
+// pickInNUMA returns the least-loaded worker of the given NUMA node.
+func (rt *Runtime) pickInNUMA(node int) int {
+	best, bestLen := -1, int(^uint(0)>>1)
+	for _, w := range rt.workers {
+		if w.numa != node%rt.cfg.NUMANodes {
+			continue
+		}
+		if l := w.pool.Len(); l < bestLen {
+			best, bestLen = w.id, l
+		}
+	}
+	if best < 0 {
+		best = 0
+	}
+	return best
+}
+
+// Stats aggregates all workers' counters.
+func (rt *Runtime) Stats() WorkerStats {
+	var s WorkerStats
+	for _, w := range rt.workers {
+		ws := w.Stats()
+		s.Executed += ws.Executed
+		s.Spawned += ws.Spawned
+		s.Prefetches += ws.Prefetches
+		s.ReadRetries += ws.ReadRetries
+		s.PoolsStolen += ws.PoolsStolen
+		s.LocalFastPath += ws.LocalFastPath
+	}
+	return s
+}
+
+// AllocStats exposes the task allocator's counters (Figure 7's experiment).
+func (rt *Runtime) AllocStats() *alloc.Stats { return &rt.alloc.Stats }
+
+// EpochManager exposes the reclamation manager (Figure 11's experiment).
+func (rt *Runtime) EpochManager() *epoch.Manager { return rt.epochMgr }
+
+// String describes the runtime configuration.
+func (rt *Runtime) String() string {
+	return fmt.Sprintf("mxtasking(workers=%d numa=%d prefetch=%d epoch=%s)",
+		rt.cfg.Workers, rt.cfg.NUMANodes, rt.cfg.PrefetchDistance, rt.cfg.EpochPolicy)
+}

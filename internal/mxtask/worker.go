@@ -1,0 +1,427 @@
+package mxtask
+
+import (
+	"runtime"
+	"sync/atomic"
+	"time"
+
+	"mxtasking/internal/alloc"
+	"mxtasking/internal/epoch"
+)
+
+// batchLimit bounds how many tasks a worker drains from a pool per
+// acquisition. The consume latch is held for the whole batch, which is what
+// makes scheduling-based synchronization correct even when pools are stolen:
+// at most one worker executes a given pool's tasks at any time.
+const batchLimit = 64
+
+// WorkerStats is a snapshot of a worker's execution counters.
+type WorkerStats struct {
+	Executed      uint64 // tasks run to completion
+	Spawned       uint64 // tasks produced by this worker
+	Prefetches    uint64 // prefetch operations issued (§3)
+	ReadRetries   uint64 // optimistic reads re-executed after validation failure
+	PoolsStolen   uint64 // foreign pools drained while idle
+	LocalFastPath uint64 // optimistic reads that skipped validation (§4.2)
+}
+
+// workerCounters are the live counters behind WorkerStats. They are
+// atomics so snapshots may be taken while workers run; each counter is
+// only ever written by its owning worker, so the atomics stay uncontended
+// and near-free.
+type workerCounters struct {
+	executed      atomic.Uint64
+	spawned       atomic.Uint64
+	prefetches    atomic.Uint64
+	readRetries   atomic.Uint64
+	poolsStolen   atomic.Uint64
+	localFastPath atomic.Uint64
+}
+
+// Worker executes tasks from pools. Each worker corresponds to one logical
+// core of the runtime; from the operating system's perspective it is one
+// goroutine, optionally pinned to an OS thread (§2.3).
+type Worker struct {
+	id    int
+	numa  int
+	rt    *Runtime
+	pool  *Pool
+	epoch *epoch.Worker
+	heap  *alloc.CoreHeap
+	ctx   Context
+	stats workerCounters
+	trace *tracer
+
+	window         []*Task // drained batch, the prefetcher's lookahead horizon
+	holdingOwnPool bool
+	lastEpoch      uint64
+
+	// Adaptive prefetch-distance state (§3's dynamic-adjustment
+	// extension): hill-climbing on observed batch execution rate. dist
+	// is atomic because diagnostics may read it while the worker runs;
+	// everything else is worker-local.
+	adapt struct {
+		dist     atomic.Int32
+		dir      int
+		batches  int
+		tasks    uint64
+		elapsed  time.Duration
+		prevRate float64
+	}
+
+	// Optimistic-read side-effect buffering (the runtime's realization of
+	// Fig. 5 line 16, "reset t — undo all modifications"): while a
+	// read-only task runs under version validation, its spawns and
+	// retires are buffered; a failed validation discards them and the
+	// body re-runs, a successful one publishes them.
+	buffering bool
+	spawnBuf  []*Task
+	retireBuf []func()
+}
+
+// ID returns the worker's logical core number.
+func (w *Worker) ID() int { return w.id }
+
+// NUMA returns the worker's NUMA node.
+func (w *Worker) NUMA() int { return w.numa }
+
+// Stats returns a snapshot of the worker's counters. Safe to call at any
+// time; counters for in-flight work may lag by a few tasks.
+func (w *Worker) Stats() WorkerStats {
+	return WorkerStats{
+		Executed:      w.stats.executed.Load(),
+		Spawned:       w.stats.spawned.Load(),
+		Prefetches:    w.stats.prefetches.Load(),
+		ReadRetries:   w.stats.readRetries.Load(),
+		PoolsStolen:   w.stats.poolsStolen.Load(),
+		LocalFastPath: w.stats.localFastPath.Load(),
+	}
+}
+
+func (w *Worker) run() {
+	defer w.rt.wg.Done()
+	if w.rt.cfg.PinWorkers {
+		// Best-effort stand-in for sched_setaffinity: dedicating an OS
+		// thread to the worker at least removes goroutine migration.
+		runtime.LockOSThread()
+		defer runtime.UnlockOSThread()
+	}
+	idleStreak := 0
+	for {
+		if w.rt.stopped.Load() {
+			return
+		}
+		did := w.drainAndExecute(w.pool, true)
+		if !did {
+			// Idle: steal a whole pool from another worker
+			// (pools, not tasks — §4.1).
+			n := len(w.rt.workers)
+			for i := 1; i < n; i++ {
+				victim := w.rt.workers[(w.id+i)%n]
+				if victim.pool.Len() == 0 {
+					continue
+				}
+				if w.drainAndExecute(victim.pool, false) {
+					w.stats.poolsStolen.Add(1)
+					w.trace.record(w.id, TraceSteal, uint64(victim.id))
+					did = true
+					break
+				}
+			}
+		}
+		w.maybeCollect()
+		if did {
+			idleStreak = 0
+			continue
+		}
+		w.epoch.Idle()
+		if w.rt.stopped.Load() {
+			return
+		}
+		// Progressive backoff keeps idle workers from starving
+		// application goroutines when the host has fewer CPUs than
+		// workers (the paper's testbed pins one worker per core; this
+		// library must also behave on oversubscribed machines).
+		idleStreak++
+		if idleStreak < 32 {
+			runtime.Gosched()
+		} else {
+			pause := time.Duration(idleStreak) * time.Microsecond
+			if pause > 200*time.Microsecond {
+				pause = 200 * time.Microsecond
+			}
+			time.Sleep(pause)
+		}
+	}
+}
+
+// drainAndExecute acquires the pool, drains up to batchLimit tasks into the
+// lookahead window, and executes them with prefetching and injected
+// synchronization. It reports whether any task ran.
+func (w *Worker) drainAndExecute(p *Pool, own bool) bool {
+	if !p.TryAcquire() {
+		return false
+	}
+	w.window = w.window[:0]
+	for len(w.window) < batchLimit {
+		t, ok := p.Pop()
+		if !ok {
+			break
+		}
+		w.window = append(w.window, t)
+	}
+	if len(w.window) == 0 {
+		p.Release()
+		return false
+	}
+	w.holdingOwnPool = own
+	dist := w.prefetchDistance()
+	start := time.Time{}
+	if w.rt.cfg.AdaptivePrefetch && len(w.window) >= 16 {
+		start = time.Now()
+	}
+	for i, t := range w.window {
+		// Issue the prefetch for the task `dist` positions ahead
+		// before executing the current one (Figures 3 and 4), so the
+		// memory system has the duration of `dist` task executions to
+		// bring the data in.
+		if dist > 0 && i+dist < len(w.window) {
+			w.prefetchFor(w.window[i+dist])
+		}
+		w.execute(t)
+		w.window[i] = nil
+	}
+	w.holdingOwnPool = false
+	p.Release()
+	if !start.IsZero() {
+		w.adaptObserve(len(w.window), time.Since(start))
+	}
+	return true
+}
+
+// prefetchDistance returns the distance in effect for this worker.
+func (w *Worker) prefetchDistance() int {
+	if d := w.adapt.dist.Load(); w.rt.cfg.AdaptivePrefetch && d > 0 {
+		return int(d)
+	}
+	return w.rt.cfg.PrefetchDistance
+}
+
+// adaptObserve feeds one measured batch into the hill climber. After a
+// window of batches it compares the task rate against the previous window
+// and keeps walking in the improving direction, clamped to
+// [1, 2·PrefetchDistance].
+func (w *Worker) adaptObserve(tasks int, elapsed time.Duration) {
+	a := &w.adapt
+	dist := int(a.dist.Load())
+	if dist == 0 { // first use: start from the configured distance
+		dist = w.rt.cfg.PrefetchDistance
+		if dist < 1 {
+			dist = 1
+		}
+		a.dir = 1
+		a.dist.Store(int32(dist))
+	}
+	a.batches++
+	a.tasks += uint64(tasks)
+	a.elapsed += elapsed
+	if a.batches < 24 || a.elapsed <= 0 {
+		return
+	}
+	rate := float64(a.tasks) / a.elapsed.Seconds()
+	if a.prevRate > 0 && rate < a.prevRate {
+		a.dir = -a.dir // got worse: walk back
+	}
+	maxDist := 2 * w.rt.cfg.PrefetchDistance
+	if maxDist < 2 {
+		maxDist = 2
+	}
+	dist += a.dir
+	if dist < 1 {
+		dist = 1
+		a.dir = 1
+	}
+	if dist > maxDist {
+		dist = maxDist
+		a.dir = -1
+	}
+	a.dist.Store(int32(dist))
+	a.prevRate = rate
+	a.batches = 0
+	a.tasks = 0
+	a.elapsed = 0
+}
+
+// PrefetchDistance exposes the worker's current effective distance
+// (diagnostics and tests).
+func (w *Worker) PrefetchDistance() int { return w.prefetchDistance() }
+
+// prefetchFor touches the task's annotated data object (§3). With no
+// prefetch intrinsic available, a plain read is the closest Go equivalent:
+// it populates the cache for the later access.
+func (w *Worker) prefetchFor(t *Task) {
+	if t.res == nil {
+		return
+	}
+	t.res.prefetch()
+	w.stats.prefetches.Add(1)
+	w.trace.record(w.id, TracePrefetch, uint64(t.res.pool))
+}
+
+// execute wraps the task body in the synchronization primitive its resource
+// requires (Figure 5, worker side).
+func (w *Worker) execute(t *Task) {
+	w.epoch.Enter()
+	res := t.res
+	switch {
+	case res == nil || res.prim == PrimNone || res.prim == PrimSerialize:
+		// No sync needed, or scheduling already guarantees serial
+		// access (Fig. 5 lines 3–4, 20–21).
+		w.invoke(t)
+	case res.prim == PrimSpinlock:
+		res.mu.Lock()
+		w.invoke(t)
+		res.mu.Unlock()
+	case res.prim == PrimRWLock:
+		if t.mode == ReadOnly {
+			res.rw.RLock()
+			w.invoke(t)
+			res.rw.RUnlock()
+		} else {
+			res.rw.Lock()
+			w.invoke(t)
+			res.rw.Unlock()
+		}
+	default: // PrimOptimisticScheduling, PrimOptimisticLatch
+		if t.mode == ReadOnly {
+			w.optimisticRead(t, res)
+		} else {
+			// Writers under optimistic scheduling are already
+			// serialized through the resource's pool; the version
+			// lock is then uncontended and only publishes the
+			// version bump readers validate against. Under the
+			// optimistic latch the same lock doubles as the
+			// writer-exclusion latch.
+			res.version.Lock()
+			w.invoke(t)
+			res.version.Unlock()
+		}
+	}
+	w.epoch.Leave()
+	w.stats.executed.Add(1)
+	w.trace.record(w.id, TraceExecute, uint64(execKind(t)))
+	w.freeTask(t)
+	w.rt.pending.Add(-1)
+}
+
+// execKind classifies an execution for the tracer.
+func execKind(t *Task) int {
+	res := t.res
+	switch {
+	case res == nil || res.prim == PrimNone:
+		return 0
+	case res.prim == PrimSpinlock || res.prim == PrimRWLock:
+		return 1
+	case t.mode == ReadOnly:
+		return 2
+	default:
+		return 3
+	}
+}
+
+// optimisticRead runs a read-only task under version validation, retrying
+// until the read was not interleaved with a write (Fig. 5 lines 10–16).
+//
+// Fast path (§4.2): when the resource's writers are serialized through this
+// worker's own pool and the worker currently holds that pool's consume
+// latch, no writer can run concurrently — the version check is dispensable.
+func (w *Worker) optimisticRead(t *Task, res *Resource) {
+	if res.prim == PrimOptimisticScheduling && res.pool == w.id && w.holdingOwnPool {
+		w.stats.localFastPath.Add(1)
+		w.invoke(t)
+		return
+	}
+	w.buffering = true
+	for i := 0; ; i++ {
+		v, ok := res.version.ReadBegin()
+		if ok {
+			w.spawnBuf = w.spawnBuf[:0]
+			w.retireBuf = w.retireBuf[:0]
+			w.invoke(t)
+			if res.version.ReadValidate(v) {
+				break
+			}
+			// Reset & re-execute (Fig. 5 line 16): discard the
+			// buffered side effects of the invalid run.
+			for j, bt := range w.spawnBuf {
+				w.freeTask(bt)
+				w.spawnBuf[j] = nil
+			}
+			w.stats.readRetries.Add(1)
+		}
+		if i%16 == 15 {
+			runtime.Gosched()
+		}
+	}
+	w.buffering = false
+	// Publish the validated run's side effects.
+	for j, bt := range w.spawnBuf {
+		w.rt.pending.Add(1)
+		if b := bt.after; b == nil || !b.enqueue(bt, w.id) {
+			w.rt.schedule(bt, w.id)
+		}
+		w.spawnBuf[j] = nil
+	}
+	w.spawnBuf = w.spawnBuf[:0]
+	for j, free := range w.retireBuf {
+		w.epoch.Retire(free)
+		w.retireBuf[j] = nil
+	}
+	w.retireBuf = w.retireBuf[:0]
+}
+
+func (w *Worker) invoke(t *Task) {
+	if w.rt.cfg.OnTaskPanic != nil {
+		defer func() {
+			if r := recover(); r != nil {
+				w.rt.cfg.OnTaskPanic(r, t)
+			}
+		}()
+	}
+	t.fn(&w.ctx, t)
+}
+
+// freeTask recycles the task's memory through the core heap (§5.2).
+func (w *Worker) freeTask(t *Task) {
+	b := t.block
+	t.reset(nil, nil)
+	if b != nil {
+		w.heap.Free(b)
+	}
+}
+
+// newTask allocates (or recycles) a task via the multi-level allocator.
+func (w *Worker) newTask(fn Func, arg any) *Task {
+	b := w.heap.Alloc()
+	t, ok := b.Data.(*Task)
+	if !ok {
+		t = &Task{block: b}
+		b.Data = t
+	}
+	t.reset(fn, arg)
+	return t
+}
+
+// maybeCollect runs epoch reclamation when the global epoch advanced since
+// the worker last looked (the runtime's ticker plays the paper's 50 ms
+// epoch clock; reclamation itself runs on the worker, like the paper's
+// garbage-collection tasks).
+func (w *Worker) maybeCollect() {
+	g := w.rt.epochMgr.Global()
+	if g != w.lastEpoch {
+		w.lastEpoch = g
+		if freed := w.epoch.Collect(); freed > 0 {
+			w.trace.record(w.id, TraceCollect, uint64(freed))
+		}
+	}
+}

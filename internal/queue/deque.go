@@ -1,0 +1,110 @@
+package queue
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Deque is a work-stealing double-ended queue in the style of Chase–Lev,
+// used by the TBB-like baseline runtime (internal/tbb). The owner pushes and
+// pops at the bottom without contention in the common case; thieves steal
+// from the top.
+//
+// The implementation favours clarity over the last nanosecond: steals take a
+// mutex, owner operations are lock-free against other owner operations (there
+// are none — single owner) and synchronize with thieves through atomics plus
+// the steal mutex on the shrink path. This is faithful enough for a baseline
+// whose performance characteristics (stealing overhead, contention on steal)
+// are what the paper's comparison exercises.
+type Deque[T any] struct {
+	mu     sync.Mutex // serializes thieves and the owner's race window
+	buf    []T
+	mask   uint64
+	bottom atomic.Uint64 // owner end (next free slot)
+	top    atomic.Uint64 // thief end (oldest element)
+}
+
+// NewDeque returns a deque with capacity for at least n elements; it grows
+// automatically when full.
+func NewDeque[T any](n int) *Deque[T] {
+	capacity := 1
+	for capacity < n {
+		capacity <<= 1
+	}
+	return &Deque[T]{buf: make([]T, capacity), mask: uint64(capacity - 1)}
+}
+
+// Len reports the approximate number of queued elements.
+func (d *Deque[T]) Len() int {
+	b := d.bottom.Load()
+	t := d.top.Load()
+	if b < t {
+		return 0
+	}
+	return int(b - t)
+}
+
+// PushBottom appends v at the owner's end. It is safe for concurrent use
+// (external producers may push too); the mutex keeps the implementation
+// simple — the contention profile, not raw push speed, is what the
+// baseline comparison exercises.
+func (d *Deque[T]) PushBottom(v T) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	b := d.bottom.Load()
+	t := d.top.Load()
+	if b-t == uint64(len(d.buf)) {
+		d.growLocked()
+	}
+	d.buf[b&d.mask] = v
+	d.bottom.Store(b + 1)
+}
+
+func (d *Deque[T]) growLocked() {
+	b := d.bottom.Load()
+	t := d.top.Load()
+	old := d.buf
+	oldMask := d.mask
+	buf := make([]T, len(old)*2)
+	for i := t; i < b; i++ {
+		buf[i&uint64(len(buf)-1)] = old[i&oldMask]
+	}
+	d.buf = buf
+	d.mask = uint64(len(buf) - 1)
+}
+
+// PopBottom removes the youngest element (LIFO for the owner — good cache
+// locality, the property TBB's scheduler exploits). Only the owning worker
+// may call it.
+func (d *Deque[T]) PopBottom() (v T, ok bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	b := d.bottom.Load()
+	t := d.top.Load()
+	if b == t {
+		return v, false
+	}
+	b--
+	d.bottom.Store(b)
+	v = d.buf[b&d.mask]
+	var zero T
+	d.buf[b&d.mask] = zero
+	return v, true
+}
+
+// Steal removes the oldest element (FIFO for thieves — steals the victim's
+// coldest work). Safe for concurrent use by any goroutine.
+func (d *Deque[T]) Steal() (v T, ok bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	t := d.top.Load()
+	b := d.bottom.Load()
+	if t == b {
+		return v, false
+	}
+	v = d.buf[t&d.mask]
+	var zero T
+	d.buf[t&d.mask] = zero
+	d.top.Store(t + 1)
+	return v, true
+}

@@ -1,0 +1,175 @@
+package queue
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+func TestDequeLIFOOwner(t *testing.T) {
+	d := NewDeque[int](4)
+	for i := 0; i < 10; i++ {
+		d.PushBottom(i)
+	}
+	for want := 9; want >= 0; want-- {
+		v, ok := d.PopBottom()
+		if !ok || v != want {
+			t.Fatalf("PopBottom = %d,%v, want %d,true", v, ok, want)
+		}
+	}
+	if _, ok := d.PopBottom(); ok {
+		t.Fatal("PopBottom on empty deque succeeded")
+	}
+}
+
+func TestDequeStealFIFO(t *testing.T) {
+	d := NewDeque[int](4)
+	for i := 0; i < 10; i++ {
+		d.PushBottom(i)
+	}
+	for want := 0; want < 5; want++ {
+		v, ok := d.Steal()
+		if !ok || v != want {
+			t.Fatalf("Steal = %d,%v, want %d,true", v, ok, want)
+		}
+	}
+	// Owner still gets LIFO on the remainder.
+	for want := 9; want >= 5; want-- {
+		v, ok := d.PopBottom()
+		if !ok || v != want {
+			t.Fatalf("PopBottom = %d,%v, want %d,true", v, ok, want)
+		}
+	}
+}
+
+func TestDequeGrow(t *testing.T) {
+	d := NewDeque[int](2)
+	const n = 1000
+	for i := 0; i < n; i++ {
+		d.PushBottom(i)
+	}
+	if got := d.Len(); got != n {
+		t.Fatalf("Len = %d, want %d", got, n)
+	}
+	for want := 0; want < n; want++ {
+		v, ok := d.Steal()
+		if !ok || v != want {
+			t.Fatalf("Steal = %d,%v, want %d,true", v, ok, want)
+		}
+	}
+}
+
+func TestDequeConcurrentSteal(t *testing.T) {
+	const n = 20000
+	const thieves = 4
+	d := NewDeque[int](64)
+	var sum, count atomic.Int64
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for i := 0; i < thieves; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				if v, ok := d.Steal(); ok {
+					sum.Add(int64(v))
+					count.Add(1)
+				} else {
+					runtime.Gosched()
+					select {
+					case <-stop:
+						// Drain whatever remains, then exit.
+						for {
+							v, ok := d.Steal()
+							if !ok {
+								return
+							}
+							sum.Add(int64(v))
+							count.Add(1)
+						}
+					default:
+					}
+				}
+			}
+		}()
+	}
+	var want int64
+	for i := 1; i <= n; i++ {
+		d.PushBottom(i)
+		want += int64(i)
+		if i%3 == 0 {
+			if v, ok := d.PopBottom(); ok {
+				sum.Add(int64(v))
+				count.Add(1)
+			}
+		}
+	}
+	close(stop)
+	wg.Wait()
+	// Owner drains leftovers (thieves may have exited with items left).
+	for {
+		v, ok := d.PopBottom()
+		if !ok {
+			break
+		}
+		sum.Add(int64(v))
+		count.Add(1)
+	}
+	if count.Load() != n {
+		t.Fatalf("consumed %d items, want %d", count.Load(), n)
+	}
+	if sum.Load() != want {
+		t.Fatalf("sum = %d, want %d (items duplicated or lost)", sum.Load(), want)
+	}
+}
+
+// TestDequeModelQuick drives the deque and a slice model with the same
+// operation sequence (owner-side only) and checks equivalence.
+func TestDequeModelQuick(t *testing.T) {
+	f := func(ops []uint8) bool {
+		d := NewDeque[int](2)
+		var model []int
+		next := 0
+		for _, op := range ops {
+			switch op % 3 {
+			case 0: // push
+				d.PushBottom(next)
+				model = append(model, next)
+				next++
+			case 1: // owner pop (youngest)
+				v, ok := d.PopBottom()
+				if ok != (len(model) > 0) {
+					return false
+				}
+				if ok {
+					want := model[len(model)-1]
+					model = model[:len(model)-1]
+					if v != want {
+						return false
+					}
+				}
+			case 2: // steal (oldest)
+				v, ok := d.Steal()
+				if ok != (len(model) > 0) {
+					return false
+				}
+				if ok {
+					want := model[0]
+					model = model[1:]
+					if v != want {
+						return false
+					}
+				}
+			}
+			if d.Len() != len(model) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,104 @@
+// Package queue provides the latch-free queue building blocks of this
+// repository: a generic multi-producer/single-consumer (MPSC) queue whose
+// push is a single atomic exchange (the discipline §2.3 of the paper relies
+// on for lightweight task spawns — the runtime's task pools use an
+// intrusive specialization of the same algorithm in internal/mxtask), a
+// bounded single-producer/single-consumer ring, and the work-stealing
+// deque that backs the TBB-style baseline runtime.
+package queue
+
+import (
+	"sync/atomic"
+)
+
+// node is the internal MPSC list node.
+type node[T any] struct {
+	next atomic.Pointer[node[T]]
+	val  T
+}
+
+// MPSC is an unbounded multi-producer/single-consumer FIFO queue based on
+// Vyukov's intrusive MPSC design. Any number of goroutines may Push
+// concurrently; exactly one goroutine may Pop.
+//
+// Push performs one atomic exchange plus one atomic store, mirroring the
+// "single atomic xchg" task-spawn cost the paper describes. Pop is wait-free
+// except for the transient window in which a producer has exchanged the tail
+// but not yet linked its node; Pop reports "empty" in that window rather than
+// spinning, so the consumer can go do other work.
+type MPSC[T any] struct {
+	tail   atomic.Pointer[node[T]] // producers exchange this
+	head   *node[T]                // consumer-owned
+	stub   node[T]
+	length atomic.Int64
+}
+
+// NewMPSC returns an empty queue ready for use.
+func NewMPSC[T any]() *MPSC[T] {
+	q := &MPSC[T]{}
+	q.tail.Store(&q.stub)
+	q.head = &q.stub
+	return q
+}
+
+// Push enqueues v. It is safe for concurrent use by multiple producers.
+func (q *MPSC[T]) Push(v T) {
+	n := &node[T]{val: v}
+	prev := q.tail.Swap(n) // the single atomic exchange
+	prev.next.Store(n)     // link; consumer tolerates the gap
+	q.length.Add(1)
+}
+
+// Pop dequeues the oldest value. It must only be called by the single
+// consumer. ok is false when the queue is observed empty (including the
+// transient window in which a producer has exchanged the tail but not yet
+// linked its node).
+func (q *MPSC[T]) Pop() (v T, ok bool) {
+	head := q.head
+	next := head.next.Load()
+	if head == &q.stub {
+		if next == nil {
+			return v, false
+		}
+		q.head = next
+		head = next
+		next = head.next.Load()
+	}
+	if next != nil {
+		q.head = next
+		v = head.val
+		var zero T
+		head.val = zero
+		q.length.Add(-1)
+		return v, true
+	}
+	tail := q.tail.Load()
+	if head != tail {
+		// A producer exchanged the tail but has not linked yet.
+		return v, false
+	}
+	// head is the last real element. Re-insert the stub behind it so the
+	// tail never dangles, then detach head.
+	q.stub.next.Store(nil)
+	prev := q.tail.Swap(&q.stub)
+	prev.next.Store(&q.stub)
+	next = head.next.Load()
+	if next == nil {
+		// A concurrent producer slipped in between the Swap above and
+		// our re-check; its node will become visible shortly.
+		return v, false
+	}
+	q.head = next
+	v = head.val
+	var zero T
+	head.val = zero
+	q.length.Add(-1)
+	return v, true
+}
+
+// Len reports the approximate number of queued elements.
+func (q *MPSC[T]) Len() int { return int(q.length.Load()) }
+
+// Empty reports whether the queue appears empty. Like Len, the answer is a
+// snapshot and may be stale by the time the caller acts on it.
+func (q *MPSC[T]) Empty() bool { return q.Len() == 0 }

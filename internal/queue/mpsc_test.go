@@ -1,0 +1,120 @@
+package queue
+
+import (
+	"runtime"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestMPSCBasic(t *testing.T) {
+	q := NewMPSC[int]()
+	if _, ok := q.Pop(); ok {
+		t.Fatal("pop on empty queue succeeded")
+	}
+	if !q.Empty() {
+		t.Fatal("new queue not empty")
+	}
+	q.Push(1)
+	q.Push(2)
+	q.Push(3)
+	if got := q.Len(); got != 3 {
+		t.Fatalf("Len = %d, want 3", got)
+	}
+	for want := 1; want <= 3; want++ {
+		v, ok := q.Pop()
+		if !ok || v != want {
+			t.Fatalf("Pop = %d,%v, want %d,true", v, ok, want)
+		}
+	}
+	if _, ok := q.Pop(); ok {
+		t.Fatal("pop on drained queue succeeded")
+	}
+}
+
+func TestMPSCInterleaved(t *testing.T) {
+	q := NewMPSC[int]()
+	next := 0
+	for round := 0; round < 100; round++ {
+		for i := 0; i < round%7+1; i++ {
+			q.Push(next)
+			next++
+		}
+		for {
+			if _, ok := q.Pop(); !ok {
+				break
+			}
+		}
+	}
+	if !q.Empty() {
+		t.Fatalf("queue not empty after drain, len=%d", q.Len())
+	}
+}
+
+func TestMPSCFIFOPerProducer(t *testing.T) {
+	const producers = 4
+	const perProducer = 2000
+	q := NewMPSC[[2]int]()
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < perProducer; i++ {
+				q.Push([2]int{p, i})
+			}
+		}(p)
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+
+	seen := make(map[int]int) // producer -> next expected sequence
+	total := 0
+	for total < producers*perProducer {
+		v, ok := q.Pop()
+		if !ok {
+			runtime.Gosched() // let producers run on single-CPU hosts
+			continue
+		}
+		p, seq := v[0], v[1]
+		if seen[p] != seq {
+			t.Fatalf("producer %d: got seq %d, want %d (per-producer FIFO violated)", p, seq, seen[p])
+		}
+		seen[p] = seq + 1
+		total++
+	}
+	if _, ok := q.Pop(); ok {
+		t.Fatal("extra element after all produced elements consumed")
+	}
+}
+
+func TestMPSCNoLossQuick(t *testing.T) {
+	// Property: pushing any sequence of values and draining yields a
+	// multiset-equal sequence, with order preserved (single producer).
+	f := func(vals []int16) bool {
+		q := NewMPSC[int16]()
+		for _, v := range vals {
+			q.Push(v)
+		}
+		for _, want := range vals {
+			got, ok := q.Pop()
+			if !ok || got != want {
+				return false
+			}
+		}
+		_, ok := q.Pop()
+		return !ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkMPSCPushPop(b *testing.B) {
+	q := NewMPSC[int]()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		q.Push(i)
+		q.Pop()
+	}
+}

@@ -1,0 +1,76 @@
+package queue
+
+import "sync/atomic"
+
+// SPSC is a bounded single-producer/single-consumer ring buffer: the
+// classic worker-local staging structure (the runtime drains pool batches
+// into a plain slice window instead, but the ring is part of the public
+// toolkit, and PeekAt mirrors the lookahead the prefetcher performs).
+//
+// The capacity is rounded up to a power of two so index masking replaces the
+// modulo operation.
+type SPSC[T any] struct {
+	buf  []T
+	mask uint64
+	head atomic.Uint64 // consumer position
+	tail atomic.Uint64 // producer position
+}
+
+// NewSPSC returns a ring with capacity for at least n elements.
+func NewSPSC[T any](n int) *SPSC[T] {
+	capacity := 1
+	for capacity < n {
+		capacity <<= 1
+	}
+	return &SPSC[T]{buf: make([]T, capacity), mask: uint64(capacity - 1)}
+}
+
+// Cap returns the ring's capacity.
+func (q *SPSC[T]) Cap() int { return len(q.buf) }
+
+// Len returns the number of buffered elements.
+func (q *SPSC[T]) Len() int { return int(q.tail.Load() - q.head.Load()) }
+
+// Push appends v. It returns false when the ring is full.
+func (q *SPSC[T]) Push(v T) bool {
+	tail := q.tail.Load()
+	if tail-q.head.Load() == uint64(len(q.buf)) {
+		return false
+	}
+	q.buf[tail&q.mask] = v
+	q.tail.Store(tail + 1)
+	return true
+}
+
+// Pop removes the oldest element. ok is false when the ring is empty.
+func (q *SPSC[T]) Pop() (v T, ok bool) {
+	head := q.head.Load()
+	if head == q.tail.Load() {
+		return v, false
+	}
+	v = q.buf[head&q.mask]
+	var zero T
+	q.buf[head&q.mask] = zero
+	q.head.Store(head + 1)
+	return v, true
+}
+
+// Peek returns the oldest element without removing it.
+func (q *SPSC[T]) Peek() (v T, ok bool) {
+	head := q.head.Load()
+	if head == q.tail.Load() {
+		return v, false
+	}
+	return q.buf[head&q.mask], true
+}
+
+// PeekAt returns the element at offset i from the head (0 = oldest) without
+// removing it. The worker's prefetch pass uses this to look a configurable
+// distance ahead into the pool (§3, "prefetch distance").
+func (q *SPSC[T]) PeekAt(i int) (v T, ok bool) {
+	head := q.head.Load()
+	if head+uint64(i) >= q.tail.Load() {
+		return v, false
+	}
+	return q.buf[(head+uint64(i))&q.mask], true
+}

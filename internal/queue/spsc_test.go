@@ -1,0 +1,136 @@
+package queue
+
+import (
+	"runtime"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestSPSCCapacityRounding(t *testing.T) {
+	for _, tc := range []struct{ n, want int }{
+		{1, 1}, {2, 2}, {3, 4}, {5, 8}, {8, 8}, {9, 16}, {1000, 1024},
+	} {
+		if got := NewSPSC[int](tc.n).Cap(); got != tc.want {
+			t.Errorf("NewSPSC(%d).Cap() = %d, want %d", tc.n, got, tc.want)
+		}
+	}
+}
+
+func TestSPSCFullEmpty(t *testing.T) {
+	q := NewSPSC[int](4)
+	if _, ok := q.Pop(); ok {
+		t.Fatal("pop on empty ring succeeded")
+	}
+	for i := 0; i < 4; i++ {
+		if !q.Push(i) {
+			t.Fatalf("push %d failed before capacity", i)
+		}
+	}
+	if q.Push(99) {
+		t.Fatal("push succeeded on full ring")
+	}
+	if got := q.Len(); got != 4 {
+		t.Fatalf("Len = %d, want 4", got)
+	}
+	for i := 0; i < 4; i++ {
+		v, ok := q.Pop()
+		if !ok || v != i {
+			t.Fatalf("Pop = %d,%v, want %d,true", v, ok, i)
+		}
+	}
+}
+
+func TestSPSCPeekAt(t *testing.T) {
+	q := NewSPSC[int](8)
+	for i := 0; i < 5; i++ {
+		q.Push(10 + i)
+	}
+	for i := 0; i < 5; i++ {
+		v, ok := q.PeekAt(i)
+		if !ok || v != 10+i {
+			t.Fatalf("PeekAt(%d) = %d,%v, want %d,true", i, v, ok, 10+i)
+		}
+	}
+	if _, ok := q.PeekAt(5); ok {
+		t.Fatal("PeekAt past tail succeeded")
+	}
+	if v, ok := q.Peek(); !ok || v != 10 {
+		t.Fatalf("Peek = %d,%v, want 10,true", v, ok)
+	}
+	// Peeking must not consume.
+	if got := q.Len(); got != 5 {
+		t.Fatalf("Len after peeks = %d, want 5", got)
+	}
+}
+
+func TestSPSCWraparound(t *testing.T) {
+	q := NewSPSC[int](4)
+	next, expect := 0, 0
+	for round := 0; round < 1000; round++ {
+		for i := 0; i < 3; i++ {
+			if q.Push(next) {
+				next++
+			}
+		}
+		for i := 0; i < 2; i++ {
+			if v, ok := q.Pop(); ok {
+				if v != expect {
+					t.Fatalf("round %d: pop = %d, want %d", round, v, expect)
+				}
+				expect++
+			}
+		}
+	}
+}
+
+func TestSPSCConcurrent(t *testing.T) {
+	const n = 20000
+	q := NewSPSC[int](64)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < n; {
+			if q.Push(i) {
+				i++
+			} else {
+				runtime.Gosched()
+			}
+		}
+	}()
+	for want := 0; want < n; {
+		if v, ok := q.Pop(); ok {
+			if v != want {
+				t.Errorf("pop = %d, want %d", v, want)
+				break
+			}
+			want++
+		} else {
+			runtime.Gosched()
+		}
+	}
+	wg.Wait()
+}
+
+func TestSPSCOrderQuick(t *testing.T) {
+	f := func(vals []uint8) bool {
+		q := NewSPSC[uint8](len(vals) + 1)
+		for _, v := range vals {
+			if !q.Push(v) {
+				return false
+			}
+		}
+		for _, want := range vals {
+			got, ok := q.Pop()
+			if !ok || got != want {
+				return false
+			}
+		}
+		_, ok := q.Pop()
+		return !ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

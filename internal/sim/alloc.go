@@ -1,0 +1,93 @@
+package sim
+
+// AllocVariant selects the task-allocation strategy of Figure 7.
+type AllocVariant int
+
+const (
+	// AllocLibc routes every task allocation through the system
+	// allocator (glibc malloc), whose arenas are shared between threads.
+	AllocLibc AllocVariant = iota
+	// AllocMultiLevel uses the paper's three-level allocator (Fig. 8):
+	// core heap → processor heap → global heap.
+	AllocMultiLevel
+	// AllocProcessorOnly drops the core-heap level: every allocation
+	// takes the processor heap's latch (the Hoard-style two-level
+	// design the paper extends) — the ablation for design decision 4.
+	AllocProcessorOnly
+)
+
+// String names the variant as in Figure 7's x-axis.
+func (v AllocVariant) String() string {
+	switch v {
+	case AllocLibc:
+		return "libc-2.31"
+	case AllocMultiLevel:
+		return "Multi-level"
+	case AllocProcessorOnly:
+		return "Processor-heap"
+	default:
+		return "invalid"
+	}
+}
+
+// AllocResult is one bar of Figure 7: cycles per task-based tree lookup,
+// split into the figure's three segments.
+type AllocResult struct {
+	Variant    AllocVariant
+	App        float64 // application cycles (traversal + lookup)
+	Runtime    float64 // MxTasking + prefetching
+	Allocation float64 // task allocation/deallocation
+}
+
+// Total returns the bar height (K cycles / lookup in the figure).
+func (r AllocResult) Total() float64 { return r.App + r.Runtime + r.Allocation }
+
+// SimulateAlloc reproduces Figure 7's read-only lookup on the 48-core
+// machine. Tasks are allocated once per node visit; the variants differ
+// only in where those allocations go.
+func SimulateAlloc(v AllocVariant, cores int) AllocResult {
+	p := Place(cores)
+	base := SimulateTree(TreeConfig{
+		System:           SysMxTasking,
+		Sync:             FamOptimistic,
+		Workload:         WReadOnly,
+		PrefetchDistance: 2,
+		EBMR:             EBMRBatched,
+	}, cores)
+	// Per-op task allocations: one per node visit.
+	allocs := 5.0
+
+	var perAlloc float64
+	runtimeCyc := base.Breakdown.Runtime + base.Breakdown.Prefetch + base.Breakdown.Sync
+	switch v {
+	case AllocLibc:
+		// glibc tcache fast path plus periodic arena refills whose
+		// lock words are shared across 48 threads; freed-on-another-
+		// core blocks bounce lines between threads.
+		tcache := 55.0 / ipc
+		arenaShare := 0.05 // fraction of allocs that leave the tcache
+		perAlloc = tcache + arenaShare*contendedCAS(float64(p.N)*0.3, p) +
+			0.1*TransferLatency(p) // cross-thread frees
+	case AllocMultiLevel:
+		// Core-heap LIFO pop/push: no synchronization at all, and the
+		// block usually still sits in L1 (§5.2).
+		perAlloc = 12.0 / ipc
+		// Reusing a cached task also trims the prefetch work (~7 %
+		// fewer cycles spent prefetching, §5.2).
+		runtimeCyc *= 0.93
+	case AllocProcessorOnly:
+		// Every allocation takes the node-level latch, shared by all
+		// cores of the socket. Allocation is a small fraction of each
+		// task, so only a fraction of cores contend at once — but the
+		// latch line still ping-pongs, which is exactly why the paper
+		// adds the synchronization-free core-heap level on top.
+		perNode := float64(p.N) / float64(p.Sockets)
+		perAlloc = 18.0/ipc + contendedCAS(1+perNode*0.15, p)
+	}
+	return AllocResult{
+		Variant:    v,
+		App:        base.Breakdown.Traverse + base.Breakdown.Operation + base.Breakdown.Other + base.Breakdown.System,
+		Runtime:    runtimeCyc,
+		Allocation: perAlloc * allocs,
+	}
+}

@@ -1,0 +1,59 @@
+package sim
+
+// Breakdown attributes per-operation cycles to the categories of Figure 13.
+type Breakdown struct {
+	Traverse  float64 // descending the index (search instructions + their stalls)
+	Operation float64 // the leaf-level insert/lookup/update work
+	Prefetch  float64 // issuing software prefetches
+	Sync      float64 // latches, version validation, retries, EBMR
+	Runtime   float64 // task spawning/dispatch, work stealing, batching
+	System    float64 // kernel time (syscalls, faults)
+	Other     float64 // driver loop, callbacks, uncategorized
+}
+
+// Total returns the per-operation cycle sum.
+func (b Breakdown) Total() float64 {
+	return b.Traverse + b.Operation + b.Prefetch + b.Sync + b.Runtime + b.System + b.Other
+}
+
+// Scale multiplies every category (used to apply queueing inflation).
+func (b Breakdown) Scale(f float64) Breakdown {
+	return Breakdown{
+		Traverse:  b.Traverse * f,
+		Operation: b.Operation * f,
+		Prefetch:  b.Prefetch * f,
+		Sync:      b.Sync * f,
+		Runtime:   b.Runtime * f,
+		System:    b.System * f,
+		Other:     b.Other * f,
+	}
+}
+
+// Categories returns label/value pairs in Figure 13's legend order.
+func (b Breakdown) Categories() []struct {
+	Name  string
+	Value float64
+} {
+	return []struct {
+		Name  string
+		Value float64
+	}{
+		{"traversing tree", b.Traverse},
+		{"insert/lookup/update", b.Operation},
+		{"prefetching", b.Prefetch},
+		{"synchronization", b.Sync},
+		{"runtime", b.Runtime},
+		{"system", b.System},
+		{"other", b.Other},
+	}
+}
+
+// Result is one simulated configuration at one core count.
+type Result struct {
+	Cores          int
+	ThroughputMops float64 // million operations per second
+	CyclesPerOp    float64 // logical-core cycles consumed per operation (Fig. 13's metric)
+	Breakdown      Breakdown
+	StallsPerOp    float64 // memory-stall cycles per operation (Fig. 10b)
+	InstrPerOp     float64 // executed instructions per operation (Fig. 10c)
+}

@@ -1,0 +1,81 @@
+package sim
+
+import "math"
+
+// JoinConfig parameterizes the Figure 9 experiment: a morsel-style hash
+// join of TPC-H customer ⋈ orders at scale factor 100 on the full machine.
+type JoinConfig struct {
+	Customers      float64 // build-side rows (SF100: 15 M)
+	Orders         float64 // probe-side rows (SF100: 150 M)
+	RecordsPerTask float64 // the swept granularity
+	Cores          int
+}
+
+// DefaultJoin is the paper's configuration.
+func DefaultJoin(recordsPerTask float64) JoinConfig {
+	return JoinConfig{
+		Customers:      15e6,
+		Orders:         150e6,
+		RecordsPerTask: recordsPerTask,
+		Cores:          TotalCores,
+	}
+}
+
+// JoinResult is one point of Figure 9.
+type JoinResult struct {
+	RecordsPerTask float64
+	OutputMtuples  float64 // million output tuples per second
+}
+
+// SimulateJoin evaluates the join at one task granularity.
+//
+// Three regimes shape the curve (§5.3):
+//   - tiny tasks: spawn/dispatch overhead — and the coherence storm of
+//     every core pushing tasks simultaneously — dominates;
+//   - the wide plateau: per-record work dominates, overhead amortizes;
+//   - huge tasks: too few tasks per worker to balance load, so stragglers
+//     stretch the makespan.
+func SimulateJoin(cfg JoinConfig) JoinResult {
+	p := Place(cfg.Cores)
+	g := cfg.RecordsPerTask
+	if g < 1 {
+		g = 1
+	}
+
+	// Per-record work: hash + table probe (the tables are core-local but
+	// their aggregate footprint per socket far exceeds the shared L3, so
+	// probes mostly miss) + streaming access to the order record (mostly
+	// hidden by the hardware prefetcher) + emit.
+	tableWS := cfg.Customers * 16 / float64(p.Sockets)
+	access := stallCycles(avgLatency(tableWS, p))
+	perRecord := (30.0 / ipc) + 1.3*access + 15 + 8 // probe + stream + emit
+	buildShare := cfg.Customers / cfg.Orders
+	perRecord += buildShare * ((22.0 / ipc) + access)
+
+	// Per-task overhead: allocate+annotate+spawn+dispatch, pulling the
+	// task and the morsel descriptor to the consuming core. When tasks
+	// are tiny every core spends most of its time spawning, and the pool
+	// tail lines storm (fixed point on the spawner concurrency).
+	overhead := 300.0 + 2*TransferLatency(p)
+	for i := 0; i < 4; i++ {
+		frac := overhead / (overhead + g*perRecord)
+		spawners := float64(p.N) * frac
+		overhead = 300 + 2*TransferLatency(p) + 2*contendedCAS(spawners, p)
+	}
+
+	// Load imbalance: partitions are processed core-locally, so the
+	// makespan follows the largest partition. Hash-partition skew plus
+	// the integer straggler cost roughly 2.4 task-slots per worker.
+	totalTasks := (cfg.Orders + cfg.Customers) / g
+	perWorker := totalTasks / float64(cfg.Cores)
+	efficiency := math.Max(0.2, 1-2.4/math.Max(perWorker, 2.5))
+
+	cyclesPerRecord := perRecord + overhead/g
+	// Output tuples: every order with an active customer matches
+	// (2/3 of customers receive orders; selectivity ≈ 1 output/order).
+	outputPerRecord := cfg.Orders / (cfg.Orders + cfg.Customers)
+
+	capacity := p.EffectiveCores() * Frequency * efficiency
+	tuples := capacity / cyclesPerRecord * outputPerRecord
+	return JoinResult{RecordsPerTask: cfg.RecordsPerTask, OutputMtuples: tuples / 1e6}
+}

@@ -1,0 +1,135 @@
+package sim
+
+import "math"
+
+// Memory-hierarchy latencies in cycles (Skylake-SP class hardware).
+const (
+	LatL1        = 4.0
+	LatL2        = 14.0
+	LatL3        = 44.0
+	LatDRAM      = 200.0 // local DRAM
+	LatRemote    = 350.0 // remote-socket DRAM
+	LatXferLocal = 60.0  // dirty-line transfer, same socket
+	LatXferCross = 250.0 // dirty-line transfer, cross socket
+)
+
+// Cache capacities in bytes.
+const (
+	SizeL1 = 32 << 10
+	SizeL2 = 1 << 20
+	SizeL3 = 19.25 * (1 << 20) // per socket, shared
+)
+
+// CacheLine is the coherence granule.
+const CacheLine = 64
+
+// MissLatency returns the average cost of a cache miss to DRAM under the
+// placement (mixing local and remote according to the remote fraction).
+func MissLatency(p Placement) float64 {
+	return LatDRAM*(1-p.RemoteFr) + LatRemote*p.RemoteFr
+}
+
+// TransferLatency returns the average cost of pulling a dirty cache line
+// from another core under the placement.
+func TransferLatency(p Placement) float64 {
+	if p.Sockets > 1 {
+		// Half of the transfers cross the socket boundary when both
+		// regions participate.
+		return (LatXferLocal + LatXferCross) / 2
+	}
+	return LatXferLocal
+}
+
+// Residency describes how often a footprint of the given size hits each
+// cache level when accessed with temporal reuse typical of index traversal
+// levels: the whole footprint competes for the level's capacity.
+//
+// avgLatency composes the expected access latency for one dependent load
+// touching a working set of wsBytes, shared by the placement's cores.
+func avgLatency(wsBytes float64, p Placement) float64 {
+	// Levels fill bottom-up: the fraction of the working set resident at
+	// each level is capacity/ws (capped at what the lower level did not
+	// already capture).
+	l1 := capFrac(SizeL1, wsBytes)
+	l2 := capFrac(SizeL2, wsBytes) - l1
+	if l2 < 0 {
+		l2 = 0
+	}
+	// L3 is shared by every core of the socket; the per-workload share
+	// is the whole L3 (the benchmark is the only tenant).
+	l3 := capFrac(float64(SizeL3)*float64(p.Sockets), wsBytes) - l1 - l2
+	if l3 < 0 {
+		l3 = 0
+	}
+	dram := 1 - l1 - l2 - l3
+	if dram < 0 {
+		dram = 0
+	}
+	return l1*LatL1 + l2*LatL2 + l3*LatL3 + dram*MissLatency(p)
+}
+
+func capFrac(capacity, ws float64) float64 {
+	if ws <= 0 {
+		return 1
+	}
+	f := capacity / ws
+	if f > 1 {
+		return 1
+	}
+	return f
+}
+
+// StallFraction converts an average latency into stall cycles, crediting
+// out-of-order overlap: loads that hit close caches are fully hidden; DRAM
+// latency is mostly exposed on dependent pointer chases.
+func stallCycles(latency float64) float64 {
+	hidden := 20.0 // cycles the OoO window hides per access
+	if latency <= hidden {
+		return 0
+	}
+	return latency - hidden
+}
+
+// bandwidthPressure models DRAM-bandwidth saturation: as demand (misses
+// per second) approaches the socket's sustainable rate, effective miss
+// latency inflates. demandGBs is in gigabytes per second.
+func bandwidthPressure(demandGBs float64, sockets int) float64 {
+	sustainable := 85.0 * float64(sockets) // GB/s per socket, stream-like
+	util := demandGBs / sustainable
+	if util < 0 {
+		util = 0
+	}
+	if util > 0.95 {
+		util = 0.95
+	}
+	// M/M/1-style inflation of memory latency with utilization.
+	return 1 / (1 - util*util)
+}
+
+// queueingFactor is the classic closed-system serialization cap: n clients
+// each wanting to hold a resource for `service` cycles out of every
+// `period` cycles of work. Returns the throughput multiplier (<= 1)
+// imposed on the aggregate.
+func queueingFactor(n float64, service, period float64) float64 {
+	if service <= 0 || period <= 0 || n <= 0 {
+		return 1
+	}
+	// Aggregate demand on the serial resource.
+	util := n * service / period
+	if util <= 1 {
+		return 1
+	}
+	return 1 / util
+}
+
+// contendedCAS models the cost of an atomic read-modify-write on a line
+// shared by n writers under the placement: the line ping-pongs, so the
+// expected cost grows with the number of concurrent writers.
+func contendedCAS(n float64, p Placement) float64 {
+	if n <= 1 {
+		return 20 // uncontended atomic
+	}
+	// Each additional writer adds a fraction of a line transfer: the
+	// classic linear coherence-storm model.
+	return 20 + TransferLatency(p)*math.Min(n-1, 48)*0.5
+}

@@ -1,0 +1,152 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestAvgLatencyMonotoneInWorkingSet(t *testing.T) {
+	p := Place(1)
+	prev := 0.0
+	for _, ws := range []float64{1 << 10, 1 << 15, 1 << 20, 1 << 25, 1 << 30, 1 << 34} {
+		lat := avgLatency(ws, p)
+		if lat < prev {
+			t.Fatalf("latency decreased with larger working set (%g B: %.1f < %.1f)", ws, lat, prev)
+		}
+		prev = lat
+	}
+}
+
+func TestAvgLatencyBounds(t *testing.T) {
+	p1, p2 := Place(1), Place(48)
+	if got := avgLatency(1024, p1); got > LatL1+1 {
+		t.Errorf("tiny working set latency %.1f, want ~L1 (%v)", got, LatL1)
+	}
+	big := avgLatency(1e12, p1)
+	if big < 0.9*LatDRAM || big > LatDRAM {
+		t.Errorf("huge working set local latency %.1f, want ~DRAM (%v)", big, LatDRAM)
+	}
+	bigRemote := avgLatency(1e12, p2)
+	if bigRemote <= big {
+		t.Error("two-socket placement must raise average miss latency (remote share)")
+	}
+	if bigRemote > LatRemote {
+		t.Errorf("latency %.1f exceeds remote DRAM %v", bigRemote, LatRemote)
+	}
+}
+
+func TestStallCyclesHidesFastHits(t *testing.T) {
+	if stallCycles(LatL1) != 0 || stallCycles(LatL2) != 0 {
+		t.Error("L1/L2 hits must be fully hidden by out-of-order execution")
+	}
+	if s := stallCycles(LatDRAM); s <= 0 || s >= LatDRAM {
+		t.Errorf("DRAM stall %.1f, want in (0, %v)", s, LatDRAM)
+	}
+}
+
+func TestBandwidthPressure(t *testing.T) {
+	if f := bandwidthPressure(0, 1); f != 1 {
+		t.Errorf("zero demand inflates latency by %f", f)
+	}
+	low := bandwidthPressure(10, 1)
+	high := bandwidthPressure(80, 1)
+	if !(high > low && low >= 1) {
+		t.Errorf("pressure not increasing: %.3f vs %.3f", low, high)
+	}
+	// Saturation is clamped, never infinite.
+	if f := bandwidthPressure(1e9, 1); f > 20 {
+		t.Errorf("pressure diverged: %f", f)
+	}
+}
+
+func TestContendedCAS(t *testing.T) {
+	p1, p2 := Place(4), Place(48)
+	if c := contendedCAS(1, p1); c != 20 {
+		t.Errorf("uncontended CAS = %.1f, want 20", c)
+	}
+	if !(contendedCAS(8, p1) > contendedCAS(2, p1)) {
+		t.Error("CAS cost must grow with writers")
+	}
+	if !(contendedCAS(8, p2) > contendedCAS(8, p1)) {
+		t.Error("cross-socket CAS must cost more than same-socket")
+	}
+}
+
+func TestQueueingFactor(t *testing.T) {
+	if f := queueingFactor(4, 10, 1000); f != 1 {
+		t.Errorf("under-utilized resource throttled: %f", f)
+	}
+	f := queueingFactor(100, 100, 1000)
+	if f >= 1 || f <= 0 {
+		t.Errorf("over-utilized factor = %f, want in (0,1)", f)
+	}
+	if queueingFactor(0, 0, 0) != 1 {
+		t.Error("degenerate inputs must be identity")
+	}
+}
+
+func TestTransferLatencySockets(t *testing.T) {
+	if TransferLatency(Place(12)) != LatXferLocal {
+		t.Error("single socket transfers must be local")
+	}
+	if got := TransferLatency(Place(48)); got <= LatXferLocal || got >= LatXferCross {
+		t.Errorf("dual-socket transfer %.1f, want between local and cross", got)
+	}
+}
+
+func TestEffectiveCoresQuick(t *testing.T) {
+	// Properties: effective capacity grows with cores and never exceeds
+	// the logical count nor drops below the physical count in use.
+	f := func(n uint8) bool {
+		c := int(n%48) + 1
+		p := Place(c)
+		eff := p.EffectiveCores()
+		return eff >= float64(p.Physical) && eff <= float64(c)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+	// Monotonicity.
+	prev := 0.0
+	for c := 1; c <= 48; c++ {
+		eff := Place(c).EffectiveCores()
+		if eff < prev {
+			t.Fatalf("effective cores decreased at %d (%f < %f)", c, eff, prev)
+		}
+		prev = eff
+	}
+}
+
+func TestGeometryHeights(t *testing.T) {
+	// The paper's 100M-record, 1kB-node tree is ~5 levels deep.
+	g := geometry(100e6, 42, 1024)
+	if h := g.height(); h < 5 || h > 6 {
+		t.Errorf("blink geometry height = %d, want 5..6", h)
+	}
+	// Masstree's fanout-15 structure is deeper.
+	m := geometry(100e6, 10.5, 256)
+	if m.height() <= g.height() {
+		t.Error("masstree must be deeper than the 1kB-node B-tree")
+	}
+	// Leaf level must dominate the footprint.
+	if g.levels[0] <= g.levels[1] {
+		t.Error("leaf working set must exceed inner levels")
+	}
+}
+
+func TestSimulateJoinMonotoneRegions(t *testing.T) {
+	// Throughput rises through the collapse region and falls past the
+	// plateau.
+	small := []float64{8, 16, 32, 64}
+	prev := 0.0
+	for _, g := range small {
+		v := SimulateJoin(DefaultJoin(g)).OutputMtuples
+		if v < prev {
+			t.Fatalf("collapse region not monotone at g=%v", g)
+		}
+		prev = v
+	}
+	if !(SimulateJoin(DefaultJoin(1<<18)).OutputMtuples < SimulateJoin(DefaultJoin(1<<12)).OutputMtuples) {
+		t.Error("imbalance droop missing")
+	}
+}

@@ -1,0 +1,115 @@
+package sim
+
+// This file contains the event-driven model of the prefetch pipeline of
+// Figures 3 and 4: a worker executes tasks back to back; spawning placed
+// each task's prefetch `distance` slots ahead in the buffer, so the memory
+// subsystem loads a task's data while the preceding tasks execute. It
+// complements the analytic model in tree.go: prefetchCoverage()'s table is
+// validated against this simulation (sim tests assert they agree), and the
+// fig4 experiment renders the resulting timeline.
+
+// PipelineConfig describes one prefetch-pipeline run.
+type PipelineConfig struct {
+	Tasks       int     // tasks to execute
+	ExecCycles  float64 // pure execution cycles per task (data in cache)
+	MissLatency float64 // cycles to load a task's data from memory
+	Distance    int     // prefetch distance (0 = no prefetching)
+	// EvictAfter is how many cycles a prefetched line survives in the
+	// cache before eviction claims it (pressure from other accesses);
+	// prefetching too early loses the data again (§3: "if the prefetch
+	// distance is too wide, data might already get evicted").
+	EvictAfter float64
+}
+
+// DefaultPipeline mirrors the tree workload's per-visit costs.
+func DefaultPipeline(distance int) PipelineConfig {
+	return PipelineConfig{
+		Tasks:       1000,
+		ExecCycles:  140, // execution once data is cached
+		MissLatency: 300, // full node fetch: first line + the trailing lines
+		Distance:    distance,
+		EvictAfter:  600, // cache pressure window under the benchmark's footprint
+	}
+}
+
+// PipelineResult summarizes a run.
+type PipelineResult struct {
+	TotalCycles  float64
+	StallCycles  float64 // cycles the worker waited for memory
+	Coverage     float64 // fraction of miss latency hidden vs. no prefetching
+	TimelineHead []TimelineEntry
+}
+
+// TimelineEntry is one task's schedule in the Figure 4 timeline.
+type TimelineEntry struct {
+	Task          int
+	PrefetchStart float64 // when the memory subsystem began loading (-1: none)
+	DataReady     float64 // when the data arrived in cache
+	ExecStart     float64
+	ExecEnd       float64
+	Stalled       float64
+}
+
+// SimulatePipeline runs the event-driven prefetch pipeline.
+//
+// Semantics: task i's prefetch is issued when task i-Distance starts
+// executing (the worker injects prefetches in-between task executions,
+// §3). The load completes MissLatency cycles later. When task i starts,
+// it stalls until its data is ready; data that arrived more than
+// EvictAfter cycles ago has been evicted and must be re-fetched.
+func SimulatePipeline(cfg PipelineConfig) PipelineResult {
+	if cfg.Tasks <= 0 {
+		return PipelineResult{}
+	}
+	prefetchAt := make([]float64, cfg.Tasks) // issue time, -1 = never
+	for i := range prefetchAt {
+		prefetchAt[i] = -1
+	}
+	var res PipelineResult
+	clock := 0.0
+	for i := 0; i < cfg.Tasks; i++ {
+		// Issue the prefetch for the task `Distance` ahead, as the
+		// worker begins this task (Fig. 3's buffer discipline).
+		if cfg.Distance > 0 && i+cfg.Distance < cfg.Tasks {
+			prefetchAt[i+cfg.Distance] = clock
+		}
+		entry := TimelineEntry{Task: i, PrefetchStart: prefetchAt[i]}
+		ready := clock + cfg.MissLatency // demand miss by default
+		if prefetchAt[i] >= 0 {
+			arrived := prefetchAt[i] + cfg.MissLatency
+			if cfg.EvictAfter > 0 && clock-arrived > cfg.EvictAfter {
+				// Prefetched too early: evicted, fetch again.
+				ready = clock + cfg.MissLatency
+			} else {
+				ready = arrived
+			}
+		}
+		entry.DataReady = ready
+		stall := ready - clock
+		if stall < 0 {
+			stall = 0
+		}
+		entry.Stalled = stall
+		entry.ExecStart = clock + stall
+		entry.ExecEnd = entry.ExecStart + cfg.ExecCycles
+		clock = entry.ExecEnd
+		res.StallCycles += stall
+		if len(res.TimelineHead) < 8 {
+			res.TimelineHead = append(res.TimelineHead, entry)
+		}
+	}
+	res.TotalCycles = clock
+	// Coverage relative to the no-prefetch baseline, in which every task
+	// stalls for the full miss latency.
+	baseline := float64(cfg.Tasks) * cfg.MissLatency
+	if baseline > 0 {
+		res.Coverage = 1 - res.StallCycles/baseline
+	}
+	return res
+}
+
+// PipelineCoverage returns the coverage the event model predicts for a
+// distance under the default workload shape.
+func PipelineCoverage(distance int) float64 {
+	return SimulatePipeline(DefaultPipeline(distance)).Coverage
+}

@@ -1,0 +1,403 @@
+package sim
+
+import (
+	"math"
+	"testing"
+)
+
+func mx(w Workload, dist, cores int) Result {
+	return SimulateTree(TreeConfig{
+		System: SysMxTasking, Sync: FamOptimistic, Workload: w,
+		PrefetchDistance: dist, EBMR: EBMRBatched,
+	}, cores)
+}
+
+func TestTopologyEnumeration(t *testing.T) {
+	cores := CoreSet(48)
+	if len(cores) != 48 {
+		t.Fatalf("CoreSet(48) = %d cores", len(cores))
+	}
+	// Paper §6.1: first 24 logical cores in region 0; first 12 of each
+	// region physical.
+	if cores[0].Socket != 0 || !cores[0].Physical {
+		t.Error("core 0 must be physical on socket 0")
+	}
+	if cores[12].Physical {
+		t.Error("core 12 must be a hyperthread")
+	}
+	if cores[24].Socket != 1 || !cores[24].Physical {
+		t.Error("core 24 must be physical on socket 1")
+	}
+	if cores[47].Socket != 1 || cores[47].Physical {
+		t.Error("core 47 must be a hyperthread on socket 1")
+	}
+}
+
+func TestPlacement(t *testing.T) {
+	p := Place(12)
+	if p.Sockets != 1 || p.SMTPairs != 0 || p.Physical != 12 {
+		t.Fatalf("Place(12) = %+v", p)
+	}
+	p = Place(24)
+	if p.Sockets != 1 || p.SMTPairs != 12 {
+		t.Fatalf("Place(24) = %+v", p)
+	}
+	p = Place(48)
+	if p.Sockets != 2 || p.SMTPairs != 24 || p.RemoteFr == 0 {
+		t.Fatalf("Place(48) = %+v", p)
+	}
+}
+
+func TestThroughputMonotoneInCores(t *testing.T) {
+	// Fig. 10a: the optimistic MxTasking curves grow with cores.
+	for _, w := range []Workload{WInsert, WReadUpdate, WReadOnly} {
+		prev := 0.0
+		for _, c := range []int{1, 6, 12, 24, 36, 48} {
+			r := mx(w, 2, c)
+			if r.ThroughputMops <= prev {
+				t.Errorf("%v: throughput not increasing at %d cores (%.1f <= %.1f)",
+					w, c, r.ThroughputMops, prev)
+			}
+			prev = r.ThroughputMops
+		}
+	}
+}
+
+func TestPrefetchGains(t *testing.T) {
+	// Fig. 10a: +45 % read-only, ~+21 % on the writing workloads.
+	gain := func(w Workload) float64 {
+		return mx(w, 2, 48).ThroughputMops/mx(w, 0, 48).ThroughputMops - 1
+	}
+	if g := gain(WReadOnly); g < 0.25 || g > 0.65 {
+		t.Errorf("read-only prefetch gain = %.2f, want ~0.45", g)
+	}
+	if g := gain(WInsert); g < 0.10 || g > 0.45 {
+		t.Errorf("insert prefetch gain = %.2f, want ~0.21", g)
+	}
+	// Read-only benefits most (the paper's headline).
+	if gain(WReadOnly) <= gain(WInsert) {
+		t.Error("read-only must benefit more from prefetching than insert")
+	}
+}
+
+func TestPrefetchStallReduction(t *testing.T) {
+	// Fig. 10b: stalls drop 52 % read-only, 41 % A, 31 % insert;
+	// ordering read-only > A > insert must hold.
+	red := func(w Workload) float64 {
+		return 1 - mx(w, 2, 48).StallsPerOp/mx(w, 0, 48).StallsPerOp
+	}
+	ro, a, ins := red(WReadOnly), red(WReadUpdate), red(WInsert)
+	if ro < 0.35 || ro > 0.65 {
+		t.Errorf("read-only stall reduction = %.2f, want ~0.52", ro)
+	}
+	if !(ro > a && a > ins) {
+		t.Errorf("stall reductions not ordered: ro=%.2f a=%.2f ins=%.2f", ro, a, ins)
+	}
+}
+
+func TestPrefetchInstructionCost(t *testing.T) {
+	// Fig. 10c: prefetching costs ~245 extra instructions per op.
+	extra := mx(WReadOnly, 2, 48).InstrPerOp - mx(WReadOnly, 0, 48).InstrPerOp
+	if extra < 180 || extra > 320 {
+		t.Errorf("prefetch instruction overhead = %.0f, want ~245", extra)
+	}
+}
+
+func TestPrefetchDistanceSweep(t *testing.T) {
+	// §6.2: distance 1 too late, 2 best, > 4 smaller but still a win.
+	at := func(d int) float64 { return mx(WReadOnly, d, 48).ThroughputMops }
+	if !(at(2) > at(1) && at(2) >= at(3)) {
+		t.Error("distance 2 is not the optimum")
+	}
+	if !(at(1) > at(0)) {
+		t.Error("distance 1 must still beat no prefetching (barely)")
+	}
+	if !(at(6) > at(0) && at(6) < at(2)) {
+		t.Error("large distances must keep a reduced benefit")
+	}
+}
+
+func TestEBMROverheads(t *testing.T) {
+	// Fig. 11: batching ≈ no reclamation; every-task visibly slower on
+	// read-only, write-heavy barely affected.
+	tputWith := func(w Workload, e EBMRPolicy) float64 {
+		return SimulateTree(TreeConfig{
+			System: SysMxTasking, Sync: FamOptimistic, Workload: w,
+			PrefetchDistance: 2, EBMR: e,
+		}, 48).ThroughputMops
+	}
+	off := tputWith(WReadOnly, EBMROff)
+	batched := tputWith(WReadOnly, EBMRBatched)
+	every := tputWith(WReadOnly, EBMREvery)
+	if (off-batched)/off > 0.02 {
+		t.Errorf("batched EBMR overhead %.1f%% on read-only, want < 2%%", (off-batched)/off*100)
+	}
+	if !(every < batched) {
+		t.Error("every-task EBMR must cost more than batching")
+	}
+	if (off-every)/off > 0.20 {
+		t.Errorf("every-task overhead too large: %.1f%%", (off-every)/off*100)
+	}
+	// Write-heavy workloads are "almost not affected at all".
+	insOff := tputWith(WInsert, EBMROff)
+	insEvery := tputWith(WInsert, EBMREvery)
+	roLoss := (off - every) / off
+	insLoss := (insOff - insEvery) / insOff
+	if insLoss >= roLoss {
+		t.Errorf("insert EBMR loss (%.3f) must be below read-only loss (%.3f)", insLoss, roLoss)
+	}
+}
+
+func TestFig12aSerializedShapes(t *testing.T) {
+	at := func(s System, c int) float64 {
+		return SimulateTree(TreeConfig{System: s, Sync: FamSerialized, Workload: WReadOnly}, c).ThroughputMops
+	}
+	// MxTasking beats spinlocks clearly in the physical-core range...
+	if !(at(SysMxTasking, 12) > 1.3*at(SysThreads, 12)) {
+		t.Errorf("mx (%.1f) must clearly beat spinlocks (%.1f) at 12 cores",
+			at(SysMxTasking, 12), at(SysThreads, 12))
+	}
+	// ...all serialized variants stop scaling with logical cores and the
+	// second region (both bottlenecks of §6.4).
+	if at(SysMxTasking, 48) >= at(SysMxTasking, 24) {
+		t.Error("mx serialized must decline when the second NUMA region joins")
+	}
+	if at(SysThreads, 48) >= at(SysThreads, 12) {
+		t.Error("spinlocks must collapse at high core counts")
+	}
+	// TBB tracks threads from below.
+	if at(SysTBB, 12) > at(SysThreads, 12) {
+		t.Error("TBB spinlocks should not beat raw threads")
+	}
+}
+
+func TestFig12bRWLockShapes(t *testing.T) {
+	at := func(s System, c int, dist int) float64 {
+		return SimulateTree(TreeConfig{System: s, Sync: FamRWLatch, Workload: WReadOnly, PrefetchDistance: dist}, c).ThroughputMops
+	}
+	// MxTasking +45 % lookups over threads thanks to prefetching.
+	mx48, th48 := at(SysMxTasking, 48, 2), at(SysThreads, 48, 0)
+	if ratio := mx48 / th48; ratio < 1.2 || ratio > 2.2 {
+		t.Errorf("mx/threads rwlock ratio = %.2f, want ~1.45", ratio)
+	}
+	// Crossing into the second NUMA region hurts (latch-line coherence).
+	if at(SysMxTasking, 48, 2) >= at(SysMxTasking, 24, 2) {
+		t.Error("rwlock throughput must decline beyond one NUMA region")
+	}
+	// HTM-elided TBB clearly ahead of both at full scale.
+	tbb48 := at(SysTBB, 48, 0)
+	if !(tbb48 > 1.4*mx48 && tbb48 > 2.0*th48) {
+		t.Errorf("HTM TBB (%.1f) must lead mx (%.1f) and threads (%.1f)", tbb48, mx48, th48)
+	}
+}
+
+func TestFig12cOptimisticOrdering(t *testing.T) {
+	at := func(s System, w Workload) float64 {
+		cfg := TreeConfig{System: s, Sync: FamOptimistic, Workload: w}
+		if s == SysMxTasking {
+			cfg.PrefetchDistance = 2
+			cfg.EBMR = EBMRBatched
+		}
+		return SimulateTree(cfg, 48).ThroughputMops
+	}
+	// Read-only at 48 cores: MxTasking first, Masstree second (both
+	// prefetch), then threads/BtreeOLC, then BwTree; TBB last.
+	mxv := at(SysMxTasking, WReadOnly)
+	mass := at(SysMasstree, WReadOnly)
+	th := at(SysThreads, WReadOnly)
+	olc := at(SysBtreeOLC, WReadOnly)
+	bw := at(SysOpenBwTree, WReadOnly)
+	tbb := at(SysTBB, WReadOnly)
+	if !(mxv > mass) {
+		t.Errorf("MxTasking (%.1f) must lead Masstree (%.1f) on read-only", mxv, mass)
+	}
+	if ratio := mxv / mass; ratio < 1.0 || ratio > 1.25 {
+		t.Errorf("mx/Masstree = %.2f, want ~1.09", ratio)
+	}
+	if !(mass > th && th > olc && olc > bw && th > tbb) {
+		t.Errorf("read-only ordering broken: mass=%.1f th=%.1f olc=%.1f bw=%.1f tbb=%.1f",
+			mass, th, olc, bw, tbb)
+	}
+	if ratio := mxv / th; ratio < 1.1 || ratio > 1.6 {
+		t.Errorf("mx/threads read-only = %.2f, want ~1.29", ratio)
+	}
+	// Read/update at 48: threads and OLC close the gap to within a few
+	// percent (paper: +4 % for them).
+	mxA := at(SysMxTasking, WReadUpdate)
+	thA := at(SysThreads, WReadUpdate)
+	if diff := math.Abs(mxA-thA) / mxA; diff > 0.15 {
+		t.Errorf("read/update gap at 48 cores = %.2f, want < 0.15", diff)
+	}
+	// Insert: mx, threads and OLC comparable.
+	mxI, thI, olcI := at(SysMxTasking, WInsert), at(SysThreads, WInsert), at(SysBtreeOLC, WInsert)
+	if math.Abs(mxI-thI)/mxI > 0.4 || math.Abs(olcI-thI)/thI > 0.25 {
+		t.Errorf("insert results not comparable: mx=%.1f th=%.1f olc=%.1f", mxI, thI, olcI)
+	}
+}
+
+func TestFig13BreakdownShapes(t *testing.T) {
+	r := mx(WReadOnly, 2, 48)
+	bd := r.Breakdown
+	if math.Abs(bd.Total()-r.CyclesPerOp)/r.CyclesPerOp > 1e-6 {
+		t.Fatal("breakdown does not sum to cycles/op")
+	}
+	// Traversal dominates; prefetching is visible but small; mx spends
+	// less on synchronization than its own traversal.
+	if !(bd.Traverse > bd.Operation && bd.Traverse > bd.Sync) {
+		t.Errorf("traversal must dominate the breakdown: %+v", bd)
+	}
+	if bd.Prefetch <= 0 {
+		t.Error("prefetching category must be non-zero with distance 2")
+	}
+	// MxTasking's traversal is cheaper than threads' (prefetching), and
+	// its runtime share bigger (task spawning) — §6.4's observations.
+	th := SimulateTree(TreeConfig{System: SysThreads, Sync: FamOptimistic, Workload: WReadOnly}, 48)
+	if !(bd.Traverse < th.Breakdown.Traverse) {
+		t.Error("mx traversal cycles must undercut threads'")
+	}
+	if !(bd.Runtime > th.Breakdown.Runtime) {
+		t.Error("mx runtime share must exceed threads'")
+	}
+	// TBB pays the most runtime.
+	tbb := SimulateTree(TreeConfig{System: SysTBB, Sync: FamOptimistic, Workload: WReadOnly}, 48)
+	if !(tbb.Breakdown.Runtime > bd.Runtime) {
+		t.Error("TBB runtime share must exceed MxTasking's")
+	}
+}
+
+func TestFig7AllocatorShapes(t *testing.T) {
+	libc := SimulateAlloc(AllocLibc, 48)
+	ml := SimulateAlloc(AllocMultiLevel, 48)
+	if libc.Allocation < 300 || libc.Allocation > 700 {
+		t.Errorf("libc allocation cycles = %.0f, want ~450", libc.Allocation)
+	}
+	if ml.Allocation < 15 || ml.Allocation > 60 {
+		t.Errorf("multi-level allocation cycles = %.0f, want ~30", ml.Allocation)
+	}
+	if ml.Total() >= libc.Total() {
+		t.Error("multi-level must be cheaper overall")
+	}
+	// ~7 % fewer prefetch/runtime cycles from cached task reuse.
+	if !(ml.Runtime < libc.Runtime) {
+		t.Error("task reuse must trim runtime cycles")
+	}
+	if libc.App != ml.App {
+		t.Error("application cycles must be identical across variants")
+	}
+}
+
+func TestFig9JoinShapes(t *testing.T) {
+	at := func(exp int) float64 {
+		return SimulateJoin(DefaultJoin(math.Pow(2, float64(exp)))).OutputMtuples
+	}
+	// Plateau 2^7..2^16 within ±10 %.
+	ref := at(10)
+	for _, e := range []int{7, 8, 10, 12, 14, 16} {
+		if d := math.Abs(at(e)-ref) / ref; d > 0.10 {
+			t.Errorf("granularity 2^%d deviates %.1f%% from plateau", e, d*100)
+		}
+	}
+	// Collapse at tiny granularities.
+	if !(at(3) < 0.5*ref && at(4) < 0.75*ref) {
+		t.Errorf("tiny tasks must collapse: 2^3=%.0f 2^4=%.0f plateau=%.0f", at(3), at(4), ref)
+	}
+	// Droop for heavyweight tasks.
+	if !(at(18) < 0.92*ref) {
+		t.Errorf("2^18 must droop below the plateau: %.0f vs %.0f", at(18), ref)
+	}
+}
+
+func TestStringers(t *testing.T) {
+	if SysMxTasking.String() != "MxTasking" || SysOpenBwTree.String() != "open BwTree" {
+		t.Error("system names drifted")
+	}
+	if WReadUpdate.String() != "Read/Update" {
+		t.Error("workload names drifted")
+	}
+	if FamSerialized.String() != "serialized" {
+		t.Error("family names drifted")
+	}
+	if AllocLibc.String() != "libc-2.31" {
+		t.Error("alloc variant names drifted")
+	}
+	if EBMRBatched.String() != "Batching Tasks" {
+		t.Error("EBMR names drifted")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a := mx(WReadUpdate, 2, 37)
+	b := mx(WReadUpdate, 2, 37)
+	if a != b {
+		t.Fatal("simulation is not deterministic")
+	}
+}
+
+func TestPipelineEventModel(t *testing.T) {
+	cov := PipelineCoverage
+	if c := cov(0); c != 0 {
+		t.Fatalf("coverage(0) = %f, want 0", c)
+	}
+	// Qualitative agreement with the analytic table (and the paper's
+	// §6.2): distance 1 helps partially, 2 nearly fully; very large
+	// distances lose lines to eviction.
+	if !(cov(1) > 0.3 && cov(1) < 0.9) {
+		t.Fatalf("coverage(1) = %f, want partial", cov(1))
+	}
+	if !(cov(2) > cov(1) && cov(2) > 0.8) {
+		t.Fatalf("coverage(2) = %f (cov1 %f), want near-full", cov(2), cov(1))
+	}
+	if !(cov(12) < cov(2)) {
+		t.Fatalf("coverage(12) = %f must drop below coverage(2) = %f (eviction)", cov(12), cov(2))
+	}
+	// Ordering agreement with the calibrated analytic table for the
+	// distances the paper discusses.
+	for _, pair := range [][2]int{{0, 1}, {1, 2}} {
+		a, b := pair[0], pair[1]
+		if (prefetchCoverage(a) < prefetchCoverage(b)) != (cov(a) < cov(b)) {
+			t.Fatalf("analytic and event models disagree on ordering of d=%d vs d=%d", a, b)
+		}
+	}
+}
+
+func TestPipelineTimeline(t *testing.T) {
+	res := SimulatePipeline(DefaultPipeline(2))
+	if len(res.TimelineHead) == 0 {
+		t.Fatal("no timeline entries")
+	}
+	for i, e := range res.TimelineHead {
+		if e.ExecEnd <= e.ExecStart {
+			t.Fatalf("entry %d has non-positive execution window", i)
+		}
+		if e.ExecStart < e.DataReady {
+			t.Fatalf("entry %d executed before its data arrived", i)
+		}
+		if i > 0 && e.ExecStart < res.TimelineHead[i-1].ExecEnd {
+			t.Fatalf("entry %d overlaps the previous task (run-to-completion violated)", i)
+		}
+	}
+	// The first Distance tasks have no prefetch and stall fully.
+	if res.TimelineHead[0].PrefetchStart != -1 {
+		t.Fatal("task 0 cannot have been prefetched")
+	}
+	if res.TimelineHead[0].Stalled == 0 {
+		t.Fatal("task 0 must demand-miss")
+	}
+	// Steady-state tasks are covered.
+	if res.TimelineHead[6].Stalled > res.TimelineHead[0].Stalled/2 {
+		t.Fatalf("steady-state task still stalls %f (first task %f)",
+			res.TimelineHead[6].Stalled, res.TimelineHead[0].Stalled)
+	}
+}
+
+func TestPipelineDegenerate(t *testing.T) {
+	if r := SimulatePipeline(PipelineConfig{}); r.TotalCycles != 0 {
+		t.Fatal("empty pipeline must be free")
+	}
+	// Zero EvictAfter disables eviction.
+	cfg := DefaultPipeline(6)
+	cfg.EvictAfter = 0
+	if r := SimulatePipeline(cfg); r.Coverage < 0.9 {
+		t.Fatalf("no-eviction coverage = %f, want ~1", r.Coverage)
+	}
+}

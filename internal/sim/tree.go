@@ -1,0 +1,522 @@
+package sim
+
+import "math"
+
+// System enumerates the compared implementations (Figures 12 and 13).
+type System int
+
+const (
+	SysMxTasking System = iota
+	SysThreads          // p_thread Blink-tree
+	SysTBB              // TBB-task Blink-tree
+	SysBtreeOLC
+	SysMasstree
+	SysOpenBwTree
+)
+
+// String names the system as in the figures.
+func (s System) String() string {
+	switch s {
+	case SysMxTasking:
+		return "MxTasking"
+	case SysThreads:
+		return "p_thread"
+	case SysTBB:
+		return "Intel TBB"
+	case SysBtreeOLC:
+		return "BtreeOLC"
+	case SysMasstree:
+		return "Masstree"
+	case SysOpenBwTree:
+		return "open BwTree"
+	default:
+		return "invalid"
+	}
+}
+
+// SyncFamily is the synchronization configuration compared in Figure 12.
+type SyncFamily int
+
+const (
+	// FamSerialized: scheduling-based serialization for MxTasking,
+	// spinlocks for threads/TBB (Fig. 12a).
+	FamSerialized SyncFamily = iota
+	// FamRWLatch: reader/writer latches; HTM elision for TBB (Fig. 12b).
+	FamRWLatch
+	// FamOptimistic: optimistic versioning (Fig. 12c).
+	FamOptimistic
+)
+
+// String names the family.
+func (f SyncFamily) String() string {
+	switch f {
+	case FamSerialized:
+		return "serialized"
+	case FamRWLatch:
+		return "rwlock"
+	case FamOptimistic:
+		return "optimistic"
+	default:
+		return "invalid"
+	}
+}
+
+// Workload is the benchmark mix (§6.1).
+type Workload int
+
+const (
+	WInsert Workload = iota
+	WReadUpdate
+	WReadOnly
+	// WReadMostly is YCSB B (95 % reads / 5 % updates) — an extension
+	// beyond the paper's measured set.
+	WReadMostly
+)
+
+// String names the workload as in the figure panels.
+func (w Workload) String() string {
+	switch w {
+	case WInsert:
+		return "Insert only"
+	case WReadUpdate:
+		return "Read/Update"
+	case WReadOnly:
+		return "Read only"
+	case WReadMostly:
+		return "Read mostly"
+	default:
+		return "invalid"
+	}
+}
+
+// EBMRPolicy mirrors epoch.Policy for the Figure 11 experiment.
+type EBMRPolicy int
+
+const (
+	EBMROff EBMRPolicy = iota
+	EBMREvery
+	EBMRBatched
+)
+
+// String names the policy as in Figure 11's legend.
+func (p EBMRPolicy) String() string {
+	switch p {
+	case EBMROff:
+		return "No Reclamation"
+	case EBMREvery:
+		return "Every Task"
+	case EBMRBatched:
+		return "Batching Tasks"
+	default:
+		return "invalid"
+	}
+}
+
+// TreeConfig selects one simulated index configuration.
+type TreeConfig struct {
+	System   System
+	Sync     SyncFamily
+	Workload Workload
+	// Records in the tree (the paper: 100 million).
+	Records float64
+	// PrefetchDistance for MxTasking (0 disables; the paper uses 2).
+	PrefetchDistance int
+	// EBMR policy (MxTasking only; default Batched).
+	EBMR EBMRPolicy
+	// EBMRBatch is the Batched policy's advancement batch; 0 means the
+	// paper's 50.
+	EBMRBatch int
+}
+
+// DefaultRecords is the paper's tree size.
+const DefaultRecords = 100e6
+
+// instruction-budget constants, counted from this repository's
+// implementations (see bench_test.go's microbenchmarks for spot checks).
+const (
+	ipc             = 2.0  // sustained instructions/cycle on cached code
+	searchInstr     = 55.0 // binary search within one node
+	visitMgmtInstr  = 30.0 // bounds checks, type dispatch per node visit
+	leafReadInstr   = 40.0
+	leafWriteInstr  = 110.0 // shift-insert / in-place update + bookkeeping
+	splitInstr      = 2400.0
+	taskSpawnInstr  = 45.0  // MxTask create+annotate+xchg push
+	taskPoolInstr   = 35.0  // pop + dispatch on the worker
+	threadBatchOp   = 12.0  // per-op share of grabbing a 500-op batch
+	tbbPerTaskInstr = 150.0 // TBB-style deque push/pop + stealing checks
+	prefetchInstr   = 49.0  // per node visit: 16 line touches + setup (≈245/op over 5 visits)
+	validateInstr   = 14.0  // version sample + compare
+	lockInstr       = 22.0  // uncontended latch acquire/release pair
+	ebmrFencedInstr = 24.0  // fenced local-epoch update pair
+)
+
+// treeGeometry derives per-level working sets for a B-tree-like index.
+type treeGeometry struct {
+	levels []float64 // working-set bytes per level, leaf first
+	fanout float64
+	node   float64 // node size in bytes
+}
+
+func geometry(records, fanout, nodeBytes float64) treeGeometry {
+	g := treeGeometry{fanout: fanout, node: nodeBytes}
+	entries := records
+	for {
+		nodes := math.Ceil(entries / fanout)
+		g.levels = append(g.levels, nodes*nodeBytes)
+		if nodes <= 1 {
+			break
+		}
+		entries = nodes
+	}
+	return g
+}
+
+// height returns the number of node visits per traversal.
+func (g treeGeometry) height() int { return len(g.levels) }
+
+// prefetchCoverage is the fraction of a node's fetch latency hidden by
+// issuing its prefetch `distance` tasks ahead (§3, §6.2: distance 1 is too
+// late, 2 best, beyond 4 the benefit shrinks as lines risk eviction).
+func prefetchCoverage(distance int) float64 {
+	switch {
+	case distance <= 0:
+		return 0
+	case distance == 1:
+		return 0.35
+	case distance == 2:
+		return 0.88
+	case distance == 3:
+		return 0.86
+	case distance == 4:
+		return 0.82
+	default:
+		return 0.74
+	}
+}
+
+// SimulateTree evaluates one configuration at one core count.
+func SimulateTree(cfg TreeConfig, cores int) Result {
+	if cfg.Records == 0 {
+		cfg.Records = DefaultRecords
+	}
+	p := Place(cores)
+
+	// --- geometry per system ---------------------------------------
+	var geo treeGeometry
+	extraHops := 0.0 // additional dependent cached accesses per visit
+	switch cfg.System {
+	case SysMasstree:
+		geo = geometry(cfg.Records, 10.5, 256) // fanout-15 nodes, ~70 % full
+	case SysOpenBwTree:
+		geo = geometry(cfg.Records, 42, 1024)
+		extraHops = 1.0 // mapping-table indirection per visit
+	default:
+		geo = geometry(cfg.Records, 42, 1024) // 1 kB nodes, ~70 % full
+	}
+	visits := float64(geo.height())
+
+	writeFrac := 0.0
+	switch cfg.Workload {
+	case WInsert:
+		writeFrac = 1.0
+	case WReadUpdate:
+		writeFrac = 0.5
+	case WReadMostly:
+		writeFrac = 0.05
+	}
+
+	// --- memory behaviour -------------------------------------------
+	// Dependent cache lines touched per node visit by the binary search
+	// plus the record access; each is a serialized pointer-chase step.
+	depLines := 4.6
+	if cfg.System == SysMasstree {
+		depLines = 2.6 // 256-byte nodes span 4 lines; search touches ~2-3
+	}
+	baseStalls := 0.0
+	for _, ws := range geo.levels {
+		baseStalls += depLines * stallCycles(avgLatency(ws, p))
+	}
+	// Mapping-table hops (BwTree): table of 8 B entries per page.
+	if extraHops > 0 {
+		tableWS := geo.levels[0] / geo.node * 8
+		baseStalls += visits * extraHops * stallCycles(avgLatency(tableWS, p))
+	}
+	// Delta-chain walks (BwTree): chains average half the consolidation
+	// threshold under write-heavy load; each link is a dependent access
+	// to a recently written (dirty, possibly remote) line.
+	if cfg.System == SysOpenBwTree {
+		chain := 1.5 + 2.5*writeFrac
+		baseStalls += chain * stallCycles(TransferLatency(p))
+	}
+
+	// Software prefetching hides part of the node-fetch latency. Only
+	// the node bodies are prefetchable; version headers, record payload
+	// pulls and TLB misses are not — prefetchableFrac bounds the win at
+	// the ~50 % stall reduction the paper measures (§6.2).
+	const prefetchableFrac = 0.62
+	prefetching := false
+	coverage := 0.0
+	switch cfg.System {
+	case SysMxTasking:
+		coverage = prefetchCoverage(cfg.PrefetchDistance)
+		prefetching = coverage > 0
+	case SysMasstree:
+		coverage = 0.58 // intrinsic node prefetch, only one hop of lookahead
+		prefetching = true
+	}
+	if p.Sockets > 1 && coverage > 0 {
+		// Remote lines need more lead time than two task executions
+		// provide; part of the latency stays exposed.
+		coverage *= 0.88
+	}
+	// Concurrent writers invalidate prefetched leaf lines before use, so
+	// the prefetch win erodes with write share and core count — this is
+	// why Fig. 10b's stall curves equalize on Read/Update at high core
+	// counts ("due to increasing latch-contention caused by updates").
+	coverage /= 1 + writeFrac*float64(p.N)*0.015
+	stalls := baseStalls * (1 - coverage*prefetchableFrac)
+
+	// Writes dirty leaf lines; subsequent readers pull them across cores.
+	coherence := writeFrac * 1.5 * TransferLatency(p) * 0.3
+
+	// --- instruction budget (Fig. 10c's counter) ----------------------
+	instr := visits * (searchInstr + visitMgmtInstr)
+	var opWorkInstr float64
+	switch cfg.Workload {
+	case WInsert:
+		opWorkInstr = leafWriteInstr + splitInstr/geo.fanout // amortized splits
+	case WReadUpdate, WReadMostly:
+		opWorkInstr = leafReadInstr + writeFrac*leafWriteInstr
+	default:
+		opWorkInstr = leafReadInstr
+	}
+	instr += opWorkInstr
+
+	// --- per-system runtime and synchronization ----------------------
+	var runtimeCyc, syncCyc, prefetchCyc float64
+	if prefetching {
+		pf := visits * prefetchInstr
+		instr += pf
+		prefetchCyc = pf / ipc
+	}
+
+	// Serialization: cycles of exclusive bottleneck occupancy per op
+	// (root pool or root latch); zero means no serial bottleneck.
+	serialService := 0.0
+
+	switch cfg.System {
+	case SysMxTasking, SysTBB, SysThreads:
+		switch cfg.System {
+		case SysMxTasking:
+			rtInstr := visits * (taskSpawnInstr + taskPoolInstr)
+			runtimeCyc = rtInstr / ipc
+			instr += rtInstr
+		case SysTBB:
+			rtInstr := visits * tbbPerTaskInstr
+			runtimeCyc = rtInstr/ipc + 60 // stealing cache traffic
+			instr += rtInstr
+		case SysThreads:
+			instr += threadBatchOp
+			runtimeCyc = threadBatchOp / ipc
+		}
+		syncCyc, serialService = familySync(cfg, p, visits, writeFrac)
+		if cfg.System == SysMxTasking {
+			instr += visits * validateInstr
+		} else {
+			instr += visits * lockInstr
+		}
+	case SysBtreeOLC:
+		// Optimistic lock coupling: readers validate parent and child
+		// on every hop; writers latch the leaf, splitting eagerly.
+		vInstr := visits * 2 * validateInstr
+		instr += vInstr + threadBatchOp
+		syncCyc = vInstr/ipc +
+			writeFrac*contendedCAS(hotWriters(p, writeFrac), p)
+		runtimeCyc = threadBatchOp / ipc
+	case SysMasstree:
+		vInstr := visits * (validateInstr + 16) // permutation decode, layer hops
+		instr += vInstr + threadBatchOp
+		syncCyc = vInstr/ipc +
+			writeFrac*contendedCAS(hotWriters(p, writeFrac), p)
+		runtimeCyc = threadBatchOp / ipc
+	case SysOpenBwTree:
+		// CAS-install per write, consolidation amortized over deltas.
+		casCost := contendedCAS(hotWriters(p, writeFrac), p)
+		consolidate := writeFrac * (splitInstr / 8) / ipc
+		syncCyc = writeFrac*casCost + consolidate + visits*validateInstr/ipc
+		instr += visits*validateInstr + threadBatchOp + writeFrac*splitInstr/8
+		runtimeCyc = threadBatchOp / ipc
+	}
+
+	// Prefetching also pulls version headers, trimming validation stalls
+	// ("prefetching decreases synchronization costs", §6.4). It cannot
+	// help contended latch lines, so only the optimistic family's
+	// validation-dominated sync cost shrinks.
+	if cfg.System == SysMxTasking && coverage > 0 && cfg.Sync == FamOptimistic {
+		syncCyc *= 1 - 0.4*coverage
+	}
+
+	// EBMR (MxTasking only; Fig. 11).
+	if cfg.System == SysMxTasking {
+		switch cfg.EBMR {
+		case EBMREvery:
+			e := visits * ebmrFencedInstr
+			instr += e
+			syncCyc += e/ipc + visits*8 // fence serialization penalty
+		case EBMRBatched:
+			batch := float64(cfg.EBMRBatch)
+			if batch <= 0 {
+				batch = 50
+			}
+			e := visits * ebmrFencedInstr / batch
+			instr += e
+			syncCyc += e / ipc
+		}
+	}
+
+	// --- throughput ----------------------------------------------------
+	// Split each op into execution cycles (instruction work + held
+	// latches) and stall cycles (exposed memory latency). A hyperthread
+	// pair overlaps one thread's stalls with the sibling's execution:
+	// pair time for two ops = max(2·exec, exec + stall).
+	execCyc := instr/ipc + syncCyc + runtimeCyc + 40 /*system*/ + 90 /*other*/
+	stallCyc := stalls + coherence
+
+	// smtOverlap caps how much of a sibling's stall time the second
+	// hyperthread can fill (shared L1/L2 and issue ports): a pair runs
+	// two ops no faster than 2(E+S)/smtOverlap.
+	const smtOverlap = 1.40
+	singleRate := Frequency / (execCyc + stallCyc)
+	pairTime := math.Max(math.Max(2*execCyc, execCyc+stallCyc),
+		2*(execCyc+stallCyc)/smtOverlap)
+	pairRate := 2 * Frequency / pairTime
+	singles := float64(p.Physical - p.SMTPairs)
+	tput := singles*singleRate + float64(p.SMTPairs)*pairRate
+
+	// Serialization queueing (M/D/1-flavoured fixed point): waiting for
+	// the bottleneck inflates per-op time; the hard cap is 1/service.
+	if serialService > 0 {
+		for iter := 0; iter < 4; iter++ {
+			util := tput * serialService / Frequency
+			if util > 0.98 {
+				util = 0.98
+			}
+			wait := serialService * util / (1 - util)
+			perOp := execCyc + stallCyc + wait
+			tput = singles*Frequency/perOp +
+				float64(p.SMTPairs)*2*Frequency/
+					math.Max(math.Max(2*(execCyc+wait), perOp), 2*perOp/smtOverlap)
+		}
+		if serialCap := Frequency / serialService; tput > serialCap {
+			tput = serialCap
+		}
+	}
+
+	// Hot-leaf writer queueing (optimistic families, Zipfian skew).
+	if cfg.Sync == FamOptimistic && writeFrac > 0 {
+		hotShare := 0.05 // Zipf(0.99) mass on the hottest leaf's keys
+		service := leafWriteInstr/ipc + lockInstr + TransferLatency(p)
+		demandUtil := tput * hotShare * writeFrac * service / Frequency
+		if demandUtil > 1 {
+			tput /= demandUtil
+		}
+	}
+
+	// --- breakdown (Fig. 13) -------------------------------------------
+	// Categories are normalized to the measured cycles/op (logical-core
+	// cycles, which is what perf attributes).
+	traverseShare := visits * (searchInstr + visitMgmtInstr) / ipc
+	bd := Breakdown{
+		Traverse:  traverseShare + stalls*0.82,
+		Operation: opWorkInstr/ipc + stalls*0.18,
+		Prefetch:  prefetchCyc,
+		Sync:      syncCyc + coherence,
+		Runtime:   runtimeCyc,
+		System:    40,
+		Other:     90,
+	}
+	cyclesPerOp := float64(cores) * Frequency / tput
+	bd = bd.Scale(cyclesPerOp / bd.Total())
+
+	return Result{
+		Cores:          cores,
+		ThroughputMops: tput / 1e6,
+		CyclesPerOp:    cyclesPerOp,
+		Breakdown:      bd,
+		StallsPerOp:    stallCyc,
+		InstrPerOp:     instr,
+	}
+}
+
+// hotWriters estimates how many cores concurrently write the hottest
+// object under a Zipfian write mix.
+func hotWriters(p Placement, writeFrac float64) float64 {
+	return 1 + float64(p.N-1)*writeFrac*0.08
+}
+
+// familySync computes synchronization cycles per op and the serialization
+// service time (cycles of exclusive bottleneck occupancy per op) for the
+// three task/thread systems under the configured family.
+func familySync(cfg TreeConfig, p Placement, visits, writeFrac float64) (syncCyc, serialService float64) {
+	n := float64(p.N)
+	switch cfg.Sync {
+	case FamSerialized:
+		if cfg.System == SysMxTasking {
+			// Synchronization by scheduling: producers xchg into the
+			// root's pool (one contended line); the owning worker
+			// executes all root visits serially.
+			push := contendedCAS(n, p) * 0.4 // xchg, no retry loop
+			syncCyc = push + (visits-1)*contendedCAS(1.3, p)
+			// Root service: pop, pull the producer-written task line,
+			// execute the root step, spawn the follow-up.
+			serialService = (taskPoolInstr+searchInstr+visitMgmtInstr+taskSpawnInstr)/ipc +
+				40 + // pool bookkeeping + annotation dispatch at the root
+				2*TransferLatency(p)
+		} else {
+			// Spinlocks on every node; the root latch degrades with
+			// waiters (test-and-set storm on the lock line).
+			perVisit := 2*20.0 + lockInstr/ipc // two atomics + code
+			syncCyc = visits*perVisit + contendedCAS(n, p)
+			handoff := TransferLatency(p) * (1 + 0.5*n)
+			serialService = (searchInstr+visitMgmtInstr)/ipc + handoff
+			if cfg.System == SysTBB {
+				serialService += 40 // scheduler work interleaves with lock hold
+			}
+		}
+	case FamRWLatch:
+		if cfg.System == SysTBB {
+			// HTM elision: readers never write the lock word; only
+			// writers pay, plus an abort-retry tax.
+			syncCyc = writeFrac*(contendedCAS(hotWriters(p, writeFrac), p)+lockInstr/ipc) +
+				visits*6 + // transaction begin/end amortized
+				writeFrac*90 // abort/retry share
+		} else {
+			// Every reader RMWs each node's latch word; the root's
+			// word is shared by all cores — the "keeping the latch
+			// variable coherent" cost of §6.4. Cross-socket storms
+			// are superlinear.
+			rootCAS := contendedCAS(n, p)
+			if p.Sockets > 1 {
+				rootCAS *= 1.4
+			}
+			if cfg.System == SysMxTasking {
+				// Batch execution keeps the root latch line
+				// locally cached across consecutive tasks.
+				rootCAS *= 0.45
+			}
+			innerCAS := contendedCAS(1.2, p) * (visits - 1)
+			syncCyc = rootCAS + innerCAS + visits*lockInstr/ipc +
+				writeFrac*contendedCAS(hotWriters(p, writeFrac), p)
+		}
+	case FamOptimistic:
+		// Readers validate versions (pure reads of shared lines);
+		// writers latch the leaf. MxTasking's writers to inner nodes
+		// go through scheduling; leaf writers use the version latch.
+		syncCyc = visits*validateInstr/ipc +
+			writeFrac*(lockInstr/ipc+contendedCAS(hotWriters(p, writeFrac), p))
+		// Retries: proportional to writer overlap on hot nodes.
+		retryRate := writeFrac * 0.02 * math.Min(n/12, 2)
+		syncCyc += retryRate * (visits * searchInstr / ipc)
+	}
+	return syncCyc, serialService
+}

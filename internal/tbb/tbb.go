@@ -1,0 +1,147 @@
+// Package tbb implements a work-stealing task runtime in the mould of
+// Intel Threading Building Blocks, the second baseline of the paper's
+// comparison (§6.4). Each worker owns a Chase–Lev-style deque; owners
+// execute LIFO (cache-warm), idle workers steal FIFO from random victims.
+//
+// Unlike MxTasking, this runtime has no annotations: synchronization is the
+// application's problem (the paper: "Like TBB, StarPU leaves the
+// synchronization to the user"), and there is no data-object prefetching.
+package tbb
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"mxtasking/internal/queue"
+)
+
+// Task is a unit of work.
+type Task func()
+
+// Runtime is a fixed-size work-stealing thread pool.
+type Runtime struct {
+	deques  []*queue.Deque[Task]
+	wg      sync.WaitGroup
+	stopped atomic.Bool
+	started atomic.Bool
+	pending atomic.Int64
+	spawnRR atomic.Uint64
+	rngs    []uint64
+
+	// Steals counts successful steals, for the runtime-overhead
+	// discussion around Figure 13.
+	Steals atomic.Uint64
+}
+
+// New creates a runtime with the given worker count (GOMAXPROCS if <= 0).
+func New(workers int) *Runtime {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	rt := &Runtime{
+		deques: make([]*queue.Deque[Task], workers),
+		rngs:   make([]uint64, workers),
+	}
+	for i := range rt.deques {
+		rt.deques[i] = queue.NewDeque[Task](256)
+		rt.rngs[i] = uint64(i)*0x9e3779b97f4a7c15 + 1
+	}
+	return rt
+}
+
+// Workers returns the worker count.
+func (rt *Runtime) Workers() int { return len(rt.deques) }
+
+// Start launches the workers.
+func (rt *Runtime) Start() {
+	if rt.started.Swap(true) {
+		panic("tbb: Runtime started twice")
+	}
+	for i := range rt.deques {
+		rt.wg.Add(1)
+		go rt.run(i)
+	}
+}
+
+// Stop shuts the workers down after their current task.
+func (rt *Runtime) Stop() {
+	if !rt.started.Load() || rt.stopped.Swap(true) {
+		return
+	}
+	rt.wg.Wait()
+}
+
+// Spawn submits a task from outside the pool (round-robin placement).
+func (rt *Runtime) Spawn(t Task) {
+	rt.pending.Add(1)
+	i := int(rt.spawnRR.Add(1)-1) % len(rt.deques)
+	rt.deques[i].PushBottom(t)
+}
+
+// SpawnAt submits a task to a specific worker's deque. The placement is a
+// hint: thieves may still run it elsewhere.
+func (rt *Runtime) SpawnAt(worker int, t Task) {
+	rt.pending.Add(1)
+	rt.deques[worker%len(rt.deques)].PushBottom(t)
+}
+
+// Drain blocks until all spawned tasks completed.
+func (rt *Runtime) Drain() {
+	for rt.pending.Load() > 0 {
+		runtime.Gosched()
+	}
+}
+
+// Pending returns the number of incomplete tasks.
+func (rt *Runtime) Pending() int64 { return rt.pending.Load() }
+
+func (rt *Runtime) nextVictim(self int) int {
+	r := splitmix64(&rt.rngs[self])
+	v := int(r % uint64(len(rt.deques)))
+	if v == self {
+		v = (v + 1) % len(rt.deques)
+	}
+	return v
+}
+
+func splitmix64(state *uint64) uint64 {
+	*state += 0x9e3779b97f4a7c15
+	z := *state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+func (rt *Runtime) run(self int) {
+	defer rt.wg.Done()
+	own := rt.deques[self]
+	for {
+		if rt.stopped.Load() {
+			return
+		}
+		if t, ok := own.PopBottom(); ok {
+			t()
+			rt.pending.Add(-1)
+			continue
+		}
+		// Steal: a few random victims per idle round.
+		stole := false
+		for attempt := 0; attempt < 2*len(rt.deques); attempt++ {
+			v := rt.nextVictim(self)
+			if t, ok := rt.deques[v].Steal(); ok {
+				rt.Steals.Add(1)
+				t()
+				rt.pending.Add(-1)
+				stole = true
+				break
+			}
+		}
+		if !stole {
+			if rt.stopped.Load() {
+				return
+			}
+			runtime.Gosched()
+		}
+	}
+}

@@ -1,0 +1,63 @@
+// Package tpch generates synthetic customer and orders tables shaped like
+// the TPC-H tables the paper joins in its task-granularity experiment
+// (§5.3, Figure 9). The paper used scale factor 100 (15 M customers,
+// 150 M orders); the generator preserves the 1:10 customer:order ratio and
+// key distribution at any scale, which is what the granularity experiment
+// depends on.
+package tpch
+
+// Customer is a row of the CUSTOMER table (joined columns only).
+type Customer struct {
+	CustKey   uint64
+	NationKey uint8
+}
+
+// Order is a row of the ORDERS table (joined columns only).
+type Order struct {
+	OrderKey uint64
+	CustKey  uint64
+}
+
+// OrdersPerCustomer is TPC-H's fixed ratio.
+const OrdersPerCustomer = 10
+
+func splitmix64(state *uint64) uint64 {
+	*state += 0x9e3779b97f4a7c15
+	z := *state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Customers deterministically generates n customer rows.
+func Customers(n int, seed uint64) []Customer {
+	rows := make([]Customer, n)
+	rng := seed ^ 0xc057
+	for i := range rows {
+		rows[i] = Customer{
+			CustKey:   uint64(i + 1),
+			NationKey: uint8(splitmix64(&rng) % 25),
+		}
+	}
+	return rows
+}
+
+// Orders deterministically generates n order rows over `customers`
+// customer keys. Like TPC-H, a third of customers place no orders: order
+// custkeys are drawn from the first 2/3 of the key space, each roughly
+// OrdersPerCustomer·1.5 times.
+func Orders(n, customers int, seed uint64) []Order {
+	rows := make([]Order, n)
+	rng := seed ^ 0x0d0e5
+	active := uint64(customers) * 2 / 3
+	if active == 0 {
+		active = 1
+	}
+	for i := range rows {
+		rows[i] = Order{
+			OrderKey: uint64(i + 1),
+			CustKey:  splitmix64(&rng)%active + 1,
+		}
+	}
+	return rows
+}

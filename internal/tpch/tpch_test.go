@@ -1,0 +1,101 @@
+package tpch
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestCustomersShape(t *testing.T) {
+	rows := Customers(1000, 42)
+	if len(rows) != 1000 {
+		t.Fatalf("len = %d", len(rows))
+	}
+	for i, c := range rows {
+		if c.CustKey != uint64(i+1) {
+			t.Fatalf("row %d custkey = %d", i, c.CustKey)
+		}
+		if c.NationKey >= 25 {
+			t.Fatalf("nation key %d outside TPC-H's 25 nations", c.NationKey)
+		}
+	}
+}
+
+func TestOrdersActiveCustomerRange(t *testing.T) {
+	const customers = 900
+	rows := Orders(9000, customers, 7)
+	active := uint64(customers) * 2 / 3
+	for _, o := range rows {
+		if o.CustKey < 1 || o.CustKey > active {
+			t.Fatalf("custkey %d outside active range [1,%d] (TPC-H: a third of customers place no orders)",
+				o.CustKey, active)
+		}
+	}
+	// Order keys are dense and unique.
+	for i, o := range rows {
+		if o.OrderKey != uint64(i+1) {
+			t.Fatalf("order key %d at row %d", o.OrderKey, i)
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a := Orders(5000, 500, 9)
+	b := Orders(5000, 500, 9)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same-seed order streams diverge")
+		}
+	}
+	c := Orders(5000, 500, 10)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical streams")
+	}
+}
+
+func TestOrdersCoverActiveCustomers(t *testing.T) {
+	// With 10 orders per active customer on average, nearly all active
+	// customers should appear.
+	const customers = 300
+	rows := Orders(customers*OrdersPerCustomer, customers, 3)
+	seen := map[uint64]bool{}
+	for _, o := range rows {
+		seen[o.CustKey] = true
+	}
+	active := customers * 2 / 3
+	if len(seen) < active*8/10 {
+		t.Fatalf("only %d of %d active customers received orders", len(seen), active)
+	}
+}
+
+func TestTinyInputs(t *testing.T) {
+	if got := Customers(0, 1); len(got) != 0 {
+		t.Fatal("Customers(0) not empty")
+	}
+	if got := Orders(0, 0, 1); len(got) != 0 {
+		t.Fatal("Orders(0) not empty")
+	}
+	// customers==0 must not divide by zero.
+	rows := Orders(10, 0, 1)
+	for _, o := range rows {
+		if o.CustKey != 1 {
+			t.Fatal("zero-customer orders must fall back to custkey 1")
+		}
+	}
+}
+
+func TestQuickScale(t *testing.T) {
+	f := func(n uint16, seed uint64) bool {
+		rows := Orders(int(n%2000), int(n%500)+1, seed)
+		return len(rows) == int(n%2000)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

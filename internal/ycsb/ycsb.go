@@ -1,0 +1,254 @@
+// Package ycsb generates Yahoo! Cloud Serving Benchmark workloads as used
+// in the paper's evaluation (§6.1): workload A (50 % reads / 50 % updates),
+// workload C (read-only), and the insert-only load phase, all over a
+// Zipfian-distributed key space. Operations are handed out in batches of
+// 500, mirroring the paper's request distribution scheme.
+package ycsb
+
+import "sync/atomic"
+
+// OpKind is a single benchmark operation type.
+type OpKind uint8
+
+const (
+	// OpInsert adds a new record (load phase).
+	OpInsert OpKind = iota
+	// OpRead looks up an existing record.
+	OpRead
+	// OpUpdate overwrites an existing record.
+	OpUpdate
+	// OpScan reads a short sorted range (workload E).
+	OpScan
+)
+
+// String names the op kind.
+func (k OpKind) String() string {
+	switch k {
+	case OpInsert:
+		return "insert"
+	case OpRead:
+		return "read"
+	case OpUpdate:
+		return "update"
+	case OpScan:
+		return "scan"
+	default:
+		return "invalid"
+	}
+}
+
+// Op is one generated operation.
+type Op struct {
+	Kind  OpKind
+	Key   uint64
+	Value uint64
+	// ScanLen is the record count of an OpScan (workload E).
+	ScanLen int
+}
+
+// Workload names the paper's measured workloads.
+type Workload int
+
+const (
+	// WorkloadInsert is the load phase: insert-only, sequential-random
+	// keys ("Insert results correlate to the initialization phase of
+	// workload A").
+	WorkloadInsert Workload = iota
+	// WorkloadA is 50 % reads / 50 % updates, Zipfian.
+	WorkloadA
+	// WorkloadC is read-only, Zipfian.
+	WorkloadC
+	// WorkloadB is 95 % reads / 5 % updates, Zipfian.
+	WorkloadB
+	// WorkloadD reads mostly the latest inserted records while new
+	// records keep arriving (5 % inserts / 95 % reads, skewed toward
+	// recency).
+	WorkloadD
+	// WorkloadE is 95 % short scans / 5 % inserts.
+	WorkloadE
+)
+
+// String names the workload as in the paper's figures.
+func (w Workload) String() string {
+	switch w {
+	case WorkloadInsert:
+		return "Insert only"
+	case WorkloadA:
+		return "Read/Update"
+	case WorkloadC:
+		return "Read only"
+	case WorkloadB:
+		return "Read mostly"
+	case WorkloadD:
+		return "Read latest"
+	case WorkloadE:
+		return "Short ranges"
+	default:
+		return "invalid"
+	}
+}
+
+// DefaultBatchSize is the paper's request batch ("batches of 500 requests
+// at a time").
+const DefaultBatchSize = 500
+
+// DefaultZipfTheta is YCSB's standard skew parameter.
+const DefaultZipfTheta = 0.99
+
+// splitmix64 is a tiny, fast, deterministic PRNG step.
+func splitmix64(state *uint64) uint64 {
+	*state += 0x9e3779b97f4a7c15
+	z := *state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Generator produces a deterministic operation stream for one workload.
+// It is not safe for concurrent use; create one per driver thread or use
+// Batches for shared consumption.
+type Generator struct {
+	workload Workload
+	records  uint64
+	zipf     *Zipf
+	rng      uint64
+	inserted uint64
+}
+
+// NewGenerator creates a generator over a key space of `records` keys.
+// For WorkloadInsert, keys are a deterministic permutation-ish scramble of
+// 0..records-1 (unique). For the other workloads, keys follow the Zipfian
+// distribution over the loaded records (workload D skews the ranks toward
+// recently inserted records instead).
+func NewGenerator(workload Workload, records uint64, seed uint64) *Generator {
+	g := &Generator{workload: workload, records: records, rng: seed ^ 0xabcdef}
+	if workload != WorkloadInsert {
+		g.zipf = NewZipf(records, DefaultZipfTheta, seed)
+	}
+	if workload == WorkloadD {
+		g.inserted = records // D keeps inserting past the loaded set
+	}
+	return g
+}
+
+// ScrambleKey maps a sequential record id to the stored key, spreading
+// inserts across the key space (YCSB's hashed insert order).
+func ScrambleKey(id uint64) uint64 {
+	s := id
+	return splitmix64(&s)
+}
+
+// Next returns the next operation.
+func (g *Generator) Next() Op {
+	switch g.workload {
+	case WorkloadInsert:
+		id := g.inserted
+		g.inserted++
+		if g.inserted >= g.records {
+			g.inserted = 0 // wrap: keep the stream infinite
+		}
+		return Op{Kind: OpInsert, Key: ScrambleKey(id), Value: id}
+	case WorkloadA:
+		key := ScrambleKey(g.zipf.Next())
+		if splitmix64(&g.rng)&1 == 0 {
+			return Op{Kind: OpRead, Key: key}
+		}
+		return Op{Kind: OpUpdate, Key: key, Value: splitmix64(&g.rng)}
+	case WorkloadB:
+		key := ScrambleKey(g.zipf.Next())
+		if splitmix64(&g.rng)%100 < 5 {
+			return Op{Kind: OpUpdate, Key: key, Value: splitmix64(&g.rng)}
+		}
+		return Op{Kind: OpRead, Key: key}
+	case WorkloadD:
+		if splitmix64(&g.rng)%100 < 5 {
+			id := g.inserted
+			g.inserted++
+			return Op{Kind: OpInsert, Key: ScrambleKey(id), Value: id}
+		}
+		// Read latest: the Zipf rank counts back from the newest
+		// record.
+		rank := g.zipf.Next()
+		if rank >= g.inserted {
+			rank = g.inserted - 1
+		}
+		return Op{Kind: OpRead, Key: ScrambleKey(g.inserted - 1 - rank)}
+	case WorkloadE:
+		if splitmix64(&g.rng)%100 < 5 {
+			id := g.inserted
+			g.inserted++
+			if g.inserted >= g.records {
+				g.inserted = 0
+			}
+			return Op{Kind: OpInsert, Key: ScrambleKey(id), Value: id}
+		}
+		return Op{
+			Kind:    OpScan,
+			Key:     ScrambleKey(g.zipf.Next()),
+			ScanLen: int(splitmix64(&g.rng)%100) + 1, // YCSB: uniform 1..100
+		}
+	default: // WorkloadC
+		return Op{Kind: OpRead, Key: ScrambleKey(g.zipf.Next())}
+	}
+}
+
+// Fill appends n operations to dst and returns it.
+func (g *Generator) Fill(dst []Op, n int) []Op {
+	for i := 0; i < n; i++ {
+		dst = append(dst, g.Next())
+	}
+	return dst
+}
+
+// Batches pre-generates a fixed operation stream and hands it out in
+// batches through an atomic cursor, the way the paper's drivers acquire
+// work packages from a global list with an atomic integer (§6.1).
+type Batches struct {
+	ops    []Op
+	batch  int
+	cursor atomic.Uint64
+}
+
+// NewBatches materializes totalOps operations from the generator, split
+// into batches of batchSize (500 if <= 0).
+func NewBatches(g *Generator, totalOps, batchSize int) *Batches {
+	if batchSize <= 0 {
+		batchSize = DefaultBatchSize
+	}
+	b := &Batches{batch: batchSize}
+	b.ops = g.Fill(make([]Op, 0, totalOps), totalOps)
+	return b
+}
+
+// Next returns the next batch, or nil when the stream is exhausted. Safe
+// for concurrent use.
+func (b *Batches) Next() []Op {
+	for {
+		cur := b.cursor.Load()
+		if int(cur) >= len(b.ops) {
+			return nil
+		}
+		end := cur + uint64(b.batch)
+		if int(end) > len(b.ops) {
+			end = uint64(len(b.ops))
+		}
+		if b.cursor.CompareAndSwap(cur, end) {
+			return b.ops[cur:end]
+		}
+	}
+}
+
+// Remaining reports how many operations have not been handed out yet.
+func (b *Batches) Remaining() int {
+	cur := int(b.cursor.Load())
+	if cur >= len(b.ops) {
+		return 0
+	}
+	return len(b.ops) - cur
+}
+
+// Len returns the total number of operations.
+func (b *Batches) Len() int { return len(b.ops) }
+
+// Reset rewinds the stream (single-threaded use only).
+func (b *Batches) Reset() { b.cursor.Store(0) }

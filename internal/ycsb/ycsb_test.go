@@ -1,0 +1,282 @@
+package ycsb
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestInsertWorkloadKeysUnique(t *testing.T) {
+	g := NewGenerator(WorkloadInsert, 10000, 1)
+	seen := make(map[uint64]bool)
+	for i := 0; i < 10000; i++ {
+		op := g.Next()
+		if op.Kind != OpInsert {
+			t.Fatalf("op %d kind = %v, want insert", i, op.Kind)
+		}
+		if seen[op.Key] {
+			t.Fatalf("duplicate insert key %d", op.Key)
+		}
+		seen[op.Key] = true
+	}
+}
+
+func TestWorkloadAMix(t *testing.T) {
+	g := NewGenerator(WorkloadA, 1000, 42)
+	reads, updates := 0, 0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		switch g.Next().Kind {
+		case OpRead:
+			reads++
+		case OpUpdate:
+			updates++
+		default:
+			t.Fatal("unexpected op kind in workload A")
+		}
+	}
+	ratio := float64(reads) / float64(n)
+	if ratio < 0.48 || ratio > 0.52 {
+		t.Fatalf("read ratio = %.3f, want ~0.50", ratio)
+	}
+	_ = updates
+}
+
+func TestWorkloadCReadOnly(t *testing.T) {
+	g := NewGenerator(WorkloadC, 1000, 42)
+	for i := 0; i < 10000; i++ {
+		if op := g.Next(); op.Kind != OpRead {
+			t.Fatalf("workload C produced %v", op.Kind)
+		}
+	}
+}
+
+func TestWorkloadKeysComeFromLoadedSet(t *testing.T) {
+	const records = 5000
+	loaded := make(map[uint64]bool, records)
+	g := NewGenerator(WorkloadInsert, records, 1)
+	for i := 0; i < records; i++ {
+		loaded[g.Next().Key] = true
+	}
+	a := NewGenerator(WorkloadA, records, 99)
+	for i := 0; i < 20000; i++ {
+		if op := a.Next(); !loaded[op.Key] {
+			t.Fatalf("workload A key %d was never loaded", op.Key)
+		}
+	}
+}
+
+func TestZipfSkew(t *testing.T) {
+	const n = 10000
+	z := NewZipf(n, DefaultZipfTheta, 7)
+	counts := make(map[uint64]int)
+	const draws = 200000
+	for i := 0; i < draws; i++ {
+		r := z.Next()
+		if r >= n {
+			t.Fatalf("rank %d out of range", r)
+		}
+		counts[r]++
+	}
+	// Zipf(0.99): the hottest item should receive a large share; the top
+	// 10 items together far more than a uniform 10/n share.
+	top10 := 0
+	for r := uint64(0); r < 10; r++ {
+		top10 += counts[r]
+	}
+	share := float64(top10) / draws
+	if share < 0.05 {
+		t.Fatalf("top-10 share = %.4f, want >> uniform share %.4f (distribution not skewed)",
+			share, 10.0/n)
+	}
+	// Monotone-ish decay: rank 0 should beat rank 100 and rank 1000.
+	if counts[0] <= counts[100] || counts[0] <= counts[1000] {
+		t.Fatalf("rank frequencies not decaying: c0=%d c100=%d c1000=%d",
+			counts[0], counts[100], counts[1000])
+	}
+}
+
+func TestZipfDeterministic(t *testing.T) {
+	a := NewZipf(1000, 0.99, 5)
+	b := NewZipf(1000, 0.99, 5)
+	for i := 0; i < 1000; i++ {
+		if a.Next() != b.Next() {
+			t.Fatal("same-seed generators diverged")
+		}
+	}
+}
+
+func TestZipfThetaEffect(t *testing.T) {
+	// Higher theta = more skew: top-1 share must increase with theta.
+	share := func(theta float64) float64 {
+		z := NewZipf(10000, theta, 3)
+		hot := 0
+		const draws = 50000
+		for i := 0; i < draws; i++ {
+			if z.Next() == 0 {
+				hot++
+			}
+		}
+		return float64(hot) / draws
+	}
+	if !(share(0.5) < share(0.99)) {
+		t.Fatal("skew does not increase with theta")
+	}
+}
+
+func TestZetaSmall(t *testing.T) {
+	// H_{3,1->0.999..}: zeta(3, 0) = 3; zeta(1, x) = 1.
+	if got := zeta(1, 0.99); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("zeta(1) = %v", got)
+	}
+	if got := zeta(3, 0); math.Abs(got-3) > 1e-12 {
+		t.Fatalf("zeta(3,0) = %v", got)
+	}
+}
+
+func TestBatchesHandOutEverythingOnce(t *testing.T) {
+	g := NewGenerator(WorkloadC, 100, 1)
+	b := NewBatches(g, 5000, 500)
+	if b.Len() != 5000 {
+		t.Fatalf("Len = %d", b.Len())
+	}
+	var mu sync.Mutex
+	total := 0
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				batch := b.Next()
+				if batch == nil {
+					return
+				}
+				mu.Lock()
+				total += len(batch)
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	if total != 5000 {
+		t.Fatalf("consumed %d ops, want 5000 (batches lost or duplicated)", total)
+	}
+	if b.Remaining() != 0 {
+		t.Fatalf("Remaining = %d after exhaustion", b.Remaining())
+	}
+}
+
+func TestBatchesSizes(t *testing.T) {
+	g := NewGenerator(WorkloadC, 100, 1)
+	b := NewBatches(g, 1234, 500)
+	sizes := []int{}
+	for {
+		batch := b.Next()
+		if batch == nil {
+			break
+		}
+		sizes = append(sizes, len(batch))
+	}
+	want := []int{500, 500, 234}
+	if len(sizes) != len(want) {
+		t.Fatalf("batch count = %d, want %d", len(sizes), len(want))
+	}
+	for i := range want {
+		if sizes[i] != want[i] {
+			t.Fatalf("batch %d size = %d, want %d", i, sizes[i], want[i])
+		}
+	}
+}
+
+func TestScrambleKeyInjectiveQuick(t *testing.T) {
+	f := func(a, b uint64) bool {
+		if a == b {
+			return true
+		}
+		return ScrambleKey(a) != ScrambleKey(b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStrings(t *testing.T) {
+	if WorkloadA.String() != "Read/Update" || WorkloadC.String() != "Read only" || WorkloadInsert.String() != "Insert only" {
+		t.Fatal("workload names drifted from the paper's figure labels")
+	}
+	if OpRead.String() != "read" || OpUpdate.String() != "update" || OpInsert.String() != "insert" {
+		t.Fatal("op kind names broken")
+	}
+}
+
+func TestWorkloadBMix(t *testing.T) {
+	g := NewGenerator(WorkloadB, 1000, 11)
+	reads, updates := 0, 0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		switch g.Next().Kind {
+		case OpRead:
+			reads++
+		case OpUpdate:
+			updates++
+		default:
+			t.Fatal("unexpected kind in workload B")
+		}
+	}
+	ratio := float64(updates) / n
+	if ratio < 0.04 || ratio > 0.06 {
+		t.Fatalf("update ratio = %.3f, want ~0.05", ratio)
+	}
+}
+
+func TestWorkloadDReadsLatest(t *testing.T) {
+	const records = 10000
+	g := NewGenerator(WorkloadD, records, 13)
+	// Track the most recent insert ids; reads should cluster near them.
+	recentReads, totalReads := 0, 0
+	inserted := uint64(records)
+	for i := 0; i < 50000; i++ {
+		op := g.Next()
+		switch op.Kind {
+		case OpInsert:
+			inserted++
+		case OpRead:
+			totalReads++
+			// Was this one of the 100 newest records at read time?
+			for back := uint64(0); back < 100 && back < inserted; back++ {
+				if op.Key == ScrambleKey(inserted-1-back) {
+					recentReads++
+					break
+				}
+			}
+		}
+	}
+	share := float64(recentReads) / float64(totalReads)
+	if share < 0.3 {
+		t.Fatalf("only %.2f of reads hit the 100 newest records; workload D must favour recency", share)
+	}
+}
+
+func TestWorkloadEScans(t *testing.T) {
+	g := NewGenerator(WorkloadE, 1000, 17)
+	scans, inserts := 0, 0
+	for i := 0; i < 20000; i++ {
+		op := g.Next()
+		switch op.Kind {
+		case OpScan:
+			scans++
+			if op.ScanLen < 1 || op.ScanLen > 100 {
+				t.Fatalf("scan length %d outside YCSB's 1..100", op.ScanLen)
+			}
+		case OpInsert:
+			inserts++
+		default:
+			t.Fatal("unexpected kind in workload E")
+		}
+	}
+	if ratio := float64(inserts) / 20000; ratio < 0.04 || ratio > 0.06 {
+		t.Fatalf("insert ratio = %.3f, want ~0.05", ratio)
+	}
+}

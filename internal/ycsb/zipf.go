@@ -1,0 +1,57 @@
+package ycsb
+
+import "math"
+
+// Zipf generates Zipfian-distributed values in [0, n) using the standard
+// YCSB/Gray et al. rejection-free inversion method. Rank 0 is the hottest
+// item. Deterministic for a given seed; not safe for concurrent use.
+type Zipf struct {
+	n     uint64
+	theta float64
+	alpha float64
+	zetan float64
+	eta   float64
+	rng   uint64
+}
+
+// NewZipf creates a generator over n items with skew theta (YCSB default
+// 0.99). theta must be in (0, 1).
+func NewZipf(n uint64, theta float64, seed uint64) *Zipf {
+	if n == 0 {
+		n = 1
+	}
+	z := &Zipf{n: n, theta: theta, rng: seed ^ 0x5eed}
+	z.zetan = zeta(n, theta)
+	z.alpha = 1.0 / (1.0 - theta)
+	zeta2 := zeta(2, theta)
+	z.eta = (1 - math.Pow(2.0/float64(n), 1-theta)) / (1 - zeta2/z.zetan)
+	return z
+}
+
+// zeta computes the generalized harmonic number H_{n,theta}. For the large
+// n used in benchmarks this is the dominant setup cost; it runs once per
+// generator.
+func zeta(n uint64, theta float64) float64 {
+	sum := 0.0
+	for i := uint64(1); i <= n; i++ {
+		sum += 1.0 / math.Pow(float64(i), theta)
+	}
+	return sum
+}
+
+// Next returns the next Zipfian-distributed rank in [0, n).
+func (z *Zipf) Next() uint64 {
+	u := float64(splitmix64(&z.rng)>>11) / float64(1<<53) // uniform in [0,1)
+	uz := u * z.zetan
+	if uz < 1.0 {
+		return 0
+	}
+	if uz < 1.0+math.Pow(0.5, z.theta) {
+		return 1
+	}
+	rank := uint64(float64(z.n) * math.Pow(z.eta*u-z.eta+1, z.alpha))
+	if rank >= z.n {
+		rank = z.n - 1
+	}
+	return rank
+}
