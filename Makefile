@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench figures verify dat clean
+.PHONY: all build vet test race bench ci figures verify dat clean
 
 all: build vet test
 
@@ -17,14 +17,25 @@ test:
 
 # Race-detect the packages designed to be race-free. The optimistic index
 # structures intentionally perform validated racy reads (seqlock pattern)
-# and are excluded by design; see README "Status".
+# and are excluded by design; see README "Status". kvstore and wal are
+# included: under `-race` the store selects the serialized tree mode
+# (internal/kvstore/treemode_race.go), which is data-race-free by
+# construction.
 race:
 	$(GO) test -race ./internal/mxtask ./internal/queue ./internal/latch \
 		./internal/epoch ./internal/alloc ./internal/tbb ./internal/metrics \
-		./internal/ycsb ./internal/tpch ./internal/hashjoin ./internal/sim
+		./internal/ycsb ./internal/tpch ./internal/hashjoin ./internal/sim \
+		./internal/wal ./internal/kvstore
 
 bench:
 	$(GO) test -bench=. -benchmem .
+
+# The gate run before merging: vet, full build, and race-detected tests
+# of the concurrency-critical packages (the WAL and the store it backs).
+ci:
+	$(GO) vet ./...
+	$(GO) build ./...
+	$(GO) test -race ./internal/wal ./internal/kvstore ./internal/queue ./internal/epoch
 
 figures:
 	$(GO) run ./cmd/mxbench

@@ -16,6 +16,7 @@ package mxtasking_test
 import (
 	"fmt"
 	"math"
+	"runtime"
 	"testing"
 
 	"mxtasking/internal/alloc"
@@ -29,6 +30,7 @@ import (
 	"mxtasking/internal/sim"
 	"mxtasking/internal/tbb"
 	"mxtasking/internal/tpch"
+	"mxtasking/internal/wal"
 	"mxtasking/internal/ycsb"
 )
 
@@ -430,6 +432,98 @@ func BenchmarkSimAllFigures(b *testing.B) {
 	if math.IsNaN(total) {
 		b.Fatal("NaN in simulation")
 	}
+}
+
+// ---------------------------------------------------------------------
+// Durability — WAL append policies (DESIGN.md "Durability")
+// ---------------------------------------------------------------------
+
+// walBenchLog opens a fresh WAL on its own runtime for one sub-benchmark.
+func walBenchLog(b *testing.B, opts wal.Options) (*wal.Log, func()) {
+	b.Helper()
+	rt := mxtask.New(mxtask.Config{Workers: 4, EpochPolicy: epoch.Off, EpochInterval: -1})
+	rt.Start()
+	opts.Dir = b.TempDir()
+	log, err := wal.Open(rt, opts)
+	if err != nil {
+		rt.Stop()
+		b.Fatal(err)
+	}
+	return log, func() {
+		if err := log.Close(); err != nil {
+			b.Error(err)
+		}
+		rt.Stop()
+	}
+}
+
+// BenchmarkWALAppend contrasts the three durability policies: a serial
+// client that fsyncs every operation, concurrent producers under
+// scheduling-based group commit (one write + one fsync per drained
+// batch), and group commit without fsync. The group-commit variant
+// reports the achieved batch size and requires it to exceed one —
+// the whole point of running the log on an exclusive mxtask resource.
+func BenchmarkWALAppend(b *testing.B) {
+	b.Run("sync-every-op", func(b *testing.B) {
+		log, done := walBenchLog(b, wal.Options{})
+		defer done()
+		ch := make(chan error, 1)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			log.Append(wal.OpSet, uint64(i), uint64(i), func(err error) { ch <- err })
+			if err := <-ch; err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.SetBytes(wal.FrameSize)
+	})
+	b.Run("group-commit", func(b *testing.B) {
+		log, done := walBenchLog(b, wal.Options{})
+		defer done()
+		// Guarantee concurrent producers even on a single-core host:
+		// group commit needs overlapping appends to form batches.
+		b.SetParallelism(max(1, 8/runtime.GOMAXPROCS(0)))
+		b.ResetTimer()
+		b.RunParallel(func(pb *testing.PB) {
+			ch := make(chan error, 1)
+			var k uint64
+			for pb.Next() {
+				k++
+				log.Append(wal.OpSet, k, k, func(err error) { ch <- err })
+				if err := <-ch; err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.StopTimer()
+		avg := log.Metrics().AvgBatch()
+		b.ReportMetric(avg, "records/batch")
+		b.ReportMetric(float64(log.Metrics().MaxBatch.Load()), "max-batch")
+		// With concurrent producers the scheduler must coalesce appends;
+		// only meaningful once enough operations ran to form batches.
+		if b.N >= 256 && avg <= 1.0 {
+			b.Fatalf("group commit never batched: avg %.2f records/batch", avg)
+		}
+		b.SetBytes(wal.FrameSize)
+	})
+	b.Run("no-sync", func(b *testing.B) {
+		log, done := walBenchLog(b, wal.Options{NoSync: true})
+		defer done()
+		b.SetParallelism(max(1, 8/runtime.GOMAXPROCS(0)))
+		b.ResetTimer()
+		b.RunParallel(func(pb *testing.PB) {
+			ch := make(chan error, 1)
+			var k uint64
+			for pb.Next() {
+				k++
+				log.Append(wal.OpSet, k, k, func(err error) { ch <- err })
+				if err := <-ch; err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.SetBytes(wal.FrameSize)
+	})
 }
 
 // BenchmarkIndexInserts complements the Figure 12 lookup benchmarks with

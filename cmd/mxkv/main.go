@@ -5,8 +5,13 @@
 //
 // Example:
 //
-//	mxkv -addr 127.0.0.1:7070 -workers 4
+//	mxkv -addr 127.0.0.1:7070 -workers 4 -wal-dir /var/lib/mxkv -sync batch
 //	printf 'SET 1 42\nGET 1\nQUIT\n' | nc 127.0.0.1 7070
+//
+// With -wal-dir set, every SET/DEL reply is a durable ack: the record has
+// been written to the write-ahead log and fsynced (per the -sync policy)
+// before the reply is sent. Restarting mxkv with the same -wal-dir
+// recovers the store from the newest snapshot plus the log tail.
 package main
 
 import (
@@ -16,11 +21,45 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"strconv"
+	"time"
 
 	"mxtasking/internal/epoch"
 	"mxtasking/internal/kvstore"
 	"mxtasking/internal/mxtask"
+	"mxtasking/internal/wal"
 )
+
+// parseSyncPolicy maps the -sync flag onto WAL options:
+//
+//	"batch"    fsync once per group-commit batch (default, strongest)
+//	"none"     no fsync; acks mean "written", not "durable"
+//	an integer fsync after that many unsynced records (e.g. -sync 64)
+//	a duration fsync at least that often (e.g. -sync 5ms)
+func parseSyncPolicy(s string, d *kvstore.Durability) error {
+	switch s {
+	case "batch", "":
+		return nil
+	case "none":
+		d.NoSync = true
+		return nil
+	}
+	if n, err := strconv.Atoi(s); err == nil {
+		if n <= 0 {
+			return fmt.Errorf("-sync count must be positive, got %d", n)
+		}
+		d.SyncEvery = n
+		return nil
+	}
+	if iv, err := time.ParseDuration(s); err == nil {
+		if iv <= 0 {
+			return fmt.Errorf("-sync interval must be positive, got %v", iv)
+		}
+		d.SyncInterval = iv
+		return nil
+	}
+	return fmt.Errorf("-sync must be batch, none, a record count, or a duration; got %q", s)
+}
 
 func main() {
 	var (
@@ -28,6 +67,10 @@ func main() {
 		workers  = flag.Int("workers", runtime.GOMAXPROCS(0), "worker count")
 		distance = flag.Int("prefetch", 2, "prefetch distance (0 disables)")
 		pin      = flag.Bool("pin", false, "pin workers to OS threads")
+		walDir   = flag.String("wal-dir", "", "write-ahead log directory (empty = in-memory, no durability)")
+		syncMode = flag.String("sync", "batch", "fsync policy: batch | none | <count> | <duration>")
+		segBytes = flag.Int64("segment-bytes", 0, "WAL segment size cap in bytes (0 = default 64MiB)")
+		snapEvry = flag.Uint64("snapshot-every", 0, "checkpoint after this many logged records (0 = manual only)")
 	)
 	flag.Parse()
 
@@ -40,7 +83,27 @@ func main() {
 	rt.Start()
 	defer rt.Stop()
 
-	store := kvstore.New(rt)
+	var store *kvstore.Store
+	if *walDir != "" {
+		d := kvstore.Durability{
+			Dir:           *walDir,
+			SegmentBytes:  *segBytes,
+			SnapshotEvery: *snapEvry,
+		}
+		if err := parseSyncPolicy(*syncMode, &d); err != nil {
+			log.Fatal(err)
+		}
+		var stats wal.ReplayStats
+		var err error
+		store, stats, err = kvstore.Open(rt, d)
+		if err != nil {
+			log.Fatalf("mxkv: recovery: %v", err)
+		}
+		fmt.Printf("mxkv: recovered from %s: %s\n", *walDir, stats)
+	} else {
+		store = kvstore.New(rt)
+	}
+
 	srv, err := kvstore.NewServer(store, *addr)
 	if err != nil {
 		log.Fatal(err)
@@ -53,6 +116,12 @@ func main() {
 	fmt.Println("\nmxkv: shutting down")
 	if err := srv.Close(); err != nil {
 		log.Printf("mxkv: close: %v", err)
+	}
+	if store.Durable() {
+		if err := store.Close(); err != nil {
+			log.Printf("mxkv: wal close: %v", err)
+		}
+		fmt.Printf("mxkv: wal %s\n", store.WALMetrics())
 	}
 	st := store.Stats()
 	fmt.Printf("mxkv: served %d gets, %d sets, %d dels\n", st.Gets, st.Sets, st.Dels)

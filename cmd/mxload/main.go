@@ -70,7 +70,7 @@ func main() {
 	default:
 	}
 	fmt.Printf("workload %s: %.0f ops/s over %d ops (%s)\n",
-		w, tp.PerSecond(), tp.Ops(), hist.String())
+		w, tp.PerSecond(), tp.Ops(), hist.Summary())
 }
 
 // loadPhase inserts the records, sharded across client connections.

@@ -69,6 +69,16 @@ type Op struct {
 	// operation completes. Spawns inside optimistic reads are buffered
 	// by the runtime, so Done fires exactly once.
 	Done mxtask.Func
+
+	// Commit, when non-nil on a writing operation, runs synchronously in
+	// the leaf task immediately after the write applies, while the
+	// worker still holds the leaf's write synchronization. Two writes to
+	// the same key are therefore observed by their Commit hooks in apply
+	// order — the property the WAL relies on to keep log order and
+	// memory order consistent per key. Must not be set on lookups:
+	// optimistic read bodies may re-execute, and a Commit side effect
+	// would fire once per attempt.
+	Commit func(o *Op)
 }
 
 type opKind uint8
@@ -318,6 +328,9 @@ func (o *Op) runLeaf(ctx *mxtask.Context, leaf *Node) {
 			}
 			t.startLink(ctx, sep, right, leaf.level+1)
 		}
+	}
+	if o.Commit != nil && o.kind != opLookup {
+		o.Commit(o)
 	}
 	if o.Done != nil {
 		done := ctx.NewTask(o.Done, o)

@@ -8,6 +8,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"time"
 
 	"mxtasking/internal/blinktree"
 )
@@ -29,10 +30,14 @@ import (
 // MxTask chain; the connection handler blocks per request (no pipelining),
 // which keeps responses ordered.
 type Server struct {
-	store *Store
-	ln    net.Listener
-	wg    sync.WaitGroup
-	done  chan struct{}
+	store  *Store
+	ln     net.Listener
+	wg     sync.WaitGroup
+	done   chan struct{}
+	closed bool
+
+	mu    sync.Mutex
+	conns map[net.Conn]struct{}
 }
 
 // NewServer starts listening on addr (e.g. "127.0.0.1:0"). The returned
@@ -42,7 +47,7 @@ func NewServer(store *Store, addr string) (*Server, error) {
 	if err != nil {
 		return nil, fmt.Errorf("kvstore: listen: %w", err)
 	}
-	s := &Server{store: store, ln: ln, done: make(chan struct{})}
+	s := &Server{store: store, ln: ln, done: make(chan struct{}), conns: make(map[net.Conn]struct{})}
 	s.wg.Add(1)
 	go s.acceptLoop()
 	return s, nil
@@ -51,13 +56,53 @@ func NewServer(store *Store, addr string) (*Server, error) {
 // Addr returns the bound address.
 func (s *Server) Addr() string { return s.ln.Addr().String() }
 
-// Close stops accepting and waits for in-flight connections to finish
-// their current request.
+// Close shuts the server down gracefully: it stops accepting connections,
+// lets every in-flight request run to completion (idle connections are
+// unblocked by an immediate read deadline), waits for the connection
+// handlers to drain, and finally flushes the store's write-ahead log so no
+// acknowledged work is lost. The store itself stays open — it may be
+// shared — so call Store.Close separately when retiring it.
 func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	s.mu.Unlock()
+
 	close(s.done)
 	err := s.ln.Close()
+	// In-flight requests finish and their replies flush before the
+	// handler loop notices the deadline; connections merely waiting for
+	// the next request fail their blocking read immediately.
+	s.mu.Lock()
+	for conn := range s.conns {
+		conn.SetReadDeadline(time.Now())
+	}
+	s.mu.Unlock()
 	s.wg.Wait()
+	if serr := s.store.Sync(); err == nil {
+		err = serr
+	}
 	return err
+}
+
+// track registers a live connection; the returned func removes it.
+func (s *Server) track(conn net.Conn) func() {
+	s.mu.Lock()
+	s.conns[conn] = struct{}{}
+	if s.closed {
+		// Raced an in-progress Close: make sure this connection cannot
+		// block the drain either.
+		conn.SetReadDeadline(time.Now())
+	}
+	s.mu.Unlock()
+	return func() {
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+	}
 }
 
 func (s *Server) acceptLoop() {
@@ -80,6 +125,7 @@ func (s *Server) acceptLoop() {
 func (s *Server) serve(conn net.Conn) {
 	defer s.wg.Done()
 	defer conn.Close()
+	defer s.track(conn)()
 	r := bufio.NewScanner(conn)
 	w := bufio.NewWriter(conn)
 	for r.Scan() {

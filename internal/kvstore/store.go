@@ -4,19 +4,53 @@
 // protocol (server.go). Each client request becomes a chain of MxTasks;
 // responses are delivered through completion tasks, so the store inherits
 // the runtime's prefetching and injected synchronization end to end.
+//
+// Stores opened with a Durability configuration additionally write every
+// mutation to a write-ahead log (internal/wal) before acknowledging it:
+// the leaf task appends the record while it still holds the leaf's write
+// synchronization, the WAL's group-commit writer makes it durable, and the
+// caller's completion fires only after the covering fsync. Open replays
+// the newest snapshot plus the log tail, so a restarted store recovers
+// every acknowledged operation.
 package kvstore
 
 import (
+	"errors"
+	"math"
 	"sync/atomic"
+	"time"
 
 	"mxtasking/internal/blinktree"
 	"mxtasking/internal/mxtask"
+	"mxtasking/internal/wal"
 )
+
+// Durability configures the optional write-ahead log.
+type Durability struct {
+	// Dir is the WAL directory (segments + snapshots). Required.
+	Dir string
+	// SyncEvery / SyncInterval / NoSync / SegmentBytes tune the
+	// group-commit writer; see wal.Options.
+	SyncEvery    int
+	SyncInterval time.Duration
+	NoSync       bool
+	SegmentBytes int64
+	// SnapshotEvery, when positive, checkpoints the tree into a snapshot
+	// (and truncates the log) every that-many logged operations.
+	SnapshotEvery uint64
+}
 
 // Store is an embedded key-value store.
 type Store struct {
 	rt   *mxtask.Runtime
 	tree *blinktree.TaskTree
+
+	// Durability (nil log for in-memory stores).
+	log          *wal.Log
+	dur          Durability
+	logged       atomic.Uint64 // durable mutations issued
+	snapLogged   atomic.Uint64 // logged at the last snapshot trigger
+	snapshotting atomic.Bool
 
 	// Stats
 	gets atomic.Uint64
@@ -29,23 +63,105 @@ type Stats struct {
 	Gets, Sets, Dels uint64
 }
 
-// New creates a store on the runtime using the optimistic annotation
-// scheme (§4.2's cost-model defaults).
+// Snapshot coordination errors.
+var (
+	// ErrNoDurability marks a durable-only operation on an in-memory store.
+	ErrNoDurability = errors.New("kvstore: store has no durability configured")
+	// ErrSnapshotBusy marks an attempt to start overlapping snapshots.
+	ErrSnapshotBusy = errors.New("kvstore: snapshot already in progress")
+)
+
+// New creates an in-memory store on the runtime using the optimistic
+// annotation scheme (§4.2's cost-model defaults).
 func New(rt *mxtask.Runtime) *Store {
-	return &Store{rt: rt, tree: blinktree.NewTaskTree(rt, blinktree.TaskSyncOptimistic)}
+	return &Store{rt: rt, tree: blinktree.NewTaskTree(rt, defaultTreeMode)}
+}
+
+// Open creates a durable store: it recovers the state persisted in
+// d.Dir (newest valid snapshot, then the log tail — tolerating a torn
+// final record) and opens the write-ahead log for appending. The returned
+// stats describe the recovery. The runtime must already be started.
+func Open(rt *mxtask.Runtime, d Durability) (*Store, wal.ReplayStats, error) {
+	s := New(rt)
+	s.dur = d
+
+	// Replay is a read-only pass and tolerates a torn final record (a
+	// crash mid-write), reporting it in the stats. It runs before Open,
+	// which truncates that torn tail off the live log.
+	var pairs []wal.KV
+	var records []wal.Record
+	stats, err := wal.Replay(d.Dir,
+		func(kv wal.KV) { pairs = append(pairs, kv) },
+		func(r wal.Record) error { records = append(records, r); return nil })
+	if err != nil {
+		return nil, stats, err
+	}
+
+	log, err := wal.Open(rt, wal.Options{
+		Dir:          d.Dir,
+		SyncEvery:    d.SyncEvery,
+		SyncInterval: d.SyncInterval,
+		NoSync:       d.NoSync,
+		SegmentBytes: d.SegmentBytes,
+	})
+	if err != nil {
+		return nil, stats, err
+	}
+
+	// Rebuild through the tree's own task chains. Snapshot pairs have
+	// unique keys, so they load fully in parallel; log records are
+	// compacted to the last record per key first — set/delete are
+	// complete overwrites, so only each key's final logged operation
+	// matters, and the compacted batch can also apply in parallel.
+	for _, kv := range pairs {
+		s.tree.StartFrom(nil, s.tree.NewOp("insert", kv.Key, kv.Value, nil))
+	}
+	rt.Drain()
+	last := make(map[uint64]wal.Record, len(records))
+	for _, r := range records {
+		last[r.Key] = r
+	}
+	for _, r := range last {
+		switch r.Op {
+		case wal.OpSet:
+			s.tree.StartFrom(nil, s.tree.NewOp("insert", r.Key, r.Value, nil))
+		case wal.OpDelete:
+			s.tree.StartFrom(nil, s.tree.NewOp("delete", r.Key, 0, nil))
+		}
+	}
+	rt.Drain()
+
+	s.log = log
+	return s, stats, nil
 }
 
 // Runtime returns the store's runtime.
 func (s *Store) Runtime() *mxtask.Runtime { return s.rt }
 
+// Durable reports whether the store writes a WAL.
+func (s *Store) Durable() bool { return s.log != nil }
+
+// WALMetrics exposes the log writer's counters, or nil for in-memory
+// stores.
+func (s *Store) WALMetrics() *wal.Metrics {
+	if s.log == nil {
+		return nil
+	}
+	return s.log.Metrics()
+}
+
 // Result is a completed operation's outcome.
 type Result struct {
 	Value uint64
 	Found bool
+	// Err is non-nil when a durable store failed to persist the
+	// mutation (the in-memory effect may still be visible until
+	// restart). Always nil for in-memory stores and reads.
+	Err error
 }
 
 // Get fetches key asynchronously; done receives the outcome on the
-// worker that completed the lookup.
+// worker that completed the lookup. Reads are not logged.
 func (s *Store) Get(key uint64, done func(Result)) {
 	s.gets.Add(1)
 	s.tree.LookupWith(key, func(_ *mxtask.Context, t *mxtask.Task) {
@@ -54,10 +170,28 @@ func (s *Store) Get(key uint64, done func(Result)) {
 	})
 }
 
-// Set stores key=value asynchronously; done (optional) fires on completion.
+// Set stores key=value asynchronously; done (optional) fires on completion
+// — for durable stores, only after the record's covering fsync.
 func (s *Store) Set(key, value uint64, done func(Result)) {
 	s.sets.Add(1)
 	op := s.tree.NewOp("insert", key, value, nil)
+	if s.log != nil {
+		s.logged.Add(1)
+		// The Commit hook runs in the leaf task, under the leaf's write
+		// synchronization: the append reaches the log in apply order
+		// for this key, so replay order and memory order agree.
+		op.Commit = func(o *blinktree.Op) {
+			found := o.Found
+			s.log.Append(wal.OpSet, key, value, func(err error) {
+				if done != nil {
+					done(Result{Value: value, Found: found, Err: err})
+				}
+			})
+		}
+		s.startOp(op)
+		s.maybeSnapshot()
+		return
+	}
 	if done != nil {
 		op.Done = func(_ *mxtask.Context, t *mxtask.Task) {
 			o := t.Arg.(*blinktree.Op)
@@ -68,10 +202,25 @@ func (s *Store) Set(key, value uint64, done func(Result)) {
 }
 
 // Delete removes key asynchronously; done (optional) reports whether the
-// key existed.
+// key existed — for durable stores, only after the record's covering
+// fsync.
 func (s *Store) Delete(key uint64, done func(Result)) {
 	s.dels.Add(1)
 	op := s.tree.NewOp("delete", key, 0, nil)
+	if s.log != nil {
+		s.logged.Add(1)
+		op.Commit = func(o *blinktree.Op) {
+			found := o.Found
+			s.log.Append(wal.OpDelete, key, 0, func(err error) {
+				if done != nil {
+					done(Result{Found: found, Err: err})
+				}
+			})
+		}
+		s.startOp(op)
+		s.maybeSnapshot()
+		return
+	}
 	if done != nil {
 		op.Done = func(_ *mxtask.Context, t *mxtask.Task) {
 			o := t.Arg.(*blinktree.Op)
@@ -83,6 +232,102 @@ func (s *Store) Delete(key uint64, done func(Result)) {
 
 func (s *Store) startOp(op *blinktree.Op) {
 	s.tree.StartFrom(nil, op)
+}
+
+// maybeSnapshot triggers an automatic checkpoint when enough mutations
+// accumulated since the last one.
+func (s *Store) maybeSnapshot() {
+	every := s.dur.SnapshotEvery
+	if every == 0 {
+		return
+	}
+	n := s.logged.Load()
+	if n-s.snapLogged.Load() < every {
+		return
+	}
+	s.snapLogged.Store(n)
+	s.Snapshot(nil) // ErrSnapshotBusy is benign here: one is running
+}
+
+// Snapshot checkpoints the tree into a compact snapshot file and truncates
+// the log segments it covers. The checkpoint is fuzzy: it runs through
+// TaskTree.Scan concurrently with mutations, which is safe because every
+// logged operation at or below the snapshot horizon has already been
+// applied to the tree when its sequence number was assigned, and replay
+// re-applies everything above the horizon. done (optional) runs on a
+// worker when the checkpoint (including truncation) finishes. Fully
+// asynchronous — safe to call from anywhere, including tasks.
+func (s *Store) Snapshot(done func(error)) {
+	finish := func(err error) {
+		if done != nil {
+			done(err)
+		}
+	}
+	if s.log == nil {
+		finish(ErrNoDurability)
+		return
+	}
+	if !s.snapshotting.CompareAndSwap(false, true) {
+		finish(ErrSnapshotBusy)
+		return
+	}
+	finish = func(err error) {
+		s.snapshotting.Store(false)
+		if done != nil {
+			done(err)
+		}
+	}
+	// Rotate first so the pre-snapshot segments become truncatable.
+	s.log.Rotate(func(err error) {
+		if err != nil {
+			finish(err)
+			return
+		}
+		snapSeq := s.log.Seq()
+		s.tree.Scan(0, math.MaxUint64, func(_ *mxtask.Context, t *mxtask.Task) {
+			op := t.Arg.(*blinktree.ScanOp)
+			pairs := make([]wal.KV, 0, len(op.Results)+1)
+			for _, kv := range op.Results {
+				pairs = append(pairs, wal.KV{Key: kv.Key, Value: kv.Value})
+			}
+			// Scan covers [0, MaxUint64); fetch the one key it cannot.
+			s.Get(math.MaxUint64, func(r Result) {
+				if r.Found {
+					pairs = append(pairs, wal.KV{Key: math.MaxUint64, Value: r.Value})
+				}
+				if werr := wal.WriteSnapshot(s.dur.Dir, snapSeq, pairs); werr != nil {
+					finish(werr)
+					return
+				}
+				s.log.TruncateThrough(snapSeq, finish)
+			})
+		})
+	})
+}
+
+// Sync blocks until every previously appended WAL record is durable. A
+// no-op for in-memory stores. Must not be called from a task.
+func (s *Store) Sync() error {
+	if s.log == nil {
+		return nil
+	}
+	return s.log.Sync()
+}
+
+// Close drains in-flight operations, flushes and fsyncs the WAL, and
+// closes the log files. The runtime itself keeps running (it is shared).
+// Must not be called from a task.
+func (s *Store) Close() error {
+	if s.log == nil {
+		return nil
+	}
+	s.rt.Drain()        // leaf applies + their WAL appends are queued
+	err := s.log.Sync() // every record durable, acks dispatched
+	s.rt.Drain()        // ack tasks delivered
+	if cerr := s.log.Close(); err == nil {
+		err = cerr
+	}
+	return err
 }
 
 // ScanResult is a completed range scan's outcome.
@@ -113,7 +358,8 @@ func (s *Store) GetSync(key uint64) Result {
 	return <-ch
 }
 
-// SetSync is a blocking Set.
+// SetSync is a blocking Set. For durable stores it returns only once the
+// record is durable per the sync policy.
 func (s *Store) SetSync(key, value uint64) Result {
 	ch := make(chan Result, 1)
 	s.Set(key, value, func(r Result) { ch <- r })

@@ -1,0 +1,12 @@
+//go:build !race
+
+package kvstore
+
+import "mxtasking/internal/blinktree"
+
+// defaultTreeMode is the index's synchronization scheme. The optimistic
+// cost-model choice (§4.2) performs validated racy reads by design — the
+// seqlock pattern — which the Go race detector cannot model, so race-
+// instrumented builds (treemode_race.go) fall back to pure
+// serialize-by-scheduling, which is data-race-free by construction.
+const defaultTreeMode = blinktree.TaskSyncOptimistic

@@ -1,0 +1,12 @@
+//go:build race
+
+package kvstore
+
+import "mxtasking/internal/blinktree"
+
+// Under the race detector the store serializes every node access by
+// scheduling (no validated racy reads), so `go test -race` exercises the
+// store and its durability layer without false positives from the
+// seqlock-style optimistic mode. See treemode.go for the production
+// default.
+const defaultTreeMode = blinktree.TaskSyncSerialized

@@ -96,6 +96,36 @@ func (h *Histogram) Quantile(q float64) time.Duration {
 	return time.Duration(uint64(1) << uint(len(h.buckets)))
 }
 
+// Summary is a point-in-time percentile export of a Histogram. The
+// percentile values are upper bounds from the power-of-two bucket
+// boundaries (at most 2× the true latency).
+type Summary struct {
+	Count uint64
+	Mean  time.Duration
+	P50   time.Duration
+	P95   time.Duration
+	P99   time.Duration
+}
+
+// Summary captures the histogram's count, mean, and p50/p95/p99. Safe to
+// call while observations continue; the snapshot may mix in a few
+// observations that arrive during the call.
+func (h *Histogram) Summary() Summary {
+	return Summary{
+		Count: h.Count(),
+		Mean:  h.Mean(),
+		P50:   h.Quantile(0.50),
+		P95:   h.Quantile(0.95),
+		P99:   h.Quantile(0.99),
+	}
+}
+
+// String renders the summary on one line.
+func (s Summary) String() string {
+	return fmt.Sprintf("n=%d mean=%v p50<=%v p95<=%v p99<=%v",
+		s.Count, s.Mean, s.P50, s.P95, s.P99)
+}
+
 // String summarizes the histogram.
 func (h *Histogram) String() string {
 	return fmt.Sprintf("n=%d mean=%v p50<=%v p99<=%v",

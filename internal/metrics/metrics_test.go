@@ -72,6 +72,35 @@ func TestHistogramQuantileOrdering(t *testing.T) {
 	}
 }
 
+func TestHistogramSummary(t *testing.T) {
+	var h Histogram
+	if s := h.Summary(); s.Count != 0 || s.P50 != 0 || s.P99 != 0 {
+		t.Fatalf("empty summary = %+v, want zeros", s)
+	}
+	for i := 0; i < 95; i++ {
+		h.Observe(time.Microsecond)
+	}
+	for i := 0; i < 5; i++ {
+		h.Observe(time.Millisecond)
+	}
+	s := h.Summary()
+	if s.Count != 100 {
+		t.Fatalf("Count = %d, want 100", s.Count)
+	}
+	if s.P50 != h.Quantile(0.50) || s.P95 != h.Quantile(0.95) || s.P99 != h.Quantile(0.99) {
+		t.Fatalf("summary quantiles disagree with Quantile(): %+v", s)
+	}
+	if !(s.P50 <= s.P95 && s.P95 <= s.P99) {
+		t.Fatalf("quantiles out of order: %+v", s)
+	}
+	if s.P99 < time.Millisecond {
+		t.Fatalf("p99 = %v, want >= 1ms (tail observations)", s.P99)
+	}
+	if s.String() == "" || s.Mean == 0 {
+		t.Fatalf("summary must render with a mean: %+v", s)
+	}
+}
+
 func TestHistogramNegative(t *testing.T) {
 	var h Histogram
 	h.Observe(-time.Second) // clamps to zero instead of corrupting buckets

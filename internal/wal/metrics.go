@@ -1,0 +1,49 @@
+package wal
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"mxtasking/internal/metrics"
+)
+
+// Metrics are the log writer's live counters and latency histograms. All
+// fields are safe to read while the log runs; histograms export
+// percentiles through metrics.Histogram.Summary.
+type Metrics struct {
+	// Appends counts records handed to Append.
+	Appends atomic.Uint64
+	// Batches counts group-commit batches written (one file write each).
+	Batches atomic.Uint64
+	// Syncs counts fsyncs issued.
+	Syncs atomic.Uint64
+	// Bytes counts payload bytes written to segment files.
+	Bytes atomic.Uint64
+	// Rotations counts segment rotations.
+	Rotations atomic.Uint64
+	// MaxBatch is the largest batch drained by one flush.
+	MaxBatch atomic.Uint64
+
+	// FsyncLatency observes each fsync's duration.
+	FsyncLatency metrics.Histogram
+	// AckLatency observes append→durable-ack time per record.
+	AckLatency metrics.Histogram
+}
+
+// AvgBatch returns the mean records per flush batch — the group-commit
+// amortization factor (1.0 means no batching happened).
+func (m *Metrics) AvgBatch() float64 {
+	b := m.Batches.Load()
+	if b == 0 {
+		return 0
+	}
+	return float64(m.Appends.Load()) / float64(b)
+}
+
+// String summarizes the writer's activity.
+func (m *Metrics) String() string {
+	return fmt.Sprintf("appends=%d batches=%d avg_batch=%.1f max_batch=%d syncs=%d bytes=%d rotations=%d fsync[%s] ack[%s]",
+		m.Appends.Load(), m.Batches.Load(), m.AvgBatch(), m.MaxBatch.Load(),
+		m.Syncs.Load(), m.Bytes.Load(), m.Rotations.Load(),
+		m.FsyncLatency.Summary(), m.AckLatency.Summary())
+}

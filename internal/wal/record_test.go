@@ -1,0 +1,89 @@
+package wal
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestRecordRoundTrip(t *testing.T) {
+	recs := []Record{
+		{Seq: 1, Op: OpSet, Key: 42, Value: 7},
+		{Seq: 2, Op: OpDelete, Key: 42},
+		{Seq: ^uint64(0), Op: OpSet, Key: ^uint64(0), Value: ^uint64(0)},
+		{Seq: 0, Op: OpSet, Key: 0, Value: 0},
+	}
+	var buf []byte
+	for _, r := range recs {
+		buf = AppendRecord(buf, r)
+	}
+	if len(buf) != len(recs)*FrameSize {
+		t.Fatalf("encoded %d bytes, want %d", len(buf), len(recs)*FrameSize)
+	}
+	for i, want := range recs {
+		got, n, err := DecodeRecord(buf)
+		if err != nil {
+			t.Fatalf("record %d: decode: %v", i, err)
+		}
+		if n != FrameSize || got != want {
+			t.Fatalf("record %d: got %+v (%d bytes), want %+v", i, got, n, want)
+		}
+		buf = buf[n:]
+	}
+}
+
+func TestDecodeRecordTornAndCorrupt(t *testing.T) {
+	full := AppendRecord(nil, Record{Seq: 9, Op: OpSet, Key: 1, Value: 2})
+
+	// Every strict prefix of a valid frame is torn, never corrupt.
+	for cut := 0; cut < len(full); cut++ {
+		if _, _, err := DecodeRecord(full[:cut]); !errors.Is(err, ErrTorn) {
+			t.Fatalf("prefix of %d bytes: got %v, want ErrTorn", cut, err)
+		}
+	}
+
+	// A flipped payload bit is corruption.
+	bad := append([]byte(nil), full...)
+	bad[FrameSize-1] ^= 0x01
+	if _, _, err := DecodeRecord(bad); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("bit flip: got %v, want ErrCorrupt", err)
+	}
+
+	// A nonsense length field is corruption (not a frame we ever wrote).
+	bad = append([]byte(nil), full...)
+	bad[0] = 0xFF
+	if _, _, err := DecodeRecord(bad); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("bad length: got %v, want ErrCorrupt", err)
+	}
+
+	// An undefined op kind is corruption even with a valid checksum.
+	r := Record{Seq: 3, Op: OpKind(99), Key: 5, Value: 6}
+	if _, _, err := DecodeRecord(AppendRecord(nil, r)); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("bad op: got %v, want ErrCorrupt", err)
+	}
+}
+
+func FuzzDecodeRecord(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(AppendRecord(nil, Record{Seq: 1, Op: OpSet, Key: 2, Value: 3}))
+	f.Add(AppendRecord(AppendRecord(nil, Record{Seq: 1, Op: OpDelete, Key: 2}),
+		Record{Seq: 2, Op: OpSet, Key: 4, Value: 5}))
+	f.Add([]byte{25, 0, 0, 0, 1, 2, 3, 4, 5, 6, 7, 8})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// Must never panic, and on success must re-encode to the same
+		// bytes it consumed.
+		r, n, err := DecodeRecord(data)
+		if err != nil {
+			if n != 0 {
+				t.Fatalf("error %v with n=%d", err, n)
+			}
+			return
+		}
+		if n != FrameSize {
+			t.Fatalf("decoded n=%d, want %d", n, FrameSize)
+		}
+		round := AppendRecord(nil, r)
+		if string(round) != string(data[:n]) {
+			t.Fatalf("re-encode mismatch:\n got %x\nwant %x", round, data[:n])
+		}
+	})
+}

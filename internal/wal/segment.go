@@ -1,0 +1,126 @@
+package wal
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Segment files are named wal-<base>.log where <base> is a 16-digit hex
+// label ordering the segments. The base is one past the highest sequence
+// number written when the segment was created, so a segment's records are
+// all smaller than the next segment's base — the invariant truncation
+// relies on. Snapshot files are named snap-<seq>.snap where <seq> is the
+// sequence number the snapshot covers.
+
+const (
+	segPrefix  = "wal-"
+	segSuffix  = ".log"
+	snapPrefix = "snap-"
+	snapSuffix = ".snap"
+)
+
+func segmentName(base uint64) string { return fmt.Sprintf("%s%016x%s", segPrefix, base, segSuffix) }
+func snapshotName(seq uint64) string { return fmt.Sprintf("%s%016x%s", snapPrefix, seq, snapSuffix) }
+
+// parseMarker extracts the hex label from a segment or snapshot file name.
+func parseMarker(name, prefix, suffix string) (uint64, bool) {
+	rest, ok := strings.CutPrefix(name, prefix)
+	if !ok {
+		return 0, false
+	}
+	rest, ok = strings.CutSuffix(rest, suffix)
+	if !ok || len(rest) != 16 {
+		return 0, false
+	}
+	v, err := strconv.ParseUint(rest, 16, 64)
+	if err != nil {
+		return 0, false
+	}
+	return v, true
+}
+
+// segmentInfo describes one on-disk segment.
+type segmentInfo struct {
+	path string
+	base uint64
+}
+
+// listSegments returns the directory's segments sorted by base label.
+func listSegments(dir string) ([]segmentInfo, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var segs []segmentInfo
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		if base, ok := parseMarker(e.Name(), segPrefix, segSuffix); ok {
+			segs = append(segs, segmentInfo{path: filepath.Join(dir, e.Name()), base: base})
+		}
+	}
+	sort.Slice(segs, func(i, j int) bool { return segs[i].base < segs[j].base })
+	return segs, nil
+}
+
+// listSnapshots returns the directory's snapshot files sorted newest first.
+func listSnapshots(dir string) ([]segmentInfo, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var snaps []segmentInfo
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		if seq, ok := parseMarker(e.Name(), snapPrefix, snapSuffix); ok {
+			snaps = append(snaps, segmentInfo{path: filepath.Join(dir, e.Name()), base: seq})
+		}
+	}
+	sort.Slice(snaps, func(i, j int) bool { return snaps[i].base > snaps[j].base })
+	return snaps, nil
+}
+
+// scanSegment reads one segment file and reports its records, the byte
+// offset of the last fully valid record's end, and whether the tail is
+// torn. A structurally corrupt record that is not a clean tail still
+// returns the valid prefix with torn=true; callers decide whether that is
+// tolerable (it is for the final segment only).
+func scanSegment(path string, fn func(Record) error) (validLen int64, torn bool, err error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return 0, false, err
+	}
+	off := 0
+	for off < len(data) {
+		r, n, derr := DecodeRecord(data[off:])
+		if derr != nil {
+			return int64(off), true, nil
+		}
+		if fn != nil {
+			if ferr := fn(r); ferr != nil {
+				return int64(off), false, ferr
+			}
+		}
+		off += n
+	}
+	return int64(off), false, nil
+}
+
+// syncDir fsyncs a directory so renames/creates/removes in it are durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	cerr := d.Close()
+	return errors.Join(err, cerr)
+}

@@ -1,0 +1,571 @@
+// Package wal is the durability subsystem of the MxTask key-value store: a
+// write-ahead log with group commit, snapshots, and crash recovery that
+// runs *on* the mxtask runtime rather than beside it.
+//
+// The log writer is the paper's scheduling-based synchronization (§4.1)
+// extended from memory words to an I/O device: the open segment file is one
+// exclusive mxtask.Resource, so every flush task is routed to that
+// resource's pool and executes serially — appends need no mutex anywhere.
+// Producers assign a sequence number and push the record onto a latch-free
+// MPSC queue (one atomic exchange, the same discipline as task spawns); the
+// first producer to find the writer idle arms a low-priority flush task.
+// By the time that task runs, more appends have typically queued behind it,
+// so the flush drains the whole batch, writes once, fsyncs once, and then
+// dispatches the deferred completion tasks — group commit falling out of
+// the scheduler, exactly how the paper folds synchronization into
+// scheduling instead of blocking primitives.
+package wal
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync/atomic"
+	"time"
+
+	"mxtasking/internal/mxtask"
+	"mxtasking/internal/queue"
+)
+
+// Options parameterizes a Log.
+type Options struct {
+	// Dir is the directory holding segment and snapshot files. Created if
+	// missing.
+	Dir string
+	// SyncEvery, when positive, defers fsync until this many records have
+	// been written since the last sync (acks wait for the covering sync).
+	// Zero (with SyncInterval zero) fsyncs after every batch — plain
+	// group commit.
+	SyncEvery int
+	// SyncInterval, when positive, bounds how long a written record may
+	// wait for its covering fsync. Combined with SyncEvery, a sync
+	// happens when either threshold is reached.
+	SyncInterval time.Duration
+	// NoSync disables fsync entirely: acks fire after the OS write.
+	// Durability is then limited to what the page cache survives.
+	NoSync bool
+	// SegmentBytes caps a segment file's size before rotation.
+	// Defaults to 64 MiB.
+	SegmentBytes int64
+}
+
+func (o *Options) applyDefaults() {
+	if o.SegmentBytes <= 0 {
+		o.SegmentBytes = 64 << 20
+	}
+}
+
+// ErrClosed is returned to appends that race log shutdown.
+var ErrClosed = errors.New("wal: log closed")
+
+// deferredSyncGrace bounds how long deferred acks may wait when only
+// SyncEvery is configured and the record flow stops short of the
+// threshold.
+const deferredSyncGrace = 50 * time.Millisecond
+
+// maxBatch caps how many records one flush drains, bounding ack latency
+// under a firehose of producers.
+const maxBatch = 4096
+
+// pending is one appended-but-not-yet-durable record.
+type pending struct {
+	rec  Record
+	done func(error)
+	enq  time.Time
+}
+
+// Log is an append-only write-ahead log over segment files.
+type Log struct {
+	rt   *mxtask.Runtime
+	opts Options
+	res  *mxtask.Resource // exclusive: serializes all writer-state tasks
+	q    *queue.MPSC[pending]
+
+	seq    atomic.Uint64 // last assigned sequence number
+	armed  atomic.Bool   // a flush task is scheduled or running
+	closed atomic.Bool
+
+	m Metrics
+
+	// Writer state below is only touched by tasks annotated with res,
+	// which the scheduler serializes through one pool (Fig. 5 lines 1–3):
+	// no latch guards any of it.
+	f          *os.File
+	fbase      uint64 // current segment's base label
+	fsize      int64
+	maxWritten uint64
+	buf        []byte
+	scratch    []pending
+	unsynced   int       // records written since the last fsync
+	deferred   []pending // written, awaiting their covering fsync
+	lastSync   time.Time
+	timerGen   uint64 // invalidates stale deferred-sync timers
+	werr       error  // sticky write/sync error
+}
+
+// Open opens (or creates) the log in opts.Dir for appending. Existing
+// segments are scanned: a torn final record — the signature of a crash
+// mid-write — is truncated away, and the sequence counter resumes past the
+// highest sequence number found in the log or covered by a snapshot.
+// Replay the directory (Replay / LoadSnapshot) before appending new
+// records.
+func Open(rt *mxtask.Runtime, opts Options) (*Log, error) {
+	opts.applyDefaults()
+	if opts.Dir == "" {
+		return nil, errors.New("wal: Options.Dir required")
+	}
+	if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
+		return nil, err
+	}
+	l := &Log{
+		rt:       rt,
+		opts:     opts,
+		q:        queue.NewMPSC[pending](),
+		lastSync: time.Now(),
+	}
+	// The segment file is a data object like any other: exclusive
+	// isolation → serialize-by-scheduling (§4.2). Low frequency keeps the
+	// cost model honest about an I/O-bound resource.
+	l.res = rt.CreateResource(l, 0,
+		mxtask.IsolationExclusive, mxtask.RWWriteHeavy, mxtask.FrequencyLow)
+
+	segs, err := listSegments(opts.Dir)
+	if err != nil {
+		return nil, err
+	}
+	var maxSeq uint64
+	for i, s := range segs {
+		validLen, torn, serr := scanSegment(s.path, func(r Record) error {
+			if r.Seq > maxSeq {
+				maxSeq = r.Seq
+			}
+			return nil
+		})
+		if serr != nil {
+			return nil, fmt.Errorf("wal: scan %s: %w", s.path, serr)
+		}
+		if torn {
+			if i != len(segs)-1 {
+				return nil, fmt.Errorf("%w: %s has an invalid record that is not a torn tail", ErrCorrupt, s.path)
+			}
+			// Crash mid-append: drop the torn tail so the segment ends
+			// on a record boundary before we append after it.
+			if err := os.Truncate(s.path, validLen); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if snapSeq, _, found, err := LoadSnapshot(opts.Dir); err != nil {
+		return nil, err
+	} else if found && snapSeq > maxSeq {
+		// The log tail covered by the snapshot was truncated away.
+		maxSeq = snapSeq
+	}
+	l.seq.Store(maxSeq)
+	l.maxWritten = maxSeq
+
+	// Resume the last segment when it has room, else start a fresh one.
+	if n := len(segs); n > 0 {
+		last := segs[n-1]
+		st, err := os.Stat(last.path)
+		if err != nil {
+			return nil, err
+		}
+		if st.Size() < opts.SegmentBytes {
+			f, err := os.OpenFile(last.path, os.O_WRONLY|os.O_APPEND, 0o644)
+			if err != nil {
+				return nil, err
+			}
+			l.f, l.fbase, l.fsize = f, last.base, st.Size()
+		}
+	}
+	if l.f == nil {
+		if err := l.openSegment(maxSeq + 1); err != nil {
+			return nil, err
+		}
+	}
+	return l, nil
+}
+
+// openSegment creates segment file wal-<base>.log and makes it current.
+func (l *Log) openSegment(base uint64) error {
+	if base <= l.fbase {
+		base = l.fbase + 1 // keep labels strictly increasing
+	}
+	path := filepath.Join(l.opts.Dir, segmentName(base))
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_EXCL, 0o644)
+	if err != nil {
+		return err
+	}
+	if err := syncDir(l.opts.Dir); err != nil {
+		f.Close()
+		return err
+	}
+	l.f, l.fbase, l.fsize = f, base, 0
+	return nil
+}
+
+// Seq returns the last assigned sequence number.
+func (l *Log) Seq() uint64 { return l.seq.Load() }
+
+// Metrics exposes the writer's counters and histograms.
+func (l *Log) Metrics() *Metrics { return &l.m }
+
+// Append assigns the next sequence number to one mutation and queues it
+// for the group-commit writer. done (optional) is dispatched as a task
+// once the record is durable per the sync policy — or with an error if the
+// log failed or closed. Append never blocks and is safe from any
+// goroutine or task; callers that need same-key ordering must order their
+// Append calls themselves (the KV store calls it under the leaf's write
+// synchronization).
+func (l *Log) Append(op OpKind, key, value uint64, done func(error)) uint64 {
+	if l.closed.Load() {
+		if done != nil {
+			done(ErrClosed)
+		}
+		return 0
+	}
+	seq := l.seq.Add(1)
+	l.m.Appends.Add(1)
+	l.q.Push(pending{
+		rec:  Record{Seq: seq, Op: op, Key: key, Value: value},
+		done: done,
+		enq:  time.Now(),
+	})
+	l.arm()
+	return seq
+}
+
+// arm schedules a flush task unless one is already scheduled or running.
+// The task is LOW priority on purpose: the resource's worker finishes the
+// application tasks already in its pool first, so more appends accumulate
+// behind the flush — the scheduler itself grows the commit group.
+func (l *Log) arm() {
+	if l.armed.Swap(true) {
+		return
+	}
+	t := l.rt.NewTask(flushTask, l)
+	t.AnnotateResource(l.res, mxtask.Write)
+	t.AnnotatePriority(mxtask.PriorityLow)
+	l.rt.Spawn(t)
+}
+
+// flushTask is the group-commit log writer (one batch per execution).
+func flushTask(_ *mxtask.Context, t *mxtask.Task) {
+	l := t.Arg.(*Log)
+	l.flush(false)
+	// Disarm, then re-arm if producers slipped records in after the
+	// drain: either this re-check sees them, or their Append saw
+	// armed=false and scheduled the next flush itself.
+	l.armed.Store(false)
+	if !l.q.Empty() && !l.armed.Swap(true) {
+		nt := l.rt.NewTask(flushTask, l)
+		nt.AnnotateResource(l.res, mxtask.Write)
+		nt.AnnotatePriority(mxtask.PriorityLow)
+		l.rt.Spawn(nt)
+	}
+}
+
+// syncTask forces the covering fsync for deferred acks (timer fallback and
+// explicit Sync requests).
+func syncTask(_ *mxtask.Context, t *mxtask.Task) {
+	t.Arg.(*Log).flush(true)
+}
+
+// flush drains the queue, writes the batch, and syncs/acks per policy.
+// Always runs under the resource's serialization.
+func (l *Log) flush(force bool) {
+	batch := l.scratch[:0]
+	for len(batch) < maxBatch {
+		p, ok := l.q.Pop()
+		if !ok {
+			break
+		}
+		batch = append(batch, p)
+	}
+	l.scratch = batch[:0]
+
+	if l.werr != nil {
+		l.ack(batch, l.werr)
+		l.ackDeferred(l.werr)
+		return
+	}
+	if len(batch) > 0 {
+		l.buf = l.buf[:0]
+		for _, p := range batch {
+			l.buf = AppendRecord(l.buf, p.rec)
+		}
+		// Rotate before the write so a record never spans segments.
+		if l.fsize > 0 && l.fsize+int64(len(l.buf)) > l.opts.SegmentBytes {
+			if err := l.rotate(); err != nil {
+				l.fail(batch, err)
+				return
+			}
+		}
+		n, err := l.f.Write(l.buf)
+		l.fsize += int64(n)
+		l.m.Bytes.Add(uint64(n))
+		if err != nil {
+			l.fail(batch, err)
+			return
+		}
+		for _, p := range batch {
+			if p.rec.Seq > l.maxWritten {
+				l.maxWritten = p.rec.Seq
+			}
+		}
+		l.m.Batches.Add(1)
+		if bl := uint64(len(batch)); bl > l.m.MaxBatch.Load() {
+			l.m.MaxBatch.Store(bl)
+		}
+		l.unsynced += len(batch)
+	}
+
+	switch {
+	case l.opts.NoSync:
+		// Durability is best-effort: ack right after the write.
+		l.ack(batch, nil)
+		l.unsynced = 0
+	case l.shouldSync(force, len(batch)):
+		start := time.Now()
+		err := l.f.Sync()
+		l.m.Syncs.Add(1)
+		l.m.FsyncLatency.Observe(time.Since(start))
+		l.lastSync = time.Now()
+		l.unsynced = 0
+		if err != nil {
+			l.werr = err
+		}
+		l.ackDeferred(err)
+		l.ack(batch, err)
+	default:
+		// Defer acks to the covering fsync; a timer guarantees one even
+		// if the record flow stops.
+		l.deferred = append(l.deferred, batch...)
+		l.armTimer()
+	}
+}
+
+// shouldSync decides whether this flush ends with an fsync.
+func (l *Log) shouldSync(force bool, fresh int) bool {
+	if force {
+		return true
+	}
+	if fresh == 0 && len(l.deferred) == 0 {
+		return false // nothing to cover
+	}
+	if l.opts.SyncEvery == 0 && l.opts.SyncInterval == 0 {
+		return true // group-commit default: one fsync per batch
+	}
+	if l.opts.SyncEvery > 0 && l.unsynced >= l.opts.SyncEvery {
+		return true
+	}
+	if l.opts.SyncInterval > 0 && time.Since(l.lastSync) >= l.opts.SyncInterval {
+		return true
+	}
+	return false
+}
+
+// armTimer schedules the fallback fsync for deferred acks.
+func (l *Log) armTimer() {
+	if len(l.deferred) == 0 {
+		return
+	}
+	l.timerGen++
+	gen := l.timerGen
+	d := l.opts.SyncInterval
+	if d <= 0 {
+		d = deferredSyncGrace
+	}
+	if since := time.Since(l.lastSync); since < d {
+		d -= since
+	}
+	time.AfterFunc(d, func() {
+		if l.closed.Load() {
+			return
+		}
+		t := l.rt.NewTask(func(_ *mxtask.Context, t *mxtask.Task) {
+			lg := t.Arg.(*Log)
+			if lg.timerGen == gen && len(lg.deferred) > 0 {
+				lg.flush(true)
+			}
+		}, l)
+		t.AnnotateResource(l.res, mxtask.Write)
+		l.rt.Spawn(t)
+	})
+}
+
+// fail marks the log failed and errors out every waiter.
+func (l *Log) fail(batch []pending, err error) {
+	l.werr = err
+	l.ackDeferred(err)
+	l.ack(batch, err)
+}
+
+// ackDeferred releases all fsync-deferred waiters.
+func (l *Log) ackDeferred(err error) {
+	if len(l.deferred) == 0 {
+		return
+	}
+	l.ack(l.deferred, err)
+	for i := range l.deferred {
+		l.deferred[i] = pending{}
+	}
+	l.deferred = l.deferred[:0]
+	l.timerGen++ // stale timers become no-ops
+}
+
+// ack dispatches completion callbacks for one group of records as a single
+// completion task (the callbacks of one commit group share a durability
+// event, so they share a task).
+func (l *Log) ack(group []pending, err error) {
+	if len(group) == 0 {
+		return
+	}
+	acked := make([]pending, len(group))
+	copy(acked, group)
+	t := l.rt.NewTask(func(_ *mxtask.Context, t *mxtask.Task) {
+		now := time.Now()
+		for _, p := range t.Arg.([]pending) {
+			l.m.AckLatency.Observe(now.Sub(p.enq))
+			if p.done != nil {
+				p.done(err)
+			}
+		}
+	}, acked)
+	l.rt.Spawn(t)
+}
+
+// rotate closes the current segment (after a final fsync unless NoSync)
+// and opens the next one.
+func (l *Log) rotate() error {
+	if !l.opts.NoSync {
+		if err := l.f.Sync(); err != nil {
+			return err
+		}
+	}
+	if err := l.f.Close(); err != nil {
+		return err
+	}
+	l.m.Rotations.Add(1)
+	return l.openSegment(l.maxWritten + 1)
+}
+
+// runWriterTask runs fn under the writer's serialization and blocks until
+// it finishes. Must not be called from a task (the wait would deadlock a
+// single-worker runtime).
+func (l *Log) runWriterTask(fn func() error) error {
+	ch := make(chan error, 1)
+	t := l.rt.NewTask(func(_ *mxtask.Context, _ *mxtask.Task) { ch <- fn() }, nil)
+	t.AnnotateResource(l.res, mxtask.Write)
+	t.AnnotatePriority(mxtask.PriorityHigh)
+	l.rt.Spawn(t)
+	return <-ch
+}
+
+// Sync flushes every queued record and forces an fsync, blocking until all
+// previously appended records are durable (their acks are dispatched as
+// usual). Must not be called from a task.
+func (l *Log) Sync() error {
+	return l.runWriterTask(func() error {
+		for {
+			l.flush(true)
+			if l.q.Empty() {
+				return l.werr
+			}
+		}
+	})
+}
+
+// Rotate asynchronously closes the current segment and starts a new one,
+// then runs done (optional) on a worker. Snapshots rotate first so the
+// pre-snapshot segments become eligible for truncation.
+func (l *Log) Rotate(done func(error)) {
+	t := l.rt.NewTask(func(_ *mxtask.Context, _ *mxtask.Task) {
+		l.flush(true) // drain + fsync so the old segment is complete
+		err := l.werr
+		if err == nil && l.fsize > 0 {
+			err = l.rotate()
+			if err != nil {
+				l.werr = err
+			}
+		}
+		if done != nil {
+			done(err)
+		}
+	}, nil)
+	t.AnnotateResource(l.res, mxtask.Write)
+	l.rt.Spawn(t)
+}
+
+// TruncateThrough asynchronously deletes segments whose records are all
+// covered by a durable snapshot at seq, and snapshot files older than that
+// snapshot; done (optional) runs on a worker afterwards. A segment is
+// deletable only when the NEXT segment's base label proves every record in
+// it has sequence number <= seq.
+func (l *Log) TruncateThrough(seq uint64, done func(error)) {
+	t := l.rt.NewTask(func(_ *mxtask.Context, _ *mxtask.Task) {
+		err := l.truncateThrough(seq)
+		if done != nil {
+			done(err)
+		}
+	}, nil)
+	t.AnnotateResource(l.res, mxtask.Write)
+	l.rt.Spawn(t)
+}
+
+func (l *Log) truncateThrough(seq uint64) error {
+	segs, err := listSegments(l.opts.Dir)
+	if err != nil {
+		return err
+	}
+	removed := false
+	for i := 0; i+1 < len(segs); i++ {
+		if segs[i+1].base <= seq+1 && segs[i].path != l.f.Name() {
+			if err := os.Remove(segs[i].path); err != nil {
+				return err
+			}
+			removed = true
+		}
+	}
+	// Drop superseded snapshots, keeping the one at seq.
+	snaps, err := listSnapshots(l.opts.Dir)
+	if err != nil {
+		return err
+	}
+	for _, s := range snaps {
+		if s.base < seq {
+			if err := os.Remove(s.path); err != nil {
+				return err
+			}
+			removed = true
+		}
+	}
+	if removed {
+		return syncDir(l.opts.Dir)
+	}
+	return nil
+}
+
+// Close flushes and fsyncs all pending records, then closes the segment
+// file. Appends racing Close are acked with ErrClosed. Must not be called
+// from a task.
+func (l *Log) Close() error {
+	if l.closed.Swap(true) {
+		return nil
+	}
+	return l.runWriterTask(func() error {
+		for {
+			l.flush(true)
+			if l.q.Empty() {
+				break
+			}
+		}
+		err := l.werr
+		if cerr := l.f.Close(); err == nil {
+			err = cerr
+		}
+		return err
+	})
+}
