@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench ci figures verify dat clean
+.PHONY: all build vet test race bench chaos fuzz ci figures verify dat clean
 
 all: build vet test
 
@@ -25,17 +25,38 @@ race:
 	$(GO) test -race ./internal/mxtask ./internal/queue ./internal/latch \
 		./internal/epoch ./internal/alloc ./internal/tbb ./internal/metrics \
 		./internal/ycsb ./internal/tpch ./internal/hashjoin ./internal/sim \
-		./internal/wal ./internal/kvstore
+		./internal/wal ./internal/kvstore ./internal/faultfs ./internal/linearize
 
 bench:
 	$(GO) test -bench=. -benchmem .
 
-# The gate run before merging: vet, full build, and race-detected tests
-# of the concurrency-critical packages (the WAL and the store it backs).
+# Chaos harness (README "Chaos testing"): crash the durable store at every
+# enumerated WAL filesystem operation on the fault-injecting filesystem,
+# recover from the crash image, and linearizability-check the merged
+# pre/post-crash history. Race-detected; failures print the seed and crash
+# index needed to reproduce the exact fault schedule.
+chaos:
+	$(GO) test -race -count=1 -run 'TestChaos' -v ./internal/kvstore
+
+# Fuzz smoke: 10s of coverage-guided input generation per target (`go test`
+# allows one fuzz target per invocation).
+fuzz:
+	$(GO) test -run '^$$' -fuzz 'FuzzDecodeRecord' -fuzztime=10s ./internal/wal
+	$(GO) test -run '^$$' -fuzz 'FuzzServerHandle$$' -fuzztime=10s ./internal/kvstore
+	$(GO) test -run '^$$' -fuzz 'FuzzServerProtocol' -fuzztime=10s ./internal/kvstore
+	$(GO) test -run '^$$' -fuzz 'FuzzThreadTreeOps' -fuzztime=10s ./internal/blinktree
+	$(GO) test -run '^$$' -fuzz 'FuzzNodeLowerBound' -fuzztime=10s ./internal/blinktree
+
+# The gate run before merging: vet, full build, race-detected tests of the
+# concurrency-critical packages (the WAL and the store it backs), the chaos
+# crash-recovery sweep, and a fuzz smoke pass over every fuzz target.
 ci:
 	$(GO) vet ./...
 	$(GO) build ./...
-	$(GO) test -race ./internal/wal ./internal/kvstore ./internal/queue ./internal/epoch
+	$(GO) test -race ./internal/wal ./internal/kvstore ./internal/queue \
+		./internal/epoch ./internal/faultfs ./internal/linearize
+	$(MAKE) chaos
+	$(MAKE) fuzz
 
 figures:
 	$(GO) run ./cmd/mxbench

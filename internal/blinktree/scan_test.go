@@ -147,3 +147,78 @@ func TestTaskTreeScanUnderConcurrentUpdates(t *testing.T) {
 		}
 	}
 }
+
+// TestTaskTreeScanRacingSplits drives scans through a region of the tree
+// while concurrent inserts force leaf splits under them. A Blink split
+// moves keys only rightward and leaves a right-link behind, and in
+// serialized mode every node visit is an exclusively scheduled task, so a
+// scan must (a) never observe keys out of order or duplicated and
+// (b) never miss a key that existed before the scan started — no matter
+// how many leaves split mid-flight. Run under -race this also proves the
+// scan path shares no unsynchronized state with the split path.
+func TestTaskTreeScanRacingSplits(t *testing.T) {
+	rt := newTreeRuntime(4)
+	rt.Start()
+	defer rt.Stop()
+	tree := NewTaskTree(rt, TaskSyncSerialized)
+
+	// Preload the even keys; the racing inserts add odd keys between
+	// them, doubling the population and forcing a wave of leaf splits
+	// inside the scanned range.
+	const n = Key(4000)
+	for k := Key(0); k < n; k += 2 {
+		tree.Insert(k, Value(k))
+	}
+	rt.Drain()
+	leavesBefore := tree.Height()
+
+	rng := rand.New(rand.NewSource(9))
+	odds := rng.Perm(int(n / 2))
+	var scans []*ScanOp
+	var bounds [][2]Key
+	for i, o := range odds {
+		k := Key(2*o + 1)
+		tree.Insert(k, Value(k))
+		if i%50 == 0 {
+			lo := Key(rng.Intn(int(n / 2)))
+			hi := lo + Key(rng.Intn(int(n/2))) + 1
+			bounds = append(bounds, [2]Key{lo, hi})
+			scans = append(scans, tree.Scan(lo, hi, nil))
+		}
+	}
+	rt.Drain()
+
+	if tree.Height() <= leavesBefore && tree.Count() != int(n) {
+		t.Fatalf("inserts did not grow the tree: height %d, count %d", tree.Height(), tree.Count())
+	}
+	for si, op := range scans {
+		lo, hi := bounds[si][0], bounds[si][1]
+		seen := make(map[Key]bool, len(op.Results))
+		prev := Key(0)
+		for i, kv := range op.Results {
+			if kv.Key < lo || kv.Key >= hi {
+				t.Fatalf("scan %d [%d,%d): result key %d out of range", si, lo, hi, kv.Key)
+			}
+			if i > 0 && kv.Key <= prev {
+				t.Fatalf("scan %d: keys not strictly increasing at %d (%d after %d)", si, i, kv.Key, prev)
+			}
+			if kv.Value != Value(kv.Key) {
+				t.Fatalf("scan %d: key %d carries foreign value %d", si, kv.Key, kv.Value)
+			}
+			prev = kv.Key
+			seen[kv.Key] = true
+		}
+		// Every pre-existing (even) key in range must have been observed:
+		// splits move keys rightward ahead of the scan cursor, never
+		// behind it, so racing splits cannot hide them.
+		start := lo
+		if start%2 == 1 {
+			start++
+		}
+		for k := start; k < hi; k += 2 {
+			if !seen[k] {
+				t.Fatalf("scan %d [%d,%d): pre-existing key %d missing (%d results)", si, lo, hi, k, len(op.Results))
+			}
+		}
+	}
+}

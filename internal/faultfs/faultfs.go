@@ -1,0 +1,96 @@
+// Package faultfs is the filesystem seam under the durability subsystem:
+// an interface over the handful of file operations the write-ahead log
+// performs (create/open/write/fsync/rename/directory-sync/remove/...), one
+// passthrough implementation backed by the real OS, and one in-memory
+// implementation with a deterministic, seed-driven fault engine.
+//
+// The fault engine exists so the chaos harness (internal/kvstore) can
+// prove the WAL's crash-consistency claims instead of asserting them:
+// every filesystem operation is assigned a global index and recorded in a
+// trace, so "crash at operation N" is enumerable — the harness replays a
+// workload once to learn the trace, then crashes the process model at
+// *every* index and verifies recovery each time. Beyond crashes the
+// engine can tear a write at any byte, make fsync lie (return success
+// without making data durable — the classic broken-WAL bug), and fail any
+// single operation with a scripted error.
+//
+// The durability model mirrors an append-only page cache: each file keeps
+// a synced watermark advanced by Sync; a crash preserves the synced
+// prefix and loses a policy-chosen amount of the unsynced tail (torn at
+// an arbitrary byte under KeepRandom). Directory entries become durable
+// only at SyncDir — a created, renamed, or removed entry whose directory
+// was not yet synced may land on either side of the crash.
+package faultfs
+
+import (
+	"errors"
+	"os"
+)
+
+// FS is the set of filesystem operations the WAL uses. Disk is the real
+// implementation; FaultFS (NewMem) is the in-memory fault-injecting one.
+type FS interface {
+	// MkdirAll creates a directory (and parents) if missing.
+	MkdirAll(path string, perm os.FileMode) error
+	// OpenFile opens name with the given flags. Only the flag
+	// combinations the WAL uses need to be supported: O_WRONLY|O_APPEND,
+	// O_CREATE|O_WRONLY|O_EXCL, and O_CREATE|O_WRONLY|O_TRUNC.
+	OpenFile(name string, flag int, perm os.FileMode) (File, error)
+	// ReadDir lists a directory.
+	ReadDir(name string) ([]os.DirEntry, error)
+	// ReadFile returns a file's full contents.
+	ReadFile(name string) ([]byte, error)
+	// Stat reports a file's metadata (the WAL only uses Size).
+	Stat(name string) (os.FileInfo, error)
+	// Truncate cuts a file to size bytes.
+	Truncate(name string, size int64) error
+	// Rename atomically moves oldpath to newpath.
+	Rename(oldpath, newpath string) error
+	// Remove deletes a file.
+	Remove(name string) error
+	// SyncDir fsyncs a directory, making creates/renames/removes in it
+	// durable.
+	SyncDir(dir string) error
+}
+
+// File is an open, append-only writable file.
+type File interface {
+	Name() string
+	Write(p []byte) (n int, err error)
+	Sync() error
+	Close() error
+}
+
+// Disk is the passthrough FS over the real filesystem — the default for
+// every production code path. It adds nothing but a static interface
+// dispatch over direct os calls.
+var Disk FS = diskFS{}
+
+type diskFS struct{}
+
+func (diskFS) MkdirAll(path string, perm os.FileMode) error { return os.MkdirAll(path, perm) }
+
+func (diskFS) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
+	f, err := os.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+func (diskFS) ReadDir(name string) ([]os.DirEntry, error) { return os.ReadDir(name) }
+func (diskFS) ReadFile(name string) ([]byte, error)       { return os.ReadFile(name) }
+func (diskFS) Stat(name string) (os.FileInfo, error)      { return os.Stat(name) }
+func (diskFS) Truncate(name string, size int64) error     { return os.Truncate(name, size) }
+func (diskFS) Rename(oldpath, newpath string) error       { return os.Rename(oldpath, newpath) }
+func (diskFS) Remove(name string) error                   { return os.Remove(name) }
+
+func (diskFS) SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	cerr := d.Close()
+	return errors.Join(err, cerr)
+}

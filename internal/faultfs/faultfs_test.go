@@ -1,0 +1,256 @@
+package faultfs
+
+import (
+	"errors"
+	"os"
+	"testing"
+)
+
+func writeAll(t *testing.T, f File, p []byte) {
+	t.Helper()
+	if n, err := f.Write(p); err != nil || n != len(p) {
+		t.Fatalf("write: n=%d err=%v", n, err)
+	}
+}
+
+func TestMemFSBasicRoundTrip(t *testing.T) {
+	fs := NewMem(1)
+	if err := fs.MkdirAll("/d", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	f, err := fs.OpenFile("/d/a", os.O_CREATE|os.O_WRONLY|os.O_EXCL, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	writeAll(t, f, []byte("hello "))
+	writeAll(t, f, []byte("world"))
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := fs.ReadFile("/d/a")
+	if err != nil || string(data) != "hello world" {
+		t.Fatalf("read back %q, %v", data, err)
+	}
+	st, err := fs.Stat("/d/a")
+	if err != nil || st.Size() != 11 {
+		t.Fatalf("stat: %v %v", st, err)
+	}
+	if _, err := fs.OpenFile("/d/a", os.O_CREATE|os.O_WRONLY|os.O_EXCL, 0o644); !errors.Is(err, os.ErrExist) {
+		t.Fatalf("O_EXCL on existing file: %v", err)
+	}
+	entries, err := fs.ReadDir("/d")
+	if err != nil || len(entries) != 1 || entries[0].Name() != "a" {
+		t.Fatalf("readdir: %v %v", entries, err)
+	}
+	if err := fs.Truncate("/d/a", 5); err != nil {
+		t.Fatal(err)
+	}
+	if data, _ := fs.ReadFile("/d/a"); string(data) != "hello" {
+		t.Fatalf("after truncate: %q", data)
+	}
+	if err := fs.Remove("/d/a"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.ReadFile("/d/a"); !os.IsNotExist(err) {
+		t.Fatalf("read after remove: %v", err)
+	}
+}
+
+// TestCrashAtEveryOpIsEnumerable: the trace of a reference run names
+// every op; crashing at each index fails that op and all later ones.
+func TestCrashAtEveryOpIsEnumerable(t *testing.T) {
+	run := func(fs *FaultFS) error {
+		if err := fs.MkdirAll("/d", 0o755); err != nil {
+			return err
+		}
+		f, err := fs.OpenFile("/d/a", os.O_CREATE|os.O_WRONLY|os.O_EXCL, 0o644)
+		if err != nil {
+			return err
+		}
+		if _, err := f.Write([]byte("abc")); err != nil {
+			return err
+		}
+		if err := f.Sync(); err != nil {
+			return err
+		}
+		return f.Close()
+	}
+	ref := NewMem(7)
+	if err := run(ref); err != nil {
+		t.Fatal(err)
+	}
+	n := ref.OpCount()
+	if n != 5 {
+		t.Fatalf("reference run: %d ops, want 5 (trace %v)", n, ref.Trace())
+	}
+	for i := int64(0); i < n; i++ {
+		fs := NewMem(7)
+		fs.CrashAtOp(i)
+		if err := run(fs); !errors.Is(err, ErrCrashed) {
+			t.Fatalf("crash at %d: err %v", i, err)
+		}
+		if !fs.Crashed() {
+			t.Fatalf("crash at %d did not fire", i)
+		}
+	}
+}
+
+// TestCrashImageRespectsSyncWatermark: synced bytes always survive;
+// unsynced bytes obey the keep policy.
+func TestCrashImageRespectsSyncWatermark(t *testing.T) {
+	build := func(keep KeepPolicy) *FaultFS {
+		fs := NewMem(11)
+		fs.SetKeepPolicy(keep)
+		fs.MkdirAll("/d", 0o755)
+		f, _ := fs.OpenFile("/d/a", os.O_CREATE|os.O_WRONLY|os.O_EXCL, 0o644)
+		fs.SyncDir("/d")
+		writeAll(t, f, []byte("durable!"))
+		f.Sync()
+		writeAll(t, f, []byte("volatile"))
+		return fs
+	}
+
+	img := build(KeepNone).CrashImage()
+	if data, err := img.ReadFile("/d/a"); err != nil || string(data) != "durable!" {
+		t.Fatalf("KeepNone image: %q %v", data, err)
+	}
+	img = build(KeepAll).CrashImage()
+	if data, err := img.ReadFile("/d/a"); err != nil || string(data) != "durable!volatile" {
+		t.Fatalf("KeepAll image: %q %v", data, err)
+	}
+	img = build(KeepRandom).CrashImage()
+	data, err := img.ReadFile("/d/a")
+	if err != nil || len(data) < 8 || len(data) > 16 || string(data[:8]) != "durable!" {
+		t.Fatalf("KeepRandom image: %q %v", data, err)
+	}
+	// Determinism: the same seed and script produce the same image.
+	again, _ := build(KeepRandom).CrashImage().ReadFile("/d/a")
+	if string(again) != string(data) {
+		t.Fatalf("CrashImage not deterministic: %q vs %q", data, again)
+	}
+}
+
+// TestDroppedSyncLosesData: a lying fsync leaves the watermark behind,
+// so a KeepNone crash image comes back empty.
+func TestDroppedSyncLosesData(t *testing.T) {
+	fs := NewMem(3)
+	fs.DropSyncs(true)
+	fs.SetKeepPolicy(KeepNone)
+	fs.MkdirAll("/d", 0o755)
+	f, _ := fs.OpenFile("/d/a", os.O_CREATE|os.O_WRONLY|os.O_EXCL, 0o644)
+	fs.SyncDir("/d")
+	writeAll(t, f, []byte("acked data"))
+	if err := f.Sync(); err != nil {
+		t.Fatalf("dropped sync must still report success: %v", err)
+	}
+	data, err := fs.CrashImage().ReadFile("/d/a")
+	if err != nil || len(data) != 0 {
+		t.Fatalf("dropped fsync survived the crash: %q %v", data, err)
+	}
+}
+
+// TestTearWriteAndFailOp: scripted short writes and op failures.
+func TestTearWriteAndFailOp(t *testing.T) {
+	fs := NewMem(5)
+	fs.MkdirAll("/d", 0o755)
+	f, _ := fs.OpenFile("/d/a", os.O_CREATE|os.O_WRONLY, 0o644)
+	fs.TearWrite(fs.OpCount(), 3)
+	if n, err := f.Write([]byte("abcdef")); n != 3 || !errors.Is(err, ErrInjected) {
+		t.Fatalf("torn write: n=%d err=%v", n, err)
+	}
+	if data, _ := fs.ReadFile("/d/a"); string(data) != "abc" {
+		t.Fatalf("torn write persisted %q", data)
+	}
+	boom := errors.New("boom")
+	fs.FailOp(fs.OpCount(), boom)
+	if err := f.Sync(); !errors.Is(err, boom) {
+		t.Fatalf("scripted op failure: %v", err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatalf("fault is one-shot, next op must pass: %v", err)
+	}
+}
+
+// TestRenameDurability: a rename is provisional until SyncDir; a crash
+// before the dir sync may leave either name, after it only the new one.
+func TestRenameDurability(t *testing.T) {
+	fs := NewMem(9)
+	fs.MkdirAll("/d", 0o755)
+	f, _ := fs.OpenFile("/d/tmp", os.O_CREATE|os.O_WRONLY, 0o644)
+	writeAll(t, f, []byte("snapshot"))
+	f.Sync()
+	f.Close()
+	fs.SyncDir("/d")
+	if err := fs.Rename("/d/tmp", "/d/final"); err != nil {
+		t.Fatal(err)
+	}
+	// Without the dir sync, the crash image may resurrect the old name
+	// or show the new one — but never lose the content entirely.
+	img := fs.CrashImage()
+	oldData, oldErr := img.ReadFile("/d/tmp")
+	newData, newErr := img.ReadFile("/d/final")
+	if oldErr != nil && newErr != nil {
+		t.Fatalf("rename lost both names: %v / %v", oldErr, newErr)
+	}
+	for _, d := range [][]byte{oldData, newData} {
+		if len(d) > 0 && string(d) != "snapshot" {
+			t.Fatalf("corrupt content %q", d)
+		}
+	}
+	// After the dir sync the rename is durable: new name only.
+	fs.SyncDir("/d")
+	img = fs.CrashImage()
+	if _, err := img.ReadFile("/d/tmp"); !os.IsNotExist(err) {
+		t.Fatalf("old name survived a durable rename: %v", err)
+	}
+	if data, err := img.ReadFile("/d/final"); err != nil || string(data) != "snapshot" {
+		t.Fatalf("durable rename target: %q %v", data, err)
+	}
+}
+
+// TestDiskFSPassthrough exercises the passthrough implementation against
+// a real temp dir (same call pattern the WAL uses).
+func TestDiskFSPassthrough(t *testing.T) {
+	dir := t.TempDir()
+	if err := Disk.MkdirAll(dir+"/sub", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	f, err := Disk.OpenFile(dir+"/sub/x", os.O_CREATE|os.O_WRONLY|os.O_EXCL, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	writeAll(t, f, []byte("data"))
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := Disk.SyncDir(dir + "/sub"); err != nil {
+		t.Fatal(err)
+	}
+	if err := Disk.Rename(dir+"/sub/x", dir+"/sub/y"); err != nil {
+		t.Fatal(err)
+	}
+	data, err := Disk.ReadFile(dir + "/sub/y")
+	if err != nil || string(data) != "data" {
+		t.Fatalf("%q %v", data, err)
+	}
+	entries, err := Disk.ReadDir(dir + "/sub")
+	if err != nil || len(entries) != 1 {
+		t.Fatalf("%v %v", entries, err)
+	}
+	if err := Disk.Truncate(dir+"/sub/y", 2); err != nil {
+		t.Fatal(err)
+	}
+	st, err := Disk.Stat(dir + "/sub/y")
+	if err != nil || st.Size() != 2 {
+		t.Fatalf("%v %v", st, err)
+	}
+	if err := Disk.Remove(dir + "/sub/y"); err != nil {
+		t.Fatal(err)
+	}
+}

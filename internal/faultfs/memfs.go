@@ -1,0 +1,527 @@
+package faultfs
+
+import (
+	"errors"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Fault-engine errors.
+var (
+	// ErrCrashed is returned by every operation at and after the
+	// configured crash point: the process model is dead as far as the
+	// filesystem is concerned.
+	ErrCrashed = errors.New("faultfs: simulated crash")
+	// ErrInjected is returned by operations failed via FailOp/TearWrite.
+	ErrInjected = errors.New("faultfs: injected fault")
+)
+
+// KeepPolicy selects what CrashImage does with bytes that were written
+// but not covered by an fsync when the crash fired.
+type KeepPolicy int
+
+const (
+	// KeepRandom keeps a seed-determined prefix of each file's unsynced
+	// tail — including prefixes that tear a record mid-frame. This is
+	// the realistic page-cache model and the default.
+	KeepRandom KeepPolicy = iota
+	// KeepNone drops every unsynced byte: the page cache never wrote
+	// back. The adversarial choice for catching missing fsyncs.
+	KeepNone
+	// KeepAll keeps every written byte: the page cache happened to flush
+	// everything before the crash.
+	KeepAll
+)
+
+// TraceOp is one recorded filesystem operation.
+type TraceOp struct {
+	Index int64
+	Kind  string // mkdir create open write sync close dirsync rename remove truncate readdir readfile stat
+	Path  string
+	Bytes int
+}
+
+// memFile is one file's volatile and durable state.
+type memFile struct {
+	data   []byte
+	synced int // bytes guaranteed to survive a crash (fsync watermark)
+	// linked: the volatile directory has an entry for this name.
+	// durableLinked: the on-disk directory is guaranteed to have it.
+	// A file with linked != durableLinked has a directory operation
+	// pending a SyncDir; a crash may land on either side of it. A file
+	// with linked == false lingers as a ghost until the SyncDir that
+	// makes its removal durable.
+	linked        bool
+	durableLinked bool
+	// renamedTo names the entry this ghost's content moved to, so the
+	// crash model never drops both sides of a not-yet-synced rename.
+	renamedTo string
+}
+
+// FaultFS is the in-memory, fault-injecting FS implementation. The zero
+// value is not usable; construct with NewMem. All faults are disabled by
+// default — a fresh FaultFS is simply a deterministic in-memory disk.
+//
+// Safe for concurrent use (one mutex; the WAL's writer is serialized
+// anyway, only snapshots and recovery overlap it).
+type FaultFS struct {
+	mu        sync.Mutex
+	seed      int64
+	crashAt   int64 // op index that triggers the crash; <0 disabled
+	crashed   bool
+	dropSyncs bool
+	keep      KeepPolicy
+	failOps   map[int64]error
+	tears     map[int64]int
+	nops      int64
+	trace     []TraceOp
+	files     map[string]*memFile
+	dirs      map[string]bool
+}
+
+// NewMem returns an empty in-memory FS with every fault disabled. The
+// seed drives the crash model's byte-level tearing decisions, so the same
+// seed and fault script reproduce the same post-crash image.
+func NewMem(seed int64) *FaultFS {
+	return &FaultFS{
+		seed:    seed,
+		crashAt: -1,
+		failOps: make(map[int64]error),
+		tears:   make(map[int64]int),
+		files:   make(map[string]*memFile),
+		dirs:    make(map[string]bool),
+	}
+}
+
+// CrashAtOp arms the crash model: the operation with global index n (and
+// every one after it) fails with ErrCrashed. If that operation is a
+// write, a seed-determined prefix of it still reaches the volatile state
+// — the crash interrupts the write mid-copy. Negative disables.
+func (f *FaultFS) CrashAtOp(n int64) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.crashAt = n
+}
+
+// DropSyncs makes every file Sync lie: it returns success without
+// advancing the durability watermark. Directory syncs are unaffected, so
+// files keep their names and lose their contents — the sharpest version
+// of the fsync-dropped-before-ack bug.
+func (f *FaultFS) DropSyncs(drop bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.dropSyncs = drop
+}
+
+// FailOp scripts the operation at index idx to fail with err (wrapped
+// semantics are the caller's choice; ErrInjected is conventional).
+func (f *FaultFS) FailOp(idx int64, err error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.failOps[idx] = err
+}
+
+// TearWrite scripts the write at op index idx to persist only its first
+// keep bytes and return ErrInjected — a short write at an arbitrary byte.
+func (f *FaultFS) TearWrite(idx int64, keep int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.tears[idx] = keep
+}
+
+// SetKeepPolicy selects the unsynced-tail policy CrashImage applies.
+func (f *FaultFS) SetKeepPolicy(p KeepPolicy) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.keep = p
+}
+
+// Crashed reports whether the crash point fired.
+func (f *FaultFS) Crashed() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.crashed
+}
+
+// OpCount returns the number of operations performed so far; crash-point
+// enumeration iterates indices [0, OpCount) of a reference run.
+func (f *FaultFS) OpCount() int64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.nops
+}
+
+// Trace returns a copy of the operation trace.
+func (f *FaultFS) Trace() []TraceOp {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return append([]TraceOp(nil), f.trace...)
+}
+
+// step records one operation, then applies the crash model and scripted
+// faults. Caller must hold f.mu.
+func (f *FaultFS) step(kind, path string, bytes int) (int64, error) {
+	idx := f.nops
+	f.nops++
+	f.trace = append(f.trace, TraceOp{Index: idx, Kind: kind, Path: path, Bytes: bytes})
+	if f.crashed {
+		return idx, ErrCrashed
+	}
+	if f.crashAt >= 0 && idx >= f.crashAt {
+		f.crashed = true
+		return idx, ErrCrashed
+	}
+	if err, ok := f.failOps[idx]; ok {
+		return idx, err
+	}
+	return idx, nil
+}
+
+// tornLen derives a deterministic tear point in [0, n] from the seed and
+// an op index.
+func tornLen(seed, idx int64, n int) int {
+	if n == 0 {
+		return 0
+	}
+	r := rand.New(rand.NewSource(seed ^ (idx+1)*0x9e3779b97f4a7c))
+	return r.Intn(n + 1)
+}
+
+func notExist(op, path string) error {
+	return &os.PathError{Op: op, Path: path, Err: os.ErrNotExist}
+}
+
+// MkdirAll implements FS.
+func (f *FaultFS) MkdirAll(path string, _ os.FileMode) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if _, err := f.step("mkdir", path, 0); err != nil {
+		return err
+	}
+	f.dirs[filepath.Clean(path)] = true
+	return nil
+}
+
+// OpenFile implements FS for the flag combinations the WAL uses.
+func (f *FaultFS) OpenFile(name string, flag int, _ os.FileMode) (File, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	name = filepath.Clean(name)
+	kind := "open"
+	if flag&os.O_CREATE != 0 {
+		kind = "create"
+	}
+	if _, err := f.step(kind, name, 0); err != nil {
+		return nil, err
+	}
+	mf := f.files[name]
+	exists := mf != nil && mf.linked
+	switch {
+	case exists && flag&os.O_EXCL != 0:
+		return nil, &os.PathError{Op: "open", Path: name, Err: os.ErrExist}
+	case !exists && flag&os.O_CREATE == 0:
+		return nil, notExist("open", name)
+	case !exists:
+		if mf == nil {
+			mf = &memFile{}
+			f.files[name] = mf
+		}
+		mf.data, mf.synced = nil, 0
+		mf.linked = true
+		mf.renamedTo = ""
+	case flag&os.O_TRUNC != 0:
+		mf.data, mf.synced = nil, 0
+	}
+	return &memHandle{fs: f, name: name, f: mf}, nil
+}
+
+// ReadDir implements FS.
+func (f *FaultFS) ReadDir(name string) ([]os.DirEntry, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	name = filepath.Clean(name)
+	if _, err := f.step("readdir", name, 0); err != nil {
+		return nil, err
+	}
+	if !f.dirs[name] {
+		return nil, notExist("open", name)
+	}
+	var names []string
+	for p, mf := range f.files {
+		if mf.linked && filepath.Dir(p) == name {
+			names = append(names, filepath.Base(p))
+		}
+	}
+	sort.Strings(names)
+	entries := make([]os.DirEntry, len(names))
+	for i, n := range names {
+		entries[i] = dirEntry(n)
+	}
+	return entries, nil
+}
+
+// ReadFile implements FS.
+func (f *FaultFS) ReadFile(name string) ([]byte, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	name = filepath.Clean(name)
+	if _, err := f.step("readfile", name, 0); err != nil {
+		return nil, err
+	}
+	mf := f.files[name]
+	if mf == nil || !mf.linked {
+		return nil, notExist("open", name)
+	}
+	return append([]byte(nil), mf.data...), nil
+}
+
+// Stat implements FS.
+func (f *FaultFS) Stat(name string) (os.FileInfo, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	name = filepath.Clean(name)
+	if _, err := f.step("stat", name, 0); err != nil {
+		return nil, err
+	}
+	mf := f.files[name]
+	if mf == nil || !mf.linked {
+		return nil, notExist("stat", name)
+	}
+	return fileInfo{name: filepath.Base(name), size: int64(len(mf.data))}, nil
+}
+
+// Truncate implements FS.
+func (f *FaultFS) Truncate(name string, size int64) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	name = filepath.Clean(name)
+	if _, err := f.step("truncate", name, int(size)); err != nil {
+		return err
+	}
+	mf := f.files[name]
+	if mf == nil || !mf.linked {
+		return notExist("truncate", name)
+	}
+	if int(size) < len(mf.data) {
+		mf.data = mf.data[:size]
+		if mf.synced > int(size) {
+			mf.synced = int(size)
+		}
+	}
+	return nil
+}
+
+// Rename implements FS. The old name lingers as a ghost that a crash may
+// resurrect until SyncDir makes the rename durable.
+func (f *FaultFS) Rename(oldpath, newpath string) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	oldpath, newpath = filepath.Clean(oldpath), filepath.Clean(newpath)
+	if _, err := f.step("rename", oldpath+" -> "+newpath, 0); err != nil {
+		return err
+	}
+	of := f.files[oldpath]
+	if of == nil || !of.linked {
+		return notExist("rename", oldpath)
+	}
+	nf := f.files[newpath]
+	if nf == nil {
+		nf = &memFile{}
+		f.files[newpath] = nf
+	}
+	nf.data = append([]byte(nil), of.data...)
+	nf.synced = of.synced
+	nf.linked = true
+	of.linked = false
+	of.renamedTo = newpath
+	return nil
+}
+
+// Remove implements FS. The entry lingers as a ghost (crash may
+// resurrect its durable content) until SyncDir.
+func (f *FaultFS) Remove(name string) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	name = filepath.Clean(name)
+	if _, err := f.step("remove", name, 0); err != nil {
+		return err
+	}
+	mf := f.files[name]
+	if mf == nil || !mf.linked {
+		return notExist("remove", name)
+	}
+	mf.linked = false
+	return nil
+}
+
+// SyncDir implements FS: every pending directory operation in dir
+// becomes durable, and fully unlinked ghosts are garbage collected.
+func (f *FaultFS) SyncDir(dir string) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	dir = filepath.Clean(dir)
+	if _, err := f.step("dirsync", dir, 0); err != nil {
+		return err
+	}
+	for p, mf := range f.files {
+		if filepath.Dir(p) != dir {
+			continue
+		}
+		mf.durableLinked = mf.linked
+		if !mf.linked {
+			delete(f.files, p)
+		} else {
+			mf.renamedTo = ""
+		}
+	}
+	return nil
+}
+
+// CrashImage materializes the durable view of the filesystem: what a
+// process starting after the crash would find on disk. Files keep their
+// synced prefix plus a KeepPolicy-chosen amount of unsynced tail;
+// entries with a pending directory operation land on a seed-determined
+// side of the crash. The image is a fresh fault-free FaultFS, so
+// recovery code runs against it unmodified. Deterministic for a given
+// (seed, crash point, fault script).
+func (f *FaultFS) CrashImage() *FaultFS {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	img := NewMem(f.seed + 1)
+	for d := range f.dirs {
+		img.dirs[d] = true
+	}
+	rng := rand.New(rand.NewSource(f.seed ^ (f.crashAt+2)*0x9e3779b97f4a7c))
+	paths := make([]string, 0, len(f.files))
+	for p := range f.files {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths) // deterministic rng consumption order
+	exists := make(map[string]bool, len(paths))
+	for _, p := range paths {
+		mf := f.files[p]
+		switch {
+		case mf.linked && mf.durableLinked:
+			exists[p] = true
+		case mf.linked || mf.durableLinked:
+			// Created/renamed/removed but the directory was never
+			// synced: the entry may have hit the disk or not.
+			exists[p] = rng.Intn(2) == 0
+		}
+	}
+	// A not-yet-synced rename leaves the old entry or the new one — the
+	// directory update is atomic, so never neither.
+	for _, p := range paths {
+		mf := f.files[p]
+		if !exists[p] && mf.durableLinked && mf.renamedTo != "" && !exists[mf.renamedTo] {
+			exists[p] = true
+		}
+	}
+	for _, p := range paths {
+		if !exists[p] {
+			continue
+		}
+		mf := f.files[p]
+		n := len(mf.data)
+		switch f.keep {
+		case KeepNone:
+			n = mf.synced
+		case KeepRandom:
+			n = mf.synced + rng.Intn(len(mf.data)-mf.synced+1)
+		}
+		img.files[p] = &memFile{
+			data:          append([]byte(nil), mf.data[:n]...),
+			synced:        n,
+			linked:        true,
+			durableLinked: true,
+		}
+	}
+	return img
+}
+
+// memHandle is an open append-only file on a FaultFS.
+type memHandle struct {
+	fs     *FaultFS
+	name   string
+	f      *memFile
+	closed bool
+}
+
+func (h *memHandle) Name() string { return h.name }
+
+func (h *memHandle) Write(p []byte) (int, error) {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	idx, err := h.fs.step("write", h.name, len(p))
+	if err != nil {
+		if errors.Is(err, ErrCrashed) && idx == h.fs.crashAt {
+			// The crash interrupts this very write: a seed-determined
+			// prefix reaches the page cache before the model dies.
+			h.f.data = append(h.f.data, p[:tornLen(h.fs.seed, idx, len(p))]...)
+		}
+		return 0, err
+	}
+	if h.closed {
+		return 0, os.ErrClosed
+	}
+	if keep, ok := h.fs.tears[idx]; ok {
+		if keep > len(p) {
+			keep = len(p)
+		}
+		h.f.data = append(h.f.data, p[:keep]...)
+		return keep, ErrInjected
+	}
+	h.f.data = append(h.f.data, p...)
+	return len(p), nil
+}
+
+func (h *memHandle) Sync() error {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	if _, err := h.fs.step("sync", h.name, 0); err != nil {
+		return err
+	}
+	if h.closed {
+		return os.ErrClosed
+	}
+	if h.fs.dropSyncs {
+		return nil // the lie: success without durability
+	}
+	h.f.synced = len(h.f.data)
+	return nil
+}
+
+func (h *memHandle) Close() error {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	if _, err := h.fs.step("close", h.name, 0); err != nil {
+		return err
+	}
+	h.closed = true
+	return nil
+}
+
+// fileInfo is the minimal os.FileInfo Stat returns.
+type fileInfo struct {
+	name string
+	size int64
+}
+
+func (fi fileInfo) Name() string       { return fi.name }
+func (fi fileInfo) Size() int64        { return fi.size }
+func (fi fileInfo) Mode() os.FileMode  { return 0o644 }
+func (fi fileInfo) ModTime() time.Time { return time.Time{} }
+func (fi fileInfo) IsDir() bool        { return false }
+func (fi fileInfo) Sys() any           { return nil }
+
+// dirEntry is the minimal os.DirEntry ReadDir returns.
+type dirEntry string
+
+func (d dirEntry) Name() string               { return string(d) }
+func (d dirEntry) IsDir() bool                { return false }
+func (d dirEntry) Type() os.FileMode          { return 0 }
+func (d dirEntry) Info() (os.FileInfo, error) { return fileInfo{name: string(d)}, nil }

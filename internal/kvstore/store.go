@@ -21,6 +21,8 @@ import (
 	"time"
 
 	"mxtasking/internal/blinktree"
+	"mxtasking/internal/faultfs"
+	"mxtasking/internal/linearize"
 	"mxtasking/internal/mxtask"
 	"mxtasking/internal/wal"
 )
@@ -38,6 +40,10 @@ type Durability struct {
 	// SnapshotEvery, when positive, checkpoints the tree into a snapshot
 	// (and truncates the log) every that-many logged operations.
 	SnapshotEvery uint64
+	// FS is the filesystem the WAL and snapshots write through. Nil uses
+	// the real disk; the chaos tests inject a faultfs.FaultFS to enumerate
+	// crash points and verify recovery.
+	FS faultfs.FS
 }
 
 // Store is an embedded key-value store.
@@ -56,6 +62,11 @@ type Store struct {
 	gets atomic.Uint64
 	sets atomic.Uint64
 	dels atomic.Uint64
+
+	// rec, when non-nil, captures every Get/Set/Delete as an
+	// invoke/return pair for linearizability checking. Set via Instrument
+	// before any concurrent use.
+	rec *linearize.Recorder
 }
 
 // Stats reports operation counts since creation.
@@ -90,7 +101,7 @@ func Open(rt *mxtask.Runtime, d Durability) (*Store, wal.ReplayStats, error) {
 	// which truncates that torn tail off the live log.
 	var pairs []wal.KV
 	var records []wal.Record
-	stats, err := wal.Replay(d.Dir,
+	stats, err := wal.ReplayFS(d.FS, d.Dir,
 		func(kv wal.KV) { pairs = append(pairs, kv) },
 		func(r wal.Record) error { records = append(records, r); return nil })
 	if err != nil {
@@ -103,6 +114,7 @@ func Open(rt *mxtask.Runtime, d Durability) (*Store, wal.ReplayStats, error) {
 		SyncInterval: d.SyncInterval,
 		NoSync:       d.NoSync,
 		SegmentBytes: d.SegmentBytes,
+		FS:           d.FS,
 	})
 	if err != nil {
 		return nil, stats, err
@@ -160,12 +172,26 @@ type Result struct {
 	Err error
 }
 
+// Instrument attaches a linearizability recorder: every subsequent
+// Get/Set/Delete is captured as an invoke/return pair (returns fire only
+// after the operation's ack — for durable mutations, after the covering
+// fsync — so an op that never acked stays pending in the history). Call
+// before any concurrent use; pass nil to detach.
+func (s *Store) Instrument(rec *linearize.Recorder) { s.rec = rec }
+
 // Get fetches key asynchronously; done receives the outcome on the
 // worker that completed the lookup. Reads are not logged.
 func (s *Store) Get(key uint64, done func(Result)) {
 	s.gets.Add(1)
+	var opID int64
+	if s.rec != nil {
+		opID = s.rec.Invoke(0, linearize.OpGet, key, 0)
+	}
 	s.tree.LookupWith(key, func(_ *mxtask.Context, t *mxtask.Task) {
 		op := t.Arg.(*blinktree.Op)
+		if s.rec != nil {
+			s.rec.Return(opID, op.Result, op.Found, nil)
+		}
 		done(Result{Value: op.Result, Found: op.Found})
 	})
 }
@@ -174,6 +200,10 @@ func (s *Store) Get(key uint64, done func(Result)) {
 // — for durable stores, only after the record's covering fsync.
 func (s *Store) Set(key, value uint64, done func(Result)) {
 	s.sets.Add(1)
+	var opID int64
+	if s.rec != nil {
+		opID = s.rec.Invoke(0, linearize.OpSet, key, value)
+	}
 	op := s.tree.NewOp("insert", key, value, nil)
 	if s.log != nil {
 		s.logged.Add(1)
@@ -183,6 +213,9 @@ func (s *Store) Set(key, value uint64, done func(Result)) {
 		op.Commit = func(o *blinktree.Op) {
 			found := o.Found
 			s.log.Append(wal.OpSet, key, value, func(err error) {
+				if s.rec != nil {
+					s.rec.Return(opID, value, found, err)
+				}
 				if done != nil {
 					done(Result{Value: value, Found: found, Err: err})
 				}
@@ -192,10 +225,15 @@ func (s *Store) Set(key, value uint64, done func(Result)) {
 		s.maybeSnapshot()
 		return
 	}
-	if done != nil {
+	if done != nil || s.rec != nil {
 		op.Done = func(_ *mxtask.Context, t *mxtask.Task) {
 			o := t.Arg.(*blinktree.Op)
-			done(Result{Value: value, Found: o.Found})
+			if s.rec != nil {
+				s.rec.Return(opID, value, o.Found, nil)
+			}
+			if done != nil {
+				done(Result{Value: value, Found: o.Found})
+			}
 		}
 	}
 	s.startOp(op)
@@ -206,12 +244,19 @@ func (s *Store) Set(key, value uint64, done func(Result)) {
 // fsync.
 func (s *Store) Delete(key uint64, done func(Result)) {
 	s.dels.Add(1)
+	var opID int64
+	if s.rec != nil {
+		opID = s.rec.Invoke(0, linearize.OpDelete, key, 0)
+	}
 	op := s.tree.NewOp("delete", key, 0, nil)
 	if s.log != nil {
 		s.logged.Add(1)
 		op.Commit = func(o *blinktree.Op) {
 			found := o.Found
 			s.log.Append(wal.OpDelete, key, 0, func(err error) {
+				if s.rec != nil {
+					s.rec.Return(opID, 0, found, err)
+				}
 				if done != nil {
 					done(Result{Found: found, Err: err})
 				}
@@ -221,10 +266,15 @@ func (s *Store) Delete(key uint64, done func(Result)) {
 		s.maybeSnapshot()
 		return
 	}
-	if done != nil {
+	if done != nil || s.rec != nil {
 		op.Done = func(_ *mxtask.Context, t *mxtask.Task) {
 			o := t.Arg.(*blinktree.Op)
-			done(Result{Found: o.Found})
+			if s.rec != nil {
+				s.rec.Return(opID, 0, o.Found, nil)
+			}
+			if done != nil {
+				done(Result{Found: o.Found})
+			}
 		}
 	}
 	s.startOp(op)
@@ -295,7 +345,7 @@ func (s *Store) Snapshot(done func(error)) {
 				if r.Found {
 					pairs = append(pairs, wal.KV{Key: math.MaxUint64, Value: r.Value})
 				}
-				if werr := wal.WriteSnapshot(s.dur.Dir, snapSeq, pairs); werr != nil {
+				if werr := wal.WriteSnapshotFS(s.dur.FS, s.dur.Dir, snapSeq, pairs); werr != nil {
 					finish(werr)
 					return
 				}

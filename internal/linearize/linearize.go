@@ -1,0 +1,240 @@
+// Package linearize is a Wing & Gong-style linearizability checker for
+// single-key KV histories, in the spirit of Porcupine (Athalye 2017) and
+// the checkers CoroBase/Silo-class engines validate against: a history of
+// invoke/return events over Get/Set/Delete operations is partitioned by
+// key (operations on distinct keys commute, so each key checks
+// independently), and each per-key sub-history is searched for a valid
+// sequential witness with a memoized depth-first search.
+//
+// The model is a single register per key that is either absent or holds a
+// uint64 value. An operation may be linearized at any point between its
+// invoke and return timestamps; a *pending* operation (invoked, but the
+// client never saw a successful return — the signature of a crash) may
+// take effect at any later point or never, so the search explores both an
+// apply branch and a skip branch for it. This is exactly the durability
+// contract the WAL documents: an acknowledged mutation must be visible, an
+// unacknowledged one is allowed to be present or absent, but the value
+// sequence must always be explainable by the operations that were issued.
+package linearize
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+)
+
+// OpKind identifies an operation in a history.
+type OpKind uint8
+
+const (
+	// OpGet reads a key; Output/Found carry the observed result.
+	OpGet OpKind = iota + 1
+	// OpSet writes Input to a key; Found reports whether the key
+	// existed before (the store surfaces this, so the checker uses it).
+	OpSet
+	// OpDelete removes a key; Found reports whether it existed.
+	OpDelete
+)
+
+// String names the kind for diagnostics.
+func (k OpKind) String() string {
+	switch k {
+	case OpGet:
+		return "get"
+	case OpSet:
+		return "set"
+	case OpDelete:
+		return "delete"
+	default:
+		return fmt.Sprintf("opkind(%d)", uint8(k))
+	}
+}
+
+// Op is one operation of a recorded history.
+type Op struct {
+	// Client identifies the issuing client (diagnostics only; the
+	// checker uses timestamps, not client identity).
+	Client int
+	Kind   OpKind
+	Key    uint64
+	// Input is the value written (OpSet).
+	Input uint64
+	// Output is the value observed (OpGet with Found true).
+	Output uint64
+	// Found is the presence observation: OpGet saw the key; OpSet
+	// overwrote an existing key; OpDelete removed an existing key.
+	// Unchecked for pending operations (the client never saw it).
+	Found bool
+	// Call and Return are logical timestamps from a shared monotonic
+	// clock. A pending op's Return is ignored.
+	Call   int64
+	Return int64
+	// Pending marks an operation whose successful return the client
+	// never observed: it may have taken effect at any point after Call,
+	// or not at all.
+	Pending bool
+}
+
+func (o Op) String() string {
+	tail := ""
+	switch {
+	case o.Pending:
+		tail = " pending"
+	case o.Kind == OpGet && o.Found:
+		tail = fmt.Sprintf(" -> %d", o.Output)
+	case o.Kind == OpGet:
+		tail = " -> absent"
+	case o.Found:
+		tail = " (existed)"
+	}
+	return fmt.Sprintf("c%d %s(%d%s)%s [%d,%d]", o.Client, o.Kind, o.Key,
+		map[bool]string{true: fmt.Sprintf("=%d", o.Input), false: ""}[o.Kind == OpSet], tail, o.Call, o.Return)
+}
+
+// Result is a whole-history verdict.
+type Result struct {
+	// Ok is true when every per-key sub-history is linearizable.
+	Ok bool
+	// BadKeys lists the keys whose sub-histories admit no valid
+	// linearization, ascending.
+	BadKeys []uint64
+}
+
+func (r Result) String() string {
+	if r.Ok {
+		return "linearizable"
+	}
+	return fmt.Sprintf("NOT linearizable: keys %v", r.BadKeys)
+}
+
+// Check partitions history by key and checks each sub-history.
+func Check(history []Op) Result {
+	byKey := make(map[uint64][]Op)
+	for _, op := range history {
+		byKey[op.Key] = append(byKey[op.Key], op)
+	}
+	res := Result{Ok: true}
+	for key, ops := range byKey {
+		if !CheckKey(ops) {
+			res.Ok = false
+			res.BadKeys = append(res.BadKeys, key)
+		}
+	}
+	sort.Slice(res.BadKeys, func(i, j int) bool { return res.BadKeys[i] < res.BadKeys[j] })
+	return res
+}
+
+// regState is the sequential specification's state: one optional value.
+type regState struct {
+	present bool
+	value   uint64
+}
+
+// apply attempts to linearize op against st. ok reports whether the
+// op's recorded observations are consistent with st; next is the state
+// afterwards. Pending ops have no recorded observations to contradict.
+func apply(st regState, op Op) (next regState, ok bool) {
+	switch op.Kind {
+	case OpGet:
+		if op.Found != st.present || (st.present && op.Output != st.value) {
+			return st, false
+		}
+		return st, true
+	case OpSet:
+		if !op.Pending && op.Found != st.present {
+			return st, false
+		}
+		return regState{present: true, value: op.Input}, true
+	case OpDelete:
+		if !op.Pending && op.Found != st.present {
+			return st, false
+		}
+		return regState{}, true
+	default:
+		return st, false
+	}
+}
+
+// CheckKey reports whether one key's operations admit a linearization.
+// All ops must share a key. Exponential in the worst case but memoized
+// on (remaining-set, register state), which keeps recorded histories
+// from real runs fast: concurrency windows are short and values few.
+func CheckKey(ops []Op) bool {
+	n := len(ops)
+	if n == 0 {
+		return true
+	}
+	sorted := append([]Op(nil), ops...)
+	sort.SliceStable(sorted, func(i, j int) bool { return sorted[i].Call < sorted[j].Call })
+
+	words := (n + 63) / 64
+	remaining := make([]uint64, words)
+	for i := 0; i < n; i++ {
+		remaining[i/64] |= 1 << (i % 64)
+	}
+	left := n
+
+	// minReturn is the earliest completed-op return among remaining ops:
+	// only ops invoked before it are linearization candidates (an op
+	// that returned before another was invoked must precede it).
+	minReturn := func() int64 {
+		m := int64(1)<<62 - 1
+		for i := 0; i < n; i++ {
+			if remaining[i/64]&(1<<(i%64)) != 0 && !sorted[i].Pending && sorted[i].Return < m {
+				m = sorted[i].Return
+			}
+		}
+		return m
+	}
+
+	visited := make(map[string]struct{})
+	seen := func(st regState) bool {
+		key := make([]byte, words*8+9)
+		for i, w := range remaining {
+			binary.LittleEndian.PutUint64(key[i*8:], w)
+		}
+		if st.present {
+			key[words*8] = 1
+		}
+		binary.LittleEndian.PutUint64(key[words*8+1:], st.value)
+		k := string(key)
+		if _, ok := visited[k]; ok {
+			return true
+		}
+		visited[k] = struct{}{}
+		return false
+	}
+
+	var dfs func(st regState) bool
+	dfs = func(st regState) bool {
+		if left == 0 {
+			return true
+		}
+		if seen(st) {
+			return false
+		}
+		horizon := minReturn()
+		for i := 0; i < n; i++ {
+			bit := uint64(1) << (i % 64)
+			if remaining[i/64]&bit == 0 {
+				continue
+			}
+			op := sorted[i]
+			if op.Call > horizon {
+				break // sorted by Call: no later op qualifies either
+			}
+			remaining[i/64] &^= bit
+			left--
+			if next, ok := apply(st, op); ok && dfs(next) {
+				return true
+			}
+			if op.Pending && dfs(st) {
+				return true // the pending op never took effect
+			}
+			remaining[i/64] |= bit
+			left++
+		}
+		return false
+	}
+	return dfs(regState{})
+}

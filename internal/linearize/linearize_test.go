@@ -1,0 +1,212 @@
+package linearize
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+// ops below use explicit timestamps; even = calls, odd = returns, so
+// windows are easy to read. Key is always 1 unless stated.
+
+func set(v uint64, found bool, call, ret int64) Op {
+	return Op{Kind: OpSet, Key: 1, Input: v, Found: found, Call: call, Return: ret}
+}
+func get(v uint64, found bool, call, ret int64) Op {
+	return Op{Kind: OpGet, Key: 1, Output: v, Found: found, Call: call, Return: ret}
+}
+func del(found bool, call, ret int64) Op {
+	return Op{Kind: OpDelete, Key: 1, Found: found, Call: call, Return: ret}
+}
+func pending(op Op) Op {
+	op.Pending = true
+	op.Return = 0
+	return op
+}
+
+func TestCheckKeyFixtures(t *testing.T) {
+	cases := []struct {
+		name string
+		ops  []Op
+		want bool
+	}{
+		{"empty", nil, true},
+		{"single write then read", []Op{
+			set(7, false, 1, 2), get(7, true, 3, 4),
+		}, true},
+		{"read of never-written value", []Op{
+			set(7, false, 1, 2), get(9, true, 3, 4),
+		}, false},
+		{"lost acked write", []Op{
+			set(7, false, 1, 2), get(0, false, 3, 4),
+		}, false},
+		{"stale read after overwrite", []Op{
+			set(1, false, 1, 2), set(2, true, 3, 4), get(1, true, 5, 6),
+		}, false},
+		{"concurrent read may order before write", []Op{
+			set(1, false, 1, 6), get(0, false, 2, 3),
+		}, true},
+		{"concurrent read may order after write", []Op{
+			set(1, false, 1, 6), get(1, true, 2, 3),
+		}, true},
+		{"delete then absent read", []Op{
+			set(1, false, 1, 2), del(true, 3, 4), get(0, false, 5, 6),
+		}, true},
+		{"delete of missing key claims existence", []Op{
+			del(true, 1, 2),
+		}, false},
+		{"set found flag must match prior state", []Op{
+			set(1, false, 1, 2), set(2, false, 3, 4),
+		}, false},
+		{"two concurrent sets, read decides the order", []Op{
+			set(1, false, 1, 10), set(2, false, 2, 9), get(2, true, 11, 12),
+		}, false}, // one of the overlapping sets must observe Found=true
+		{"two concurrent sets with consistent founds", []Op{
+			set(1, false, 1, 10), set(2, true, 2, 9), get(2, true, 11, 12),
+		}, true},
+		{"pending write may be visible", []Op{
+			pending(set(5, false, 1, 0)), get(5, true, 2, 3),
+		}, true},
+		{"pending write may be invisible", []Op{
+			pending(set(5, false, 1, 0)), get(0, false, 2, 3),
+		}, true},
+		{"pending write cannot flicker", []Op{
+			pending(set(5, false, 1, 0)), get(5, true, 2, 3), get(0, false, 4, 5),
+		}, false},
+		{"value cannot resurrect after delete", []Op{
+			set(3, false, 1, 2), del(true, 3, 4), get(3, true, 5, 6),
+		}, false},
+		{"real-time order is respected", []Op{
+			// get returned before set was invoked, so it cannot observe it
+			get(4, true, 1, 2), set(4, false, 3, 4),
+		}, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := CheckKey(tc.ops); got != tc.want {
+				t.Fatalf("CheckKey = %v, want %v for %v", got, tc.want, tc.ops)
+			}
+		})
+	}
+}
+
+// TestCheckPartitionsByKey: a violation on one key must not poison
+// others, and the verdict names the offending key.
+func TestCheckPartitionsByKey(t *testing.T) {
+	h := []Op{
+		{Kind: OpSet, Key: 1, Input: 7, Call: 1, Return: 2},
+		{Kind: OpGet, Key: 1, Output: 7, Found: true, Call: 3, Return: 4},
+		{Kind: OpSet, Key: 2, Input: 9, Call: 5, Return: 6},
+		{Kind: OpGet, Key: 2, Output: 0, Found: false, Call: 7, Return: 8}, // lost write
+	}
+	res := Check(h)
+	if res.Ok {
+		t.Fatal("accepted a history with a lost acked write on key 2")
+	}
+	if len(res.BadKeys) != 1 || res.BadKeys[0] != 2 {
+		t.Fatalf("BadKeys = %v, want [2]", res.BadKeys)
+	}
+}
+
+// TestRecorderSequential: a recorded strictly sequential run over a
+// reference map must always be accepted.
+func TestRecorderSequential(t *testing.T) {
+	rec := NewRecorder()
+	ref := make(map[uint64]uint64)
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < 400; i++ {
+		k := rng.Uint64() % 6
+		switch rng.Intn(4) {
+		case 0:
+			_, found := ref[k]
+			id := rec.Invoke(0, OpDelete, k, 0)
+			delete(ref, k)
+			rec.Return(id, 0, found, nil)
+		case 1:
+			v, found := ref[k]
+			id := rec.Invoke(0, OpGet, k, 0)
+			rec.Return(id, v, found, nil)
+		default:
+			v := rng.Uint64() % 100
+			_, found := ref[k]
+			id := rec.Invoke(0, OpSet, k, v)
+			ref[k] = v
+			rec.Return(id, v, found, nil)
+		}
+	}
+	if res := Check(rec.History()); !res.Ok {
+		t.Fatalf("sequential reference run rejected: %v", res)
+	}
+}
+
+// TestRecorderConcurrentAtomicMap: concurrent clients over a mutex-held
+// map are linearizable by construction; the recorder + checker must
+// agree. This is the checker's soundness smoke test under real
+// parallelism (the real-runtime acceptance run lives in kvstore's chaos
+// tests).
+func TestRecorderConcurrentAtomicMap(t *testing.T) {
+	rec := NewRecorder()
+	var mu sync.Mutex
+	ref := make(map[uint64]uint64)
+	var wg sync.WaitGroup
+	for c := 0; c < 4; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(c) + 7))
+			for i := 0; i < 150; i++ {
+				k := rng.Uint64() % 4
+				switch rng.Intn(4) {
+				case 0:
+					id := rec.Invoke(c, OpDelete, k, 0)
+					mu.Lock()
+					_, found := ref[k]
+					delete(ref, k)
+					mu.Unlock()
+					rec.Return(id, 0, found, nil)
+				case 1:
+					id := rec.Invoke(c, OpGet, k, 0)
+					mu.Lock()
+					v, found := ref[k]
+					mu.Unlock()
+					rec.Return(id, v, found, nil)
+				default:
+					v := rng.Uint64() % 50
+					id := rec.Invoke(c, OpSet, k, v)
+					mu.Lock()
+					_, found := ref[k]
+					ref[k] = v
+					mu.Unlock()
+					rec.Return(id, v, found, nil)
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	if res := Check(rec.History()); !res.Ok {
+		t.Fatalf("linearizable-by-construction run rejected: %v", res)
+	}
+}
+
+// TestRecorderErrorStaysPending: a failed mutation is indeterminate and
+// must be kept pending; a failed read is dropped.
+func TestRecorderErrorStaysPending(t *testing.T) {
+	rec := NewRecorder()
+	idSet := rec.Invoke(0, OpSet, 1, 5)
+	rec.Return(idSet, 0, false, errSentinel)
+	idGet := rec.Invoke(0, OpGet, 1, 0)
+	rec.Return(idGet, 0, false, errSentinel)
+	h := rec.History()
+	if len(h) != 1 {
+		t.Fatalf("history %v, want just the pending set", h)
+	}
+	if !h[0].Pending || h[0].Kind != OpSet {
+		t.Fatalf("errored set not pending: %v", h[0])
+	}
+}
+
+var errSentinel = &sentinelError{}
+
+type sentinelError struct{}
+
+func (*sentinelError) Error() string { return "sentinel" }

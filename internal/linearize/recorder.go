@@ -1,0 +1,91 @@
+package linearize
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Recorder captures a concurrent operation history with a shared
+// monotonic logical clock. Invoke must be called before the operation can
+// take effect and Return after its outcome is known, so the recorded
+// [Call, Return] window brackets the true linearization point.
+//
+// The recorder survives its store: after a crash, instrument the
+// recovered store with the same recorder and the clock keeps advancing,
+// so pre- and post-crash operations merge into one checkable history.
+type Recorder struct {
+	clock atomic.Int64
+
+	mu     sync.Mutex
+	nextID int64
+	ops    map[int64]*Op
+}
+
+// NewRecorder returns an empty recorder.
+func NewRecorder() *Recorder {
+	return &Recorder{ops: make(map[int64]*Op)}
+}
+
+// Now returns the current clock value. Use it to mark phase boundaries
+// (e.g. the crash) in the recorded timeline.
+func (r *Recorder) Now() int64 { return r.clock.Load() }
+
+// Invoke records an operation's start and returns its id for Return.
+func (r *Recorder) Invoke(client int, kind OpKind, key, input uint64) int64 {
+	call := r.clock.Add(1)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.nextID++
+	id := r.nextID
+	r.ops[id] = &Op{
+		Client:  client,
+		Kind:    kind,
+		Key:     key,
+		Input:   input,
+		Call:    call,
+		Pending: true,
+	}
+	return id
+}
+
+// Return records an operation's observed outcome. A non-nil err leaves
+// the operation pending: the client saw a failure, so whether the
+// mutation took effect (it may have reached the log before the fault) is
+// unknown — exactly what Pending models.
+func (r *Recorder) Return(id int64, output uint64, found bool, err error) {
+	ret := r.clock.Add(1)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	op := r.ops[id]
+	if op == nil || err != nil {
+		return
+	}
+	op.Output, op.Found = output, found
+	op.Return = ret
+	op.Pending = false
+}
+
+// History returns the recorded operations sorted by Call time. Pending
+// reads are dropped (their outcome was never observed, so they constrain
+// nothing); pending mutations are kept with Pending set.
+func (r *Recorder) History() []Op {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Op, 0, len(r.ops))
+	for _, op := range r.ops {
+		if op.Pending && op.Kind == OpGet {
+			continue
+		}
+		out = append(out, *op)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Call < out[j].Call })
+	return out
+}
+
+// Len returns the number of recorded operations (pending included).
+func (r *Recorder) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.ops)
+}

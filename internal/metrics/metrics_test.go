@@ -108,3 +108,74 @@ func TestHistogramNegative(t *testing.T) {
 		t.Fatal("negative observation lost")
 	}
 }
+
+// TestHistogramSummaryEdgeCases pins Summary's exact output at the
+// boundaries of the bucket scheme: no observations, one observation
+// (every percentile collapses to its bucket's upper bound), sub-bucket
+// zero/negative durations, observations past the last bucket boundary
+// (the overflow bucket must cap, not wrap), and a bimodal split whose
+// percentiles must land in two different buckets.
+func TestHistogramSummaryEdgeCases(t *testing.T) {
+	overflowBound := time.Duration(uint64(1) << 40) // upper bound of the last bucket
+	cases := []struct {
+		name    string
+		observe []time.Duration
+		want    Summary
+	}{
+		{
+			name: "empty",
+			want: Summary{},
+		},
+		{
+			name:    "single sample",
+			observe: []time.Duration{100 * time.Nanosecond},
+			// 100ns lands in bucket [64,128); with one observation every
+			// percentile is that bucket's upper bound.
+			want: Summary{Count: 1, Mean: 100, P50: 128, P95: 128, P99: 128},
+		},
+		{
+			name:    "zero duration",
+			observe: []time.Duration{0},
+			want:    Summary{Count: 1, Mean: 0, P50: 2, P95: 2, P99: 2},
+		},
+		{
+			name:    "negative clamps to zero",
+			observe: []time.Duration{-time.Second},
+			want:    Summary{Count: 1, Mean: 0, P50: 2, P95: 2, P99: 2},
+		},
+		{
+			name:    "overflow bucket caps",
+			observe: []time.Duration{1 << 50, 1 << 55},
+			want: Summary{
+				Count: 2,
+				Mean:  time.Duration((uint64(1<<50) + uint64(1<<55)) / 2),
+				P50:   overflowBound, P95: overflowBound, P99: overflowBound,
+			},
+		},
+		{
+			name: "bimodal split crosses buckets",
+			observe: func() []time.Duration {
+				ds := make([]time.Duration, 0, 100)
+				for i := 0; i < 90; i++ {
+					ds = append(ds, 100*time.Nanosecond) // bucket bound 128ns
+				}
+				for i := 0; i < 10; i++ {
+					ds = append(ds, 1000*time.Nanosecond) // bucket bound 1024ns
+				}
+				return ds
+			}(),
+			want: Summary{Count: 100, Mean: 190, P50: 128, P95: 1024, P99: 1024},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var h Histogram
+			for _, d := range tc.observe {
+				h.Observe(d)
+			}
+			if got := h.Summary(); got != tc.want {
+				t.Fatalf("Summary() = %+v, want %+v", got, tc.want)
+			}
+		})
+	}
+}

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"os"
 	"time"
+
+	"mxtasking/internal/faultfs"
 )
 
 // ReplayStats describes one recovery pass.
@@ -32,7 +34,13 @@ func (s ReplayStats) String() string {
 		s.SnapshotSeq, s.SnapshotPairs, s.Records, s.Skipped, s.MaxSeq, s.TornTail, s.Duration.Round(time.Microsecond))
 }
 
-// Replay streams the durable operations of the log in dir: first every
+// Replay streams the durable operations of the log in dir on the real
+// filesystem. See ReplayFS.
+func Replay(dir string, loadPair func(KV), apply func(Record) error) (ReplayStats, error) {
+	return ReplayFS(faultfs.Disk, dir, loadPair, apply)
+}
+
+// ReplayFS streams the durable operations of the log in dir: first every
 // pair of the newest valid snapshot (via loadPair, which may be nil when
 // the caller only wants log records), then every log record with
 // Seq > snapshot horizon, in log order (via apply). A torn final record —
@@ -43,11 +51,12 @@ func (s ReplayStats) String() string {
 // the OS but their covering fsync's ack never fired); acked records are
 // always replayed. Together with idempotent set/delete semantics this
 // yields exactly-the-durable-prefix recovery.
-func Replay(dir string, loadPair func(KV), apply func(Record) error) (ReplayStats, error) {
+func ReplayFS(fsys faultfs.FS, dir string, loadPair func(KV), apply func(Record) error) (ReplayStats, error) {
+	fsys = orDisk(fsys)
 	start := time.Now()
 	var stats ReplayStats
 
-	snapSeq, pairs, found, err := LoadSnapshot(dir)
+	snapSeq, pairs, found, err := LoadSnapshotFS(fsys, dir)
 	if err != nil {
 		return stats, err
 	}
@@ -62,7 +71,7 @@ func Replay(dir string, loadPair func(KV), apply func(Record) error) (ReplayStat
 		}
 	}
 
-	segs, err := listSegments(dir)
+	segs, err := listSegments(fsys, dir)
 	if err != nil {
 		if os.IsNotExist(err) {
 			stats.Duration = time.Since(start)
@@ -71,7 +80,7 @@ func Replay(dir string, loadPair func(KV), apply func(Record) error) (ReplayStat
 		return stats, err
 	}
 	for i, s := range segs {
-		_, torn, serr := scanSegment(s.path, func(r Record) error {
+		_, torn, serr := scanSegment(fsys, s.path, func(r Record) error {
 			if r.Seq > stats.MaxSeq {
 				stats.MaxSeq = r.Seq
 			}

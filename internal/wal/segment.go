@@ -1,13 +1,13 @@
 package wal
 
 import (
-	"errors"
 	"fmt"
-	"os"
 	"path/filepath"
 	"sort"
 	"strconv"
 	"strings"
+
+	"mxtasking/internal/faultfs"
 )
 
 // Segment files are named wal-<base>.log where <base> is a 16-digit hex
@@ -51,8 +51,8 @@ type segmentInfo struct {
 }
 
 // listSegments returns the directory's segments sorted by base label.
-func listSegments(dir string) ([]segmentInfo, error) {
-	entries, err := os.ReadDir(dir)
+func listSegments(fsys faultfs.FS, dir string) ([]segmentInfo, error) {
+	entries, err := fsys.ReadDir(dir)
 	if err != nil {
 		return nil, err
 	}
@@ -70,8 +70,8 @@ func listSegments(dir string) ([]segmentInfo, error) {
 }
 
 // listSnapshots returns the directory's snapshot files sorted newest first.
-func listSnapshots(dir string) ([]segmentInfo, error) {
-	entries, err := os.ReadDir(dir)
+func listSnapshots(fsys faultfs.FS, dir string) ([]segmentInfo, error) {
+	entries, err := fsys.ReadDir(dir)
 	if err != nil {
 		return nil, err
 	}
@@ -90,11 +90,12 @@ func listSnapshots(dir string) ([]segmentInfo, error) {
 
 // scanSegment reads one segment file and reports its records, the byte
 // offset of the last fully valid record's end, and whether the tail is
-// torn. A structurally corrupt record that is not a clean tail still
-// returns the valid prefix with torn=true; callers decide whether that is
-// tolerable (it is for the final segment only).
-func scanSegment(path string, fn func(Record) error) (validLen int64, torn bool, err error) {
-	data, err := os.ReadFile(path)
+// torn. An invalid record is a torn tail — a crash artifact — only when
+// nothing after it decodes as a record; garbage *followed by further
+// valid records* cannot have been produced by tearing an append-only
+// file, so it is reported as corruption, not silently truncated away.
+func scanSegment(fsys faultfs.FS, path string, fn func(Record) error) (validLen int64, torn bool, err error) {
+	data, err := fsys.ReadFile(path)
 	if err != nil {
 		return 0, false, err
 	}
@@ -102,6 +103,10 @@ func scanSegment(path string, fn func(Record) error) (validLen int64, torn bool,
 	for off < len(data) {
 		r, n, derr := DecodeRecord(data[off:])
 		if derr != nil {
+			if tailHasRecord(data[off:]) {
+				return int64(off), false,
+					fmt.Errorf("%w: invalid record at offset %d is followed by further valid records", ErrCorrupt, off)
+			}
 			return int64(off), true, nil
 		}
 		if fn != nil {
@@ -114,13 +119,23 @@ func scanSegment(path string, fn func(Record) error) (validLen int64, torn bool,
 	return int64(off), false, nil
 }
 
-// syncDir fsyncs a directory so renames/creates/removes in it are durable.
-func syncDir(dir string) error {
-	d, err := os.Open(dir)
-	if err != nil {
-		return err
+// tailHasRecord reports whether any offset past the first byte of tail
+// begins a valid record — the signature of mid-segment corruption (a torn
+// tail has only garbage after the tear). Scans every byte offset because
+// lost bytes shift frame alignment.
+func tailHasRecord(tail []byte) bool {
+	for i := 1; i+FrameSize <= len(tail); i++ {
+		if _, _, err := DecodeRecord(tail[i:]); err == nil {
+			return true
+		}
 	}
-	err = d.Sync()
-	cerr := d.Close()
-	return errors.Join(err, cerr)
+	return false
+}
+
+// orDisk substitutes the real filesystem for a nil FS.
+func orDisk(fsys faultfs.FS) faultfs.FS {
+	if fsys == nil {
+		return faultfs.Disk
+	}
+	return fsys
 }

@@ -7,6 +7,8 @@ import (
 	"hash/crc32"
 	"os"
 	"path/filepath"
+
+	"mxtasking/internal/faultfs"
 )
 
 // KV is one snapshotted record.
@@ -28,11 +30,18 @@ type KV struct {
 // additionally validates the checksum and falls back to older snapshots.
 var snapMagic = [8]byte{'M', 'X', 'S', 'N', 'A', 'P', '1', '\n'}
 
-// WriteSnapshot durably writes a snapshot covering seq into dir.
+// WriteSnapshot durably writes a snapshot covering seq into dir on the
+// real filesystem. See WriteSnapshotFS.
+func WriteSnapshot(dir string, seq uint64, pairs []KV) error {
+	return WriteSnapshotFS(faultfs.Disk, dir, seq, pairs)
+}
+
+// WriteSnapshotFS durably writes a snapshot covering seq into dir.
 // The pairs must include the effect of every logged operation with
 // sequence number <= seq (later operations may be partially included; the
 // log replay re-applies them).
-func WriteSnapshot(dir string, seq uint64, pairs []KV) error {
+func WriteSnapshotFS(fsys faultfs.FS, dir string, seq uint64, pairs []KV) error {
+	fsys = orDisk(fsys)
 	buf := make([]byte, 0, 24+16*len(pairs)+4)
 	buf = append(buf, snapMagic[:]...)
 	buf = binary.LittleEndian.AppendUint64(buf, seq)
@@ -45,29 +54,29 @@ func WriteSnapshot(dir string, seq uint64, pairs []KV) error {
 
 	final := filepath.Join(dir, snapshotName(seq))
 	tmp := final + ".tmp"
-	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	f, err := fsys.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
 	if err != nil {
 		return err
 	}
 	if _, err := f.Write(buf); err != nil {
 		f.Close()
-		os.Remove(tmp)
+		fsys.Remove(tmp)
 		return err
 	}
 	if err := f.Sync(); err != nil {
 		f.Close()
-		os.Remove(tmp)
+		fsys.Remove(tmp)
 		return err
 	}
 	if err := f.Close(); err != nil {
-		os.Remove(tmp)
+		fsys.Remove(tmp)
 		return err
 	}
-	if err := os.Rename(tmp, final); err != nil {
-		os.Remove(tmp)
+	if err := fsys.Rename(tmp, final); err != nil {
+		fsys.Remove(tmp)
 		return err
 	}
-	return syncDir(dir)
+	return fsys.SyncDir(dir)
 }
 
 // decodeSnapshot parses and validates one snapshot file.
@@ -96,12 +105,19 @@ func decodeSnapshot(data []byte) (seq uint64, pairs []KV, err error) {
 	return seq, pairs, nil
 }
 
-// LoadSnapshot returns the newest valid snapshot in dir. A corrupt or torn
-// snapshot file is skipped in favour of the next older one. found is false
-// when the directory holds no usable snapshot (recovery then replays the
-// log from the beginning).
+// LoadSnapshot returns the newest valid snapshot in dir on the real
+// filesystem. See LoadSnapshotFS.
 func LoadSnapshot(dir string) (seq uint64, pairs []KV, found bool, err error) {
-	snaps, err := listSnapshots(dir)
+	return LoadSnapshotFS(faultfs.Disk, dir)
+}
+
+// LoadSnapshotFS returns the newest valid snapshot in dir. A corrupt or
+// torn snapshot file is skipped in favour of the next older one. found is
+// false when the directory holds no usable snapshot (recovery then
+// replays the log from the beginning).
+func LoadSnapshotFS(fsys faultfs.FS, dir string) (seq uint64, pairs []KV, found bool, err error) {
+	fsys = orDisk(fsys)
+	snaps, err := listSnapshots(fsys, dir)
 	if err != nil {
 		if os.IsNotExist(err) {
 			return 0, nil, false, nil
@@ -109,7 +125,7 @@ func LoadSnapshot(dir string) (seq uint64, pairs []KV, found bool, err error) {
 		return 0, nil, false, err
 	}
 	for _, s := range snaps {
-		data, rerr := os.ReadFile(s.path)
+		data, rerr := fsys.ReadFile(s.path)
 		if rerr != nil {
 			continue
 		}

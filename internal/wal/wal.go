@@ -24,6 +24,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"mxtasking/internal/faultfs"
 	"mxtasking/internal/mxtask"
 	"mxtasking/internal/queue"
 )
@@ -48,12 +49,17 @@ type Options struct {
 	// SegmentBytes caps a segment file's size before rotation.
 	// Defaults to 64 MiB.
 	SegmentBytes int64
+	// FS is the filesystem the log writes through. Nil uses the real
+	// disk (faultfs.Disk); tests inject a faultfs.FaultFS to enumerate
+	// crash points and tear writes.
+	FS faultfs.FS
 }
 
 func (o *Options) applyDefaults() {
 	if o.SegmentBytes <= 0 {
 		o.SegmentBytes = 64 << 20
 	}
+	o.FS = orDisk(o.FS)
 }
 
 // ErrClosed is returned to appends that race log shutdown.
@@ -91,7 +97,7 @@ type Log struct {
 	// Writer state below is only touched by tasks annotated with res,
 	// which the scheduler serializes through one pool (Fig. 5 lines 1–3):
 	// no latch guards any of it.
-	f          *os.File
+	f          faultfs.File
 	fbase      uint64 // current segment's base label
 	fsize      int64
 	maxWritten uint64
@@ -115,7 +121,7 @@ func Open(rt *mxtask.Runtime, opts Options) (*Log, error) {
 	if opts.Dir == "" {
 		return nil, errors.New("wal: Options.Dir required")
 	}
-	if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
+	if err := opts.FS.MkdirAll(opts.Dir, 0o755); err != nil {
 		return nil, err
 	}
 	l := &Log{
@@ -130,13 +136,13 @@ func Open(rt *mxtask.Runtime, opts Options) (*Log, error) {
 	l.res = rt.CreateResource(l, 0,
 		mxtask.IsolationExclusive, mxtask.RWWriteHeavy, mxtask.FrequencyLow)
 
-	segs, err := listSegments(opts.Dir)
+	segs, err := listSegments(opts.FS, opts.Dir)
 	if err != nil {
 		return nil, err
 	}
 	var maxSeq uint64
 	for i, s := range segs {
-		validLen, torn, serr := scanSegment(s.path, func(r Record) error {
+		validLen, torn, serr := scanSegment(opts.FS, s.path, func(r Record) error {
 			if r.Seq > maxSeq {
 				maxSeq = r.Seq
 			}
@@ -151,12 +157,12 @@ func Open(rt *mxtask.Runtime, opts Options) (*Log, error) {
 			}
 			// Crash mid-append: drop the torn tail so the segment ends
 			// on a record boundary before we append after it.
-			if err := os.Truncate(s.path, validLen); err != nil {
+			if err := opts.FS.Truncate(s.path, validLen); err != nil {
 				return nil, err
 			}
 		}
 	}
-	if snapSeq, _, found, err := LoadSnapshot(opts.Dir); err != nil {
+	if snapSeq, _, found, err := LoadSnapshotFS(opts.FS, opts.Dir); err != nil {
 		return nil, err
 	} else if found && snapSeq > maxSeq {
 		// The log tail covered by the snapshot was truncated away.
@@ -168,12 +174,12 @@ func Open(rt *mxtask.Runtime, opts Options) (*Log, error) {
 	// Resume the last segment when it has room, else start a fresh one.
 	if n := len(segs); n > 0 {
 		last := segs[n-1]
-		st, err := os.Stat(last.path)
+		st, err := opts.FS.Stat(last.path)
 		if err != nil {
 			return nil, err
 		}
 		if st.Size() < opts.SegmentBytes {
-			f, err := os.OpenFile(last.path, os.O_WRONLY|os.O_APPEND, 0o644)
+			f, err := opts.FS.OpenFile(last.path, os.O_WRONLY|os.O_APPEND, 0o644)
 			if err != nil {
 				return nil, err
 			}
@@ -194,11 +200,11 @@ func (l *Log) openSegment(base uint64) error {
 		base = l.fbase + 1 // keep labels strictly increasing
 	}
 	path := filepath.Join(l.opts.Dir, segmentName(base))
-	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_EXCL, 0o644)
+	f, err := l.opts.FS.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_EXCL, 0o644)
 	if err != nil {
 		return err
 	}
-	if err := syncDir(l.opts.Dir); err != nil {
+	if err := l.opts.FS.SyncDir(l.opts.Dir); err != nil {
 		f.Close()
 		return err
 	}
@@ -516,34 +522,34 @@ func (l *Log) TruncateThrough(seq uint64, done func(error)) {
 }
 
 func (l *Log) truncateThrough(seq uint64) error {
-	segs, err := listSegments(l.opts.Dir)
+	segs, err := listSegments(l.opts.FS, l.opts.Dir)
 	if err != nil {
 		return err
 	}
 	removed := false
 	for i := 0; i+1 < len(segs); i++ {
 		if segs[i+1].base <= seq+1 && segs[i].path != l.f.Name() {
-			if err := os.Remove(segs[i].path); err != nil {
+			if err := l.opts.FS.Remove(segs[i].path); err != nil {
 				return err
 			}
 			removed = true
 		}
 	}
 	// Drop superseded snapshots, keeping the one at seq.
-	snaps, err := listSnapshots(l.opts.Dir)
+	snaps, err := listSnapshots(l.opts.FS, l.opts.Dir)
 	if err != nil {
 		return err
 	}
 	for _, s := range snaps {
 		if s.base < seq {
-			if err := os.Remove(s.path); err != nil {
+			if err := l.opts.FS.Remove(s.path); err != nil {
 				return err
 			}
 			removed = true
 		}
 	}
 	if removed {
-		return syncDir(l.opts.Dir)
+		return l.opts.FS.SyncDir(l.opts.Dir)
 	}
 	return nil
 }

@@ -8,6 +8,7 @@ import (
 	"testing"
 	"time"
 
+	"mxtasking/internal/faultfs"
 	"mxtasking/internal/mxtask"
 )
 
@@ -144,7 +145,7 @@ func TestSegmentRotationAndReplay(t *testing.T) {
 	if err := l.Close(); err != nil {
 		t.Fatal(err)
 	}
-	segs, err := listSegments(dir)
+	segs, err := listSegments(faultfs.Disk, dir)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -329,7 +330,7 @@ func TestSnapshotAndTruncate(t *testing.T) {
 	if err := <-trunc; err != nil {
 		t.Fatal(err)
 	}
-	segs, err := listSegments(dir)
+	segs, err := listSegments(faultfs.Disk, dir)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -376,7 +377,7 @@ func TestOpenTruncatesTornTail(t *testing.T) {
 	}
 
 	// Simulate a crash mid-append: a partial frame at the tail.
-	segs, _ := listSegments(dir)
+	segs, _ := listSegments(faultfs.Disk, dir)
 	last := segs[len(segs)-1].path
 	torn := AppendRecord(nil, Record{Seq: 6, Op: OpSet, Key: 6, Value: 6})[:FrameSize/2]
 	f, err := os.OpenFile(last, os.O_WRONLY|os.O_APPEND, 0o644)
@@ -427,7 +428,7 @@ func TestReplayRejectsMidLogCorruption(t *testing.T) {
 	if err := l.Close(); err != nil {
 		t.Fatal(err)
 	}
-	segs, _ := listSegments(dir)
+	segs, _ := listSegments(faultfs.Disk, dir)
 	if len(segs) < 3 {
 		t.Fatalf("need several segments, got %d", len(segs))
 	}
@@ -496,7 +497,7 @@ func TestReplayPrefixUnderTruncation(t *testing.T) {
 	if err := l.Close(); err != nil {
 		t.Fatal(err)
 	}
-	segs, _ := listSegments(src)
+	segs, _ := listSegments(faultfs.Disk, src)
 	if len(segs) != 1 {
 		t.Fatalf("expected one segment, got %d", len(segs))
 	}
@@ -558,5 +559,68 @@ func TestReplayPrefixUnderTruncation(t *testing.T) {
 				t.Fatalf("cut=%d: key %d got %d want %d", cut, k, state[k], v)
 			}
 		}
+	}
+}
+
+// TestMidSegmentTearIsCorruptionNotTornTail is the regression test for a
+// subtle recovery hazard: an invalid record in the *final* segment used to
+// be treated as a torn tail even when further valid records followed it —
+// silently truncating acknowledged operations away. A crash can only tear
+// the end of an append-only file, so garbage followed by valid records is
+// corruption and must surface as ErrCorrupt from both Replay and Open.
+func TestMidSegmentTearIsCorruptionNotTornTail(t *testing.T) {
+	rt := newRuntime(t)
+	dir := t.TempDir()
+	l, err := Open(rt, Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(1); i <= 5; i++ {
+		appendWait(t, l, OpSet, i, i)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	segs, _ := listSegments(faultfs.Disk, dir)
+	if len(segs) != 1 {
+		t.Fatalf("want the single final segment, got %d", len(segs))
+	}
+	data, err := os.ReadFile(segs[0].path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip a payload byte of record 3 of 5: records 4 and 5 stay valid
+	// behind the damage.
+	data[2*FrameSize+FrameSize-1] ^= 0x01
+	if err := os.WriteFile(segs[0].path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := Replay(dir, nil, func(Record) error { return nil }); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("replay of mid-segment tear: got %v, want ErrCorrupt", err)
+	}
+	if _, err := Open(rt, Options{Dir: dir}); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("open of mid-segment tear: got %v, want ErrCorrupt", err)
+	}
+	// The damaged segment must be untouched — no silent truncation.
+	after, err := os.ReadFile(segs[0].path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(after) != len(data) {
+		t.Fatalf("segment truncated from %d to %d bytes", len(data), len(after))
+	}
+
+	// A genuine torn tail (garbage only, nothing valid after it) in the
+	// same position-sensitive code path must still be tolerated.
+	fixed := append([]byte(nil), data...)
+	fixed[2*FrameSize+FrameSize-1] ^= 0x01 // un-flip
+	torn := append(fixed[:4*FrameSize], fixed[4*FrameSize:4*FrameSize+7]...)
+	if err := os.WriteFile(segs[0].path, torn, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, _, stats := collectReplay(t, dir)
+	if !stats.TornTail {
+		t.Fatal("true torn tail no longer tolerated")
 	}
 }
