@@ -25,7 +25,8 @@ race:
 	$(GO) test -race ./internal/mxtask ./internal/queue ./internal/latch \
 		./internal/epoch ./internal/alloc ./internal/tbb ./internal/metrics \
 		./internal/ycsb ./internal/tpch ./internal/hashjoin ./internal/sim \
-		./internal/wal ./internal/kvstore ./internal/faultfs ./internal/linearize
+		./internal/wal ./internal/kvstore ./internal/faultfs ./internal/linearize \
+		./cmd/mxload
 
 bench:
 	$(GO) test -bench=. -benchmem .
@@ -54,7 +55,7 @@ ci:
 	$(GO) vet ./...
 	$(GO) build ./...
 	$(GO) test -race ./internal/wal ./internal/kvstore ./internal/queue \
-		./internal/epoch ./internal/faultfs ./internal/linearize
+		./internal/epoch ./internal/faultfs ./internal/linearize ./cmd/mxload
 	$(MAKE) chaos
 	$(MAKE) fuzz
 

@@ -1,0 +1,111 @@
+// Benchmarks for the KV server's TCP request path: blocking round trips
+// vs the pipelined path. With pipelining the network round trip is
+// amortized over the in-flight window and the server's task runtime sees
+// real batches, so BenchmarkServerPipelined should beat
+// BenchmarkServerSerial by well over 2x at depth >= 16.
+//
+// Run: go test -bench='BenchmarkServer' -benchtime=2s .
+package mxtasking_test
+
+import (
+	"testing"
+
+	"mxtasking/internal/epoch"
+	"mxtasking/internal/kvstore"
+	"mxtasking/internal/mxtask"
+)
+
+// benchServer starts an in-process server preloaded with keys 0..n-1.
+func benchServer(b *testing.B, n uint64) *kvstore.Server {
+	b.Helper()
+	rt := mxtask.New(mxtask.Config{Workers: 4, PrefetchDistance: 2, EpochPolicy: epoch.Batched})
+	rt.Start()
+	b.Cleanup(rt.Stop)
+	store := kvstore.New(rt)
+	srv, err := kvstore.NewServer(store, "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { srv.Close() })
+	c, err := kvstore.Dial(srv.Addr())
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer c.Close()
+	for k := uint64(0); k < n; k++ {
+		if c.InFlight() == kvstore.DefaultWindow {
+			if _, err := c.AwaitSet(); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if err := c.SendSet(k, k); err != nil {
+			b.Fatal(err)
+		}
+	}
+	for c.InFlight() > 0 {
+		if _, err := c.AwaitSet(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return srv
+}
+
+const benchKeys = 1 << 14
+
+// BenchmarkServerSerial is the pre-pipelining request path: one GET per
+// round trip, the connection idle while the request crosses the wire.
+func BenchmarkServerSerial(b *testing.B) {
+	srv := benchServer(b, benchKeys)
+	c, err := kvstore.Dial(srv.Addr())
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer c.Close()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := c.Get(uint64(i) % benchKeys); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkServerPipelined keeps a window of GETs in flight on one
+// connection; acceptance: depth=16 sustains at least 2x the serial
+// ops/sec.
+func BenchmarkServerPipelined(b *testing.B) {
+	for _, depth := range []int{16, 64} {
+		b.Run(benchName(depth), func(b *testing.B) {
+			srv := benchServer(b, benchKeys)
+			c, err := kvstore.Dial(srv.Addr())
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer c.Close()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if c.InFlight() == depth {
+					if _, _, err := c.AwaitGet(); err != nil {
+						b.Fatal(err)
+					}
+				}
+				if err := c.SendGet(uint64(i) % benchKeys); err != nil {
+					b.Fatal(err)
+				}
+			}
+			for c.InFlight() > 0 {
+				if _, _, err := c.AwaitGet(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func benchName(depth int) string {
+	switch depth {
+	case 16:
+		return "depth=16"
+	default:
+		return "depth=64"
+	}
+}

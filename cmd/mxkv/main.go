@@ -1,7 +1,12 @@
 // Command mxkv serves the MxTask-based key-value store over TCP (the
 // paper's end-to-end application). Protocol:
 //
-//	SET <key> <value> | GET <key> | DEL <key> | COUNT | PING | QUIT
+//	SET <key> <value> | GET <key> | DEL <key> | SCAN <from> <to> [limit]
+//	MSET <k> <v> ... | MGET <key> ... | COUNT | STATS | PING | QUIT
+//
+// Clients may pipeline: requests are parsed and dispatched as they
+// arrive and replies are written back strictly in request order, up to
+// -window requests in flight per connection (see kvstore.Server).
 //
 // Example:
 //
@@ -71,6 +76,7 @@ func main() {
 		syncMode = flag.String("sync", "batch", "fsync policy: batch | none | <count> | <duration>")
 		segBytes = flag.Int64("segment-bytes", 0, "WAL segment size cap in bytes (0 = default 64MiB)")
 		snapEvry = flag.Uint64("snapshot-every", 0, "checkpoint after this many logged records (0 = manual only)")
+		window   = flag.Int("window", kvstore.DefaultWindow, "max pipelined requests in flight per connection")
 	)
 	flag.Parse()
 
@@ -104,7 +110,10 @@ func main() {
 		store = kvstore.New(rt)
 	}
 
-	srv, err := kvstore.NewServer(store, *addr)
+	srv, err := kvstore.NewServer(store, *addr,
+		kvstore.WithWindow(*window),
+		kvstore.WithErrorLog(func(err error) { log.Printf("mxkv: conn: %v", err) }),
+	)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -125,4 +134,5 @@ func main() {
 	}
 	st := store.Stats()
 	fmt.Printf("mxkv: served %d gets, %d sets, %d dels\n", st.Gets, st.Sets, st.Dels)
+	fmt.Printf("mxkv: wire %s\n", srv.Metrics())
 }

@@ -2,16 +2,24 @@
 // TCP, reporting throughput and latency percentiles — the "first results
 // of an MxTask-based key-value store" pipeline (§1, §7) end to end.
 //
+// Requests are pipelined: each connection keeps up to -depth requests in
+// flight (1 = classic blocking round trips), which is what lets the
+// server's task runtime see real batches instead of being bounded by the
+// network round-trip time. Per-op latency is measured from issue to reply
+// through the in-flight ring, so the reported percentiles stay honest
+// under pipelining.
+//
 // Usage:
 //
 //	mxkv -addr 127.0.0.1:7070 &
-//	mxload -addr 127.0.0.1:7070 -records 10000 -ops 50000 -workload C
+//	mxload -addr 127.0.0.1:7070 -records 10000 -ops 50000 -workload C -depth 16
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"math"
 	"sync"
 	"time"
 
@@ -20,13 +28,18 @@ import (
 	"mxtasking/internal/ycsb"
 )
 
+// loadDepth is the pipeline depth of the load phase (not latency-measured,
+// so it just runs as deep as the server's default window).
+const loadDepth = 64
+
 func main() {
 	var (
 		addr     = flag.String("addr", "127.0.0.1:7070", "mxkv server address")
 		records  = flag.Int("records", 10000, "records to load")
 		ops      = flag.Int("ops", 50000, "workload operations")
-		workload = flag.String("workload", "C", "workload: A (50/50) or C (read-only)")
+		workload = flag.String("workload", "C", "workload: A (50/50), B (95/5), C (read-only), D (read latest), E (short scans)")
 		clients  = flag.Int("clients", 4, "concurrent client connections")
+		depth    = flag.Int("depth", 16, "pipeline depth per connection (1 = blocking round trips)")
 	)
 	flag.Parse()
 
@@ -34,10 +47,16 @@ func main() {
 	switch *workload {
 	case "A", "a":
 		w = ycsb.WorkloadA
+	case "B", "b":
+		w = ycsb.WorkloadB
 	case "C", "c":
 		w = ycsb.WorkloadC
+	case "D", "d":
+		w = ycsb.WorkloadD
+	case "E", "e":
+		w = ycsb.WorkloadE
 	default:
-		log.Fatalf("unknown workload %q (want A or C)", *workload)
+		log.Fatalf("unknown workload %q (want A, B, C, D, or E)", *workload)
 	}
 
 	// Load phase.
@@ -58,7 +77,7 @@ func main() {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			if err := runClient(*addr, batches, &tp, &hist); err != nil {
+			if err := runClient(*addr, batches, *depth, &tp, &hist); err != nil {
 				errs <- err
 			}
 		}()
@@ -69,11 +88,13 @@ func main() {
 		log.Fatal(err)
 	default:
 	}
-	fmt.Printf("workload %s: %.0f ops/s over %d ops (%s)\n",
-		w, tp.PerSecond(), tp.Ops(), hist.Summary())
+	sum := hist.Summary()
+	fmt.Printf("workload %s: depth=%d %.0f ops/s over %d ops (n=%d mean=%v p50<=%v p95<=%v p99<=%v)\n",
+		w, *depth, tp.PerSecond(), tp.Ops(), sum.Count, sum.Mean, sum.P50, sum.P95, sum.P99)
 }
 
-// loadPhase inserts the records, sharded across client connections.
+// loadPhase inserts the records, sharded across pipelined client
+// connections.
 func loadPhase(addr string, records, clients int) error {
 	gen := ycsb.NewGenerator(ycsb.WorkloadInsert, uint64(records), 1)
 	batches := ycsb.NewBatches(gen, records, ycsb.DefaultBatchSize)
@@ -92,13 +113,25 @@ func loadPhase(addr string, records, clients int) error {
 			for {
 				batch := batches.Next()
 				if batch == nil {
-					return
+					break
 				}
 				for _, op := range batch {
-					if _, err := client.Set(op.Key, op.Value); err != nil {
+					if client.InFlight() == loadDepth {
+						if _, err := client.AwaitSet(); err != nil {
+							errs <- err
+							return
+						}
+					}
+					if err := client.SendSet(op.Key, op.Value); err != nil {
 						errs <- err
 						return
 					}
+				}
+			}
+			for client.InFlight() > 0 {
+				if _, err := client.AwaitSet(); err != nil {
+					errs <- err
+					return
 				}
 			}
 		}()
@@ -112,32 +145,88 @@ func loadPhase(addr string, records, clients int) error {
 	}
 }
 
-// runClient executes workload batches until the stream is exhausted.
-func runClient(addr string, batches *ycsb.Batches, tp *metrics.Throughput, hist *metrics.Histogram) error {
+// flight is one issued-but-unanswered request: what to await and when it
+// was issued, so latency covers the full issue-to-reply span even under
+// pipelining.
+type flight struct {
+	kind  ycsb.OpKind
+	start time.Time
+}
+
+// runClient executes workload batches over one pipelined connection until
+// the stream is exhausted, keeping at most depth requests in flight.
+// Every op kind the generator can emit is either sent or rejected: an
+// unknown kind fails the run instead of silently inflating throughput.
+func runClient(addr string, batches *ycsb.Batches, depth int, tp *metrics.Throughput, hist *metrics.Histogram) error {
+	if depth < 1 {
+		depth = 1
+	}
 	client, err := kvstore.Dial(addr)
 	if err != nil {
 		return err
 	}
 	defer client.Close()
+
+	// In-flight ring, oldest at head: replies arrive in issue order.
+	ring := make([]flight, depth)
+	head, inflight := 0, 0
+	awaitOne := func() error {
+		f := ring[head]
+		head = (head + 1) % depth
+		inflight--
+		var err error
+		switch f.kind {
+		case ycsb.OpRead:
+			_, _, err = client.AwaitGet()
+		case ycsb.OpUpdate, ycsb.OpInsert:
+			_, err = client.AwaitSet()
+		case ycsb.OpScan:
+			_, _, err = client.AwaitScan()
+		}
+		if err != nil {
+			return err
+		}
+		hist.Observe(time.Since(f.start))
+		tp.Add(1)
+		return nil
+	}
+	issue := func(op ycsb.Op) error {
+		switch op.Kind {
+		case ycsb.OpRead:
+			return client.SendGet(op.Key)
+		case ycsb.OpUpdate, ycsb.OpInsert:
+			return client.SendSet(op.Key, op.Value)
+		case ycsb.OpScan:
+			// Keys are scrambled across the whole space; a YCSB "scan of
+			// n records from key" is a limited range scan upward.
+			return client.SendScan(op.Key, math.MaxUint64, op.ScanLen)
+		default:
+			return fmt.Errorf("mxload: unhandled op kind %v (%d)", op.Kind, op.Kind)
+		}
+	}
+
 	for {
 		batch := batches.Next()
 		if batch == nil {
-			return nil
+			break
 		}
 		for _, op := range batch {
-			start := time.Now()
-			switch op.Kind {
-			case ycsb.OpRead:
-				if _, _, err := client.Get(op.Key); err != nil {
-					return err
-				}
-			case ycsb.OpUpdate, ycsb.OpInsert:
-				if _, err := client.Set(op.Key, op.Value); err != nil {
+			if inflight == depth {
+				if err := awaitOne(); err != nil {
 					return err
 				}
 			}
-			hist.Observe(time.Since(start))
-			tp.Add(1)
+			if err := issue(op); err != nil {
+				return err
+			}
+			ring[(head+inflight)%depth] = flight{kind: op.Kind, start: time.Now()}
+			inflight++
 		}
 	}
+	for inflight > 0 {
+		if err := awaitOne(); err != nil {
+			return err
+		}
+	}
+	return nil
 }

@@ -2,6 +2,7 @@ package blinktree
 
 import (
 	"sort"
+	"sync/atomic"
 
 	"mxtasking/internal/mxtask"
 )
@@ -25,6 +26,20 @@ type ScanOp struct {
 	// Results holds the matching pairs, sorted by key after completion.
 	Results []KV
 
+	// Limit, when positive, caps len(Results): once the collector has
+	// gathered Limit records the leaf walk stops early instead of
+	// visiting (and buffering) the rest of the range.
+	Limit int
+
+	// Truncated reports, after completion, that the scan hit Limit and
+	// records past the cap may exist in [From, To). Resume from
+	// Results[len(Results)-1].Key + 1 to continue.
+	Truncated bool
+
+	// stop is set by the collector when Limit is reached; the leaf walk
+	// polls it and terminates the chain at the next step.
+	stop atomic.Bool
+
 	// Done, when non-nil, is spawned with the ScanOp as Arg once the
 	// scan has visited every leaf in range and sorted the results.
 	Done mxtask.Func
@@ -38,15 +53,24 @@ type KV struct {
 
 // leafBatch carries one leaf's matching records to the collector.
 type leafBatch struct {
-	op   *ScanOp
-	kv   []KV
-	last bool // no further leaves in range
+	op      *ScanOp
+	kv      []KV
+	last    bool // no further leaves in range
+	stopped bool // walk cut short by the result cap (implies last)
 }
 
 // Scan spawns a range scan of [from, to). The Done task (optional) fires
 // after the results are complete and sorted.
 func (t *TaskTree) Scan(from, to Key, done mxtask.Func) *ScanOp {
-	op := &ScanOp{tree: t, from: from, to: to, Done: done}
+	return t.ScanLimit(from, to, 0, done)
+}
+
+// ScanLimit is Scan with a result cap: a positive limit stops the leaf
+// walk once that many records have been collected and marks the op
+// Truncated when records past the cap may remain. limit <= 0 scans the
+// whole range.
+func (t *TaskTree) ScanLimit(from, to Key, limit int, done mxtask.Func) *ScanOp {
+	op := &ScanOp{tree: t, from: from, to: to, Limit: limit, Done: done}
 	// The collector buffer is a data object like any other: exclusive
 	// isolation → serialize-by-scheduling (§4.2).
 	op.collect = t.rt.CreateResource(op, 0,
@@ -87,6 +111,16 @@ func scanStep(ctx *mxtask.Context, task *mxtask.Task) {
 		t.spawnOnNode(ctx, op, next, scanStep, t.scanStepMode())
 		return
 	}
+	// Result cap reached while the walk was still racing ahead of the
+	// collectors: terminate the chain with a synthetic final batch instead
+	// of reading further leaves. The walk is one sequential chain, so
+	// exactly one last batch is produced either way.
+	if op.Limit > 0 && op.stop.Load() {
+		terminal := ctx.NewTask(collectStep, &leafBatch{op: op, last: true, stopped: true})
+		terminal.AnnotateResource(op.collect, mxtask.Write)
+		ctx.Spawn(terminal)
+		return
+	}
 	// Leaf: gather matches into a fresh batch (fresh per attempt, so a
 	// retried optimistic read cannot double-collect), then hand it to a
 	// collector task and continue along the sibling chain.
@@ -122,10 +156,21 @@ func collectStep(ctx *mxtask.Context, task *mxtask.Task) {
 	batch := task.Arg.(*leafBatch)
 	op := batch.op
 	op.Results = append(op.Results, batch.kv...)
+	if op.Limit > 0 && len(op.Results) >= op.Limit {
+		op.stop.Store(true) // walk: no further leaves needed
+	}
 	if batch.last {
 		sort.Slice(op.Results, func(i, j int) bool {
 			return op.Results[i].Key < op.Results[j].Key
 		})
+		if op.Limit > 0 && len(op.Results) > op.Limit {
+			op.Results = op.Results[:op.Limit]
+			op.Truncated = true
+		} else if batch.stopped {
+			// Stopped exactly at the cap with unvisited leaves left:
+			// more in-range records may (or may not) exist.
+			op.Truncated = true
+		}
 		if op.Done != nil {
 			ctx.Spawn(ctx.NewTask(op.Done, op))
 		}

@@ -222,3 +222,69 @@ func TestTaskTreeScanRacingSplits(t *testing.T) {
 		}
 	}
 }
+
+func TestTaskTreeScanLimit(t *testing.T) {
+	for _, mode := range taskModes {
+		t.Run(mode.String(), func(t *testing.T) {
+			rt := newTreeRuntime(4)
+			rt.Start()
+			defer rt.Stop()
+			tree := NewTaskTree(rt, mode)
+			const n = 10000
+			for i := Key(0); i < n; i++ {
+				tree.Insert(i, Value(i*3))
+			}
+			rt.Drain()
+
+			// Capped scan over a huge range: exactly limit results, the
+			// lowest keys in range, marked truncated.
+			op := tree.ScanLimit(100, n, 250, nil)
+			rt.Drain()
+			if len(op.Results) != 250 || !op.Truncated {
+				t.Fatalf("capped scan = %d results truncated=%v, want 250/true",
+					len(op.Results), op.Truncated)
+			}
+			for i, kv := range op.Results {
+				if kv.Key != Key(100+i) || kv.Value != Value((100+i)*3) {
+					t.Fatalf("result %d = %+v, want key %d", i, kv, 100+i)
+				}
+			}
+
+			// Limit above the range's population: full results, untruncated.
+			op = tree.ScanLimit(0, 50, 1000, nil)
+			rt.Drain()
+			if len(op.Results) != 50 || op.Truncated {
+				t.Fatalf("roomy scan = %d results truncated=%v, want 50/false",
+					len(op.Results), op.Truncated)
+			}
+
+			// Limit zero scans everything (Scan's contract).
+			op = tree.ScanLimit(0, n, 0, nil)
+			rt.Drain()
+			if len(op.Results) != n || op.Truncated {
+				t.Fatalf("unlimited scan = %d results truncated=%v", len(op.Results), op.Truncated)
+			}
+
+			// Resumability: capped pages stitched together equal one scan.
+			var got []KV
+			from := Key(0)
+			for {
+				op := tree.ScanLimit(from, 2000, 300, nil)
+				rt.Drain()
+				got = append(got, op.Results...)
+				if !op.Truncated {
+					break
+				}
+				from = op.Results[len(op.Results)-1].Key + 1
+			}
+			if len(got) != 2000 {
+				t.Fatalf("paged scan stitched %d results, want 2000", len(got))
+			}
+			for i, kv := range got {
+				if kv.Key != Key(i) {
+					t.Fatalf("paged result %d = key %d", i, kv.Key)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,277 @@
+package kvstore
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"strconv"
+	"strings"
+
+	"mxtasking/internal/blinktree"
+)
+
+// Client speaks the Server's protocol in two modes:
+//
+//   - Blocking: Get/Set/Delete/Scan/Ping issue one request and wait for
+//     its reply — one round trip per call.
+//   - Pipelined: SendGet/SendSet/SendDelete/SendScan queue requests
+//     without waiting; AwaitGet/AwaitSet/AwaitDelete/AwaitScan read the
+//     replies strictly in issue order. Many requests share one round
+//     trip, which is what keeps the server's task window full.
+//
+// The two modes may be mixed as long as every Send is matched by the
+// Await of the same type in issue order. A Client is not safe for
+// concurrent use. Note that pipelined requests execute concurrently in
+// the store: a SendGet issued before the reply to a SendSet of the same
+// key may observe the pre-SET value (see Server).
+type Client struct {
+	conn     net.Conn
+	r        *bufio.Scanner
+	w        *bufio.Writer
+	inflight int
+}
+
+// Dial connects to a Server.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("kvstore: dial: %w", err)
+	}
+	r := bufio.NewScanner(conn)
+	// Reply lines (large SCAN and MGET results) can far exceed
+	// bufio.Scanner's default 64 KiB token cap; size it to the protocol's
+	// actual line limit so big replies don't kill the connection.
+	r.Buffer(make([]byte, 64<<10), MaxLineBytes)
+	return &Client{conn: conn, r: r, w: bufio.NewWriter(conn)}, nil
+}
+
+// Close closes the connection.
+func (c *Client) Close() error { return c.conn.Close() }
+
+// InFlight returns the number of issued requests not yet awaited.
+func (c *Client) InFlight() int { return c.inflight }
+
+// send queues one request line without flushing.
+func (c *Client) send(line string) error {
+	if _, err := c.w.WriteString(line); err != nil {
+		return err
+	}
+	if err := c.w.WriteByte('\n'); err != nil {
+		return err
+	}
+	c.inflight++
+	return nil
+}
+
+// Flush pushes all queued requests to the server. Await flushes
+// implicitly; an explicit Flush lets the server start on a partial window
+// early.
+func (c *Client) Flush() error { return c.w.Flush() }
+
+// Await flushes queued requests and reads the oldest outstanding reply.
+func (c *Client) Await() (string, error) {
+	if c.inflight == 0 {
+		return "", errors.New("kvstore: Await with no request in flight")
+	}
+	if err := c.w.Flush(); err != nil {
+		return "", err
+	}
+	if !c.r.Scan() {
+		if err := c.r.Err(); err != nil {
+			return "", err
+		}
+		return "", errors.New("kvstore: connection closed")
+	}
+	c.inflight--
+	return c.r.Text(), nil
+}
+
+// roundTrip sends one line and reads its reply (blocking mode).
+func (c *Client) roundTrip(line string) (string, error) {
+	if err := c.send(line); err != nil {
+		return "", err
+	}
+	return c.Await()
+}
+
+// SendGet queues a GET without waiting; match with AwaitGet.
+func (c *Client) SendGet(key uint64) error {
+	return c.send(fmt.Sprintf("GET %d", key))
+}
+
+// SendSet queues a SET without waiting; match with AwaitSet.
+func (c *Client) SendSet(key, value uint64) error {
+	return c.send(fmt.Sprintf("SET %d %d", key, value))
+}
+
+// SendDelete queues a DEL without waiting; match with AwaitDelete.
+func (c *Client) SendDelete(key uint64) error {
+	return c.send(fmt.Sprintf("DEL %d", key))
+}
+
+// SendScan queues a SCAN of [from, to) without waiting; match with
+// AwaitScan. limit <= 0 leaves the cap to the server (DefaultScanLimit);
+// the server caps explicit limits at MaxScanLimit.
+func (c *Client) SendScan(from, to uint64, limit int) error {
+	if limit > 0 {
+		return c.send(fmt.Sprintf("SCAN %d %d %d", from, to, limit))
+	}
+	return c.send(fmt.Sprintf("SCAN %d %d", from, to))
+}
+
+// AwaitGet reads the oldest outstanding reply as a GET reply.
+func (c *Client) AwaitGet() (value uint64, found bool, err error) {
+	reply, err := c.Await()
+	if err != nil {
+		return 0, false, err
+	}
+	return parseGetReply(reply)
+}
+
+// AwaitSet reads the oldest outstanding reply as a SET reply.
+func (c *Client) AwaitSet() (overwrote bool, err error) {
+	reply, err := c.Await()
+	if err != nil {
+		return false, err
+	}
+	return parseSetReply(reply)
+}
+
+// AwaitDelete reads the oldest outstanding reply as a DEL reply.
+func (c *Client) AwaitDelete() (existed bool, err error) {
+	reply, err := c.Await()
+	if err != nil {
+		return false, err
+	}
+	return parseDeleteReply(reply)
+}
+
+// AwaitScan reads the oldest outstanding reply as a SCAN reply. truncated
+// reports that the server capped the result; resume from the last
+// returned key + 1.
+func (c *Client) AwaitScan() (pairs []blinktree.KV, truncated bool, err error) {
+	reply, err := c.Await()
+	if err != nil {
+		return nil, false, err
+	}
+	return parseScanReply(reply)
+}
+
+// Get fetches a key.
+func (c *Client) Get(key uint64) (value uint64, found bool, err error) {
+	if err := c.SendGet(key); err != nil {
+		return 0, false, err
+	}
+	return c.AwaitGet()
+}
+
+// Set stores key=value; overwrote reports whether the key existed.
+func (c *Client) Set(key, value uint64) (overwrote bool, err error) {
+	if err := c.SendSet(key, value); err != nil {
+		return false, err
+	}
+	return c.AwaitSet()
+}
+
+// Delete removes a key.
+func (c *Client) Delete(key uint64) (existed bool, err error) {
+	if err := c.SendDelete(key); err != nil {
+		return false, err
+	}
+	return c.AwaitDelete()
+}
+
+// Ping checks liveness.
+func (c *Client) Ping() error {
+	reply, err := c.roundTrip("PING")
+	if err != nil {
+		return err
+	}
+	if reply != "PONG" {
+		return errors.New("kvstore: " + reply)
+	}
+	return nil
+}
+
+// Scan fetches records with keys in [from, to), sorted by key, up to the
+// server's default result cap (the truncation flag is dropped; use
+// ScanLimit to observe it).
+func (c *Client) Scan(from, to uint64) ([]blinktree.KV, error) {
+	pairs, _, err := c.ScanLimit(from, to, 0)
+	return pairs, err
+}
+
+// ScanLimit fetches up to limit records with keys in [from, to), sorted by
+// key (limit <= 0 uses the server's default cap). truncated reports that
+// more records may exist past the last returned key.
+func (c *Client) ScanLimit(from, to uint64, limit int) (pairs []blinktree.KV, truncated bool, err error) {
+	if err := c.SendScan(from, to, limit); err != nil {
+		return nil, false, err
+	}
+	return c.AwaitScan()
+}
+
+func parseGetReply(reply string) (uint64, bool, error) {
+	if reply == "NOT_FOUND" {
+		return 0, false, nil
+	}
+	if v, ok := strings.CutPrefix(reply, "VALUE "); ok {
+		value, err := strconv.ParseUint(v, 10, 64)
+		return value, err == nil, err
+	}
+	return 0, false, errors.New("kvstore: " + reply)
+}
+
+func parseSetReply(reply string) (bool, error) {
+	switch reply {
+	case "STORED":
+		return false, nil
+	case "OVERWRITTEN":
+		return true, nil
+	}
+	return false, errors.New("kvstore: " + reply)
+}
+
+func parseDeleteReply(reply string) (bool, error) {
+	switch reply {
+	case "DELETED":
+		return true, nil
+	case "NOT_FOUND":
+		return false, nil
+	}
+	return false, errors.New("kvstore: " + reply)
+}
+
+func parseScanReply(reply string) ([]blinktree.KV, bool, error) {
+	rest, ok := strings.CutPrefix(reply, "RANGE ")
+	if !ok {
+		return nil, false, errors.New("kvstore: " + reply)
+	}
+	fields := strings.Fields(rest)
+	if len(fields) == 0 {
+		return nil, false, errors.New("kvstore: malformed RANGE reply")
+	}
+	n, err := strconv.Atoi(fields[0])
+	if err != nil {
+		return nil, false, errors.New("kvstore: malformed RANGE reply")
+	}
+	truncated := false
+	if len(fields) == 2+2*n && fields[len(fields)-1] == "MORE" {
+		truncated = true
+		fields = fields[:len(fields)-1]
+	}
+	if len(fields) != 1+2*n {
+		return nil, false, errors.New("kvstore: malformed RANGE reply")
+	}
+	pairs := make([]blinktree.KV, n)
+	for i := 0; i < n; i++ {
+		k, err1 := strconv.ParseUint(fields[1+2*i], 10, 64)
+		v, err2 := strconv.ParseUint(fields[2+2*i], 10, 64)
+		if err1 != nil || err2 != nil {
+			return nil, false, errors.New("kvstore: malformed RANGE pair")
+		}
+		pairs[i] = blinktree.KV{Key: k, Value: v}
+	}
+	return pairs, truncated, nil
+}

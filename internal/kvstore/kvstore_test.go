@@ -273,7 +273,7 @@ func TestServerBatchCommands(t *testing.T) {
 		t.Fatalf("MGET = %q, %v", reply, err)
 	}
 	reply, err = c.roundTrip("STATS")
-	if err != nil || reply != "STATS gets=4 sets=3 dels=0" {
+	if err != nil || reply != "STATS gets=4 sets=3 dels=0 errs=0 toolong=0" {
 		t.Fatalf("STATS = %q, %v", reply, err)
 	}
 	for _, bad := range []string{"MSET 1", "MSET 1 2 3", "MSET a b", "MGET", "MGET x"} {

@@ -1,0 +1,432 @@
+package kvstore
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"strings"
+	"testing"
+	"time"
+)
+
+// bigLine builds an MSET request line of n pairs with 16+-digit keys, so
+// ~40 bytes per pair — n = 2000 comfortably exceeds 64 KiB.
+func bigMSET(n int) (string, uint64) {
+	var sb strings.Builder
+	sb.WriteString("MSET")
+	base := uint64(1_000_000_000_000_000)
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&sb, " %d %d", base+uint64(i), base*2+uint64(i))
+	}
+	return sb.String(), base
+}
+
+// Regression: a request line past bufio.Scanner's default 64 KiB token
+// cap used to terminate the scan silently — the connection dropped with no
+// reply. It must now execute normally.
+func TestServerLongRequestLine(t *testing.T) {
+	s, stop := newStore(t, 2)
+	defer stop()
+	srv, err := NewServer(s, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	c, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	line, base := bigMSET(2000)
+	if len(line) <= 64<<10 {
+		t.Fatalf("test line only %d bytes, want > 64 KiB", len(line))
+	}
+	reply, err := c.roundTrip(line)
+	if err != nil || reply != "STORED 2000" {
+		t.Fatalf("oversized MSET = %q, %v", reply, err)
+	}
+	// The connection survived and the data landed.
+	if err := c.Ping(); err != nil {
+		t.Fatalf("connection dead after long line: %v", err)
+	}
+	if v, found, err := c.Get(base + 1999); err != nil || !found || v != 2*base+1999 {
+		t.Fatalf("Get after big MSET = %d,%v,%v", v, found, err)
+	}
+}
+
+// Regression: a SCAN reply past 64 KiB used to fail client-side with
+// bufio.ErrTooLong even when the server sent it.
+func TestClientLargeScanReply(t *testing.T) {
+	s, stop := newStore(t, 2)
+	defer stop()
+	srv, err := NewServer(s, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	// 4000 pairs of 16-digit keys/values ≈ 140 KiB of reply line.
+	const n = 4000
+	base := uint64(1_000_000_000_000_000)
+	for i := uint64(0); i < n; i++ {
+		s.Set(base+i, base+i*7, nil)
+	}
+	s.Runtime().Drain()
+
+	c, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	pairs, truncated, err := c.ScanLimit(base, base+n, 0)
+	if err != nil {
+		t.Fatalf("large scan: %v", err)
+	}
+	if truncated || len(pairs) != n {
+		t.Fatalf("large scan = %d pairs truncated=%v, want %d", len(pairs), truncated, n)
+	}
+	for i, kv := range pairs {
+		if kv.Key != base+uint64(i) || kv.Value != base+uint64(i)*7 {
+			t.Fatalf("pair %d = %+v", i, kv)
+		}
+	}
+}
+
+// A line over MaxLineBytes is answered with a protocol-level ERR, counted,
+// and the connection resyncs at the next newline instead of dropping.
+func TestServerLineTooLong(t *testing.T) {
+	s, stop := newStore(t, 2)
+	defer stop()
+	srv, err := NewServer(s, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	conn, err := net.Dial("tcp", srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	conn.SetDeadline(time.Now().Add(30 * time.Second))
+
+	// One oversized garbage line, then a normal request.
+	junk := strings.Repeat("x", MaxLineBytes+16)
+	if _, err := conn.Write([]byte(junk + "\nPING\n")); err != nil {
+		t.Fatal(err)
+	}
+	r := bufio.NewReader(conn)
+	reply, err := r.ReadString('\n')
+	if err != nil || strings.TrimSpace(reply) != "ERR line too long" {
+		t.Fatalf("oversized line reply = %q, %v", reply, err)
+	}
+	reply, err = r.ReadString('\n')
+	if err != nil || strings.TrimSpace(reply) != "PONG" {
+		t.Fatalf("connection did not resync after oversized line: %q, %v", reply, err)
+	}
+	if got := srv.Metrics().TooLong.Value(); got != 1 {
+		t.Fatalf("TooLong counter = %d, want 1", got)
+	}
+	if got := srv.Metrics().ConnErrors.Value(); got != 0 {
+		t.Fatalf("ConnErrors counter = %d, want 0 (too-long is not a connection error)", got)
+	}
+}
+
+// serve() used to discard r.Err(), making I/O errors indistinguishable
+// from a clean hangup. A reset connection must bump the error counter and
+// surface through LastError; a clean close must not.
+func TestServerConnErrorSurfaced(t *testing.T) {
+	s, stop := newStore(t, 2)
+	defer stop()
+	var hooked error
+	srv, err := NewServer(s, "127.0.0.1:0", WithErrorLog(func(e error) { hooked = e }))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	// Clean close first: no error counted.
+	c, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Ping(); err != nil {
+		t.Fatal(err)
+	}
+	c.Close()
+	time.Sleep(20 * time.Millisecond)
+	if got := srv.Metrics().ConnErrors.Value(); got != 0 {
+		t.Fatalf("clean close counted as error (errs=%d)", got)
+	}
+
+	// Now an abortive close: SetLinger(0) turns Close into a RST, which
+	// the server's blocked read sees as a hard I/O error.
+	conn, err := net.Dial("tcp", srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := conn.Write([]byte("GET 1")); err != nil { // no newline: server stays in read
+		t.Fatal(err)
+	}
+	conn.(*net.TCPConn).SetLinger(0)
+	conn.Close()
+
+	deadline := time.Now().Add(5 * time.Second)
+	for srv.Metrics().ConnErrors.Value() == 0 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if got := srv.Metrics().ConnErrors.Value(); got != 1 {
+		t.Fatalf("ConnErrors = %d after RST, want 1", got)
+	}
+	if srv.LastError() == nil || hooked == nil {
+		t.Fatalf("LastError=%v hook=%v, want both non-nil", srv.LastError(), hooked)
+	}
+	// STATS reflects the counter.
+	c2, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	reply, err := c2.roundTrip("STATS")
+	if err != nil || !strings.Contains(reply, "errs=1") {
+		t.Fatalf("STATS = %q, %v (want errs=1)", reply, err)
+	}
+}
+
+// Pipelined issue/await: replies come back strictly in issue order, mixed
+// command types included, and the neighbor-batching fast path agrees with
+// the dispatch slow path.
+func TestServerPipelinedOrdering(t *testing.T) {
+	s, stop := newStore(t, 4)
+	defer stop()
+	srv, err := NewServer(s, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	c, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	// Preload synchronously so pipelined reads have stable values.
+	const n = 200
+	for i := uint64(0); i < n; i++ {
+		if _, err := c.Set(i, i*3); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// One burst: n GETs with PINGs sprinkled in, written in one flush so
+	// the server's reader sees deep buffered input (exercising both the
+	// batcher and its boundaries).
+	for i := uint64(0); i < n; i++ {
+		if err := c.SendGet(i); err != nil {
+			t.Fatal(err)
+		}
+		if i%17 == 0 {
+			if err := c.send("PING"); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := c.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(0); i < n; i++ {
+		v, found, err := c.AwaitGet()
+		if err != nil || !found || v != i*3 {
+			t.Fatalf("pipelined Get(%d) = %d,%v,%v", i, v, found, err)
+		}
+		if i%17 == 0 {
+			reply, err := c.Await()
+			if err != nil || reply != "PONG" {
+				t.Fatalf("interleaved PING = %q, %v", reply, err)
+			}
+		}
+	}
+	if c.InFlight() != 0 {
+		t.Fatalf("InFlight = %d after drain", c.InFlight())
+	}
+
+	// Pipelined writes then reads: await the writes before reading to
+	// keep read-your-write semantics.
+	for i := uint64(0); i < 50; i++ {
+		if err := c.SendSet(1000+i, i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 50; i++ {
+		if _, err := c.AwaitSet(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := uint64(0); i < 50; i++ {
+		if err := c.SendGet(1000 + i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := uint64(0); i < 50; i++ {
+		v, found, err := c.AwaitGet()
+		if err != nil || !found || v != i {
+			t.Fatalf("Get(1000+%d) = %d,%v,%v", i, v, found, err)
+		}
+	}
+
+	m := srv.Metrics()
+	if m.Depth.Count() == 0 {
+		t.Fatal("depth histogram recorded nothing")
+	}
+	if m.InFlight.Max() < 2 {
+		t.Fatalf("InFlight.Max = %d, want >= 2 for a pipelined burst", m.InFlight.Max())
+	}
+}
+
+// A tiny window must throttle, not break: far more requests than the
+// window still all answer, in order.
+func TestServerWindowBackpressure(t *testing.T) {
+	s, stop := newStore(t, 2)
+	defer stop()
+	srv, err := NewServer(s, "127.0.0.1:0", WithWindow(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	c, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	const n = 500
+	for i := uint64(0); i < n; i++ {
+		if err := c.SendSet(i, i+1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < n; i++ {
+		if _, err := c.AwaitSet(); err != nil {
+			t.Fatalf("reply %d: %v", i, err)
+		}
+	}
+	if got := s.Count(); got != n {
+		t.Fatalf("Count = %d, want %d", got, n)
+	}
+	// The in-flight gauge settles back to zero once replies drain.
+	deadline := time.Now().Add(5 * time.Second)
+	for srv.Metrics().InFlight.Value() != 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if got := srv.Metrics().InFlight.Value(); got != 0 {
+		t.Fatalf("InFlight = %d after drain, want 0", got)
+	}
+}
+
+// SCAN's server-side result cap: default cap, explicit limit, MORE marker,
+// and resumability.
+func TestServerScanCap(t *testing.T) {
+	s, stop := newStore(t, 2)
+	defer stop()
+	srv, err := NewServer(s, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	total := DefaultScanLimit + 100
+	for i := 0; i < total; i++ {
+		s.Set(uint64(i), uint64(i), nil)
+	}
+	s.Runtime().Drain()
+
+	c, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	// Explicit small limit.
+	pairs, truncated, err := c.ScanLimit(0, uint64(total), 5)
+	if err != nil || len(pairs) != 5 || !truncated {
+		t.Fatalf("ScanLimit(5) = %d pairs truncated=%v err=%v", len(pairs), truncated, err)
+	}
+	for i, kv := range pairs {
+		if kv.Key != uint64(i) {
+			t.Fatalf("capped scan pair %d = %+v, want key %d (lowest keys win)", i, kv, i)
+		}
+	}
+	// Resume from last key + 1.
+	pairs2, _, err := c.ScanLimit(pairs[4].Key+1, uint64(total), 5)
+	if err != nil || len(pairs2) != 5 || pairs2[0].Key != 5 {
+		t.Fatalf("resumed scan = %v, %v", pairs2, err)
+	}
+	// Default cap over the whole range.
+	pairs, truncated, err = c.ScanLimit(0, uint64(total), 0)
+	if err != nil || len(pairs) != DefaultScanLimit || !truncated {
+		t.Fatalf("default-cap scan = %d pairs truncated=%v err=%v, want %d/true",
+			len(pairs), truncated, err, DefaultScanLimit)
+	}
+	// Uncapped-in-range result: no MORE.
+	pairs, truncated, err = c.ScanLimit(0, 10, 0)
+	if err != nil || len(pairs) != 10 || truncated {
+		t.Fatalf("in-cap scan = %d pairs truncated=%v err=%v", len(pairs), truncated, err)
+	}
+	// Bad limit argument.
+	if reply, err := c.roundTrip("SCAN 0 10 0"); err != nil || !strings.HasPrefix(reply, "ERR") {
+		t.Fatalf("SCAN limit 0 = %q, %v", reply, err)
+	}
+	if reply, err := c.roundTrip("SCAN 0 10 x"); err != nil || !strings.HasPrefix(reply, "ERR") {
+		t.Fatalf("SCAN limit x = %q, %v", reply, err)
+	}
+}
+
+// MGET/MSET batch size caps answer with ERR instead of building unbounded
+// replies.
+func TestServerBatchKeyCap(t *testing.T) {
+	s, stop := newStore(t, 1)
+	defer stop()
+	srv, err := NewServer(s, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	c, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	var sb strings.Builder
+	sb.WriteString("MGET")
+	for i := 0; i <= MaxBatchKeys; i++ {
+		sb.WriteString(" 1")
+	}
+	reply, err := c.roundTrip(sb.String())
+	if err != nil || !strings.HasPrefix(reply, "ERR") {
+		t.Fatalf("oversized MGET = %q, %v", reply, err)
+	}
+	if err := c.Ping(); err != nil {
+		t.Fatalf("connection dead after capped MGET: %v", err)
+	}
+}
+
+// Await with nothing outstanding is a client-usage error, not a hang.
+func TestClientAwaitUnderflow(t *testing.T) {
+	s, stop := newStore(t, 1)
+	defer stop()
+	srv, err := NewServer(s, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	c, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.Await(); err == nil {
+		t.Fatal("Await with no request in flight succeeded")
+	}
+}

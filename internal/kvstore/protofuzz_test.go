@@ -26,6 +26,9 @@ func FuzzServerProtocol(f *testing.F) {
 		[]byte("MSET 1 2 3 4\nMGET 1 3 5\nSTATS\nCOUNT\n"),
 		[]byte("BOGUS\x00\xff\xfe junk\nquit\n"),
 		[]byte("GET 18446744073709551615\nSET -1 -1\nSCAN 5 1\n"),
+		[]byte("SET 1 10\nSET 2 20\nSET 3 30\nSCAN 0 10 2\nSCAN 0 10 16385\n"),
+		[]byte("SCAN 0 10 0\nSCAN 0 10 -3\nSCAN 0 10 x\nSCAN 0 10 5 extra\n"),
+		[]byte("SET 1 1\nSET 2 2\nGET 1\nGET 2\nGET 3\nDEL 1\nMGET 1 2\nQUIT\n"),
 		[]byte("PING"), // no trailing newline: scanner still yields it at EOF
 		{0x00, 0x01, 0x02, '\n', 'P', 'I', 'N', 'G', '\n'},
 	} {

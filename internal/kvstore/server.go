@@ -2,52 +2,152 @@ package kvstore
 
 import (
 	"bufio"
+	"bytes"
 	"errors"
 	"fmt"
+	"io"
 	"net"
+	"os"
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"mxtasking/internal/blinktree"
+	"mxtasking/internal/metrics"
+)
+
+// Protocol and pipelining limits. MaxLineBytes bounds both request and
+// reply lines; the scan and batch caps keep every reply comfortably under
+// it (MaxScanLimit pairs of two 20-digit uint64s is ~700 KiB).
+const (
+	// MaxLineBytes is the longest request or reply line either side
+	// accepts (excluding the newline). The server answers an oversized
+	// request line with "ERR line too long", discards it through its
+	// newline, and keeps the connection alive.
+	MaxLineBytes = 1 << 20
+
+	// DefaultWindow is the per-connection cap on requests that have been
+	// parsed but not yet replied to. When the window is full the reader
+	// stops consuming input until the writer drains a reply —
+	// backpressure, not disconnection.
+	DefaultWindow = 64
+
+	// DefaultScanLimit is the SCAN result cap applied when the client
+	// sends no explicit limit. A capped reply ends with a "MORE" marker.
+	DefaultScanLimit = 8192
+
+	// MaxScanLimit bounds an explicit SCAN limit.
+	MaxScanLimit = 16384
+
+	// MaxBatchKeys bounds the keys of one MGET / pairs of one MSET.
+	MaxBatchKeys = 16384
+
+	// maxNeighborBatch caps how many consecutive same-type GET/SET
+	// requests the reader merges into one multi-op store submission.
+	maxNeighborBatch = 32
 )
 
 // Server exposes a Store over a line-based TCP protocol:
 //
-//	SET <key> <value>   -> STORED | OVERWRITTEN
-//	GET <key>           -> VALUE <value> | NOT_FOUND
-//	DEL <key>           -> DELETED | NOT_FOUND
-//	SCAN <from> <to>    -> RANGE <n> k1 v1 k2 v2 ... (keys in [from,to))
-//	MSET k1 v1 k2 v2 .. -> STORED <n>
-//	MGET k1 k2 ..       -> VALUES v1 v2 .. (missing keys render as "-")
-//	STATS               -> STATS gets=<n> sets=<n> dels=<n>
-//	COUNT               -> COUNT <n>        (quiescent stores only)
-//	PING                -> PONG
-//	QUIT                -> BYE (closes the connection)
+//	SET <key> <value>        -> STORED | OVERWRITTEN
+//	GET <key>                -> VALUE <value> | NOT_FOUND
+//	DEL <key>                -> DELETED | NOT_FOUND
+//	SCAN <from> <to> [limit] -> RANGE <n> k1 v1 ... [MORE]   (keys in [from,to))
+//	MSET k1 v1 k2 v2 ..      -> STORED <n>       (at most MaxBatchKeys pairs)
+//	MGET k1 k2 ..            -> VALUES v1 v2 ..  (missing keys render as "-")
+//	STATS                    -> STATS gets=<n> sets=<n> dels=<n> errs=<n> toolong=<n>
+//	COUNT                    -> COUNT <n>        (live, task-based count)
+//	PING                     -> PONG
+//	QUIT                     -> BYE (closes the connection)
 //
-// Keys and values are decimal uint64. Each request is executed as an
-// MxTask chain; the connection handler blocks per request (no pipelining),
-// which keeps responses ordered.
+// Keys and values are decimal uint64. Request lines are capped at
+// MaxLineBytes; an oversized line is answered with "ERR line too long" and
+// skipped, and the connection stays up. SCAN replies are capped at
+// DefaultScanLimit pairs (or the request's explicit limit, itself capped
+// at MaxScanLimit); a capped reply carries a trailing "MORE" token, and
+// the caller resumes from the last returned key + 1.
+//
+// The request path is pipelined: a reader goroutine parses frames and
+// dispatches every request as its MxTask chain immediately — consecutive
+// GET (or SET) neighbors are merged into one multi-op batch submission so
+// the runtime's group scheduling and prefetch window see real batches —
+// while a writer goroutine flushes the replies strictly in request order.
+// At most DefaultWindow (see WithWindow) requests are in flight per
+// connection. Reply order always matches request order, but requests
+// inside one window execute concurrently in the store: a pipelined GET
+// issued before the reply to an earlier SET of the same key may observe
+// the pre-SET value (each request still linearizes between its issue and
+// its reply). Clients that need read-your-write ordering await the write's
+// reply before issuing the read, as the blocking Client methods do.
 type Server struct {
-	store  *Store
-	ln     net.Listener
-	wg     sync.WaitGroup
-	done   chan struct{}
-	closed bool
+	store   *Store
+	ln      net.Listener
+	wg      sync.WaitGroup
+	done    chan struct{}
+	closed  bool
+	window  int
+	onError func(error)
 
-	mu    sync.Mutex
-	conns map[net.Conn]struct{}
+	m ServerMetrics
+
+	mu      sync.Mutex
+	conns   map[net.Conn]struct{}
+	lastErr error
+}
+
+// ServerMetrics exposes the server's wire-level counters and gauges.
+type ServerMetrics struct {
+	// ConnErrors counts connections terminated by an I/O error (not by
+	// EOF, QUIT, or server shutdown).
+	ConnErrors metrics.Counter
+	// TooLong counts request lines over MaxLineBytes (each answered with
+	// "ERR line too long" and skipped).
+	TooLong metrics.Counter
+	// InFlight is the number of requests parsed but not yet written back.
+	InFlight metrics.Gauge
+	// Depth samples the per-connection pipeline depth observed as each
+	// request is admitted.
+	Depth metrics.IntHistogram
+}
+
+// String renders the wire-level counters on one line.
+func (m *ServerMetrics) String() string {
+	return fmt.Sprintf("errs=%d toolong=%d inflight=%d maxinflight=%d depth{%s}",
+		m.ConnErrors.Value(), m.TooLong.Value(), m.InFlight.Value(), m.InFlight.Max(), m.Depth.String())
+}
+
+// ServerOption configures NewServer.
+type ServerOption func(*Server)
+
+// WithWindow sets the per-connection in-flight request window
+// (DefaultWindow when unset; n < 1 means 1).
+func WithWindow(n int) ServerOption {
+	if n < 1 {
+		n = 1
+	}
+	return func(s *Server) { s.window = n }
+}
+
+// WithErrorLog installs a hook invoked with every connection-level I/O
+// error the server swallows (also recorded in Metrics().ConnErrors and
+// LastError). The hook runs on the failing connection's goroutine.
+func WithErrorLog(fn func(error)) ServerOption {
+	return func(s *Server) { s.onError = fn }
 }
 
 // NewServer starts listening on addr (e.g. "127.0.0.1:0"). The returned
 // server is already accepting; call Close to stop.
-func NewServer(store *Store, addr string) (*Server, error) {
+func NewServer(store *Store, addr string, opts ...ServerOption) (*Server, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("kvstore: listen: %w", err)
 	}
-	s := &Server{store: store, ln: ln, done: make(chan struct{}), conns: make(map[net.Conn]struct{})}
+	s := &Server{store: store, ln: ln, done: make(chan struct{}), conns: make(map[net.Conn]struct{}), window: DefaultWindow}
+	for _, opt := range opts {
+		opt(s)
+	}
 	s.wg.Add(1)
 	go s.acceptLoop()
 	return s, nil
@@ -55,6 +155,26 @@ func NewServer(store *Store, addr string) (*Server, error) {
 
 // Addr returns the bound address.
 func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Metrics returns the server's live wire-level counters.
+func (s *Server) Metrics() *ServerMetrics { return &s.m }
+
+// LastError returns the most recent connection-level I/O error, or nil.
+func (s *Server) LastError() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.lastErr
+}
+
+func (s *Server) noteError(err error) {
+	s.m.ConnErrors.Inc()
+	s.mu.Lock()
+	s.lastErr = err
+	s.mu.Unlock()
+	if s.onError != nil {
+		s.onError(err)
+	}
+}
 
 // Close shuts the server down gracefully: it stops accepting connections,
 // lets every in-flight request run to completion (idle connections are
@@ -86,6 +206,16 @@ func (s *Server) Close() error {
 		err = serr
 	}
 	return err
+}
+
+// closing reports whether Close has begun (read errors are then expected).
+func (s *Server) closing() bool {
+	select {
+	case <-s.done:
+		return true
+	default:
+		return false
+	}
 }
 
 // track registers a live connection; the returned func removes it.
@@ -122,154 +252,445 @@ func (s *Server) acceptLoop() {
 	}
 }
 
-func (s *Server) serve(conn net.Conn) {
-	defer s.wg.Done()
-	defer conn.Close()
-	defer s.track(conn)()
-	r := bufio.NewScanner(conn)
-	w := bufio.NewWriter(conn)
-	for r.Scan() {
-		line := strings.TrimSpace(r.Text())
-		if line == "" {
-			continue
-		}
-		reply, quit := s.handle(line)
-		fmt.Fprintln(w, reply)
-		if err := w.Flush(); err != nil || quit {
-			return
-		}
-		select {
-		case <-s.done:
-			return
+// pendingReply is one request's slot in the connection's reply pipeline.
+// deliver must be called exactly once; the buffered channel means the
+// completing worker never blocks on a slow writer.
+type pendingReply struct {
+	ch chan string
+}
+
+func newPending() *pendingReply { return &pendingReply{ch: make(chan string, 1)} }
+
+func (p *pendingReply) deliver(reply string) { p.ch <- reply }
+
+// errLineTooLong marks a request line over the reader's cap; the line has
+// been consumed through its newline and the connection is resynced.
+var errLineTooLong = errors.New("kvstore: request line exceeds MaxLineBytes")
+
+// lineReader frames newline-terminated requests with an explicit length
+// cap. Unlike bufio.Scanner — whose ErrTooLong is terminal — it recovers
+// from an oversized line: the line is reported as errLineTooLong,
+// discarded through its newline, and reading continues.
+type lineReader struct {
+	br   *bufio.Reader
+	line []byte
+	max  int
+}
+
+func newLineReader(r io.Reader, max int) *lineReader {
+	return &lineReader{br: bufio.NewReaderSize(r, 64<<10), max: max}
+}
+
+// next returns the next line without its newline. Like bufio.Scanner, a
+// final unterminated line is yielded at EOF.
+func (lr *lineReader) next() (string, error) {
+	lr.line = lr.line[:0]
+	for {
+		frag, err := lr.br.ReadSlice('\n')
+		lr.line = append(lr.line, frag...)
+		switch err {
+		case nil:
+			if len(lr.line)-1 > lr.max {
+				return "", errLineTooLong
+			}
+			return string(lr.line[:len(lr.line)-1]), nil
+		case bufio.ErrBufferFull:
+			if len(lr.line) > lr.max {
+				return "", lr.discardLine()
+			}
+		case io.EOF:
+			if len(lr.line) > 0 {
+				return string(lr.line), nil
+			}
+			return "", io.EOF
 		default:
+			return "", err
 		}
 	}
 }
 
-// handle executes one request line and returns the response.
+// discardLine consumes the remainder of an oversized line so the
+// connection can resync at the next newline.
+func (lr *lineReader) discardLine() error {
+	lr.line = lr.line[:0]
+	for {
+		_, err := lr.br.ReadSlice('\n')
+		switch err {
+		case nil, io.EOF:
+			return errLineTooLong
+		case bufio.ErrBufferFull:
+			// Keep discarding.
+		default:
+			return err
+		}
+	}
+}
+
+// hasBufferedLine reports whether a complete request line is already
+// buffered — i.e. the reader can keep consuming pipelined input without
+// blocking on the network.
+func (lr *lineReader) hasBufferedLine() bool {
+	n := lr.br.Buffered()
+	if n == 0 {
+		return false
+	}
+	buf, err := lr.br.Peek(n)
+	return err == nil && bytes.IndexByte(buf, '\n') >= 0
+}
+
+// serve runs one connection: this goroutine reads and dispatches requests,
+// a second goroutine (writeLoop) flushes replies in request order. The
+// pending channel is the in-flight window; its capacity is the
+// backpressure bound.
+func (s *Server) serve(conn net.Conn) {
+	defer s.wg.Done()
+	defer conn.Close()
+	defer s.track(conn)()
+
+	window := s.window
+	if window < 1 {
+		window = DefaultWindow
+	}
+	pending := make(chan *pendingReply, window)
+	writerDone := make(chan struct{})
+	go func() {
+		defer close(writerDone)
+		s.writeLoop(conn, pending)
+	}()
+
+	lr := newLineReader(conn, MaxLineBytes)
+
+	// Neighbor batch: consecutive GET (or SET) requests already buffered
+	// on the wire are submitted to the store as one multi-op batch.
+	var (
+		batchKind byte // 0 none, 'G' gets, 'S' sets
+		batchKVs  []blinktree.KV
+		batchPs   []*pendingReply
+	)
+	flushBatch := func() {
+		if len(batchPs) == 0 {
+			return
+		}
+		ps := batchPs
+		switch batchKind {
+		case 'G':
+			keys := make([]uint64, len(batchKVs))
+			for i, kv := range batchKVs {
+				keys[i] = kv.Key
+			}
+			s.store.GetBatch(keys, func(i int, r Result) { ps[i].deliver(formatGet(r)) })
+		case 'S':
+			s.store.SetBatch(batchKVs, func(i int, r Result) { ps[i].deliver(formatSet(r)) })
+		}
+		batchKind, batchKVs, batchPs = 0, nil, nil
+	}
+	enqueue := func(p *pendingReply) {
+		// Submit any deferred batch before a blocking enqueue: the writer
+		// can only drain the window once the batched requests actually
+		// run, so holding them while waiting for window space would
+		// deadlock the connection.
+		if len(pending) == cap(pending) {
+			flushBatch()
+		}
+		s.m.InFlight.Inc()
+		s.m.Depth.Observe(uint64(len(pending) + 1))
+		pending <- p
+	}
+
+	var readErr error
+loop:
+	for {
+		line, err := lr.next()
+		switch {
+		case err == errLineTooLong:
+			s.m.TooLong.Inc()
+			flushBatch()
+			p := newPending()
+			p.deliver("ERR line too long")
+			enqueue(p)
+			continue
+		case err != nil:
+			readErr = err
+			break loop
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		p := newPending()
+		if kind, kv, ok := parseBatchable(line); ok {
+			if batchKind != 0 && batchKind != kind {
+				flushBatch()
+			}
+			enqueue(p)
+			batchKind = kind
+			batchKVs = append(batchKVs, kv)
+			batchPs = append(batchPs, p)
+			// Submit when the batch is full or the wire has no further
+			// complete request to merge; otherwise keep accumulating.
+			if len(batchPs) >= maxNeighborBatch || !lr.hasBufferedLine() {
+				flushBatch()
+			}
+		} else {
+			flushBatch() // preserve submission order across command types
+			quit := s.dispatch(line, p.deliver)
+			enqueue(p)
+			if quit {
+				break loop
+			}
+		}
+		select {
+		case <-s.done:
+			break loop
+		default:
+		}
+	}
+	flushBatch()
+	close(pending)
+	<-writerDone
+
+	if readErr != nil && readErr != io.EOF && !s.closing() &&
+		!errors.Is(readErr, net.ErrClosed) && !errors.Is(readErr, os.ErrDeadlineExceeded) {
+		s.noteError(readErr)
+	}
+}
+
+// writeLoop writes replies back in request order, batching flushes while
+// the pipeline is busy and flushing as soon as it runs dry.
+func (s *Server) writeLoop(conn net.Conn, pending <-chan *pendingReply) {
+	w := bufio.NewWriter(conn)
+	healthy := true
+	for p := range pending {
+		var reply string
+		select {
+		case reply = <-p.ch:
+		default:
+			// The oldest outstanding reply is not ready: push what is
+			// already written out to the client, then wait.
+			if healthy && w.Flush() != nil {
+				healthy = false
+			}
+			reply = <-p.ch
+		}
+		if healthy {
+			w.WriteString(reply)
+			w.WriteByte('\n')
+		}
+		// Dec before Flush: once a client has read its reply, the gauge
+		// has already dropped.
+		s.m.InFlight.Dec()
+		if healthy && len(pending) == 0 && w.Flush() != nil {
+			healthy = false
+		}
+	}
+	if healthy {
+		w.Flush()
+	}
+}
+
+// parseBatchable recognizes the two commands worth neighbor-batching. It
+// must accept exactly what dispatch's GET/SET arms accept; anything
+// irregular (wrong arity, bad numbers) falls back to dispatch for the
+// precise error reply.
+func parseBatchable(line string) (kind byte, kv blinktree.KV, ok bool) {
+	fields := strings.Fields(line)
+	switch strings.ToUpper(fields[0]) {
+	case "GET":
+		if len(fields) != 2 {
+			return 0, kv, false
+		}
+		k, err := strconv.ParseUint(fields[1], 10, 64)
+		if err != nil {
+			return 0, kv, false
+		}
+		return 'G', blinktree.KV{Key: k}, true
+	case "SET":
+		if len(fields) != 3 {
+			return 0, kv, false
+		}
+		k, err1 := strconv.ParseUint(fields[1], 10, 64)
+		v, err2 := strconv.ParseUint(fields[2], 10, 64)
+		if err1 != nil || err2 != nil {
+			return 0, kv, false
+		}
+		return 'S', blinktree.KV{Key: k, Value: v}, true
+	}
+	return 0, kv, false
+}
+
+// handle executes one request line synchronously and returns the response.
+// The serve loop dispatches asynchronously; this blocking form backs tests
+// and fuzzing.
 func (s *Server) handle(line string) (reply string, quit bool) {
+	ch := make(chan string, 1)
+	quit = s.dispatch(line, func(r string) { ch <- r })
+	return <-ch, quit
+}
+
+// dispatch parses one request line and starts it. deliver receives the
+// single reply line exactly once — inline for immediate commands and
+// malformed requests, from a worker for store operations. dispatch itself
+// never blocks on the store.
+func (s *Server) dispatch(line string, deliver func(string)) (quit bool) {
 	fields := strings.Fields(line)
 	cmd := strings.ToUpper(fields[0])
 	switch cmd {
 	case "PING":
-		return "PONG", false
+		deliver("PONG")
 	case "QUIT":
-		return "BYE", true
+		deliver("BYE")
+		return true
 	case "COUNT":
-		return fmt.Sprintf("COUNT %d", s.store.Count()), false
+		// Task-based live count: the serve loop pipelines, so the tree
+		// may never be quiescent when COUNT arrives.
+		s.store.CountLive(func(n int) { deliver(fmt.Sprintf("COUNT %d", n)) })
+	case "STATS":
+		st := s.store.Stats()
+		deliver(fmt.Sprintf("STATS gets=%d sets=%d dels=%d errs=%d toolong=%d",
+			st.Gets, st.Sets, st.Dels, s.m.ConnErrors.Value(), s.m.TooLong.Value()))
 	case "GET":
 		key, err := parseKey(fields, 2)
 		if err != nil {
-			return "ERR " + err.Error(), false
+			deliver("ERR " + err.Error())
+			return false
 		}
-		res := s.store.GetSync(key)
-		if !res.Found {
-			return "NOT_FOUND", false
-		}
-		return fmt.Sprintf("VALUE %d", res.Value), false
+		s.store.Get(key, func(r Result) { deliver(formatGet(r)) })
 	case "SET":
 		if len(fields) != 3 {
-			return "ERR usage: SET <key> <value>", false
+			deliver("ERR usage: SET <key> <value>")
+			return false
 		}
 		key, err1 := strconv.ParseUint(fields[1], 10, 64)
 		val, err2 := strconv.ParseUint(fields[2], 10, 64)
 		if err1 != nil || err2 != nil {
-			return "ERR key and value must be uint64", false
+			deliver("ERR key and value must be uint64")
+			return false
 		}
-		res := s.store.SetSync(key, val)
-		if res.Found {
-			return "OVERWRITTEN", false
+		s.store.Set(key, val, func(r Result) { deliver(formatSet(r)) })
+	case "DEL":
+		key, err := parseKey(fields, 2)
+		if err != nil {
+			deliver("ERR " + err.Error())
+			return false
 		}
-		return "STORED", false
+		s.store.Delete(key, func(r Result) {
+			if r.Found {
+				deliver("DELETED")
+			} else {
+				deliver("NOT_FOUND")
+			}
+		})
 	case "SCAN":
-		if len(fields) != 3 {
-			return "ERR usage: SCAN <from> <to>", false
+		if len(fields) != 3 && len(fields) != 4 {
+			deliver("ERR usage: SCAN <from> <to> [limit]")
+			return false
 		}
 		from, err1 := strconv.ParseUint(fields[1], 10, 64)
 		to, err2 := strconv.ParseUint(fields[2], 10, 64)
 		if err1 != nil || err2 != nil {
-			return "ERR bounds must be uint64", false
+			deliver("ERR bounds must be uint64")
+			return false
 		}
-		res := s.store.ScanSync(from, to)
-		var sb strings.Builder
-		fmt.Fprintf(&sb, "RANGE %d", len(res.Pairs))
-		for _, kv := range res.Pairs {
-			fmt.Fprintf(&sb, " %d %d", kv.Key, kv.Value)
+		limit := DefaultScanLimit
+		if len(fields) == 4 {
+			n, err := strconv.Atoi(fields[3])
+			if err != nil || n <= 0 {
+				deliver("ERR limit must be a positive integer")
+				return false
+			}
+			limit = min(n, MaxScanLimit)
 		}
-		return sb.String(), false
+		s.store.ScanLimit(from, to, limit, func(res ScanResult) { deliver(formatRange(res)) })
 	case "MSET":
 		if len(fields) < 3 || len(fields)%2 == 0 {
-			return "ERR usage: MSET <key> <value> [<key> <value> ...]", false
+			deliver("ERR usage: MSET <key> <value> [<key> <value> ...]")
+			return false
 		}
-		type pair struct{ k, v uint64 }
-		pairs := make([]pair, 0, (len(fields)-1)/2)
+		if (len(fields)-1)/2 > MaxBatchKeys {
+			deliver(fmt.Sprintf("ERR at most %d pairs per MSET", MaxBatchKeys))
+			return false
+		}
+		pairs := make([]blinktree.KV, 0, (len(fields)-1)/2)
 		for i := 1; i+1 < len(fields); i += 2 {
 			k, err1 := strconv.ParseUint(fields[i], 10, 64)
 			v, err2 := strconv.ParseUint(fields[i+1], 10, 64)
 			if err1 != nil || err2 != nil {
-				return "ERR keys and values must be uint64", false
+				deliver("ERR keys and values must be uint64")
+				return false
 			}
-			pairs = append(pairs, pair{k, v})
+			pairs = append(pairs, blinktree.KV{Key: k, Value: v})
 		}
-		// Issue all sets, then wait for all: one runtime drain per
-		// batch instead of one per key.
-		done := make(chan struct{}, len(pairs))
-		for _, p := range pairs {
-			s.store.Set(p.k, p.v, func(Result) { done <- struct{}{} })
-		}
-		for range pairs {
-			<-done
-		}
-		return fmt.Sprintf("STORED %d", len(pairs)), false
+		var done atomic.Int64
+		s.store.SetBatch(pairs, func(int, Result) {
+			if done.Add(1) == int64(len(pairs)) {
+				deliver(fmt.Sprintf("STORED %d", len(pairs)))
+			}
+		})
 	case "MGET":
 		if len(fields) < 2 {
-			return "ERR usage: MGET <key> [<key> ...]", false
+			deliver("ERR usage: MGET <key> [<key> ...]")
+			return false
+		}
+		if len(fields)-1 > MaxBatchKeys {
+			deliver(fmt.Sprintf("ERR at most %d keys per MGET", MaxBatchKeys))
+			return false
 		}
 		keys := make([]uint64, 0, len(fields)-1)
 		for _, f := range fields[1:] {
 			k, err := strconv.ParseUint(f, 10, 64)
 			if err != nil {
-				return "ERR keys must be uint64", false
+				deliver("ERR keys must be uint64")
+				return false
 			}
 			keys = append(keys, k)
 		}
 		results := make([]Result, len(keys))
-		done := make(chan int, len(keys))
-		for i, k := range keys {
-			i := i
-			s.store.Get(k, func(r Result) {
-				results[i] = r
-				done <- i
-			})
-		}
-		for range keys {
-			<-done
-		}
-		var sb strings.Builder
-		sb.WriteString("VALUES")
-		for _, r := range results {
-			if r.Found {
-				fmt.Fprintf(&sb, " %d", r.Value)
-			} else {
-				sb.WriteString(" -")
+		var done atomic.Int64
+		s.store.GetBatch(keys, func(i int, r Result) {
+			results[i] = r
+			if done.Add(1) == int64(len(keys)) {
+				var sb strings.Builder
+				sb.WriteString("VALUES")
+				for _, r := range results {
+					if r.Found {
+						fmt.Fprintf(&sb, " %d", r.Value)
+					} else {
+						sb.WriteString(" -")
+					}
+				}
+				deliver(sb.String())
 			}
-		}
-		return sb.String(), false
-	case "STATS":
-		st := s.store.Stats()
-		return fmt.Sprintf("STATS gets=%d sets=%d dels=%d", st.Gets, st.Sets, st.Dels), false
-	case "DEL":
-		key, err := parseKey(fields, 2)
-		if err != nil {
-			return "ERR " + err.Error(), false
-		}
-		if s.store.DeleteSync(key).Found {
-			return "DELETED", false
-		}
-		return "NOT_FOUND", false
+		})
 	default:
-		return "ERR unknown command " + cmd, false
+		deliver("ERR unknown command " + cmd)
 	}
+	return false
+}
+
+func formatGet(r Result) string {
+	if !r.Found {
+		return "NOT_FOUND"
+	}
+	return fmt.Sprintf("VALUE %d", r.Value)
+}
+
+func formatSet(r Result) string {
+	if r.Found {
+		return "OVERWRITTEN"
+	}
+	return "STORED"
+}
+
+func formatRange(res ScanResult) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "RANGE %d", len(res.Pairs))
+	for _, kv := range res.Pairs {
+		fmt.Fprintf(&sb, " %d %d", kv.Key, kv.Value)
+	}
+	if res.Truncated {
+		sb.WriteString(" MORE")
+	}
+	return sb.String()
 }
 
 func parseKey(fields []string, want int) (uint64, error) {
@@ -281,128 +702,4 @@ func parseKey(fields []string, want int) (uint64, error) {
 		return 0, errors.New("key must be uint64")
 	}
 	return key, nil
-}
-
-// Client is a minimal blocking client for the Server's protocol.
-type Client struct {
-	conn net.Conn
-	r    *bufio.Scanner
-	w    *bufio.Writer
-}
-
-// Dial connects to a Server.
-func Dial(addr string) (*Client, error) {
-	conn, err := net.Dial("tcp", addr)
-	if err != nil {
-		return nil, fmt.Errorf("kvstore: dial: %w", err)
-	}
-	return &Client{conn: conn, r: bufio.NewScanner(conn), w: bufio.NewWriter(conn)}, nil
-}
-
-// Close closes the connection.
-func (c *Client) Close() error { return c.conn.Close() }
-
-// roundTrip sends one line and reads one response line.
-func (c *Client) roundTrip(line string) (string, error) {
-	if _, err := c.w.WriteString(line + "\n"); err != nil {
-		return "", err
-	}
-	if err := c.w.Flush(); err != nil {
-		return "", err
-	}
-	if !c.r.Scan() {
-		if err := c.r.Err(); err != nil {
-			return "", err
-		}
-		return "", errors.New("kvstore: connection closed")
-	}
-	return c.r.Text(), nil
-}
-
-// Get fetches a key.
-func (c *Client) Get(key uint64) (value uint64, found bool, err error) {
-	reply, err := c.roundTrip(fmt.Sprintf("GET %d", key))
-	if err != nil {
-		return 0, false, err
-	}
-	if reply == "NOT_FOUND" {
-		return 0, false, nil
-	}
-	if v, ok := strings.CutPrefix(reply, "VALUE "); ok {
-		value, err = strconv.ParseUint(v, 10, 64)
-		return value, err == nil, err
-	}
-	return 0, false, errors.New("kvstore: " + reply)
-}
-
-// Set stores key=value; overwrote reports whether the key existed.
-func (c *Client) Set(key, value uint64) (overwrote bool, err error) {
-	reply, err := c.roundTrip(fmt.Sprintf("SET %d %d", key, value))
-	if err != nil {
-		return false, err
-	}
-	switch reply {
-	case "STORED":
-		return false, nil
-	case "OVERWRITTEN":
-		return true, nil
-	}
-	return false, errors.New("kvstore: " + reply)
-}
-
-// Delete removes a key.
-func (c *Client) Delete(key uint64) (existed bool, err error) {
-	reply, err := c.roundTrip(fmt.Sprintf("DEL %d", key))
-	if err != nil {
-		return false, err
-	}
-	switch reply {
-	case "DELETED":
-		return true, nil
-	case "NOT_FOUND":
-		return false, nil
-	}
-	return false, errors.New("kvstore: " + reply)
-}
-
-// Ping checks liveness.
-func (c *Client) Ping() error {
-	reply, err := c.roundTrip("PING")
-	if err != nil {
-		return err
-	}
-	if reply != "PONG" {
-		return errors.New("kvstore: " + reply)
-	}
-	return nil
-}
-
-// Scan fetches all records with keys in [from, to), sorted by key.
-func (c *Client) Scan(from, to uint64) ([]blinktree.KV, error) {
-	reply, err := c.roundTrip(fmt.Sprintf("SCAN %d %d", from, to))
-	if err != nil {
-		return nil, err
-	}
-	rest, ok := strings.CutPrefix(reply, "RANGE ")
-	if !ok {
-		return nil, errors.New("kvstore: " + reply)
-	}
-	fields := strings.Fields(rest)
-	if len(fields) == 0 {
-		return nil, errors.New("kvstore: malformed RANGE reply")
-	}
-	n, err := strconv.Atoi(fields[0])
-	if err != nil || len(fields) != 1+2*n {
-		return nil, errors.New("kvstore: malformed RANGE reply")
-	}
-	pairs := make([]blinktree.KV, n)
-	for i := 0; i < n; i++ {
-		k, err1 := strconv.ParseUint(fields[1+2*i], 10, 64)
-		v, err2 := strconv.ParseUint(fields[2+2*i], 10, 64)
-		if err1 != nil || err2 != nil {
-			return nil, errors.New("kvstore: malformed RANGE pair")
-		}
-		pairs[i] = blinktree.KV{Key: k, Value: v}
-	}
-	return pairs, nil
 }

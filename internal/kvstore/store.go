@@ -383,15 +383,48 @@ func (s *Store) Close() error {
 // ScanResult is a completed range scan's outcome.
 type ScanResult struct {
 	Pairs []blinktree.KV
+	// Truncated reports that the scan hit its result cap and records past
+	// the cap may exist; resume from Pairs[len(Pairs)-1].Key+1.
+	Truncated bool
 }
 
 // Scan fetches all records in [from, to) asynchronously; done receives the
 // sorted results.
 func (s *Store) Scan(from, to uint64, done func(ScanResult)) {
-	s.tree.Scan(from, to, func(_ *mxtask.Context, t *mxtask.Task) {
+	s.ScanLimit(from, to, 0, done)
+}
+
+// ScanLimit is Scan with a result cap: a positive limit stops the
+// tree walk once that many records are collected (the cap propagates into
+// the Blink-tree's leaf chain, so a short scan over a huge range does not
+// buffer the whole range). limit <= 0 scans everything.
+func (s *Store) ScanLimit(from, to uint64, limit int, done func(ScanResult)) {
+	s.tree.ScanLimit(from, to, limit, func(_ *mxtask.Context, t *mxtask.Task) {
 		op := t.Arg.(*blinktree.ScanOp)
-		done(ScanResult{Pairs: op.Results})
+		done(ScanResult{Pairs: op.Results, Truncated: op.Truncated})
 	})
+}
+
+// GetBatch issues a batch of lookups as one multi-op submission: all chains
+// are spawned back to back before any completes, so the runtime's group
+// scheduling and prefetch window see the whole batch at once. each fires
+// per key, on the worker that completed it, with the key's index.
+func (s *Store) GetBatch(keys []uint64, each func(int, Result)) {
+	for i, k := range keys {
+		i := i
+		s.Get(k, func(r Result) { each(i, r) })
+	}
+}
+
+// SetBatch issues a batch of upserts as one multi-op submission (see
+// GetBatch). For durable stores each completion fires only after the
+// record's covering fsync — the whole batch typically shares one group
+// commit.
+func (s *Store) SetBatch(pairs []blinktree.KV, each func(int, Result)) {
+	for i, kv := range pairs {
+		i := i
+		s.Set(kv.Key, kv.Value, func(r Result) { each(i, r) })
+	}
 }
 
 // ScanSync is a blocking Scan.
@@ -423,8 +456,25 @@ func (s *Store) DeleteSync(key uint64) Result {
 	return <-ch
 }
 
-// Count returns the number of records (quiescent only).
+// Count returns the number of records (quiescent only). Use CountLive
+// while operations are in flight.
 func (s *Store) Count() int { return s.tree.Count() }
+
+// CountLive counts records asynchronously through the tree's own task
+// chains, so it is safe while mutations are in flight (it sees some
+// serialization point of each concurrent mutation, like any scan).
+func (s *Store) CountLive(done func(int)) {
+	s.ScanLimit(0, math.MaxUint64, 0, func(res ScanResult) {
+		n := len(res.Pairs)
+		// Scan covers [0, MaxUint64); fetch the one key it cannot.
+		s.Get(math.MaxUint64, func(r Result) {
+			if r.Found {
+				n++
+			}
+			done(n)
+		})
+	})
+}
 
 // Stats returns operation counters.
 func (s *Store) Stats() Stats {

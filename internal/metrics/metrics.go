@@ -10,6 +10,110 @@ import (
 	"time"
 )
 
+// Counter is a monotonically increasing event counter. The zero value is
+// ready to use; all methods are safe for concurrent use.
+type Counter struct {
+	n atomic.Uint64
+}
+
+// Inc adds one event.
+func (c *Counter) Inc() { c.n.Add(1) }
+
+// Add records n events.
+func (c *Counter) Add(n uint64) { c.n.Add(n) }
+
+// Value returns the events recorded so far.
+func (c *Counter) Value() uint64 { return c.n.Load() }
+
+// Gauge tracks an instantaneous level (e.g. requests in flight) and its
+// high-water mark. The zero value is ready to use.
+type Gauge struct {
+	cur atomic.Int64
+	max atomic.Int64
+}
+
+// Inc raises the level by one and returns the new value.
+func (g *Gauge) Inc() int64 {
+	v := g.cur.Add(1)
+	for {
+		m := g.max.Load()
+		if v <= m || g.max.CompareAndSwap(m, v) {
+			return v
+		}
+	}
+}
+
+// Dec lowers the level by one.
+func (g *Gauge) Dec() { g.cur.Add(-1) }
+
+// Value returns the current level.
+func (g *Gauge) Value() int64 { return g.cur.Load() }
+
+// Max returns the high-water mark.
+func (g *Gauge) Max() int64 { return g.max.Load() }
+
+// IntHistogram is a fixed-bucket histogram over non-negative integer
+// samples (queue depths, batch sizes) with power-of-two bucket boundaries:
+// bucket i covers [2^i, 2^(i+1)). Allocation-free and concurrency-safe.
+type IntHistogram struct {
+	buckets [32]atomic.Uint64
+	count   atomic.Uint64
+	sum     atomic.Uint64
+}
+
+// Observe records one sample.
+func (h *IntHistogram) Observe(v uint64) {
+	i := 0
+	for x := v; x > 1 && i < len(h.buckets)-1; x >>= 1 {
+		i++
+	}
+	h.buckets[i].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+}
+
+// Count returns the number of samples.
+func (h *IntHistogram) Count() uint64 { return h.count.Load() }
+
+// Mean returns the average sample.
+func (h *IntHistogram) Mean() float64 {
+	c := h.count.Load()
+	if c == 0 {
+		return 0
+	}
+	return float64(h.sum.Load()) / float64(c)
+}
+
+// Quantile returns an upper bound for the q-quantile (0 < q <= 1) from the
+// bucket boundaries (at most 2x the true value).
+func (h *IntHistogram) Quantile(q float64) uint64 {
+	total := h.count.Load()
+	if total == 0 || q <= 0 {
+		return 0
+	}
+	target := uint64(q * float64(total))
+	if target == 0 {
+		target = 1
+	}
+	var seen uint64
+	for i := range h.buckets {
+		seen += h.buckets[i].Load()
+		if seen >= target {
+			if i == 0 {
+				return 1
+			}
+			return uint64(1) << uint(i+1)
+		}
+	}
+	return uint64(1) << uint(len(h.buckets))
+}
+
+// String summarizes the histogram.
+func (h *IntHistogram) String() string {
+	return fmt.Sprintf("n=%d mean=%.1f p50<=%d p99<=%d",
+		h.Count(), h.Mean(), h.Quantile(0.50), h.Quantile(0.99))
+}
+
 // Throughput measures operations per second over a wall-clock interval.
 type Throughput struct {
 	ops   atomic.Uint64

@@ -179,3 +179,74 @@ func TestHistogramSummaryEdgeCases(t *testing.T) {
 		})
 	}
 }
+
+func TestCounter(t *testing.T) {
+	var c Counter
+	if c.Value() != 0 {
+		t.Fatal("zero Counter not zero")
+	}
+	c.Inc()
+	c.Add(4)
+	if c.Value() != 5 {
+		t.Fatalf("Counter = %d, want 5", c.Value())
+	}
+}
+
+func TestGauge(t *testing.T) {
+	var g Gauge
+	g.Inc()
+	g.Inc()
+	g.Inc()
+	g.Dec()
+	if g.Value() != 2 || g.Max() != 3 {
+		t.Fatalf("Gauge = %d max %d, want 2 max 3", g.Value(), g.Max())
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				g.Inc()
+				g.Dec()
+			}
+		}()
+	}
+	wg.Wait()
+	if g.Value() != 2 {
+		t.Fatalf("Gauge after balanced inc/dec = %d, want 2", g.Value())
+	}
+	if g.Max() < 3 || g.Max() > 10 {
+		t.Fatalf("Gauge max = %d, want within [3,10]", g.Max())
+	}
+}
+
+func TestIntHistogram(t *testing.T) {
+	var h IntHistogram
+	if h.Quantile(0.5) != 0 || h.Mean() != 0 {
+		t.Fatal("empty IntHistogram not zero")
+	}
+	for _, v := range []uint64{0, 1, 1, 2, 4, 8, 64} {
+		h.Observe(v)
+	}
+	if h.Count() != 7 {
+		t.Fatalf("Count = %d, want 7", h.Count())
+	}
+	if got := h.Mean(); got < 11.0 || got > 12.0 {
+		t.Fatalf("Mean = %v, want 80/7", got)
+	}
+	// Quantiles are power-of-two upper bounds: 3 of 7 samples land in the
+	// lowest bucket, so p50 resolves to its upper bound.
+	if q := h.Quantile(0.5); q != 1 {
+		t.Fatalf("p50 = %d, want 1", q)
+	}
+	if q := h.Quantile(0.9); q != 16 {
+		t.Fatalf("p90 = %d, want 16 (bucket [8,16) upper bound)", q)
+	}
+	if q := h.Quantile(1.0); q != 128 {
+		t.Fatalf("p100 = %d, want 128 (bucket [64,128) upper bound)", q)
+	}
+	if h.String() == "" {
+		t.Fatal("empty String()")
+	}
+}

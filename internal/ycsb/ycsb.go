@@ -220,6 +220,15 @@ func NewBatches(g *Generator, totalOps, batchSize int) *Batches {
 	return b
 }
 
+// NewBatchesFromOps wraps a literal operation stream (tests, custom
+// mixes) in the same atomic-cursor batch dispenser.
+func NewBatchesFromOps(ops []Op, batchSize int) *Batches {
+	if batchSize <= 0 {
+		batchSize = DefaultBatchSize
+	}
+	return &Batches{ops: ops, batch: batchSize}
+}
+
 // Next returns the next batch, or nil when the stream is exhausted. Safe
 // for concurrent use.
 func (b *Batches) Next() []Op {
