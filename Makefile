@@ -27,6 +27,7 @@ race:
 		./internal/ycsb ./internal/tpch ./internal/hashjoin ./internal/sim \
 		./internal/wal ./internal/kvstore ./internal/faultfs ./internal/linearize \
 		./cmd/mxload
+	MXKV_SHARDS=4 $(GO) test -race -count=1 ./internal/kvstore
 
 bench:
 	$(GO) test -bench=. -benchmem .
@@ -56,6 +57,8 @@ ci:
 	$(GO) build ./...
 	$(GO) test -race ./internal/wal ./internal/kvstore ./internal/queue \
 		./internal/epoch ./internal/faultfs ./internal/linearize ./cmd/mxload
+	MXKV_SHARDS=4 $(GO) test -race -count=1 ./internal/kvstore
+	$(GO) test -run '^$$' -bench 'BenchmarkServerSharded' -benchtime 100x .
 	$(MAKE) chaos
 	$(MAKE) fuzz
 

@@ -17,6 +17,12 @@
 // been written to the write-ahead log and fsynced (per the -sync policy)
 // before the reply is sent. Restarting mxkv with the same -wal-dir
 // recovers the store from the newest snapshot plus the log tail.
+//
+// With -shards N (N > 1), the keyspace is range-partitioned across N
+// shards, each on its own runtime (the workers are split across the
+// shards, simulating one runtime per NUMA node) with its own Blink-tree
+// and its own WAL subdirectory <wal-dir>/shard-NNN. Restarting requires
+// the same -shards value; recovery replays all shard logs concurrently.
 package main
 
 import (
@@ -32,7 +38,6 @@ import (
 	"mxtasking/internal/epoch"
 	"mxtasking/internal/kvstore"
 	"mxtasking/internal/mxtask"
-	"mxtasking/internal/wal"
 )
 
 // parseSyncPolicy maps the -sync flag onto WAL options:
@@ -69,7 +74,8 @@ func parseSyncPolicy(s string, d *kvstore.Durability) error {
 func main() {
 	var (
 		addr     = flag.String("addr", "127.0.0.1:7070", "listen address")
-		workers  = flag.Int("workers", runtime.GOMAXPROCS(0), "worker count")
+		workers  = flag.Int("workers", runtime.GOMAXPROCS(0), "worker count (split across shards when -shards > 1)")
+		shards   = flag.Int("shards", 1, "shard count: partition the keyspace across this many per-node runtimes")
 		distance = flag.Int("prefetch", 2, "prefetch distance (0 disables)")
 		pin      = flag.Bool("pin", false, "pin workers to OS threads")
 		walDir   = flag.String("wal-dir", "", "write-ahead log directory (empty = in-memory, no durability)")
@@ -79,19 +85,21 @@ func main() {
 		window   = flag.Int("window", kvstore.DefaultWindow, "max pipelined requests in flight per connection")
 	)
 	flag.Parse()
+	if *shards < 1 {
+		log.Fatalf("mxkv: -shards must be >= 1, got %d", *shards)
+	}
 
-	rt := mxtask.New(mxtask.Config{
+	cfg := mxtask.Config{
 		Workers:          *workers,
 		PrefetchDistance: *distance,
 		EpochPolicy:      epoch.Batched,
 		PinWorkers:       *pin,
-	})
-	rt.Start()
-	defer rt.Stop()
+	}
 
-	var store *kvstore.Store
-	if *walDir != "" {
-		d := kvstore.Durability{
+	var d kvstore.Durability
+	durable := *walDir != ""
+	if durable {
+		d = kvstore.Durability{
 			Dir:           *walDir,
 			SegmentBytes:  *segBytes,
 			SnapshotEvery: *snapEvry,
@@ -99,16 +107,51 @@ func main() {
 		if err := parseSyncPolicy(*syncMode, &d); err != nil {
 			log.Fatal(err)
 		}
-		var stats wal.ReplayStats
-		var err error
-		store, stats, err = kvstore.Open(rt, d)
-		if err != nil {
-			log.Fatalf("mxkv: recovery: %v", err)
-		}
-		fmt.Printf("mxkv: recovered from %s: %s\n", *walDir, stats)
-	} else {
-		store = kvstore.New(rt)
 	}
+
+	var stop func()
+	var store kvstore.Backend
+	var sharded *kvstore.Sharded
+	if *shards > 1 {
+		g := mxtask.NewGroup(cfg, *shards)
+		g.Start()
+		stop = g.Stop
+		if durable {
+			var recov []kvstore.ShardRecovery
+			var err error
+			sharded, recov, err = kvstore.OpenSharded(g.Runtimes(), d)
+			for _, r := range recov {
+				if r.Err != nil {
+					log.Printf("mxkv: shard %d recovery: %v", r.Shard, r.Err)
+				} else {
+					fmt.Printf("mxkv: shard %d recovered: %s\n", r.Shard, r.Stats)
+				}
+			}
+			if err != nil {
+				log.Fatalf("mxkv: recovery: %v", err)
+			}
+		} else {
+			sharded = kvstore.NewSharded(g.Runtimes())
+		}
+		store = sharded
+		fmt.Printf("mxkv: %d shards, %s each\n", sharded.Shards(), g.Runtime(0))
+	} else {
+		rt := mxtask.New(cfg)
+		rt.Start()
+		stop = rt.Stop
+		if durable {
+			single, stats, err := kvstore.Open(rt, d)
+			if err != nil {
+				log.Fatalf("mxkv: recovery: %v", err)
+			}
+			fmt.Printf("mxkv: recovered from %s: %s\n", *walDir, stats)
+			store = single
+		} else {
+			store = kvstore.New(rt)
+		}
+		fmt.Printf("mxkv: %s\n", rt)
+	}
+	defer stop()
 
 	srv, err := kvstore.NewServer(store, *addr,
 		kvstore.WithWindow(*window),
@@ -117,7 +160,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("mxkv: %s listening on %s\n", rt, srv.Addr())
+	fmt.Printf("mxkv: listening on %s\n", srv.Addr())
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt)
@@ -126,13 +169,27 @@ func main() {
 	if err := srv.Close(); err != nil {
 		log.Printf("mxkv: close: %v", err)
 	}
-	if store.Durable() {
-		if err := store.Close(); err != nil {
+	if durable {
+		if err := store.(interface{ Close() error }).Close(); err != nil {
 			log.Printf("mxkv: wal close: %v", err)
 		}
-		fmt.Printf("mxkv: wal %s\n", store.WALMetrics())
+		if sharded != nil {
+			for i := 0; i < sharded.Shards(); i++ {
+				fmt.Printf("mxkv: shard %d wal %s\n", i, sharded.Shard(i).WALMetrics())
+			}
+		} else {
+			fmt.Printf("mxkv: wal %s\n", store.(*kvstore.Store).WALMetrics())
+		}
 	}
 	st := store.Stats()
 	fmt.Printf("mxkv: served %d gets, %d sets, %d dels\n", st.Gets, st.Sets, st.Dels)
+	if sharded != nil {
+		for i, ss := range sharded.StatsByShard() {
+			fmt.Printf("mxkv: shard %d served %d gets, %d sets, %d dels\n", i, ss.Gets, ss.Sets, ss.Dels)
+		}
+		rm := sharded.RouterMetrics()
+		fmt.Printf("mxkv: router routed=%v scan-fanout[%s] batch-fanout[%s]\n",
+			rm.Routed.Values(), rm.ScanFanout.String(), rm.BatchFanout.String())
+	}
 	fmt.Printf("mxkv: wire %s\n", srv.Metrics())
 }

@@ -40,6 +40,7 @@ func main() {
 		workload = flag.String("workload", "C", "workload: A (50/50), B (95/5), C (read-only), D (read latest), E (short scans)")
 		clients  = flag.Int("clients", 4, "concurrent client connections")
 		depth    = flag.Int("depth", 16, "pipeline depth per connection (1 = blocking round trips)")
+		shards   = flag.Int("shards", 0, "expected server shard count (0 = don't check); per-shard stats print either way")
 	)
 	flag.Parse()
 
@@ -91,6 +92,33 @@ func main() {
 	sum := hist.Summary()
 	fmt.Printf("workload %s: depth=%d %.0f ops/s over %d ops (n=%d mean=%v p50<=%v p95<=%v p99<=%v)\n",
 		w, *depth, tp.PerSecond(), tp.Ops(), sum.Count, sum.Mean, sum.P50, sum.P95, sum.P99)
+
+	if err := reportShards(*addr, *shards); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// reportShards fetches the server's STATS and prints the per-shard
+// operation breakdown, so a sharded run shows how evenly the scrambled
+// key space landed. With want > 0 a shard-count mismatch (e.g. mxload
+// -shards 4 against an unsharded server) is an error.
+func reportShards(addr string, want int) error {
+	c, err := kvstore.Dial(addr)
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+	st, err := c.Stats()
+	if err != nil {
+		return fmt.Errorf("mxload: STATS: %w", err)
+	}
+	if want > 0 && len(st.PerShard) != want {
+		return fmt.Errorf("mxload: server reports %d shards, expected %d", len(st.PerShard), want)
+	}
+	for i, ss := range st.PerShard {
+		fmt.Printf("shard %d: %d gets, %d sets, %d dels\n", i, ss.Gets, ss.Sets, ss.Dels)
+	}
+	return nil
 }
 
 // loadPhase inserts the records, sharded across pipelined client

@@ -182,6 +182,85 @@ func (c *Client) Delete(key uint64) (existed bool, err error) {
 	return c.AwaitDelete()
 }
 
+// ServerStats is a parsed STATS reply: aggregate wire and operation
+// counters plus the per-shard operation breakdown.
+type ServerStats struct {
+	Gets, Sets, Dels uint64
+	Errs, TooLong    uint64
+	// PerShard holds each shard's Gets/Sets/Dels in shard order; length
+	// is the server's shard count (1 for an unsharded store).
+	PerShard []Stats
+}
+
+// Stats fetches and parses the server's STATS line.
+func (c *Client) Stats() (ServerStats, error) {
+	reply, err := c.roundTrip("STATS")
+	if err != nil {
+		return ServerStats{}, err
+	}
+	return parseStatsReply(reply)
+}
+
+func parseStatsReply(reply string) (ServerStats, error) {
+	rest, ok := strings.CutPrefix(reply, "STATS ")
+	if !ok {
+		return ServerStats{}, errors.New("kvstore: " + reply)
+	}
+	var st ServerStats
+	shards := -1
+	for _, field := range strings.Fields(rest) {
+		name, val, ok := strings.Cut(field, "=")
+		if !ok {
+			return ServerStats{}, errors.New("kvstore: malformed STATS field " + field)
+		}
+		if strings.HasPrefix(name, "s") && name != "sets" && name != "shards" {
+			idx, err := strconv.Atoi(name[1:])
+			if err != nil || idx < 0 {
+				return ServerStats{}, errors.New("kvstore: malformed STATS field " + field)
+			}
+			parts := strings.Split(val, "/")
+			if len(parts) != 3 {
+				return ServerStats{}, errors.New("kvstore: malformed STATS shard field " + field)
+			}
+			var ss Stats
+			var errs [3]error
+			ss.Gets, errs[0] = strconv.ParseUint(parts[0], 10, 64)
+			ss.Sets, errs[1] = strconv.ParseUint(parts[1], 10, 64)
+			ss.Dels, errs[2] = strconv.ParseUint(parts[2], 10, 64)
+			if errs[0] != nil || errs[1] != nil || errs[2] != nil {
+				return ServerStats{}, errors.New("kvstore: malformed STATS shard field " + field)
+			}
+			for len(st.PerShard) <= idx {
+				st.PerShard = append(st.PerShard, Stats{})
+			}
+			st.PerShard[idx] = ss
+			continue
+		}
+		n, err := strconv.ParseUint(val, 10, 64)
+		if err != nil {
+			return ServerStats{}, errors.New("kvstore: malformed STATS field " + field)
+		}
+		switch name {
+		case "gets":
+			st.Gets = n
+		case "sets":
+			st.Sets = n
+		case "dels":
+			st.Dels = n
+		case "errs":
+			st.Errs = n
+		case "toolong":
+			st.TooLong = n
+		case "shards":
+			shards = int(n)
+		}
+	}
+	if shards >= 0 && len(st.PerShard) != shards {
+		return ServerStats{}, errors.New("kvstore: STATS shard fields disagree with shards count")
+	}
+	return st, nil
+}
+
 // Ping checks liveness.
 func (c *Client) Ping() error {
 	reply, err := c.roundTrip("PING")

@@ -2,6 +2,8 @@ package kvstore
 
 import (
 	"fmt"
+	"os"
+	"strconv"
 	"sync"
 	"testing"
 
@@ -9,7 +11,7 @@ import (
 	"mxtasking/internal/mxtask"
 )
 
-func newStore(t *testing.T, workers int) (*Store, func()) {
+func newStore(t testing.TB, workers int) (*Store, func()) {
 	t.Helper()
 	rt := mxtask.New(mxtask.Config{
 		Workers:          workers,
@@ -19,6 +21,45 @@ func newStore(t *testing.T, workers int) (*Store, func()) {
 	})
 	rt.Start()
 	return New(rt), rt.Stop
+}
+
+// testBackend is the store surface the server/protocol tests exercise —
+// Backend plus the quiescent helpers the assertions use. Both Store and
+// Sharded satisfy it.
+type testBackend interface {
+	Backend
+	Count() int
+	Drain()
+}
+
+// testShards reads MXKV_SHARDS: the suite runs against a single Store by
+// default and against a Sharded router with that many per-shard runtimes
+// when set, so the whole server/protocol suite re-runs in sharded mode
+// (`make race` does this with MXKV_SHARDS=4).
+func testShards() int {
+	n, err := strconv.Atoi(os.Getenv("MXKV_SHARDS"))
+	if err != nil || n < 1 {
+		return 1
+	}
+	return n
+}
+
+// newBackend returns the backend under test per MXKV_SHARDS and its stop
+// function.
+func newBackend(t testing.TB, workers int) (testBackend, func()) {
+	t.Helper()
+	if n := testShards(); n > 1 {
+		g := mxtask.NewGroup(mxtask.Config{
+			Workers:          workers,
+			PrefetchDistance: 2,
+			EpochPolicy:      epoch.Batched,
+			EpochInterval:    -1,
+		}, n)
+		g.Start()
+		return NewSharded(g.Runtimes()), g.Stop
+	}
+	s, stop := newStore(t, workers)
+	return s, stop
 }
 
 func TestStoreBasic(t *testing.T) {
@@ -68,7 +109,7 @@ func TestStoreBulk(t *testing.T) {
 }
 
 func TestServerEndToEnd(t *testing.T) {
-	s, stop := newStore(t, 2)
+	s, stop := newBackend(t, 2)
 	defer stop()
 	srv, err := NewServer(s, "127.0.0.1:0")
 	if err != nil {
@@ -106,7 +147,7 @@ func TestServerEndToEnd(t *testing.T) {
 }
 
 func TestServerConcurrentClients(t *testing.T) {
-	s, stop := newStore(t, 4)
+	s, stop := newBackend(t, 4)
 	defer stop()
 	srv, err := NewServer(s, "127.0.0.1:0")
 	if err != nil {
@@ -156,7 +197,7 @@ func TestServerConcurrentClients(t *testing.T) {
 }
 
 func TestServerProtocolErrors(t *testing.T) {
-	s, stop := newStore(t, 1)
+	s, stop := newBackend(t, 1)
 	defer stop()
 	srv, err := NewServer(s, "127.0.0.1:0")
 	if err != nil {
@@ -209,7 +250,7 @@ func TestStoreScan(t *testing.T) {
 }
 
 func TestServerScan(t *testing.T) {
-	s, stop := newStore(t, 2)
+	s, stop := newBackend(t, 2)
 	defer stop()
 	srv, err := NewServer(s, "127.0.0.1:0")
 	if err != nil {
@@ -251,7 +292,7 @@ func TestServerScan(t *testing.T) {
 }
 
 func TestServerBatchCommands(t *testing.T) {
-	s, stop := newStore(t, 2)
+	s, stop := newBackend(t, 2)
 	defer stop()
 	srv, err := NewServer(s, "127.0.0.1:0")
 	if err != nil {
@@ -272,9 +313,19 @@ func TestServerBatchCommands(t *testing.T) {
 	if err != nil || reply != "VALUES 10 20 - 30" {
 		t.Fatalf("MGET = %q, %v", reply, err)
 	}
-	reply, err = c.roundTrip("STATS")
-	if err != nil || reply != "STATS gets=4 sets=3 dels=0 errs=0 toolong=0" {
-		t.Fatalf("STATS = %q, %v", reply, err)
+	st, err := c.Stats()
+	if err != nil || st.Gets != 4 || st.Sets != 3 || st.Dels != 0 || st.Errs != 0 || st.TooLong != 0 {
+		t.Fatalf("STATS = %+v, %v", st, err)
+	}
+	// The per-shard breakdown must sum to the aggregate counters.
+	var sum Stats
+	for _, ss := range st.PerShard {
+		sum.Gets += ss.Gets
+		sum.Sets += ss.Sets
+		sum.Dels += ss.Dels
+	}
+	if sum.Gets != st.Gets || sum.Sets != st.Sets || sum.Dels != st.Dels {
+		t.Fatalf("per-shard stats %+v do not sum to aggregate %+v", st.PerShard, sum)
 	}
 	for _, bad := range []string{"MSET 1", "MSET 1 2 3", "MSET a b", "MGET", "MGET x"} {
 		reply, err := c.roundTrip(bad)

@@ -25,7 +25,7 @@ func bigMSET(n int) (string, uint64) {
 // cap used to terminate the scan silently — the connection dropped with no
 // reply. It must now execute normally.
 func TestServerLongRequestLine(t *testing.T) {
-	s, stop := newStore(t, 2)
+	s, stop := newBackend(t, 2)
 	defer stop()
 	srv, err := NewServer(s, "127.0.0.1:0")
 	if err != nil {
@@ -58,7 +58,7 @@ func TestServerLongRequestLine(t *testing.T) {
 // Regression: a SCAN reply past 64 KiB used to fail client-side with
 // bufio.ErrTooLong even when the server sent it.
 func TestClientLargeScanReply(t *testing.T) {
-	s, stop := newStore(t, 2)
+	s, stop := newBackend(t, 2)
 	defer stop()
 	srv, err := NewServer(s, "127.0.0.1:0")
 	if err != nil {
@@ -72,7 +72,7 @@ func TestClientLargeScanReply(t *testing.T) {
 	for i := uint64(0); i < n; i++ {
 		s.Set(base+i, base+i*7, nil)
 	}
-	s.Runtime().Drain()
+	s.Drain()
 
 	c, err := Dial(srv.Addr())
 	if err != nil {
@@ -96,7 +96,7 @@ func TestClientLargeScanReply(t *testing.T) {
 // A line over MaxLineBytes is answered with a protocol-level ERR, counted,
 // and the connection resyncs at the next newline instead of dropping.
 func TestServerLineTooLong(t *testing.T) {
-	s, stop := newStore(t, 2)
+	s, stop := newBackend(t, 2)
 	defer stop()
 	srv, err := NewServer(s, "127.0.0.1:0")
 	if err != nil {
@@ -137,7 +137,7 @@ func TestServerLineTooLong(t *testing.T) {
 // from a clean hangup. A reset connection must bump the error counter and
 // surface through LastError; a clean close must not.
 func TestServerConnErrorSurfaced(t *testing.T) {
-	s, stop := newStore(t, 2)
+	s, stop := newBackend(t, 2)
 	defer stop()
 	var hooked error
 	srv, err := NewServer(s, "127.0.0.1:0", WithErrorLog(func(e error) { hooked = e }))
@@ -198,7 +198,7 @@ func TestServerConnErrorSurfaced(t *testing.T) {
 // command types included, and the neighbor-batching fast path agrees with
 // the dispatch slow path.
 func TestServerPipelinedOrdering(t *testing.T) {
-	s, stop := newStore(t, 4)
+	s, stop := newBackend(t, 4)
 	defer stop()
 	srv, err := NewServer(s, "127.0.0.1:0")
 	if err != nil {
@@ -287,7 +287,7 @@ func TestServerPipelinedOrdering(t *testing.T) {
 // A tiny window must throttle, not break: far more requests than the
 // window still all answer, in order.
 func TestServerWindowBackpressure(t *testing.T) {
-	s, stop := newStore(t, 2)
+	s, stop := newBackend(t, 2)
 	defer stop()
 	srv, err := NewServer(s, "127.0.0.1:0", WithWindow(4))
 	if err != nil {
@@ -327,7 +327,7 @@ func TestServerWindowBackpressure(t *testing.T) {
 // SCAN's server-side result cap: default cap, explicit limit, MORE marker,
 // and resumability.
 func TestServerScanCap(t *testing.T) {
-	s, stop := newStore(t, 2)
+	s, stop := newBackend(t, 2)
 	defer stop()
 	srv, err := NewServer(s, "127.0.0.1:0")
 	if err != nil {
@@ -339,7 +339,7 @@ func TestServerScanCap(t *testing.T) {
 	for i := 0; i < total; i++ {
 		s.Set(uint64(i), uint64(i), nil)
 	}
-	s.Runtime().Drain()
+	s.Drain()
 
 	c, err := Dial(srv.Addr())
 	if err != nil {
@@ -385,7 +385,7 @@ func TestServerScanCap(t *testing.T) {
 // MGET/MSET batch size caps answer with ERR instead of building unbounded
 // replies.
 func TestServerBatchKeyCap(t *testing.T) {
-	s, stop := newStore(t, 1)
+	s, stop := newBackend(t, 1)
 	defer stop()
 	srv, err := NewServer(s, "127.0.0.1:0")
 	if err != nil {
@@ -414,7 +414,7 @@ func TestServerBatchKeyCap(t *testing.T) {
 
 // Await with nothing outstanding is a client-usage error, not a hang.
 func TestClientAwaitUnderflow(t *testing.T) {
-	s, stop := newStore(t, 1)
+	s, stop := newBackend(t, 1)
 	defer stop()
 	srv, err := NewServer(s, "127.0.0.1:0")
 	if err != nil {

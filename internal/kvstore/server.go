@@ -49,7 +49,37 @@ const (
 	maxNeighborBatch = 32
 )
 
-// Server exposes a Store over a line-based TCP protocol:
+// Backend is the store surface the server drives: the single-tree Store
+// or the NUMA-sharded router (Sharded). Point operations, batches, capped
+// scans, live counts, and the flush hook the graceful shutdown needs.
+type Backend interface {
+	// Get fetches key; done runs on a worker with the outcome.
+	Get(key uint64, done func(Result))
+	// Set stores key=value; done fires after the ack (for durable
+	// backends, after the covering fsync).
+	Set(key, value uint64, done func(Result))
+	// Delete removes key; done reports whether it existed.
+	Delete(key uint64, done func(Result))
+	// ScanLimit fetches up to limit records in [from, to) in key order.
+	ScanLimit(from, to uint64, limit int, done func(ScanResult))
+	// GetBatch issues the keys as one multi-op submission; each fires per
+	// key with its index.
+	GetBatch(keys []uint64, each func(int, Result))
+	// SetBatch issues the pairs as one multi-op submission.
+	SetBatch(pairs []blinktree.KV, each func(int, Result))
+	// CountLive counts records through task chains (safe mid-flight).
+	CountLive(done func(int))
+	// Stats returns aggregate operation counters.
+	Stats() Stats
+	// StatsByShard returns per-shard counters (length 1 for a Store).
+	StatsByShard() []Stats
+	// Shards returns the shard count (1 for a Store).
+	Shards() int
+	// Sync blocks until acknowledged mutations are durable.
+	Sync() error
+}
+
+// Server exposes a Backend over a line-based TCP protocol:
 //
 //	SET <key> <value>        -> STORED | OVERWRITTEN
 //	GET <key>                -> VALUE <value> | NOT_FOUND
@@ -58,6 +88,7 @@ const (
 //	MSET k1 v1 k2 v2 ..      -> STORED <n>       (at most MaxBatchKeys pairs)
 //	MGET k1 k2 ..            -> VALUES v1 v2 ..  (missing keys render as "-")
 //	STATS                    -> STATS gets=<n> sets=<n> dels=<n> errs=<n> toolong=<n>
+//	                            shards=<n> s<i>=<gets>/<sets>/<dels> ...
 //	COUNT                    -> COUNT <n>        (live, task-based count)
 //	PING                     -> PONG
 //	QUIT                     -> BYE (closes the connection)
@@ -82,7 +113,7 @@ const (
 // its reply). Clients that need read-your-write ordering await the write's
 // reply before issuing the read, as the blocking Client methods do.
 type Server struct {
-	store   *Store
+	store   Backend
 	ln      net.Listener
 	wg      sync.WaitGroup
 	done    chan struct{}
@@ -139,7 +170,7 @@ func WithErrorLog(fn func(error)) ServerOption {
 
 // NewServer starts listening on addr (e.g. "127.0.0.1:0"). The returned
 // server is already accepting; call Close to stop.
-func NewServer(store *Store, addr string, opts ...ServerOption) (*Server, error) {
+func NewServer(store Backend, addr string, opts ...ServerOption) (*Server, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("kvstore: listen: %w", err)
@@ -546,8 +577,14 @@ func (s *Server) dispatch(line string, deliver func(string)) (quit bool) {
 		s.store.CountLive(func(n int) { deliver(fmt.Sprintf("COUNT %d", n)) })
 	case "STATS":
 		st := s.store.Stats()
-		deliver(fmt.Sprintf("STATS gets=%d sets=%d dels=%d errs=%d toolong=%d",
-			st.Gets, st.Sets, st.Dels, s.m.ConnErrors.Value(), s.m.TooLong.Value()))
+		per := s.store.StatsByShard()
+		var sb strings.Builder
+		fmt.Fprintf(&sb, "STATS gets=%d sets=%d dels=%d errs=%d toolong=%d shards=%d",
+			st.Gets, st.Sets, st.Dels, s.m.ConnErrors.Value(), s.m.TooLong.Value(), len(per))
+		for i, ss := range per {
+			fmt.Fprintf(&sb, " s%d=%d/%d/%d", i, ss.Gets, ss.Sets, ss.Dels)
+		}
+		deliver(sb.String())
 	case "GET":
 		key, err := parseKey(fields, 2)
 		if err != nil {

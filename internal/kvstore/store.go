@@ -480,3 +480,14 @@ func (s *Store) CountLive(done func(int)) {
 func (s *Store) Stats() Stats {
 	return Stats{Gets: s.gets.Load(), Sets: s.sets.Load(), Dels: s.dels.Load()}
 }
+
+// Shards returns 1: a Store is the single-shard backend (Sharded is the
+// N-shard one).
+func (s *Store) Shards() int { return 1 }
+
+// StatsByShard returns the one shard's counters, mirroring Sharded.
+func (s *Store) StatsByShard() []Stats { return []Stats{s.Stats()} }
+
+// Drain blocks until the store's runtime has no pending tasks. Must not
+// be called from a task.
+func (s *Store) Drain() { s.rt.Drain() }

@@ -1,0 +1,60 @@
+package metrics
+
+import "sync/atomic"
+
+// cacheLine is the assumed cache-line size used to pad per-slot counters.
+const cacheLine = 64
+
+// paddedCounter occupies a full cache line so adjacent slots of a
+// CounterVec never false-share: each shard bumps its own line.
+type paddedCounter struct {
+	n atomic.Uint64
+	_ [cacheLine - 8]byte
+}
+
+// CounterVec is a fixed-size vector of cache-line-padded counters — one
+// slot per shard (or worker, or NUMA node). Unlike a []Counter, slots
+// cannot false-share: a hot router incrementing slot 0 on one core and
+// slot 3 on another never bounces a line between them. All methods are
+// safe for concurrent use.
+type CounterVec struct {
+	cells []paddedCounter
+}
+
+// NewCounterVec returns a vector of n zeroed counters.
+func NewCounterVec(n int) *CounterVec {
+	if n < 1 {
+		n = 1
+	}
+	return &CounterVec{cells: make([]paddedCounter, n)}
+}
+
+// Len returns the number of slots.
+func (v *CounterVec) Len() int { return len(v.cells) }
+
+// Inc adds one event to slot i.
+func (v *CounterVec) Inc(i int) { v.cells[i].n.Add(1) }
+
+// Add records n events on slot i.
+func (v *CounterVec) Add(i int, n uint64) { v.cells[i].n.Add(n) }
+
+// Value returns slot i's count.
+func (v *CounterVec) Value(i int) uint64 { return v.cells[i].n.Load() }
+
+// Values returns a snapshot of every slot.
+func (v *CounterVec) Values() []uint64 {
+	out := make([]uint64, len(v.cells))
+	for i := range v.cells {
+		out[i] = v.cells[i].n.Load()
+	}
+	return out
+}
+
+// Total returns the sum over all slots.
+func (v *CounterVec) Total() uint64 {
+	var t uint64
+	for i := range v.cells {
+		t += v.cells[i].n.Load()
+	}
+	return t
+}

@@ -1,0 +1,61 @@
+package metrics
+
+import (
+	"sync"
+	"testing"
+	"unsafe"
+)
+
+func TestCounterVec(t *testing.T) {
+	v := NewCounterVec(4)
+	if v.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", v.Len())
+	}
+	v.Inc(0)
+	v.Add(2, 5)
+	v.Inc(3)
+	v.Inc(3)
+	if got := v.Values(); got[0] != 1 || got[1] != 0 || got[2] != 5 || got[3] != 2 {
+		t.Fatalf("Values = %v", got)
+	}
+	if v.Total() != 8 {
+		t.Fatalf("Total = %d, want 8", v.Total())
+	}
+	if v.Value(2) != 5 {
+		t.Fatalf("Value(2) = %d, want 5", v.Value(2))
+	}
+	// Degenerate size floors at one slot.
+	if NewCounterVec(0).Len() != 1 {
+		t.Fatal("NewCounterVec(0) must still allocate one slot")
+	}
+}
+
+// The padding claim: adjacent slots must start on different cache lines.
+func TestCounterVecPadding(t *testing.T) {
+	if sz := unsafe.Sizeof(paddedCounter{}); sz != cacheLine {
+		t.Fatalf("paddedCounter is %d bytes, want %d", sz, cacheLine)
+	}
+}
+
+func TestCounterVecConcurrent(t *testing.T) {
+	v := NewCounterVec(3)
+	var wg sync.WaitGroup
+	for g := 0; g < 6; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				v.Inc(g % 3)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if v.Total() != 6000 {
+		t.Fatalf("Total = %d, want 6000", v.Total())
+	}
+	for i := 0; i < 3; i++ {
+		if v.Value(i) != 2000 {
+			t.Fatalf("slot %d = %d, want 2000", i, v.Value(i))
+		}
+	}
+}

@@ -1,0 +1,77 @@
+package mxtask
+
+// Group is a set of independent runtimes, one per simulated NUMA node —
+// the execution substrate for sharded applications that keep a partition's
+// data, task pools, and synchronization domains on a single node (the
+// paper's locality argument, §2.3/§6, applied at the system level instead
+// of inside one runtime). Each member runtime has its own workers, task
+// allocator, and epoch manager, so nothing is shared across nodes: a task
+// spawned on node i can only ever touch node i's pools, which is exactly
+// the isolation a per-NUMA-node shard wants.
+//
+// Workers are divided as evenly as possible across the nodes (the first
+// Workers mod nodes runtimes get one extra), and every member runs with
+// NUMANodes=1 — the group models the topology, the members model one node
+// each.
+type Group struct {
+	rts []*Runtime
+}
+
+// NewGroup creates nodes runtimes from one template configuration,
+// splitting cfg.Workers across them (each member gets at least one
+// worker). Other fields of cfg apply to every member unchanged. Call
+// Start before spawning tasks.
+func NewGroup(cfg Config, nodes int) *Group {
+	if nodes < 1 {
+		nodes = 1
+	}
+	cfg.applyDefaults()
+	g := &Group{rts: make([]*Runtime, nodes)}
+	base := cfg.Workers / nodes
+	extra := cfg.Workers % nodes
+	for i := range g.rts {
+		c := cfg
+		c.Workers = base
+		if i < extra {
+			c.Workers++
+		}
+		if c.Workers < 1 {
+			c.Workers = 1
+		}
+		c.NUMANodes = 1
+		g.rts[i] = New(c)
+	}
+	return g
+}
+
+// Size returns the number of member runtimes (NUMA nodes).
+func (g *Group) Size() int { return len(g.rts) }
+
+// Runtime returns the i-th member runtime.
+func (g *Group) Runtime(i int) *Runtime { return g.rts[i] }
+
+// Runtimes returns the member runtimes in node order. The slice is the
+// group's own; callers must not mutate it.
+func (g *Group) Runtimes() []*Runtime { return g.rts }
+
+// Start launches every member runtime.
+func (g *Group) Start() {
+	for _, rt := range g.rts {
+		rt.Start()
+	}
+}
+
+// Stop shuts every member runtime down (see Runtime.Stop).
+func (g *Group) Stop() {
+	for _, rt := range g.rts {
+		rt.Stop()
+	}
+}
+
+// Drain blocks until every spawned task on every member has completed.
+// Must not be called from a task.
+func (g *Group) Drain() {
+	for _, rt := range g.rts {
+		rt.Drain()
+	}
+}

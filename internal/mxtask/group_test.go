@@ -1,0 +1,64 @@
+package mxtask
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"mxtasking/internal/epoch"
+)
+
+// A group splits the worker budget across nodes, floors at one worker per
+// node, and keeps every member runtime fully independent.
+func TestGroupWorkerSplit(t *testing.T) {
+	cases := []struct {
+		workers, nodes int
+		want           []int
+	}{
+		{8, 2, []int{4, 4}},
+		{8, 4, []int{2, 2, 2, 2}},
+		{7, 3, []int{3, 2, 2}},
+		{2, 4, []int{1, 1, 1, 1}}, // fewer workers than nodes: floor at 1
+		{5, 1, []int{5}},
+		{3, 0, []int{3}}, // nodes < 1 coerced to 1
+	}
+	for _, tc := range cases {
+		g := NewGroup(Config{Workers: tc.workers, EpochInterval: -1}, tc.nodes)
+		if g.Size() != len(tc.want) {
+			t.Fatalf("NewGroup(%d workers, %d nodes).Size() = %d, want %d",
+				tc.workers, tc.nodes, g.Size(), len(tc.want))
+		}
+		for i, want := range tc.want {
+			if got := g.Runtime(i).Workers(); got != want {
+				t.Errorf("workers=%d nodes=%d: runtime %d has %d workers, want %d",
+					tc.workers, tc.nodes, i, got, want)
+			}
+			if got := g.Runtime(i).Config().NUMANodes; got != 1 {
+				t.Errorf("member runtime %d models %d NUMA nodes, want 1", i, got)
+			}
+		}
+	}
+}
+
+// Tasks spawned on each member execute on that member; Drain covers all of
+// them.
+func TestGroupStartStopDrain(t *testing.T) {
+	g := NewGroup(Config{Workers: 4, EpochPolicy: epoch.Batched, EpochInterval: -1}, 2)
+	g.Start()
+	defer g.Stop()
+
+	var ran [2]atomic.Int64
+	const each = 200
+	for node := 0; node < g.Size(); node++ {
+		rt := g.Runtime(node)
+		for i := 0; i < each; i++ {
+			node := node
+			rt.Spawn(rt.NewTask(func(_ *Context, _ *Task) { ran[node].Add(1) }, nil))
+		}
+	}
+	g.Drain()
+	for node := range ran {
+		if got := ran[node].Load(); got != each {
+			t.Fatalf("node %d executed %d tasks, want %d", node, got, each)
+		}
+	}
+}

@@ -1,0 +1,40 @@
+package wal
+
+import (
+	"fmt"
+	"path/filepath"
+)
+
+// ShardDir returns the WAL directory of shard i under parent — the naming
+// convention the sharded KV store uses so one -wal-dir flag fans out into
+// per-shard logs (shard-000, shard-001, ...). Recovery tooling and tests
+// use the same function so the layout has exactly one definition.
+func ShardDir(parent string, i int) string {
+	return filepath.Join(parent, fmt.Sprintf("shard-%03d", i))
+}
+
+// MergeReplayStats combines per-shard recovery passes into one summary:
+// counts add up, sequence horizons take the per-shard maximum (sequence
+// numbers are per-log, so the merged MaxSeq is "the furthest any shard
+// got", not a global order), TornTail reports whether any shard ended in
+// a torn record, and Duration is the longest single pass — the shards
+// replay concurrently, so the slowest one bounds the wall clock.
+func MergeReplayStats(per []ReplayStats) ReplayStats {
+	var m ReplayStats
+	for _, s := range per {
+		m.SnapshotPairs += s.SnapshotPairs
+		m.Records += s.Records
+		m.Skipped += s.Skipped
+		if s.SnapshotSeq > m.SnapshotSeq {
+			m.SnapshotSeq = s.SnapshotSeq
+		}
+		if s.MaxSeq > m.MaxSeq {
+			m.MaxSeq = s.MaxSeq
+		}
+		m.TornTail = m.TornTail || s.TornTail
+		if s.Duration > m.Duration {
+			m.Duration = s.Duration
+		}
+	}
+	return m
+}

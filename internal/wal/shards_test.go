@@ -1,0 +1,44 @@
+package wal
+
+import (
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func TestShardDir(t *testing.T) {
+	if got, want := ShardDir("/wal", 0), filepath.Join("/wal", "shard-000"); got != want {
+		t.Fatalf("ShardDir(0) = %q, want %q", got, want)
+	}
+	if got, want := ShardDir("/wal", 42), filepath.Join("/wal", "shard-042"); got != want {
+		t.Fatalf("ShardDir(42) = %q, want %q", got, want)
+	}
+	// Distinct shards must never collide.
+	if ShardDir("/wal", 1) == ShardDir("/wal", 10) {
+		t.Fatal("shard dirs collide")
+	}
+}
+
+func TestMergeReplayStats(t *testing.T) {
+	per := []ReplayStats{
+		{SnapshotSeq: 5, SnapshotPairs: 2, Records: 10, Skipped: 1, MaxSeq: 15, Duration: 2 * time.Millisecond},
+		{SnapshotSeq: 9, SnapshotPairs: 4, Records: 3, MaxSeq: 12, TornTail: true, Duration: 5 * time.Millisecond},
+		{},
+	}
+	m := MergeReplayStats(per)
+	if m.SnapshotPairs != 6 || m.Records != 13 || m.Skipped != 1 {
+		t.Fatalf("merged counts = %+v", m)
+	}
+	if m.SnapshotSeq != 9 || m.MaxSeq != 15 {
+		t.Fatalf("merged horizons = %+v", m)
+	}
+	if !m.TornTail {
+		t.Fatal("TornTail must propagate from any shard")
+	}
+	if m.Duration != 5*time.Millisecond {
+		t.Fatalf("Duration = %v, want the slowest pass (5ms)", m.Duration)
+	}
+	if got := MergeReplayStats(nil); got != (ReplayStats{}) {
+		t.Fatalf("empty merge = %+v, want zero", got)
+	}
+}
