@@ -26,7 +26,7 @@ race:
 		./internal/epoch ./internal/alloc ./internal/tbb ./internal/metrics \
 		./internal/ycsb ./internal/tpch ./internal/hashjoin ./internal/sim \
 		./internal/wal ./internal/kvstore ./internal/faultfs ./internal/linearize \
-		./cmd/mxload
+		./internal/netfault ./cmd/mxload
 	MXKV_SHARDS=4 $(GO) test -race -count=1 ./internal/kvstore
 
 bench:
@@ -35,10 +35,13 @@ bench:
 # Chaos harness (README "Chaos testing"): crash the durable store at every
 # enumerated WAL filesystem operation on the fault-injecting filesystem,
 # recover from the crash image, and linearizability-check the merged
-# pre/post-crash history. Race-detected; failures print the seed and crash
-# index needed to reproduce the exact fault schedule.
+# pre/post-crash history; then drive the network fault matrix — the
+# netfault proxy injecting latency, blackholes, RSTs, and one-way
+# partitions into the client/server path. Race-detected; failures print
+# the seed and fault index needed to reproduce the exact schedule.
 chaos:
 	$(GO) test -race -count=1 -run 'TestChaos' -v ./internal/kvstore
+	$(GO) test -race -count=1 ./internal/netfault
 
 # Fuzz smoke: 10s of coverage-guided input generation per target (`go test`
 # allows one fuzz target per invocation).
@@ -49,14 +52,18 @@ fuzz:
 	$(GO) test -run '^$$' -fuzz 'FuzzThreadTreeOps' -fuzztime=10s ./internal/blinktree
 	$(GO) test -run '^$$' -fuzz 'FuzzNodeLowerBound' -fuzztime=10s ./internal/blinktree
 
-# The gate run before merging: vet, full build, race-detected tests of the
-# concurrency-critical packages (the WAL and the store it backs), the chaos
-# crash-recovery sweep, and a fuzz smoke pass over every fuzz target.
+# The gate run before merging: vet, full build, an order-shuffled full
+# test pass (catches tests coupled through shared state), race-detected
+# tests of the concurrency-critical packages (the WAL and the store it
+# backs), the chaos crash-recovery sweep, and a fuzz smoke pass over
+# every fuzz target.
 ci:
 	$(GO) vet ./...
 	$(GO) build ./...
+	$(GO) test -count=1 -shuffle=on ./...
 	$(GO) test -race ./internal/wal ./internal/kvstore ./internal/queue \
-		./internal/epoch ./internal/faultfs ./internal/linearize ./cmd/mxload
+		./internal/epoch ./internal/faultfs ./internal/linearize \
+		./internal/netfault ./cmd/mxload
 	MXKV_SHARDS=4 $(GO) test -race -count=1 ./internal/kvstore
 	$(GO) test -run '^$$' -bench 'BenchmarkServerSharded' -benchtime 100x .
 	$(MAKE) chaos

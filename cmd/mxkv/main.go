@@ -83,6 +83,10 @@ func main() {
 		segBytes = flag.Int64("segment-bytes", 0, "WAL segment size cap in bytes (0 = default 64MiB)")
 		snapEvry = flag.Uint64("snapshot-every", 0, "checkpoint after this many logged records (0 = manual only)")
 		window   = flag.Int("window", kvstore.DefaultWindow, "max pipelined requests in flight per connection")
+		idleTO   = flag.Duration("idle-timeout", 0, "reap connections idle for this long (0 = never)")
+		writeTO  = flag.Duration("write-timeout", 0, "reap connections whose reply flush stalls this long (0 = never)")
+		maxInfl  = flag.Int("max-inflight", 0, "admission high-water mark: shed store requests past this in-flight depth (0 = unbounded)")
+		retryAft = flag.Duration("retry-after", 0, "backoff hint attached to overload rejections (0 = default)")
 	)
 	flag.Parse()
 	if *shards < 1 {
@@ -153,10 +157,20 @@ func main() {
 	}
 	defer stop()
 
-	srv, err := kvstore.NewServer(store, *addr,
+	opts := []kvstore.ServerOption{
 		kvstore.WithWindow(*window),
 		kvstore.WithErrorLog(func(err error) { log.Printf("mxkv: conn: %v", err) }),
-	)
+	}
+	if *idleTO > 0 {
+		opts = append(opts, kvstore.WithIdleTimeout(*idleTO))
+	}
+	if *writeTO > 0 {
+		opts = append(opts, kvstore.WithWriteTimeout(*writeTO))
+	}
+	if *maxInfl > 0 {
+		opts = append(opts, kvstore.WithAdmission(*maxInfl, *retryAft))
+	}
+	srv, err := kvstore.NewServer(store, *addr, opts...)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -41,8 +41,18 @@ func main() {
 		clients  = flag.Int("clients", 4, "concurrent client connections")
 		depth    = flag.Int("depth", 16, "pipeline depth per connection (1 = blocking round trips)")
 		shards   = flag.Int("shards", 0, "expected server shard count (0 = don't check); per-shard stats print either way")
+		dialTO   = flag.Duration("dial-timeout", kvstore.DefaultDialTimeout, "TCP connect timeout (<0 = none)")
+		opTO     = flag.Duration("op-timeout", 0, "per-operation read/write deadline (0 = none)")
+		retries  = flag.Int("retries", 0, "retries for idempotent/shed operations before giving up")
 	)
 	flag.Parse()
+
+	cfg := kvstore.DialConfig{
+		DialTimeout:  *dialTO,
+		ReadTimeout:  *opTO,
+		WriteTimeout: *opTO,
+		MaxRetries:   *retries,
+	}
 
 	var w ycsb.Workload
 	switch *workload {
@@ -62,7 +72,7 @@ func main() {
 
 	// Load phase.
 	loadStart := time.Now()
-	if err := loadPhase(*addr, *records, *clients); err != nil {
+	if err := loadPhase(*addr, cfg, *records, *clients); err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("loaded %d records in %v\n", *records, time.Since(loadStart).Round(time.Millisecond))
@@ -78,7 +88,7 @@ func main() {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			if err := runClient(*addr, batches, *depth, &tp, &hist); err != nil {
+			if err := runClient(*addr, cfg, batches, *depth, &tp, &hist); err != nil {
 				errs <- err
 			}
 		}()
@@ -93,7 +103,7 @@ func main() {
 	fmt.Printf("workload %s: depth=%d %.0f ops/s over %d ops (n=%d mean=%v p50<=%v p95<=%v p99<=%v)\n",
 		w, *depth, tp.PerSecond(), tp.Ops(), sum.Count, sum.Mean, sum.P50, sum.P95, sum.P99)
 
-	if err := reportShards(*addr, *shards); err != nil {
+	if err := reportShards(*addr, cfg, *shards); err != nil {
 		log.Fatal(err)
 	}
 }
@@ -102,8 +112,8 @@ func main() {
 // operation breakdown, so a sharded run shows how evenly the scrambled
 // key space landed. With want > 0 a shard-count mismatch (e.g. mxload
 // -shards 4 against an unsharded server) is an error.
-func reportShards(addr string, want int) error {
-	c, err := kvstore.Dial(addr)
+func reportShards(addr string, cfg kvstore.DialConfig, want int) error {
+	c, err := kvstore.DialWith(addr, cfg)
 	if err != nil {
 		return err
 	}
@@ -123,7 +133,7 @@ func reportShards(addr string, want int) error {
 
 // loadPhase inserts the records, sharded across pipelined client
 // connections.
-func loadPhase(addr string, records, clients int) error {
+func loadPhase(addr string, cfg kvstore.DialConfig, records, clients int) error {
 	gen := ycsb.NewGenerator(ycsb.WorkloadInsert, uint64(records), 1)
 	batches := ycsb.NewBatches(gen, records, ycsb.DefaultBatchSize)
 	var wg sync.WaitGroup
@@ -132,7 +142,7 @@ func loadPhase(addr string, records, clients int) error {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			client, err := kvstore.Dial(addr)
+			client, err := kvstore.DialWith(addr, cfg)
 			if err != nil {
 				errs <- err
 				return
@@ -185,11 +195,11 @@ type flight struct {
 // the stream is exhausted, keeping at most depth requests in flight.
 // Every op kind the generator can emit is either sent or rejected: an
 // unknown kind fails the run instead of silently inflating throughput.
-func runClient(addr string, batches *ycsb.Batches, depth int, tp *metrics.Throughput, hist *metrics.Histogram) error {
+func runClient(addr string, cfg kvstore.DialConfig, batches *ycsb.Batches, depth int, tp *metrics.Throughput, hist *metrics.Histogram) error {
 	if depth < 1 {
 		depth = 1
 	}
-	client, err := kvstore.Dial(addr)
+	client, err := kvstore.DialWith(addr, cfg)
 	if err != nil {
 		return err
 	}

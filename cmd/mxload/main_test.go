@@ -52,7 +52,7 @@ func TestRunClientAllOpKinds(t *testing.T) {
 		var hist metrics.Histogram
 		tp.Start()
 		batches := ycsb.NewBatchesFromOps(ops, 16)
-		if err := runClient(srv.Addr(), batches, depth, &tp, &hist); err != nil {
+		if err := runClient(srv.Addr(), kvstore.DialConfig{}, batches, depth, &tp, &hist); err != nil {
 			t.Fatalf("depth %d: runClient: %v", depth, err)
 		}
 		if got := tp.Ops(); got != uint64(len(ops)) {
@@ -78,7 +78,7 @@ func TestRunClientUnknownKind(t *testing.T) {
 	var tp metrics.Throughput
 	var hist metrics.Histogram
 	tp.Start()
-	err := runClient(srv.Addr(), ycsb.NewBatchesFromOps(ops, 0), 4, &tp, &hist)
+	err := runClient(srv.Addr(), kvstore.DialConfig{}, ycsb.NewBatchesFromOps(ops, 0), 4, &tp, &hist)
 	if err == nil {
 		t.Fatal("runClient accepted an unknown op kind")
 	}
@@ -93,7 +93,7 @@ func TestLoadPhase(t *testing.T) {
 	srv := startServer(t)
 
 	const records = 300
-	if err := loadPhase(srv.Addr(), records, 3); err != nil {
+	if err := loadPhase(srv.Addr(), kvstore.DialConfig{}, records, 3); err != nil {
 		t.Fatal(err)
 	}
 	c, err := kvstore.Dial(srv.Addr())

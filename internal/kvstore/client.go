@@ -2,14 +2,165 @@ package kvstore
 
 import (
 	"bufio"
+	"bytes"
 	"errors"
 	"fmt"
+	"math/rand"
 	"net"
+	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"mxtasking/internal/blinktree"
+	"mxtasking/internal/metrics"
 )
+
+// Client-side resilience defaults (see DialConfig).
+const (
+	// DefaultDialTimeout bounds how long Dial waits for the TCP connect:
+	// a dial to an unresponsive address returns an error instead of
+	// blocking forever.
+	DefaultDialTimeout = 5 * time.Second
+
+	// DefaultBackoffBase is the first retry's backoff delay; each further
+	// attempt doubles it up to DefaultBackoffMax, with jitter.
+	DefaultBackoffBase = 5 * time.Millisecond
+
+	// DefaultBackoffMax caps the exponential backoff.
+	DefaultBackoffMax = 500 * time.Millisecond
+)
+
+// ErrTooManyRetries marks an operation abandoned after DialConfig
+// .MaxRetries replays (reconnects and/or overload backoffs) all failed.
+// The wrapping error carries the last underlying cause; test with
+// errors.Is(err, ErrTooManyRetries).
+var ErrTooManyRetries = errors.New("kvstore: too many retries")
+
+// ErrOverloaded marks a request the server shed at its admission gate
+// ("ERR overloaded retry-after=<ms>") instead of executing. A shed
+// request definitely did not run, so retrying it — after the hinted
+// delay — is always safe, writes included. Test with
+// errors.Is(err, ErrOverloaded); the concrete type is *OverloadedError.
+var ErrOverloaded = errors.New("kvstore: server overloaded")
+
+// OverloadedError is the parsed form of the server's admission-control
+// rejection, carrying its Retry-After hint.
+type OverloadedError struct {
+	// RetryAfter is the server's backoff hint (zero if absent).
+	RetryAfter time.Duration
+}
+
+func (e *OverloadedError) Error() string {
+	return fmt.Sprintf("kvstore: server overloaded (retry after %v)", e.RetryAfter)
+}
+
+// Is lets errors.Is(err, ErrOverloaded) match.
+func (e *OverloadedError) Is(target error) bool { return target == ErrOverloaded }
+
+// parseOverloadedReply recognizes the admission gate's rejection line.
+func parseOverloadedReply(reply string) (retryAfter time.Duration, ok bool) {
+	rest, found := strings.CutPrefix(reply, "ERR overloaded")
+	if !found {
+		return 0, false
+	}
+	for _, f := range strings.Fields(rest) {
+		if v, isHint := strings.CutPrefix(f, "retry-after="); isHint {
+			if ms, err := strconv.Atoi(v); err == nil && ms >= 0 {
+				retryAfter = time.Duration(ms) * time.Millisecond
+			}
+		}
+	}
+	return retryAfter, true
+}
+
+// replyError converts a server error reply line into a typed error:
+// admission-gate rejections become *OverloadedError (matching
+// ErrOverloaded), everything else the legacy opaque error.
+func replyError(reply string) error {
+	if ra, ok := parseOverloadedReply(reply); ok {
+		return &OverloadedError{RetryAfter: ra}
+	}
+	return errors.New("kvstore: " + reply)
+}
+
+// DialConfig tunes the client's resilience: connect/read/write deadlines
+// and the retry policy for blocking operations. The zero value gives the
+// historical behavior plus a DefaultDialTimeout — no I/O deadlines, no
+// retries.
+type DialConfig struct {
+	// DialTimeout bounds the TCP connect (0 = DefaultDialTimeout;
+	// negative = no timeout).
+	DialTimeout time.Duration
+
+	// ReadTimeout bounds each wait for a reply line (0 = none). A reply
+	// that misses the deadline surfaces os.ErrDeadlineExceeded and the
+	// connection must be re-established (Await's scanner state is gone);
+	// blocking operations with retries do that automatically.
+	ReadTimeout time.Duration
+
+	// WriteTimeout bounds each flush of queued requests (0 = none).
+	WriteTimeout time.Duration
+
+	// MaxRetries is how many times a blocking operation is replayed
+	// after a failure before giving up with ErrTooManyRetries (0 = fail
+	// on the first error). Overload rejections are replayed for every
+	// operation (a shed request never executed); transport errors are
+	// replayed — over a fresh connection — only for idempotent reads
+	// (Get/Scan/Ping/Stats/Count), because a broken connection leaves a
+	// write's fate unknown. Pipelined Send/Await traffic is never
+	// replayed automatically: the window's replay semantics belong to
+	// the application.
+	MaxRetries int
+
+	// BackoffBase is the first backoff delay (0 = DefaultBackoffBase);
+	// attempt n waits min(BackoffBase << n, BackoffMax), half fixed and
+	// half jittered, or the server's Retry-After hint if larger.
+	BackoffBase time.Duration
+
+	// BackoffMax caps the backoff (0 = DefaultBackoffMax).
+	BackoffMax time.Duration
+
+	// Seed drives the backoff jitter deterministically (0 = seed 1), so
+	// chaos tests reproduce their exact retry timing.
+	Seed int64
+}
+
+// withDefaults fills the zero fields.
+func (c DialConfig) withDefaults() DialConfig {
+	if c.DialTimeout == 0 {
+		c.DialTimeout = DefaultDialTimeout
+	}
+	if c.BackoffBase <= 0 {
+		c.BackoffBase = DefaultBackoffBase
+	}
+	if c.BackoffMax <= 0 {
+		c.BackoffMax = DefaultBackoffMax
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// ClientMetrics exposes the client's resilience counters.
+type ClientMetrics struct {
+	// Retries counts operations replayed after a failure (reconnect
+	// replays and overload backoffs).
+	Retries metrics.Counter
+	// Reconnects counts re-established connections.
+	Reconnects metrics.Counter
+	// DeadlineDrops counts operations that hit a read or write deadline.
+	DeadlineDrops metrics.Counter
+	// Overloaded counts "ERR overloaded" rejections observed.
+	Overloaded metrics.Counter
+}
+
+// String renders the counters on one line.
+func (m *ClientMetrics) String() string {
+	return fmt.Sprintf("retries=%d reconnects=%d deadline_drops=%d overloaded=%d",
+		m.Retries.Value(), m.Reconnects.Value(), m.DeadlineDrops.Value(), m.Overloaded.Value())
+}
 
 // Client speaks the Server's protocol in two modes:
 //
@@ -30,21 +181,81 @@ type Client struct {
 	r        *bufio.Scanner
 	w        *bufio.Writer
 	inflight int
+
+	addr string
+	cfg  DialConfig
+	rng  *rand.Rand
+	m    ClientMetrics
 }
 
-// Dial connects to a Server.
-func Dial(addr string) (*Client, error) {
-	conn, err := net.Dial("tcp", addr)
+// Dial connects to a Server with the default resilience configuration:
+// the connect is bounded by DefaultDialTimeout, I/O has no deadlines, and
+// nothing is retried.
+func Dial(addr string) (*Client, error) { return DialWith(addr, DialConfig{}) }
+
+// DialWith connects to a Server with explicit resilience settings.
+func DialWith(addr string, cfg DialConfig) (*Client, error) {
+	cfg = cfg.withDefaults()
+	c := &Client{addr: addr, cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}
+	if err := c.connect(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// scanFullLines is bufio.ScanLines minus its final-token leniency: a
+// line with no terminating newline is never yielded, even at stream end.
+// bufio.Scanner hands the split function atEOF=true on ANY read error —
+// including an expired read deadline — so with the default split a
+// deadline firing mid-reply would surface the reply's prefix ("VALUE"
+// cut from "VALUE 100") as a complete line and a retryable timeout would
+// masquerade as a protocol error. The newline is the frame terminator;
+// without it there is no frame.
+func scanFullLines(data []byte, atEOF bool) (advance int, token []byte, err error) {
+	if i := bytes.IndexByte(data, '\n'); i >= 0 {
+		line := data[:i]
+		if n := len(line); n > 0 && line[n-1] == '\r' {
+			line = line[:n-1]
+		}
+		return i + 1, line, nil
+	}
+	return 0, nil, nil
+}
+
+// connect (re)establishes the TCP connection and resets the wire state.
+func (c *Client) connect() error {
+	var conn net.Conn
+	var err error
+	if c.cfg.DialTimeout > 0 {
+		conn, err = net.DialTimeout("tcp", c.addr, c.cfg.DialTimeout)
+	} else {
+		conn, err = net.Dial("tcp", c.addr)
+	}
 	if err != nil {
-		return nil, fmt.Errorf("kvstore: dial: %w", err)
+		return fmt.Errorf("kvstore: dial: %w", err)
 	}
 	r := bufio.NewScanner(conn)
 	// Reply lines (large SCAN and MGET results) can far exceed
 	// bufio.Scanner's default 64 KiB token cap; size it to the protocol's
 	// actual line limit so big replies don't kill the connection.
 	r.Buffer(make([]byte, 64<<10), MaxLineBytes)
-	return &Client{conn: conn, r: r, w: bufio.NewWriter(conn)}, nil
+	r.Split(scanFullLines)
+	c.conn, c.r, c.w, c.inflight = conn, r, bufio.NewWriter(conn), 0
+	return nil
 }
+
+// Reconnect drops the current connection and dials a fresh one with the
+// same configuration. Outstanding pipelined requests are abandoned —
+// their replies will never be read — so InFlight resets to zero. The
+// blocking operations call this automatically when retries are enabled.
+func (c *Client) Reconnect() error {
+	c.conn.Close()
+	c.m.Reconnects.Inc()
+	return c.connect()
+}
+
+// Metrics returns the client's live resilience counters.
+func (c *Client) Metrics() *ClientMetrics { return &c.m }
 
 // Close closes the connection.
 func (c *Client) Close() error { return c.conn.Close() }
@@ -64,21 +275,42 @@ func (c *Client) send(line string) error {
 	return nil
 }
 
-// Flush pushes all queued requests to the server. Await flushes
-// implicitly; an explicit Flush lets the server start on a partial window
-// early.
-func (c *Client) Flush() error { return c.w.Flush() }
+// Flush pushes all queued requests to the server, bounded by the
+// configured WriteTimeout. Await flushes implicitly; an explicit Flush
+// lets the server start on a partial window early.
+func (c *Client) Flush() error {
+	if c.cfg.WriteTimeout > 0 {
+		c.conn.SetWriteDeadline(time.Now().Add(c.cfg.WriteTimeout))
+	}
+	if err := c.w.Flush(); err != nil {
+		if errors.Is(err, os.ErrDeadlineExceeded) {
+			c.m.DeadlineDrops.Inc()
+		}
+		return err
+	}
+	return nil
+}
 
-// Await flushes queued requests and reads the oldest outstanding reply.
+// Await flushes queued requests and reads the oldest outstanding reply,
+// bounded by the configured ReadTimeout. A deadline error poisons the
+// connection (a late reply could otherwise be mistaken for the next one);
+// call Reconnect — or use the blocking methods with retries enabled,
+// which do — before reusing the client.
 func (c *Client) Await() (string, error) {
 	if c.inflight == 0 {
 		return "", errors.New("kvstore: Await with no request in flight")
 	}
-	if err := c.w.Flush(); err != nil {
+	if err := c.Flush(); err != nil {
 		return "", err
+	}
+	if c.cfg.ReadTimeout > 0 {
+		c.conn.SetReadDeadline(time.Now().Add(c.cfg.ReadTimeout))
 	}
 	if !c.r.Scan() {
 		if err := c.r.Err(); err != nil {
+			if errors.Is(err, os.ErrDeadlineExceeded) {
+				c.m.DeadlineDrops.Inc()
+			}
 			return "", err
 		}
 		return "", errors.New("kvstore: connection closed")
@@ -87,12 +319,75 @@ func (c *Client) Await() (string, error) {
 	return c.r.Text(), nil
 }
 
-// roundTrip sends one line and reads its reply (blocking mode).
+// roundTrip sends one line and reads its reply (blocking mode, no retry).
 func (c *Client) roundTrip(line string) (string, error) {
 	if err := c.send(line); err != nil {
 		return "", err
 	}
 	return c.Await()
+}
+
+// backoff sleeps before retry attempt n: capped exponential with jitter
+// (half fixed, half seeded-random), or the server's Retry-After hint when
+// that is longer.
+func (c *Client) backoff(attempt int, hint time.Duration) {
+	d := c.cfg.BackoffBase << uint(attempt)
+	if d <= 0 || d > c.cfg.BackoffMax {
+		d = c.cfg.BackoffMax
+	}
+	if hint > d {
+		d = hint
+	}
+	d = d/2 + time.Duration(c.rng.Int63n(int64(d/2)+1))
+	time.Sleep(d)
+}
+
+// do runs one blocking request with the configured retry policy.
+// Overload rejections are retryable for every command — the gate shed the
+// request before dispatch, so it never executed. Transport errors are
+// retryable (over a fresh connection) only when idempotent is true: a
+// broken connection leaves a non-idempotent write's fate unknown, and
+// that ambiguity belongs to the caller.
+func (c *Client) do(line string, idempotent bool) (string, error) {
+	var last error
+	for attempt := 0; ; attempt++ {
+		reply, err := c.roundTrip(line)
+		transport := false
+		switch {
+		case err != nil:
+			last = err
+			transport = true
+			if !idempotent {
+				return "", last
+			}
+		default:
+			ra, over := parseOverloadedReply(reply)
+			if !over {
+				return reply, nil
+			}
+			c.m.Overloaded.Inc()
+			last = &OverloadedError{RetryAfter: ra}
+		}
+		if attempt >= c.cfg.MaxRetries {
+			if c.cfg.MaxRetries == 0 {
+				return "", last
+			}
+			return "", fmt.Errorf("%w (%d attempts): %w", ErrTooManyRetries, attempt+1, last)
+		}
+		c.m.Retries.Inc()
+		var hint time.Duration
+		if oe, ok := last.(*OverloadedError); ok {
+			hint = oe.RetryAfter
+		}
+		c.backoff(attempt, hint)
+		if transport {
+			// The old connection's stream state is unusable (a late reply
+			// could alias the retried request's); replay on a fresh one.
+			if rerr := c.Reconnect(); rerr != nil {
+				last = rerr
+			}
+		}
+	}
 }
 
 // SendGet queues a GET without waiting; match with AwaitGet.
@@ -158,28 +453,35 @@ func (c *Client) AwaitScan() (pairs []blinktree.KV, truncated bool, err error) {
 	return parseScanReply(reply)
 }
 
-// Get fetches a key.
+// Get fetches a key. An idempotent read: with MaxRetries set it is
+// replayed across reconnects and overload backoffs.
 func (c *Client) Get(key uint64) (value uint64, found bool, err error) {
-	if err := c.SendGet(key); err != nil {
+	reply, err := c.do(fmt.Sprintf("GET %d", key), true)
+	if err != nil {
 		return 0, false, err
 	}
-	return c.AwaitGet()
+	return parseGetReply(reply)
 }
 
-// Set stores key=value; overwrote reports whether the key existed.
+// Set stores key=value; overwrote reports whether the key existed. A
+// shed ("ERR overloaded") Set is retried — it never executed — but a
+// transport failure mid-Set is returned as-is: the write may or may not
+// have applied, and only the caller can decide what that means.
 func (c *Client) Set(key, value uint64) (overwrote bool, err error) {
-	if err := c.SendSet(key, value); err != nil {
+	reply, err := c.do(fmt.Sprintf("SET %d %d", key, value), false)
+	if err != nil {
 		return false, err
 	}
-	return c.AwaitSet()
+	return parseSetReply(reply)
 }
 
-// Delete removes a key.
+// Delete removes a key. Retry semantics match Set.
 func (c *Client) Delete(key uint64) (existed bool, err error) {
-	if err := c.SendDelete(key); err != nil {
+	reply, err := c.do(fmt.Sprintf("DEL %d", key), false)
+	if err != nil {
 		return false, err
 	}
-	return c.AwaitDelete()
+	return parseDeleteReply(reply)
 }
 
 // ServerStats is a parsed STATS reply: aggregate wire and operation
@@ -187,14 +489,35 @@ func (c *Client) Delete(key uint64) (existed bool, err error) {
 type ServerStats struct {
 	Gets, Sets, Dels uint64
 	Errs, TooLong    uint64
+	// Shed counts requests the admission gate rejected with
+	// "ERR overloaded" instead of dispatching.
+	Shed uint64
+	// DeadlineDrops counts connections reaped by a read (idle) or write
+	// deadline.
+	DeadlineDrops uint64
 	// PerShard holds each shard's Gets/Sets/Dels in shard order; length
 	// is the server's shard count (1 for an unsharded store).
 	PerShard []Stats
 }
 
-// Stats fetches and parses the server's STATS line.
+// isShardField reports whether a STATS field name is a per-shard counter
+// (s<digits>), as opposed to a named field like "sets", "shards", "shed".
+func isShardField(name string) bool {
+	if len(name) < 2 || name[0] != 's' {
+		return false
+	}
+	for i := 1; i < len(name); i++ {
+		if name[i] < '0' || name[i] > '9' {
+			return false
+		}
+	}
+	return true
+}
+
+// Stats fetches and parses the server's STATS line (idempotent,
+// replayed under the retry policy).
 func (c *Client) Stats() (ServerStats, error) {
-	reply, err := c.roundTrip("STATS")
+	reply, err := c.do("STATS", true)
 	if err != nil {
 		return ServerStats{}, err
 	}
@@ -204,7 +527,7 @@ func (c *Client) Stats() (ServerStats, error) {
 func parseStatsReply(reply string) (ServerStats, error) {
 	rest, ok := strings.CutPrefix(reply, "STATS ")
 	if !ok {
-		return ServerStats{}, errors.New("kvstore: " + reply)
+		return ServerStats{}, replyError(reply)
 	}
 	var st ServerStats
 	shards := -1
@@ -213,7 +536,7 @@ func parseStatsReply(reply string) (ServerStats, error) {
 		if !ok {
 			return ServerStats{}, errors.New("kvstore: malformed STATS field " + field)
 		}
-		if strings.HasPrefix(name, "s") && name != "sets" && name != "shards" {
+		if isShardField(name) {
 			idx, err := strconv.Atoi(name[1:])
 			if err != nil || idx < 0 {
 				return ServerStats{}, errors.New("kvstore: malformed STATS field " + field)
@@ -251,6 +574,10 @@ func parseStatsReply(reply string) (ServerStats, error) {
 			st.Errs = n
 		case "toolong":
 			st.TooLong = n
+		case "shed":
+			st.Shed = n
+		case "deadline_drops":
+			st.DeadlineDrops = n
 		case "shards":
 			shards = int(n)
 		}
@@ -261,14 +588,14 @@ func parseStatsReply(reply string) (ServerStats, error) {
 	return st, nil
 }
 
-// Ping checks liveness.
+// Ping checks liveness (idempotent, replayed under the retry policy).
 func (c *Client) Ping() error {
-	reply, err := c.roundTrip("PING")
+	reply, err := c.do("PING", true)
 	if err != nil {
 		return err
 	}
 	if reply != "PONG" {
-		return errors.New("kvstore: " + reply)
+		return replyError(reply)
 	}
 	return nil
 }
@@ -283,12 +610,18 @@ func (c *Client) Scan(from, to uint64) ([]blinktree.KV, error) {
 
 // ScanLimit fetches up to limit records with keys in [from, to), sorted by
 // key (limit <= 0 uses the server's default cap). truncated reports that
-// more records may exist past the last returned key.
+// more records may exist past the last returned key. Idempotent: replayed
+// under the retry policy.
 func (c *Client) ScanLimit(from, to uint64, limit int) (pairs []blinktree.KV, truncated bool, err error) {
-	if err := c.SendScan(from, to, limit); err != nil {
+	line := fmt.Sprintf("SCAN %d %d", from, to)
+	if limit > 0 {
+		line = fmt.Sprintf("SCAN %d %d %d", from, to, limit)
+	}
+	reply, err := c.do(line, true)
+	if err != nil {
 		return nil, false, err
 	}
-	return c.AwaitScan()
+	return parseScanReply(reply)
 }
 
 func parseGetReply(reply string) (uint64, bool, error) {
@@ -299,7 +632,7 @@ func parseGetReply(reply string) (uint64, bool, error) {
 		value, err := strconv.ParseUint(v, 10, 64)
 		return value, err == nil, err
 	}
-	return 0, false, errors.New("kvstore: " + reply)
+	return 0, false, replyError(reply)
 }
 
 func parseSetReply(reply string) (bool, error) {
@@ -309,7 +642,7 @@ func parseSetReply(reply string) (bool, error) {
 	case "OVERWRITTEN":
 		return true, nil
 	}
-	return false, errors.New("kvstore: " + reply)
+	return false, replyError(reply)
 }
 
 func parseDeleteReply(reply string) (bool, error) {
@@ -319,13 +652,13 @@ func parseDeleteReply(reply string) (bool, error) {
 	case "NOT_FOUND":
 		return false, nil
 	}
-	return false, errors.New("kvstore: " + reply)
+	return false, replyError(reply)
 }
 
 func parseScanReply(reply string) ([]blinktree.KV, bool, error) {
 	rest, ok := strings.CutPrefix(reply, "RANGE ")
 	if !ok {
-		return nil, false, errors.New("kvstore: " + reply)
+		return nil, false, replyError(reply)
 	}
 	fields := strings.Fields(rest)
 	if len(fields) == 0 {

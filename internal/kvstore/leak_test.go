@@ -1,0 +1,15 @@
+package kvstore
+
+import (
+	"os"
+	"testing"
+
+	"mxtasking/internal/testleak"
+)
+
+// TestMain guards the whole suite against goroutine leaks: every runtime
+// worker, server connection handler, and client helper spawned by a test
+// must be gone once the tests pass. See internal/testleak.
+func TestMain(m *testing.M) {
+	os.Exit(testleak.Main(m))
+}

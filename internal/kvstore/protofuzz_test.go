@@ -14,9 +14,11 @@ import (
 // FuzzServerProtocol exercises the full TCP path — accept loop, line
 // scanner, handler, reply writer — with arbitrary client byte streams.
 // Contract under fuzz: the server never panics, answers every complete
-// non-blank request line with exactly one reply line (until a QUIT), and
-// closes the connection cleanly afterwards. Each iteration dials fresh, so
-// a wedged or crashed server fails the next iteration immediately.
+// newline-terminated non-blank request line with exactly one reply line
+// (until a QUIT), discards an unterminated final fragment without
+// executing it (it may be a request truncated mid-wire), and closes the
+// connection cleanly afterwards. Each iteration dials fresh, so a wedged
+// or crashed server fails the next iteration immediately.
 func FuzzServerProtocol(f *testing.F) {
 	for _, seed := range [][]byte{
 		[]byte("PING\n"),
@@ -29,7 +31,7 @@ func FuzzServerProtocol(f *testing.F) {
 		[]byte("SET 1 10\nSET 2 20\nSET 3 30\nSCAN 0 10 2\nSCAN 0 10 16385\n"),
 		[]byte("SCAN 0 10 0\nSCAN 0 10 -3\nSCAN 0 10 x\nSCAN 0 10 5 extra\n"),
 		[]byte("SET 1 1\nSET 2 2\nGET 1\nGET 2\nGET 3\nDEL 1\nMGET 1 2\nQUIT\n"),
-		[]byte("PING"), // no trailing newline: scanner still yields it at EOF
+		[]byte("PING"), // no trailing newline: an unterminated frame, discarded
 		{0x00, 0x01, 0x02, '\n', 'P', 'I', 'N', 'G', '\n'},
 	} {
 		f.Add(seed)
@@ -52,10 +54,13 @@ func FuzzServerProtocol(f *testing.F) {
 			data = data[:4096]
 		}
 
-		// Simulate the server's framing: one reply per non-blank line, in
-		// order, stopping after the first QUIT (which is still answered).
+		// Simulate the server's framing: one reply per newline-terminated
+		// non-blank line, in order, stopping after the first QUIT (which is
+		// still answered). The split's final element never had a newline —
+		// it is not a frame and must draw no reply.
 		want := 0
-		for _, line := range strings.Split(string(data), "\n") {
+		lines := strings.Split(string(data), "\n")
+		for _, line := range lines[:len(lines)-1] {
 			line = strings.TrimSpace(line)
 			if line == "" {
 				continue

@@ -47,6 +47,10 @@ const (
 	// maxNeighborBatch caps how many consecutive same-type GET/SET
 	// requests the reader merges into one multi-op store submission.
 	maxNeighborBatch = 32
+
+	// DefaultRetryAfter is the backoff hint attached to "ERR overloaded"
+	// rejections when WithAdmission does not set one.
+	DefaultRetryAfter = 2 * time.Millisecond
 )
 
 // Backend is the store surface the server drives: the single-tree Store
@@ -88,6 +92,7 @@ type Backend interface {
 //	MSET k1 v1 k2 v2 ..      -> STORED <n>       (at most MaxBatchKeys pairs)
 //	MGET k1 k2 ..            -> VALUES v1 v2 ..  (missing keys render as "-")
 //	STATS                    -> STATS gets=<n> sets=<n> dels=<n> errs=<n> toolong=<n>
+//	                            shed=<n> deadline_drops=<n>
 //	                            shards=<n> s<i>=<gets>/<sets>/<dels> ...
 //	COUNT                    -> COUNT <n>        (live, task-based count)
 //	PING                     -> PONG
@@ -112,6 +117,13 @@ type Backend interface {
 // the pre-SET value (each request still linearizes between its issue and
 // its reply). Clients that need read-your-write ordering await the write's
 // reply before issuing the read, as the blocking Client methods do.
+//
+// Resilience (all opt-in): WithIdleTimeout reaps connections that stop
+// delivering requests, WithWriteTimeout reaps peers that stop reading
+// replies, and WithAdmission sheds store requests with "ERR overloaded
+// retry-after=<ms>" once the dispatched-but-unanswered depth crosses a
+// high-water mark — bounded queues instead of unbounded ones, with the
+// reaps and sheds surfaced in Metrics and the STATS reply.
 type Server struct {
 	store   Backend
 	ln      net.Listener
@@ -120,6 +132,15 @@ type Server struct {
 	closed  bool
 	window  int
 	onError func(error)
+
+	// Resilience knobs (see the With* options).
+	idleTimeout  time.Duration
+	writeTimeout time.Duration
+	highWater    int
+	retryAfter   time.Duration
+	// busy is the admission gate's slot count (see admitStore); the Busy
+	// gauge mirrors it but only after a slot is actually won.
+	busy atomic.Int64
 
 	m ServerMetrics
 
@@ -138,6 +159,18 @@ type ServerMetrics struct {
 	TooLong metrics.Counter
 	// InFlight is the number of requests parsed but not yet written back.
 	InFlight metrics.Gauge
+	// Busy is the number of store operations dispatched but not yet
+	// delivered — the depth the admission gate compares against its
+	// high-water mark. Unlike InFlight it excludes immediate commands
+	// (PING, STATS) and shed requests, so Busy.Max() never exceeds the
+	// configured high-water mark.
+	Busy metrics.Gauge
+	// Shed counts requests rejected with "ERR overloaded" by the
+	// admission gate instead of being dispatched.
+	Shed metrics.Counter
+	// DeadlineDrops counts connections reaped by the idle (read) or
+	// write deadline.
+	DeadlineDrops metrics.Counter
 	// Depth samples the per-connection pipeline depth observed as each
 	// request is admitted.
 	Depth metrics.IntHistogram
@@ -145,8 +178,9 @@ type ServerMetrics struct {
 
 // String renders the wire-level counters on one line.
 func (m *ServerMetrics) String() string {
-	return fmt.Sprintf("errs=%d toolong=%d inflight=%d maxinflight=%d depth{%s}",
-		m.ConnErrors.Value(), m.TooLong.Value(), m.InFlight.Value(), m.InFlight.Max(), m.Depth.String())
+	return fmt.Sprintf("errs=%d toolong=%d shed=%d deadline_drops=%d inflight=%d maxinflight=%d maxbusy=%d depth{%s}",
+		m.ConnErrors.Value(), m.TooLong.Value(), m.Shed.Value(), m.DeadlineDrops.Value(),
+		m.InFlight.Value(), m.InFlight.Max(), m.Busy.Max(), m.Depth.String())
 }
 
 // ServerOption configures NewServer.
@@ -159,6 +193,41 @@ func WithWindow(n int) ServerOption {
 		n = 1
 	}
 	return func(s *Server) { s.window = n }
+}
+
+// WithIdleTimeout arms per-connection read deadlines: a connection that
+// delivers no complete request for d — idle, or stalled mid-line by a
+// slow or partitioned peer — is reaped instead of holding its goroutines
+// and window forever. Reaps are counted in Metrics().DeadlineDrops and
+// STATS deadline_drops=, not as connection errors. 0 (the default)
+// disables reaping.
+func WithIdleTimeout(d time.Duration) ServerOption {
+	return func(s *Server) { s.idleTimeout = d }
+}
+
+// WithWriteTimeout bounds each reply flush: a peer that stops reading
+// (blackholed, or pipelining without draining) fails the flush after d,
+// and the connection is closed rather than blocking the writer — and
+// therefore the whole window — forever. Counted in DeadlineDrops. 0 (the
+// default) disables it.
+func WithWriteTimeout(d time.Duration) ServerOption {
+	return func(s *Server) { s.writeTimeout = d }
+}
+
+// WithAdmission arms the overload gate: when highWater store operations
+// are already dispatched and unanswered (across all connections), further
+// store requests are answered "ERR overloaded retry-after=<ms>" — still
+// in request order — instead of queueing unboundedly. The reply carries
+// retryAfter (DefaultRetryAfter if <= 0) as a client backoff hint;
+// kvstore.Client retries shed requests automatically when configured
+// with MaxRetries. Immediate commands (PING, STATS, QUIT) always pass,
+// so health checks work under overload. highWater <= 0 (the default)
+// disables the gate.
+func WithAdmission(highWater int, retryAfter time.Duration) ServerOption {
+	if retryAfter <= 0 {
+		retryAfter = DefaultRetryAfter
+	}
+	return func(s *Server) { s.highWater, s.retryAfter = highWater, retryAfter }
 }
 
 // WithErrorLog installs a hook invoked with every connection-level I/O
@@ -285,14 +354,70 @@ func (s *Server) acceptLoop() {
 
 // pendingReply is one request's slot in the connection's reply pipeline.
 // deliver must be called exactly once; the buffered channel means the
-// completing worker never blocks on a slow writer.
+// completing worker never blocks on a slow writer. release, when set, is
+// the request's admission-gate slot: it is freed the moment the reply is
+// ready, before the writer even flushes it.
 type pendingReply struct {
-	ch chan string
+	ch      chan string
+	release func()
 }
 
 func newPending() *pendingReply { return &pendingReply{ch: make(chan string, 1)} }
 
-func (p *pendingReply) deliver(reply string) { p.ch <- reply }
+func (p *pendingReply) deliver(reply string) {
+	if p.release != nil {
+		p.release()
+	}
+	p.ch <- reply
+}
+
+// admitStore reserves one admission-gate slot for a store operation. ok
+// is false when the gate is armed and full: the request must be answered
+// with overloadReply instead of dispatched. The CAS-then-count shape
+// makes the high-water mark a hard invariant — the Busy gauge is bumped
+// only after a slot is won, so even transiently it never exceeds the
+// mark, and Busy.Max() is a faithful ceiling witness.
+func (s *Server) admitStore() (release func(), ok bool) {
+	if s.highWater > 0 {
+		for {
+			v := s.busy.Load()
+			if v >= int64(s.highWater) {
+				s.m.Shed.Inc()
+				return nil, false
+			}
+			if s.busy.CompareAndSwap(v, v+1) {
+				break
+			}
+		}
+	}
+	s.m.Busy.Inc()
+	return func() {
+		s.m.Busy.Dec()
+		if s.highWater > 0 {
+			s.busy.Add(-1)
+		}
+	}, true
+}
+
+// overloadReply is the admission gate's rejection line.
+func (s *Server) overloadReply() string {
+	return fmt.Sprintf("ERR overloaded retry-after=%d", s.retryAfter.Milliseconds())
+}
+
+// sheddable reports whether a request line is a store operation the
+// admission gate may reject. Immediate commands (PING, STATS, QUIT — and
+// garbage, which answers inline anyway) always pass.
+func sheddable(line string) bool {
+	cmd := line
+	if i := strings.IndexByte(cmd, ' '); i >= 0 {
+		cmd = cmd[:i]
+	}
+	switch strings.ToUpper(cmd) {
+	case "GET", "SET", "DEL", "SCAN", "MGET", "MSET", "COUNT":
+		return true
+	}
+	return false
+}
 
 // errLineTooLong marks a request line over the reader's cap; the line has
 // been consumed through its newline and the connection is resynced.
@@ -312,8 +437,11 @@ func newLineReader(r io.Reader, max int) *lineReader {
 	return &lineReader{br: bufio.NewReaderSize(r, 64<<10), max: max}
 }
 
-// next returns the next line without its newline. Like bufio.Scanner, a
-// final unterminated line is yielded at EOF.
+// next returns the next line without its newline. A final unterminated
+// line at EOF is NOT yielded: the newline is the protocol's frame
+// terminator, and a line missing it may be a request truncated mid-wire
+// (a partition or dead peer) — executing its prefix would mutate state
+// from a corrupted frame (imagine "SET 1 100" arriving as "SET 1 1").
 func (lr *lineReader) next() (string, error) {
 	lr.line = lr.line[:0]
 	for {
@@ -330,9 +458,6 @@ func (lr *lineReader) next() (string, error) {
 				return "", lr.discardLine()
 			}
 		case io.EOF:
-			if len(lr.line) > 0 {
-				return string(lr.line), nil
-			}
 			return "", io.EOF
 		default:
 			return "", err
@@ -431,6 +556,24 @@ func (s *Server) serve(conn net.Conn) {
 	var readErr error
 loop:
 	for {
+		// Never block on the wire with a deferred batch pending — its
+		// requests would never dispatch and the writer (and client) would
+		// wait forever. The admitted path below flushes eagerly, but the
+		// shed path can leave a batch accumulated when the input runs dry.
+		if !lr.hasBufferedLine() {
+			flushBatch()
+		}
+		// Idle reaping: each read gets a fresh deadline; a peer that
+		// neither completes a request nor goes away within it is cut
+		// loose. Guarded by the server mutex so an in-progress Close's
+		// immediate deadline is never overwritten back to "later".
+		if s.idleTimeout > 0 {
+			s.mu.Lock()
+			if !s.closed {
+				conn.SetReadDeadline(time.Now().Add(s.idleTimeout))
+			}
+			s.mu.Unlock()
+		}
 		line, err := lr.next()
 		switch {
 		case err == errLineTooLong:
@@ -450,20 +593,38 @@ loop:
 		}
 		p := newPending()
 		if kind, kv, ok := parseBatchable(line); ok {
-			if batchKind != 0 && batchKind != kind {
-				flushBatch()
-			}
-			enqueue(p)
-			batchKind = kind
-			batchKVs = append(batchKVs, kv)
-			batchPs = append(batchPs, p)
-			// Submit when the batch is full or the wire has no further
-			// complete request to merge; otherwise keep accumulating.
-			if len(batchPs) >= maxNeighborBatch || !lr.hasBufferedLine() {
-				flushBatch()
+			release, admitted := s.admitStore()
+			if !admitted {
+				// Shed, in order: the rejection takes the request's reply
+				// slot; the batch keeps accumulating around it.
+				p.deliver(s.overloadReply())
+				enqueue(p)
+			} else {
+				p.release = release
+				if batchKind != 0 && batchKind != kind {
+					flushBatch()
+				}
+				enqueue(p)
+				batchKind = kind
+				batchKVs = append(batchKVs, kv)
+				batchPs = append(batchPs, p)
+				// Submit when the batch is full or the wire has no further
+				// complete request to merge; otherwise keep accumulating.
+				if len(batchPs) >= maxNeighborBatch || !lr.hasBufferedLine() {
+					flushBatch()
+				}
 			}
 		} else {
 			flushBatch() // preserve submission order across command types
+			if sheddable(line) {
+				release, admitted := s.admitStore()
+				if !admitted {
+					p.deliver(s.overloadReply())
+					enqueue(p)
+					continue
+				}
+				p.release = release
+			}
 			quit := s.dispatch(line, p.deliver)
 			enqueue(p)
 			if quit {
@@ -480,6 +641,11 @@ loop:
 	close(pending)
 	<-writerDone
 
+	if errors.Is(readErr, os.ErrDeadlineExceeded) && !s.closing() {
+		// The idle reaper fired: a bounded, expected eviction, not an
+		// I/O failure.
+		s.m.DeadlineDrops.Inc()
+	}
 	if readErr != nil && readErr != io.EOF && !s.closing() &&
 		!errors.Is(readErr, net.ErrClosed) && !errors.Is(readErr, os.ErrDeadlineExceeded) {
 		s.noteError(readErr)
@@ -487,10 +653,43 @@ loop:
 }
 
 // writeLoop writes replies back in request order, batching flushes while
-// the pipeline is busy and flushing as soon as it runs dry.
+// the pipeline is busy and flushing as soon as it runs dry. Each flush is
+// bounded by the configured write timeout: a peer that stops reading
+// fails the flush instead of blocking the writer forever. On the first
+// failed flush the connection is closed — that unblocks the reader too,
+// so a dead peer costs two goroutines for at most one timeout, not
+// until the heat death of the socket.
 func (s *Server) writeLoop(conn net.Conn, pending <-chan *pendingReply) {
 	w := bufio.NewWriter(conn)
 	healthy := true
+	fail := func(err error) {
+		healthy = false
+		if errors.Is(err, os.ErrDeadlineExceeded) && !s.closing() {
+			s.m.DeadlineDrops.Inc()
+		}
+		// Sever the connection: the reader is likely blocked on a peer
+		// that no longer drains replies; replies from here on are drained
+		// and discarded.
+		conn.Close()
+	}
+	// arm refreshes the write deadline. It must cover every buffered
+	// write, not just the explicit flushes: a reply larger than the
+	// buffer auto-flushes inside WriteString, and without a deadline
+	// there a stuck reader would wedge the writer forever.
+	arm := func() {
+		if s.writeTimeout > 0 {
+			conn.SetWriteDeadline(time.Now().Add(s.writeTimeout))
+		}
+	}
+	flush := func() {
+		if !healthy {
+			return
+		}
+		arm()
+		if err := w.Flush(); err != nil {
+			fail(err)
+		}
+	}
 	for p := range pending {
 		var reply string
 		select {
@@ -498,25 +697,25 @@ func (s *Server) writeLoop(conn net.Conn, pending <-chan *pendingReply) {
 		default:
 			// The oldest outstanding reply is not ready: push what is
 			// already written out to the client, then wait.
-			if healthy && w.Flush() != nil {
-				healthy = false
-			}
+			flush()
 			reply = <-p.ch
 		}
 		if healthy {
-			w.WriteString(reply)
-			w.WriteByte('\n')
+			arm()
+			if _, err := w.WriteString(reply); err != nil {
+				fail(err)
+			} else if err := w.WriteByte('\n'); err != nil {
+				fail(err)
+			}
 		}
 		// Dec before Flush: once a client has read its reply, the gauge
 		// has already dropped.
 		s.m.InFlight.Dec()
-		if healthy && len(pending) == 0 && w.Flush() != nil {
-			healthy = false
+		if len(pending) == 0 {
+			flush()
 		}
 	}
-	if healthy {
-		w.Flush()
-	}
+	flush()
 }
 
 // parseBatchable recognizes the two commands worth neighbor-batching. It
@@ -579,8 +778,9 @@ func (s *Server) dispatch(line string, deliver func(string)) (quit bool) {
 		st := s.store.Stats()
 		per := s.store.StatsByShard()
 		var sb strings.Builder
-		fmt.Fprintf(&sb, "STATS gets=%d sets=%d dels=%d errs=%d toolong=%d shards=%d",
-			st.Gets, st.Sets, st.Dels, s.m.ConnErrors.Value(), s.m.TooLong.Value(), len(per))
+		fmt.Fprintf(&sb, "STATS gets=%d sets=%d dels=%d errs=%d toolong=%d shed=%d deadline_drops=%d shards=%d",
+			st.Gets, st.Sets, st.Dels, s.m.ConnErrors.Value(), s.m.TooLong.Value(),
+			s.m.Shed.Value(), s.m.DeadlineDrops.Value(), len(per))
 		for i, ss := range per {
 			fmt.Fprintf(&sb, " s%d=%d/%d/%d", i, ss.Gets, ss.Sets, ss.Dels)
 		}

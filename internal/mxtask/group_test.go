@@ -39,6 +39,80 @@ func TestGroupWorkerSplit(t *testing.T) {
 	}
 }
 
+// runGroupToCompletion spawns work on every member of a started group and
+// verifies each node executes exactly its own share — the behavioral
+// check behind the split arithmetic: degenerate shapes must not just
+// produce the right worker counts, they must actually run and drain.
+func runGroupToCompletion(t *testing.T, g *Group) {
+	t.Helper()
+	const each = 100
+	ran := make([]atomic.Int64, g.Size())
+	for node := 0; node < g.Size(); node++ {
+		rt := g.Runtime(node)
+		for i := 0; i < each; i++ {
+			node := node
+			rt.Spawn(rt.NewTask(func(_ *Context, _ *Task) { ran[node].Add(1) }, nil))
+		}
+	}
+	g.Drain()
+	for node := range ran {
+		if got := ran[node].Load(); got != each {
+			t.Fatalf("node %d executed %d tasks, want %d", node, got, each)
+		}
+	}
+}
+
+// Fewer workers than nodes: every member still gets one worker, and every
+// member still executes and drains its tasks.
+func TestGroupFewerWorkersThanNodes(t *testing.T) {
+	g := NewGroup(Config{Workers: 2, EpochPolicy: epoch.Batched, EpochInterval: -1}, 4)
+	g.Start()
+	defer g.Stop()
+	if g.Size() != 4 {
+		t.Fatalf("Size = %d, want 4", g.Size())
+	}
+	for i := 0; i < g.Size(); i++ {
+		if w := g.Runtime(i).Workers(); w != 1 {
+			t.Fatalf("runtime %d has %d workers, want the 1-worker floor", i, w)
+		}
+	}
+	runGroupToCompletion(t, g)
+}
+
+// A worker count not divisible by the node count: the uneven split (3/2/2
+// here) must be fully functional, not just arithmetically right.
+func TestGroupUnevenSplitRuns(t *testing.T) {
+	g := NewGroup(Config{Workers: 7, EpochPolicy: epoch.Batched, EpochInterval: -1}, 3)
+	g.Start()
+	defer g.Stop()
+	total := 0
+	for i := 0; i < g.Size(); i++ {
+		total += g.Runtime(i).Workers()
+	}
+	if total != 7 {
+		t.Fatalf("uneven split lost workers: total %d, want 7", total)
+	}
+	runGroupToCompletion(t, g)
+}
+
+// The single-node degenerate group is just one runtime wearing a group
+// hat: full worker budget, one member, normal spawn/drain semantics.
+func TestGroupSingleNodeDegenerate(t *testing.T) {
+	g := NewGroup(Config{Workers: 4, EpochPolicy: epoch.Batched, EpochInterval: -1}, 1)
+	g.Start()
+	defer g.Stop()
+	if g.Size() != 1 {
+		t.Fatalf("Size = %d, want 1", g.Size())
+	}
+	if w := g.Runtime(0).Workers(); w != 4 {
+		t.Fatalf("sole member has %d workers, want the full budget of 4", w)
+	}
+	if n := len(g.Runtimes()); n != 1 {
+		t.Fatalf("Runtimes() has %d members, want 1", n)
+	}
+	runGroupToCompletion(t, g)
+}
+
 // Tasks spawned on each member execute on that member; Drain covers all of
 // them.
 func TestGroupStartStopDrain(t *testing.T) {

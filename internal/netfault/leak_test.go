@@ -1,0 +1,14 @@
+package netfault
+
+import (
+	"os"
+	"testing"
+
+	"mxtasking/internal/testleak"
+)
+
+// TestMain guards the suite against leaked proxy pump goroutines: every
+// accept loop and per-direction pump must exit once the tests pass.
+func TestMain(m *testing.M) {
+	os.Exit(testleak.Main(m))
+}

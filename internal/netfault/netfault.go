@@ -1,0 +1,462 @@
+// Package netfault is the network twin of internal/faultfs: a
+// deterministic in-process TCP fault proxy for chaos-testing the KV
+// client/server path. The seam it exploits is the same zero-cost one the
+// filesystem harness uses — production code dials the server's address
+// directly and pays nothing; a test interposes the proxy by handing the
+// client the proxy's address instead, and every byte of the connection
+// then flows through a per-connection fault Plan.
+//
+// A Plan is a schedule, not a dice roll: it is fixed when the connection
+// is accepted (the i-th connection gets Script(i)), so a failing test
+// reproduces exactly from its seed and connection index, the same way the
+// faultfs crash sweep reproduces from a seed and operation index. The
+// engine can inject latency per forwarded chunk, cap bandwidth, shatter
+// writes into partial-write fragments, and — after a scheduled number of
+// forwarded bytes — cut the connection four ways: silently blackhole both
+// directions (bytes vanish, both peers see a stall), reset it (RST, both
+// peers see a hard error), or drop exactly one direction (a one-way
+// partition: requests vanish but the TCP session stays up, or replies
+// vanish while requests keep landing).
+//
+// Those four cuts are precisely the tail conditions a production KV
+// service must absorb (FaRM and RAMCloud both win or lose on them): the
+// client side answers with deadlines, reconnects, and capped backoff
+// (kvstore.DialConfig), the server side with idle reaping, write
+// deadlines, and admission control — and the chaos matrix in
+// internal/kvstore drives every combination through this proxy.
+package netfault
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"mxtasking/internal/metrics"
+)
+
+// Cut is the terminal fault of a connection's Plan: what happens to the
+// byte stream once CutAfterBytes bytes (both directions combined) have
+// been forwarded.
+type Cut int
+
+const (
+	// CutNone never cuts: the plan's latency/bandwidth/chunking shaping
+	// applies for the connection's whole life.
+	CutNone Cut = iota
+	// Blackhole silently discards every subsequent byte in both
+	// directions. Neither peer gets an error — each just stops hearing
+	// from the other, which is the fault only deadlines can detect.
+	Blackhole
+	// Reset aborts the connection with an RST in both directions (the
+	// proxy closes with SO_LINGER=0). Both peers see a hard I/O error on
+	// their next read or write.
+	Reset
+	// DropC2S silently discards client-to-server bytes only: requests
+	// vanish, but the server's replies to earlier requests still arrive.
+	// The one-way partition in the request direction.
+	DropC2S
+	// DropS2C silently discards server-to-client bytes only: requests
+	// keep landing and executing, but their replies vanish. The nastier
+	// one-way partition — the op happened, the client cannot know.
+	DropS2C
+)
+
+// String names the cut for test labels and failure messages.
+func (c Cut) String() string {
+	switch c {
+	case CutNone:
+		return "none"
+	case Blackhole:
+		return "blackhole"
+	case Reset:
+		return "reset"
+	case DropC2S:
+		return "drop-c2s"
+	case DropS2C:
+		return "drop-s2c"
+	}
+	return fmt.Sprintf("Cut(%d)", int(c))
+}
+
+// Plan is one connection's complete fault schedule, fixed at accept time.
+// The zero Plan forwards transparently.
+type Plan struct {
+	// Latency is added before each forwarded chunk in both directions
+	// (so one request/reply round trip pays it at least twice).
+	Latency time.Duration
+	// BytesPerSec caps forwarding bandwidth per direction (0 = unlimited).
+	BytesPerSec int
+	// ChunkBytes shatters forwarded data into fragments of at most this
+	// many bytes, each written separately (0 = forward as read). Combined
+	// with Latency this models partial writes trickling through.
+	ChunkBytes int
+	// Cut selects the terminal fault; CutNone means the connection is
+	// only shaped, never cut.
+	Cut Cut
+	// CutAfterBytes arms Cut after this many forwarded bytes, summed
+	// over both directions. 0 cuts before the first byte passes.
+	CutAfterBytes int64
+}
+
+// String renders the plan compactly for test labels.
+func (p Plan) String() string {
+	return fmt.Sprintf("{lat=%v bps=%d chunk=%d cut=%s@%d}",
+		p.Latency, p.BytesPerSec, p.ChunkBytes, p.Cut, p.CutAfterBytes)
+}
+
+// Script assigns a Plan to the i-th accepted connection (0-based).
+type Script func(conn int) Plan
+
+// Clean is the do-nothing script: every connection forwards transparently.
+func Clean() Script { return func(int) Plan { return Plan{} } }
+
+// Fixed gives every connection the same plan.
+func Fixed(p Plan) Script { return func(int) Plan { return p } }
+
+// Only gives connection i the plan and every other connection a clean
+// pass-through — the shape reconnect tests want: the first connection is
+// doomed, the retry lands on a healthy one.
+func Only(i int, p Plan) Script {
+	return func(conn int) Plan {
+		if conn == i {
+			return p
+		}
+		return Plan{}
+	}
+}
+
+// Chaos derives a reproducible pseudo-random plan per connection from
+// seed: some connections clean, some shaped, some cut each of the four
+// ways at a random early byte offset. Same seed, same schedule.
+func Chaos(seed int64) Script {
+	return func(conn int) Plan {
+		rng := rand.New(rand.NewSource(seed ^ (int64(conn)+1)*int64(0x9E3779B97F4A7C15&0x7FFFFFFFFFFFFFFF)))
+		var p Plan
+		if rng.Intn(2) == 0 {
+			p.Latency = time.Duration(rng.Intn(3)) * time.Millisecond
+		}
+		if rng.Intn(3) == 0 {
+			p.ChunkBytes = 1 + rng.Intn(7)
+		}
+		switch rng.Intn(6) {
+		case 0:
+			p.Cut, p.CutAfterBytes = Blackhole, int64(rng.Intn(256))
+		case 1:
+			p.Cut, p.CutAfterBytes = Reset, int64(rng.Intn(256))
+		case 2:
+			p.Cut, p.CutAfterBytes = DropC2S, int64(rng.Intn(256))
+		case 3:
+			p.Cut, p.CutAfterBytes = DropS2C, int64(rng.Intn(256))
+		}
+		return p
+	}
+}
+
+// Metrics exposes the proxy's live fault counters.
+type Metrics struct {
+	// Conns counts accepted client connections.
+	Conns metrics.Counter
+	// Cuts counts fired cut faults.
+	Cuts metrics.Counter
+	// ForwardedBytes counts bytes actually delivered (both directions).
+	ForwardedBytes metrics.Counter
+	// DroppedBytes counts bytes discarded by blackholes and partitions.
+	DroppedBytes metrics.Counter
+	// DelayedChunks counts chunks that paid injected latency.
+	DelayedChunks metrics.Counter
+}
+
+// String renders the counters on one line.
+func (m *Metrics) String() string {
+	return fmt.Sprintf("conns=%d cuts=%d fwd=%d dropped=%d delayed=%d",
+		m.Conns.Value(), m.Cuts.Value(), m.ForwardedBytes.Value(),
+		m.DroppedBytes.Value(), m.DelayedChunks.Value())
+}
+
+// Proxy is the fault injector: it listens on its own loopback address and
+// forwards each accepted connection to the target address through that
+// connection's Plan. Hand a test client Proxy.Addr() instead of the real
+// server address; close the proxy to tear every connection down.
+type Proxy struct {
+	ln     net.Listener
+	target string
+	script Script
+	done   chan struct{}
+	wg     sync.WaitGroup
+	m      Metrics
+
+	mu     sync.Mutex
+	conns  map[net.Conn]struct{}
+	nconn  int
+	closed bool
+}
+
+// New starts a proxy on 127.0.0.1:0 forwarding to target (a host:port the
+// real server listens on). script picks each connection's Plan; nil means
+// Clean().
+func New(target string, script Script) (*Proxy, error) {
+	if script == nil {
+		script = Clean()
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, fmt.Errorf("netfault: listen: %w", err)
+	}
+	p := &Proxy{
+		ln:     ln,
+		target: target,
+		script: script,
+		done:   make(chan struct{}),
+		conns:  make(map[net.Conn]struct{}),
+	}
+	p.wg.Add(1)
+	go p.acceptLoop()
+	return p, nil
+}
+
+// Addr returns the proxy's listen address — what the client under test
+// should dial.
+func (p *Proxy) Addr() string { return p.ln.Addr().String() }
+
+// Metrics returns the proxy's live counters.
+func (p *Proxy) Metrics() *Metrics { return &p.m }
+
+// Conns returns how many connections the proxy has accepted so far.
+func (p *Proxy) Conns() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.nconn
+}
+
+// Close stops accepting, severs every live connection, and waits for the
+// forwarding goroutines to exit.
+func (p *Proxy) Close() error {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return nil
+	}
+	p.closed = true
+	close(p.done)
+	err := p.ln.Close()
+	for c := range p.conns {
+		c.Close()
+	}
+	p.mu.Unlock()
+	p.wg.Wait()
+	return err
+}
+
+func (p *Proxy) acceptLoop() {
+	defer p.wg.Done()
+	for {
+		client, err := p.ln.Accept()
+		if err != nil {
+			select {
+			case <-p.done:
+				return
+			default:
+				continue
+			}
+		}
+		p.mu.Lock()
+		if p.closed {
+			p.mu.Unlock()
+			client.Close()
+			return
+		}
+		idx := p.nconn
+		p.nconn++
+		p.conns[client] = struct{}{}
+		p.mu.Unlock()
+		p.m.Conns.Inc()
+		p.wg.Add(1)
+		go p.serve(client, p.script(idx))
+	}
+}
+
+// untrack removes a finished connection from the teardown set.
+func (p *Proxy) untrack(c net.Conn) {
+	p.mu.Lock()
+	delete(p.conns, c)
+	p.mu.Unlock()
+}
+
+// serve dials the target and runs one pump per direction through the plan.
+func (p *Proxy) serve(client net.Conn, plan Plan) {
+	defer p.wg.Done()
+	defer p.untrack(client)
+	server, err := net.DialTimeout("tcp", p.target, 5*time.Second)
+	if err != nil {
+		client.Close()
+		return
+	}
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		client.Close()
+		server.Close()
+		return
+	}
+	p.conns[server] = struct{}{}
+	p.mu.Unlock()
+	defer p.untrack(server)
+
+	st := &connState{plan: plan, client: client, server: server}
+	var pumps sync.WaitGroup
+	pumps.Add(2)
+	go func() { defer pumps.Done(); p.pump(st, client, server, dirC2S) }()
+	go func() { defer pumps.Done(); p.pump(st, server, client, dirS2C) }()
+	pumps.Wait()
+	client.Close()
+	server.Close()
+}
+
+type direction int
+
+const (
+	dirC2S direction = iota
+	dirS2C
+)
+
+// connState is the shared cut trigger for one proxied connection.
+type connState struct {
+	plan   Plan
+	client net.Conn
+	server net.Conn
+	bytes  atomic.Int64
+	fired  atomic.Bool
+}
+
+// fire arms the cut exactly once.
+func (st *connState) fire(p *Proxy) {
+	if st.fired.Swap(true) {
+		return
+	}
+	p.m.Cuts.Inc()
+	if st.plan.Cut == Reset {
+		// SO_LINGER=0 turns Close into an RST so both peers observe a
+		// hard error, not a graceful FIN.
+		if tc, ok := st.client.(*net.TCPConn); ok {
+			tc.SetLinger(0)
+		}
+		if tc, ok := st.server.(*net.TCPConn); ok {
+			tc.SetLinger(0)
+		}
+		st.client.Close()
+		st.server.Close()
+	}
+}
+
+// drops reports whether a fired cut swallows bytes in this direction.
+func (st *connState) drops(dir direction) bool {
+	if !st.fired.Load() {
+		return false
+	}
+	switch st.plan.Cut {
+	case Blackhole:
+		return true
+	case DropC2S:
+		return dir == dirC2S
+	case DropS2C:
+		return dir == dirS2C
+	}
+	return false
+}
+
+// sleep waits d or until the proxy closes, whichever is first.
+func (p *Proxy) sleep(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+	case <-p.done:
+	}
+}
+
+// pump forwards src to dst through the plan until either side dies. The
+// source keeps being read even while its bytes are dropped — that is what
+// makes a blackhole silent: the peer's writes still succeed.
+func (p *Proxy) pump(st *connState, src, dst net.Conn, dir direction) {
+	buf := make([]byte, 16<<10)
+	for {
+		n, rerr := src.Read(buf)
+		if n > 0 {
+			if werr := p.forward(st, dst, buf[:n], dir); werr != nil {
+				// The destination died (reset, proxy close): drain the
+				// source so its peer sees silence, not backpressure.
+				io.Copy(io.Discard, src)
+				return
+			}
+		}
+		if rerr != nil {
+			// Propagate EOF as a half-close so in-flight replies in the
+			// other direction still drain; errors tear down via Close in
+			// serve once both pumps exit.
+			if errors.Is(rerr, io.EOF) {
+				if tc, ok := dst.(*net.TCPConn); ok {
+					tc.CloseWrite()
+				}
+			}
+			return
+		}
+	}
+}
+
+// forward pushes one read's worth of bytes through the plan: chunking,
+// the cut trigger (split exactly at the scheduled byte), latency, and
+// bandwidth pacing.
+func (p *Proxy) forward(st *connState, dst net.Conn, b []byte, dir direction) error {
+	for len(b) > 0 {
+		chunk := b
+		if st.plan.ChunkBytes > 0 && len(chunk) > st.plan.ChunkBytes {
+			chunk = chunk[:st.plan.ChunkBytes]
+		}
+		// Fire the cut exactly at its scheduled global byte offset: the
+		// bytes before the boundary still pass, the rest meet the fault.
+		if st.plan.Cut != CutNone && !st.fired.Load() {
+			seen := st.bytes.Load()
+			if seen >= st.plan.CutAfterBytes {
+				st.fire(p)
+			} else if remain := st.plan.CutAfterBytes - seen; int64(len(chunk)) > remain {
+				chunk = chunk[:remain]
+			}
+		}
+		if st.drops(dir) {
+			st.bytes.Add(int64(len(chunk)))
+			p.m.DroppedBytes.Add(uint64(len(chunk)))
+			b = b[len(chunk):]
+			continue
+		}
+		if st.fired.Load() && st.plan.Cut == Reset {
+			return net.ErrClosed
+		}
+		if st.plan.Latency > 0 {
+			p.m.DelayedChunks.Inc()
+			p.sleep(st.plan.Latency)
+		}
+		if st.plan.BytesPerSec > 0 {
+			p.sleep(time.Duration(int64(len(chunk)) * int64(time.Second) / int64(st.plan.BytesPerSec)))
+		}
+		select {
+		case <-p.done:
+			return net.ErrClosed
+		default:
+		}
+		if _, err := dst.Write(chunk); err != nil {
+			return err
+		}
+		st.bytes.Add(int64(len(chunk)))
+		p.m.ForwardedBytes.Add(uint64(len(chunk)))
+		b = b[len(chunk):]
+	}
+	return nil
+}

@@ -1,0 +1,315 @@
+package netfault
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"os"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// echoServer answers each received line with the same line, uppercased
+// prefix "ECHO ". Returns the listen address and a stop func.
+func echoServer(t *testing.T) (string, func()) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	done := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				defer conn.Close()
+				sc := bufio.NewScanner(conn)
+				for sc.Scan() {
+					select {
+					case <-done:
+						return
+					default:
+					}
+					fmt.Fprintf(conn, "ECHO %s\n", sc.Text())
+				}
+			}()
+		}
+	}()
+	return ln.Addr().String(), func() {
+		close(done)
+		ln.Close()
+		wg.Wait()
+	}
+}
+
+// dialProxy connects through the proxy with a bounded deadline so no
+// assertion can hang.
+func dialProxy(t *testing.T, p *Proxy) net.Conn {
+	t.Helper()
+	conn, err := net.DialTimeout("tcp", p.Addr(), 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn.SetDeadline(time.Now().Add(10 * time.Second))
+	return conn
+}
+
+func roundTrip(conn net.Conn, line string) (string, error) {
+	if _, err := fmt.Fprintf(conn, "%s\n", line); err != nil {
+		return "", err
+	}
+	reply, err := bufio.NewReader(conn).ReadString('\n')
+	return strings.TrimSpace(reply), err
+}
+
+// A clean plan forwards transparently in both directions.
+func TestProxyTransparent(t *testing.T) {
+	addr, stop := echoServer(t)
+	defer stop()
+	p, err := New(addr, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	conn := dialProxy(t, p)
+	defer conn.Close()
+	r := bufio.NewReader(conn)
+	for i := 0; i < 10; i++ {
+		if _, err := fmt.Fprintf(conn, "hello %d\n", i); err != nil {
+			t.Fatal(err)
+		}
+		reply, err := r.ReadString('\n')
+		if err != nil || strings.TrimSpace(reply) != fmt.Sprintf("ECHO hello %d", i) {
+			t.Fatalf("round trip %d = %q, %v", i, reply, err)
+		}
+	}
+	if got := p.Conns(); got != 1 {
+		t.Fatalf("Conns = %d, want 1", got)
+	}
+	if p.Metrics().ForwardedBytes.Value() == 0 {
+		t.Fatal("no bytes counted as forwarded")
+	}
+}
+
+// Chunking shatters the stream into partial writes but must not corrupt
+// it: the reassembled bytes are identical.
+func TestProxyChunkedPartialWrites(t *testing.T) {
+	addr, stop := echoServer(t)
+	defer stop()
+	p, err := New(addr, Fixed(Plan{ChunkBytes: 3}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	conn := dialProxy(t, p)
+	defer conn.Close()
+	long := strings.Repeat("abcdefgh", 100)
+	reply, err := roundTrip(conn, long)
+	if err != nil || reply != "ECHO "+long {
+		t.Fatalf("chunked round trip failed: err=%v len(reply)=%d", err, len(reply))
+	}
+}
+
+// Latency shaping delays traffic measurably without corrupting it.
+func TestProxyLatency(t *testing.T) {
+	addr, stop := echoServer(t)
+	defer stop()
+	p, err := New(addr, Fixed(Plan{Latency: 20 * time.Millisecond}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	conn := dialProxy(t, p)
+	defer conn.Close()
+	start := time.Now()
+	reply, err := roundTrip(conn, "ping")
+	if err != nil || reply != "ECHO ping" {
+		t.Fatalf("latency round trip = %q, %v", reply, err)
+	}
+	// One round trip crosses the proxy twice; both chunks pay the delay.
+	if elapsed := time.Since(start); elapsed < 40*time.Millisecond {
+		t.Fatalf("round trip took %v, want >= 40ms of injected latency", elapsed)
+	}
+	if p.Metrics().DelayedChunks.Value() < 2 {
+		t.Fatalf("DelayedChunks = %d, want >= 2", p.Metrics().DelayedChunks.Value())
+	}
+}
+
+// A blackhole is silent: writes keep succeeding, reads see nothing, and
+// only a deadline unblocks the reader.
+func TestProxyBlackhole(t *testing.T) {
+	addr, stop := echoServer(t)
+	defer stop()
+	p, err := New(addr, Fixed(Plan{Cut: Blackhole, CutAfterBytes: 0}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	conn := dialProxy(t, p)
+	defer conn.Close()
+	if _, err := fmt.Fprintf(conn, "into the void\n"); err != nil {
+		t.Fatalf("write into blackhole errored: %v", err)
+	}
+	conn.SetReadDeadline(time.Now().Add(100 * time.Millisecond))
+	buf := make([]byte, 64)
+	if n, err := conn.Read(buf); !errors.Is(err, os.ErrDeadlineExceeded) {
+		t.Fatalf("read from blackhole = %d bytes, %v; want deadline timeout", n, err)
+	}
+	if p.Metrics().DroppedBytes.Value() == 0 {
+		t.Fatal("blackhole dropped nothing")
+	}
+}
+
+// Reset aborts the connection: the client sees a hard error promptly, not
+// a stall.
+func TestProxyReset(t *testing.T) {
+	addr, stop := echoServer(t)
+	defer stop()
+	p, err := New(addr, Fixed(Plan{Cut: Reset, CutAfterBytes: 4}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	conn := dialProxy(t, p)
+	defer conn.Close()
+	// Enough bytes to cross the cut boundary.
+	fmt.Fprintf(conn, "0123456789\n")
+	buf := make([]byte, 64)
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		conn.SetReadDeadline(time.Now().Add(200 * time.Millisecond))
+		_, err := conn.Read(buf)
+		if err != nil && !errors.Is(err, os.ErrDeadlineExceeded) {
+			return // hard error: RST (or EOF depending on timing) — either unblocks the client
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("reset connection never surfaced an error")
+		}
+		// Keep poking: the RST may land on the next write.
+		conn.Write([]byte("x\n"))
+	}
+}
+
+// DropC2S partitions the request direction: bytes sent before the cut
+// still echo, bytes after vanish while the connection stays up.
+func TestProxyOneWayPartitionC2S(t *testing.T) {
+	addr, stop := echoServer(t)
+	defer stop()
+	// "first\n" is 6 bytes; its echo "ECHO first\n" is 11 more. Cut well
+	// past both so the first round trip completes before requests vanish.
+	p, err := New(addr, Fixed(Plan{Cut: DropC2S, CutAfterBytes: 17}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	conn := dialProxy(t, p)
+	defer conn.Close()
+	reply, err := roundTrip(conn, "first")
+	if err != nil || reply != "ECHO first" {
+		t.Fatalf("pre-cut round trip = %q, %v", reply, err)
+	}
+	// Post-cut: the request is swallowed; the reply never comes.
+	if _, err := fmt.Fprintf(conn, "second\n"); err != nil {
+		t.Fatalf("post-cut write errored (should be silent): %v", err)
+	}
+	conn.SetReadDeadline(time.Now().Add(100 * time.Millisecond))
+	buf := make([]byte, 64)
+	if n, err := conn.Read(buf); !errors.Is(err, os.ErrDeadlineExceeded) {
+		t.Fatalf("post-cut read = %d bytes, %v; want timeout", n, err)
+	}
+}
+
+// Only(0, plan) dooms just the first connection; the second is clean —
+// the reconnect-and-retry shape.
+func TestProxyScriptPerConnection(t *testing.T) {
+	addr, stop := echoServer(t)
+	defer stop()
+	p, err := New(addr, Only(0, Plan{Cut: Blackhole}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	c0 := dialProxy(t, p)
+	defer c0.Close()
+	fmt.Fprintf(c0, "doomed\n")
+	c0.SetReadDeadline(time.Now().Add(100 * time.Millisecond))
+	if _, err := c0.Read(make([]byte, 8)); !errors.Is(err, os.ErrDeadlineExceeded) {
+		t.Fatalf("conn 0 not blackholed: %v", err)
+	}
+
+	c1 := dialProxy(t, p)
+	defer c1.Close()
+	reply, err := roundTrip(c1, "alive")
+	if err != nil || reply != "ECHO alive" {
+		t.Fatalf("conn 1 = %q, %v; want clean pass-through", reply, err)
+	}
+}
+
+// Chaos is deterministic: the same seed yields the same plan for the same
+// connection index, and different seeds differ somewhere.
+func TestChaosScriptDeterministic(t *testing.T) {
+	a, b := Chaos(42), Chaos(42)
+	for i := 0; i < 64; i++ {
+		if a(i) != b(i) {
+			t.Fatalf("Chaos(42) plan %d differs between instances", i)
+		}
+	}
+	c := Chaos(43)
+	same := true
+	for i := 0; i < 64; i++ {
+		if a(i) != c(i) {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("Chaos(42) and Chaos(43) produced identical schedules")
+	}
+}
+
+// Closing the proxy severs live connections and leaves no goroutines
+// pumping (exercised under -race; leaks would deadlock the wg).
+func TestProxyCloseSevers(t *testing.T) {
+	addr, stop := echoServer(t)
+	defer stop()
+	p, err := New(addr, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn := dialProxy(t, p)
+	defer conn.Close()
+	if reply, err := roundTrip(conn, "hi"); err != nil || reply != "ECHO hi" {
+		t.Fatalf("round trip = %q, %v", reply, err)
+	}
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// The severed connection surfaces EOF or a hard error, never a hang.
+	conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+	if _, err := conn.Read(make([]byte, 8)); err == nil {
+		t.Fatal("read on severed connection returned data")
+	} else if errors.Is(err, os.ErrDeadlineExceeded) {
+		t.Fatal("severed connection still open after proxy Close")
+	}
+	if err := p.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+}

@@ -1,0 +1,87 @@
+// Package testleak is a dependency-free goroutine-leak guard for this
+// repo's test suites. A package's TestMain wraps m.Run with Main, and the
+// process exits non-zero if any goroutine running project code (a stack
+// frame under "mxtasking/") survives the tests:
+//
+//	func TestMain(m *testing.M) { os.Exit(testleak.Main(m)) }
+//
+// The check only runs when the tests themselves passed — a failing or
+// hung test is already reported, and its intentionally-abandoned
+// goroutines (watchdogged operations, severed connections) would only
+// bury the real failure under a stack dump.
+package testleak
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+	"time"
+)
+
+// DefaultTimeout is how long Check waits for stragglers to exit before
+// declaring them leaked. Shutdown paths legitimately take a moment:
+// connection goroutines observe a closed socket, workers notice a stop
+// flag — but anything alive after this long is parked for good.
+const DefaultTimeout = 10 * time.Second
+
+// runner is the subset of *testing.M that Main needs.
+type runner interface{ Run() int }
+
+// Main runs the tests and then the leak check, returning the process
+// exit code.
+func Main(m runner) int {
+	code := m.Run()
+	if code == 0 {
+		if err := Check(DefaultTimeout); err != nil {
+			fmt.Fprintf(os.Stderr, "testleak: %v\n", err)
+			code = 1
+		}
+	}
+	return code
+}
+
+// Check polls until no project goroutine (other than the caller's) is
+// left, or until timeout, in which case it returns an error carrying the
+// leaked goroutines' stacks.
+func Check(timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	var leaked []string
+	for {
+		leaked = projectGoroutines()
+		if len(leaked) == 0 {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	return fmt.Errorf("%d goroutine(s) still running project code after %v:\n\n%s",
+		len(leaked), timeout, strings.Join(leaked, "\n\n"))
+}
+
+// projectGoroutines returns the stack blocks of goroutines currently
+// executing project code, excluding this package's own frames.
+func projectGoroutines() []string {
+	buf := make([]byte, 1<<20)
+	for {
+		n := runtime.Stack(buf, true)
+		if n < len(buf) {
+			buf = buf[:n]
+			break
+		}
+		buf = make([]byte, 2*len(buf))
+	}
+	var leaked []string
+	for _, g := range strings.Split(string(buf), "\n\n") {
+		if !strings.Contains(g, "mxtasking/") {
+			continue // runtime, testing, net internals — not ours
+		}
+		if strings.Contains(g, "mxtasking/internal/testleak.") {
+			continue // the checking goroutine itself (TestMain's stack)
+		}
+		leaked = append(leaked, g)
+	}
+	return leaked
+}
