@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench chaos fuzz ci figures verify dat clean
+.PHONY: all build vet test race bench chaos cluster-chaos fuzz ci figures verify dat clean
 
 all: build vet test
 
@@ -26,7 +26,7 @@ race:
 		./internal/epoch ./internal/alloc ./internal/tbb ./internal/metrics \
 		./internal/ycsb ./internal/tpch ./internal/hashjoin ./internal/sim \
 		./internal/wal ./internal/kvstore ./internal/faultfs ./internal/linearize \
-		./internal/netfault ./cmd/mxload
+		./internal/netfault ./internal/repl ./cmd/mxload
 	MXKV_SHARDS=4 $(GO) test -race -count=1 ./internal/kvstore
 
 bench:
@@ -42,6 +42,20 @@ bench:
 chaos:
 	$(GO) test -race -count=1 -run 'TestChaos' -v ./internal/kvstore
 	$(GO) test -race -count=1 ./internal/netfault
+	MXKV_CLUSTER_SCHEDULES=10 $(GO) test -race -count=1 -timeout 600s \
+		-run 'TestClusterChaosSchedules' ./internal/repl
+
+# Cluster chaos (DESIGN.md §6): a 3-node replicated cluster — all links
+# through netfault proxies — driven through 20 seeded fault schedules of
+# primary crashes (torn-tail disk images), replica crashes, and one-way
+# replication-link partitions, under concurrent redirect-following
+# writers and bounded-staleness readers. Strict ops are checked for
+# per-phase linearizability (the timeline cuts at each primary crash),
+# acked-durable writes for survival into the final timeline, and every
+# windowed replica read against the final primary's replayed WAL.
+cluster-chaos:
+	MXKV_CLUSTER_SCHEDULES=20 $(GO) test -race -count=1 -timeout 900s \
+		-run 'TestClusterChaosSchedules' -v ./internal/repl
 
 # Fuzz smoke: 10s of coverage-guided input generation per target (`go test`
 # allows one fuzz target per invocation).
@@ -63,7 +77,7 @@ ci:
 	$(GO) test -count=1 -shuffle=on ./...
 	$(GO) test -race ./internal/wal ./internal/kvstore ./internal/queue \
 		./internal/epoch ./internal/faultfs ./internal/linearize \
-		./internal/netfault ./cmd/mxload
+		./internal/netfault ./internal/repl ./cmd/mxload
 	MXKV_SHARDS=4 $(GO) test -race -count=1 ./internal/kvstore
 	$(GO) test -run '^$$' -bench 'BenchmarkServerSharded' -benchtime 100x .
 	$(MAKE) chaos

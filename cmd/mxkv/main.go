@@ -23,6 +23,22 @@
 // shards, simulating one runtime per NUMA node) with its own Blink-tree
 // and its own WAL subdirectory <wal-dir>/shard-NNN. Restarting requires
 // the same -shards value; recovery replays all shard logs concurrently.
+//
+// Replication (single shard, durable only) is enabled by -advertise, the
+// canonical address peers and redirected clients dial. -wal-dir then
+// names the node's data root: the live WAL generation lives under it
+// (snapshot resyncs rotate generations via the wal.current pointer) next
+// to the replication state file. Start the first node bare and the rest
+// with -replica-of pointing at it:
+//
+//	mxkv -addr :7070 -advertise host0:7070 -wal-dir /var/lib/mxkv0 -ack-replicas 1
+//	mxkv -addr :7071 -advertise host1:7071 -wal-dir /var/lib/mxkv1 -replica-of host0:7070
+//	mxkv -supervise host0:7070,host1:7071
+//
+// Replicas serve GETR (bounded-staleness reads) and redirect writes;
+// -supervise runs a standalone supervisor that leases the primary,
+// promotes the highest-applied replica when it dies, and sweeps
+// rejoining nodes onto the current timeline.
 package main
 
 import (
@@ -31,13 +47,16 @@ import (
 	"log"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"runtime"
 	"strconv"
+	"strings"
 	"time"
 
 	"mxtasking/internal/epoch"
 	"mxtasking/internal/kvstore"
 	"mxtasking/internal/mxtask"
+	"mxtasking/internal/repl"
 )
 
 // parseSyncPolicy maps the -sync flag onto WAL options:
@@ -87,10 +106,35 @@ func main() {
 		writeTO  = flag.Duration("write-timeout", 0, "reap connections whose reply flush stalls this long (0 = never)")
 		maxInfl  = flag.Int("max-inflight", 0, "admission high-water mark: shed store requests past this in-flight depth (0 = unbounded)")
 		retryAft = flag.Duration("retry-after", 0, "backoff hint attached to overload rejections (0 = default)")
+
+		advertise = flag.String("advertise", "", "canonical address peers and redirected clients dial; enables replication (requires -wal-dir, -shards 1)")
+		replicaOf = flag.String("replica-of", "", "start as a replica of this primary's advertise address (requires -advertise)")
+		ackReps   = flag.Int("ack-replicas", 0, "semi-sync bar: ack client writes only after this many replicas acknowledged (0 = async)")
+		ackTO     = flag.Duration("ack-timeout", 0, "bound on the semi-sync replica-ack wait (0 = default)")
+		heartbeat = flag.Duration("heartbeat", 0, "replication heartbeat/lease cadence (0 = default)")
+		leaseTO   = flag.Duration("lease-timeout", 0, "self-fence the primary when supervisor lease renewals stop for this long (0 = no fencing)")
+		staleAft  = flag.Duration("stale-after", 0, "replica refuses bounded reads after this long without a primary frame (0 = 6x heartbeat)")
+		shipWin   = flag.Int("ship-window", 0, "max records shipped but unacknowledged per follower (0 = default)")
+		supervise = flag.String("supervise", "", "run a standalone supervisor over these comma-separated member addresses (no store)")
 	)
 	flag.Parse()
 	if *shards < 1 {
 		log.Fatalf("mxkv: -shards must be >= 1, got %d", *shards)
+	}
+
+	if *supervise != "" {
+		runSupervisor(strings.Split(*supervise, ","), *heartbeat, *leaseTO)
+		return
+	}
+	replicated := *advertise != ""
+	if *replicaOf != "" && !replicated {
+		log.Fatal("mxkv: -replica-of requires -advertise")
+	}
+	if replicated && *walDir == "" {
+		log.Fatal("mxkv: replication requires -wal-dir (the node's data root)")
+	}
+	if replicated && *shards != 1 {
+		log.Fatalf("mxkv: replication requires -shards 1, got %d", *shards)
 	}
 
 	cfg := mxtask.Config{
@@ -116,6 +160,7 @@ func main() {
 	var stop func()
 	var store kvstore.Backend
 	var sharded *kvstore.Sharded
+	var node *repl.Node
 	if *shards > 1 {
 		g := mxtask.NewGroup(cfg, *shards)
 		g.Start()
@@ -144,12 +189,41 @@ func main() {
 		rt.Start()
 		stop = rt.Stop
 		if durable {
-			single, stats, err := kvstore.Open(rt, d)
+			dd := d
+			if replicated {
+				// -wal-dir is the data root: the live WAL generation is
+				// wherever the resync pointer says (first boot: root/wal).
+				dir, err := repl.ActiveWALDir(nil, *walDir, filepath.Join(*walDir, "wal"))
+				if err != nil {
+					log.Fatalf("mxkv: %v", err)
+				}
+				dd.Dir = dir
+			}
+			single, stats, err := kvstore.Open(rt, dd)
 			if err != nil {
 				log.Fatalf("mxkv: recovery: %v", err)
 			}
-			fmt.Printf("mxkv: recovered from %s: %s\n", *walDir, stats)
+			fmt.Printf("mxkv: recovered from %s: %s\n", dd.Dir, stats)
 			store = single
+			if replicated {
+				node, err = repl.NewNode(repl.Config{
+					Store:          single,
+					Advertise:      *advertise,
+					PrimaryAddr:    *replicaOf,
+					StateDir:       filepath.Join(*walDir, "state"),
+					Rebuild:        repl.SnapshotRebuild(rt, *walDir, d),
+					AckReplicas:    *ackReps,
+					AckTimeout:     *ackTO,
+					HeartbeatEvery: *heartbeat,
+					LeaseTimeout:   *leaseTO,
+					StaleAfter:     *staleAft,
+					ShipWindow:     *shipWin,
+					Logf:           log.Printf,
+				})
+				if err != nil {
+					log.Fatalf("mxkv: %v", err)
+				}
+			}
 		} else {
 			store = kvstore.New(rt)
 		}
@@ -170,9 +244,23 @@ func main() {
 	if *maxInfl > 0 {
 		opts = append(opts, kvstore.WithAdmission(*maxInfl, *retryAft))
 	}
+	if node != nil {
+		opts = append(opts, kvstore.WithRepl(node))
+	}
 	srv, err := kvstore.NewServer(store, *addr, opts...)
 	if err != nil {
 		log.Fatal(err)
+	}
+	if node != nil {
+		node.SetServer(srv)
+		if err := node.Start(); err != nil {
+			log.Fatal(err)
+		}
+		role := "primary"
+		if *replicaOf != "" {
+			role = fmt.Sprintf("replica of %s", *replicaOf)
+		}
+		fmt.Printf("mxkv: replication on, advertising %s (%s)\n", *advertise, role)
 	}
 	fmt.Printf("mxkv: listening on %s\n", srv.Addr())
 
@@ -182,6 +270,13 @@ func main() {
 	fmt.Println("\nmxkv: shutting down")
 	if err := srv.Close(); err != nil {
 		log.Printf("mxkv: close: %v", err)
+	}
+	if node != nil {
+		// Stop replication before the store: the applier's final batch
+		// runs to completion, and a resync may have swapped the store out
+		// from under the one opened above.
+		node.Close()
+		store = node.Store()
 	}
 	if durable {
 		if err := store.(interface{ Close() error }).Close(); err != nil {
@@ -206,4 +301,29 @@ func main() {
 			rm.Routed.Values(), rm.ScanFanout.String(), rm.BatchFanout.String())
 	}
 	fmt.Printf("mxkv: wire %s\n", srv.Metrics())
+}
+
+// runSupervisor runs the standalone failure detector / promotion agent
+// until interrupted: lease the primary, fail over to the highest-applied
+// replica when it dies, sweep rejoining members onto the winner.
+func runSupervisor(members []string, heartbeat, leaseTimeout time.Duration) {
+	for i := range members {
+		members[i] = strings.TrimSpace(members[i])
+	}
+	sup, err := repl.NewSupervisor(repl.SupervisorConfig{
+		Members:        members,
+		HeartbeatEvery: heartbeat,
+		LeaseTimeout:   leaseTimeout,
+		Logf:           log.Printf,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	sup.Start()
+	fmt.Printf("mxkv: supervising %s\n", strings.Join(members, ", "))
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	<-sig
+	fmt.Println("\nmxkv: supervisor stopping")
+	sup.Close()
 }

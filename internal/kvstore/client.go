@@ -74,12 +74,62 @@ func parseOverloadedReply(reply string) (retryAfter time.Duration, ok bool) {
 	return retryAfter, true
 }
 
+// ErrReadonly marks a write rejected because the server is a replica (or a
+// fenced ex-primary): "ERR readonly primary=<addr>". Like an overload
+// shed, a readonly rejection definitely did not execute, so replaying it —
+// against the advertised primary — is always safe. Test with
+// errors.Is(err, ErrReadonly); the concrete type is *ReadonlyError.
+var ErrReadonly = errors.New("kvstore: server is readonly")
+
+// ReadonlyError is the parsed form of a readonly rejection.
+type ReadonlyError struct {
+	// Primary is the address the server believes can take writes (empty
+	// when the server does not know — e.g. a fenced primary awaiting a
+	// supervisor).
+	Primary string
+}
+
+func (e *ReadonlyError) Error() string {
+	if e.Primary == "" {
+		return "kvstore: server is readonly (no known primary)"
+	}
+	return fmt.Sprintf("kvstore: server is readonly (primary %s)", e.Primary)
+}
+
+// Is lets errors.Is(err, ErrReadonly) match.
+func (e *ReadonlyError) Is(target error) bool { return target == ErrReadonly }
+
+// parseReadonlyReply recognizes the role gate's rejection line.
+func parseReadonlyReply(reply string) (primary string, ok bool) {
+	rest, found := strings.CutPrefix(reply, "ERR readonly")
+	if !found {
+		return "", false
+	}
+	for _, f := range strings.Fields(rest) {
+		if v, isAddr := strings.CutPrefix(f, "primary="); isAddr {
+			primary = v
+		}
+	}
+	return primary, true
+}
+
+// ErrStale marks a bounded-staleness read the replica refused: its lag
+// exceeded the requested bound, or it is still bootstrapping.
+var ErrStale = errors.New("kvstore: replica too stale")
+
 // replyError converts a server error reply line into a typed error:
 // admission-gate rejections become *OverloadedError (matching
-// ErrOverloaded), everything else the legacy opaque error.
+// ErrOverloaded), role rejections *ReadonlyError (matching ErrReadonly),
+// everything else the legacy opaque error.
 func replyError(reply string) error {
 	if ra, ok := parseOverloadedReply(reply); ok {
 		return &OverloadedError{RetryAfter: ra}
+	}
+	if primary, ok := parseReadonlyReply(reply); ok {
+		return &ReadonlyError{Primary: primary}
+	}
+	if strings.HasPrefix(reply, "ERR stale") || strings.HasPrefix(reply, "ERR catching-up") {
+		return fmt.Errorf("%w: %s", ErrStale, reply)
 	}
 	return errors.New("kvstore: " + reply)
 }
@@ -124,6 +174,19 @@ type DialConfig struct {
 	// Seed drives the backoff jitter deterministically (0 = seed 1), so
 	// chaos tests reproduce their exact retry timing.
 	Seed int64
+
+	// FollowPrimary makes blocking writes follow "ERR readonly
+	// primary=<addr>" rejections: the client re-points at the advertised
+	// primary, reconnects, and replays (a readonly rejection never
+	// executed, so the replay is safe even for writes). Counts against
+	// MaxRetries like any other retry.
+	FollowPrimary bool
+
+	// Rewrite, when set, maps a server-advertised address (the primary in
+	// a readonly redirect) to the address the client should actually dial.
+	// Chaos tests use it to route advertised addresses through fault
+	// proxies.
+	Rewrite func(addr string) string
 }
 
 // withDefaults fills the zero fields.
@@ -182,10 +245,14 @@ type Client struct {
 	w        *bufio.Writer
 	inflight int
 
-	addr string
-	cfg  DialConfig
-	rng  *rand.Rand
-	m    ClientMetrics
+	addr     string   // address of the live connection
+	seeds    []string // configured addresses, tried round-robin
+	si       int      // index into seeds of the last successful dial
+	redirect string   // server-advertised primary, tried before seeds
+
+	cfg DialConfig
+	rng *rand.Rand
+	m   ClientMetrics
 }
 
 // Dial connects to a Server with the default resilience configuration:
@@ -195,13 +262,28 @@ func Dial(addr string) (*Client, error) { return DialWith(addr, DialConfig{}) }
 
 // DialWith connects to a Server with explicit resilience settings.
 func DialWith(addr string, cfg DialConfig) (*Client, error) {
+	return DialAnyWith([]string{addr}, cfg)
+}
+
+// DialAnyWith connects to the first reachable of several servers (a
+// cluster's members, in any order). Reconnects rotate through the list
+// starting from the last address that worked, so a client whose server
+// dies fails over to a sibling on the next retry; FollowPrimary then
+// steers writes back to whichever member is primary.
+func DialAnyWith(addrs []string, cfg DialConfig) (*Client, error) {
+	if len(addrs) == 0 {
+		return nil, errors.New("kvstore: DialAnyWith with no addresses")
+	}
 	cfg = cfg.withDefaults()
-	c := &Client{addr: addr, cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}
+	c := &Client{seeds: addrs, cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}
 	if err := c.connect(); err != nil {
 		return nil, err
 	}
 	return c, nil
 }
+
+// Addr returns the address of the current connection.
+func (c *Client) Addr() string { return c.addr }
 
 // scanFullLines is bufio.ScanLines minus its final-token leniency: a
 // line with no terminating newline is never yielded, even at stream end.
@@ -222,16 +304,34 @@ func scanFullLines(data []byte, atEOF bool) (advance int, token []byte, err erro
 	return 0, nil, nil
 }
 
+// dialOne opens one TCP connection, bounded by DialTimeout.
+func (c *Client) dialOne(addr string) (net.Conn, error) {
+	if c.cfg.DialTimeout > 0 {
+		return net.DialTimeout("tcp", addr, c.cfg.DialTimeout)
+	}
+	return net.Dial("tcp", addr)
+}
+
 // connect (re)establishes the TCP connection and resets the wire state.
+// A pending redirect target is tried first (and cleared if unreachable),
+// then the seed addresses round-robin from the last one that worked.
 func (c *Client) connect() error {
 	var conn net.Conn
 	var err error
-	if c.cfg.DialTimeout > 0 {
-		conn, err = net.DialTimeout("tcp", c.addr, c.cfg.DialTimeout)
-	} else {
-		conn, err = net.Dial("tcp", c.addr)
+	if c.redirect != "" {
+		if conn, err = c.dialOne(c.redirect); err == nil {
+			c.addr = c.redirect
+		} else {
+			c.redirect = "" // unreachable; fall back to the seed rotation
+		}
 	}
-	if err != nil {
+	for i := 0; conn == nil && i < len(c.seeds); i++ {
+		idx := (c.si + i) % len(c.seeds)
+		if conn, err = c.dialOne(c.seeds[idx]); err == nil {
+			c.si, c.addr = idx, c.seeds[idx]
+		}
+	}
+	if conn == nil {
 		return fmt.Errorf("kvstore: dial: %w", err)
 	}
 	r := bufio.NewScanner(conn)
@@ -248,9 +348,17 @@ func (c *Client) connect() error {
 // same configuration. Outstanding pipelined requests are abandoned —
 // their replies will never be read — so InFlight resets to zero. The
 // blocking operations call this automatically when retries are enabled.
+//
+// The seed rotation restarts one past the previous address: a reconnect
+// means the old connection failed, and a dead member behind a proxy (or
+// any middlebox that accepts and then drops) passes the dial check, so
+// restarting AT the old member could retry it forever.
 func (c *Client) Reconnect() error {
 	c.conn.Close()
 	c.m.Reconnects.Inc()
+	if len(c.seeds) > 0 {
+		c.si = (c.si + 1) % len(c.seeds)
+	}
 	return c.connect()
 }
 
@@ -344,15 +452,18 @@ func (c *Client) backoff(attempt int, hint time.Duration) {
 
 // do runs one blocking request with the configured retry policy.
 // Overload rejections are retryable for every command — the gate shed the
-// request before dispatch, so it never executed. Transport errors are
-// retryable (over a fresh connection) only when idempotent is true: a
-// broken connection leaves a non-idempotent write's fate unknown, and
-// that ambiguity belongs to the caller.
+// request before dispatch, so it never executed. Readonly rejections
+// likewise never executed; with FollowPrimary set they are replayed
+// against the advertised primary. Transport errors are retryable (over a
+// fresh connection) only when idempotent is true: a broken connection
+// leaves a non-idempotent write's fate unknown, and that ambiguity
+// belongs to the caller.
 func (c *Client) do(line string, idempotent bool) (string, error) {
 	var last error
 	for attempt := 0; ; attempt++ {
 		reply, err := c.roundTrip(line)
 		transport := false
+		reconnect := false
 		switch {
 		case err != nil:
 			last = err
@@ -361,12 +472,25 @@ func (c *Client) do(line string, idempotent bool) (string, error) {
 				return "", last
 			}
 		default:
-			ra, over := parseOverloadedReply(reply)
-			if !over {
-				return reply, nil
+			if ra, over := parseOverloadedReply(reply); over {
+				c.m.Overloaded.Inc()
+				last = &OverloadedError{RetryAfter: ra}
+				break
 			}
-			c.m.Overloaded.Inc()
-			last = &OverloadedError{RetryAfter: ra}
+			if primary, ro := parseReadonlyReply(reply); ro && c.cfg.FollowPrimary {
+				last = &ReadonlyError{Primary: primary}
+				if primary != "" {
+					if c.cfg.Rewrite != nil {
+						primary = c.cfg.Rewrite(primary)
+					}
+					c.redirect = primary
+				}
+				// Even with no advertised primary, reconnecting re-enters
+				// the seed rotation — a sibling may have been promoted.
+				reconnect = true
+				break
+			}
+			return reply, nil
 		}
 		if attempt >= c.cfg.MaxRetries {
 			if c.cfg.MaxRetries == 0 {
@@ -380,9 +504,11 @@ func (c *Client) do(line string, idempotent bool) (string, error) {
 			hint = oe.RetryAfter
 		}
 		c.backoff(attempt, hint)
-		if transport {
-			// The old connection's stream state is unusable (a late reply
-			// could alias the retried request's); replay on a fresh one.
+		if transport || reconnect {
+			// The old connection's stream state is unusable after a
+			// transport error (a late reply could alias the retried
+			// request's), and a redirect needs a connection to the new
+			// target; replay on a fresh one either way.
 			if rerr := c.Reconnect(); rerr != nil {
 				last = rerr
 			}
@@ -498,6 +624,22 @@ type ServerStats struct {
 	// PerShard holds each shard's Gets/Sets/Dels in shard order; length
 	// is the server's shard count (1 for an unsharded store).
 	PerShard []Stats
+	// Extra holds every field this client version does not know by name
+	// (for example replication's role=primary or lag=3), keyed by field
+	// name with the raw value text. Servers grow new STATS fields across
+	// versions; an old client must report them rather than reject the
+	// whole reply. Nil when the reply had no unknown fields.
+	Extra map[string]string
+}
+
+// ExtraUint parses an Extra field as a decimal counter.
+func (s *ServerStats) ExtraUint(name string) (uint64, bool) {
+	v, ok := s.Extra[name]
+	if !ok {
+		return 0, false
+	}
+	n, err := strconv.ParseUint(v, 10, 64)
+	return n, err == nil
 }
 
 // isShardField reports whether a STATS field name is a per-shard counter
@@ -559,26 +701,40 @@ func parseStatsReply(reply string) (ServerStats, error) {
 			st.PerShard[idx] = ss
 			continue
 		}
+		// Known fields parse strictly; anything else — numeric or not —
+		// lands in Extra so a newer server's fields survive an older
+		// client's parser.
+		var dst *uint64
+		switch name {
+		case "gets":
+			dst = &st.Gets
+		case "sets":
+			dst = &st.Sets
+		case "dels":
+			dst = &st.Dels
+		case "errs":
+			dst = &st.Errs
+		case "toolong":
+			dst = &st.TooLong
+		case "shed":
+			dst = &st.Shed
+		case "deadline_drops":
+			dst = &st.DeadlineDrops
+		case "shards":
+		default:
+			if st.Extra == nil {
+				st.Extra = make(map[string]string)
+			}
+			st.Extra[name] = val
+			continue
+		}
 		n, err := strconv.ParseUint(val, 10, 64)
 		if err != nil {
 			return ServerStats{}, errors.New("kvstore: malformed STATS field " + field)
 		}
-		switch name {
-		case "gets":
-			st.Gets = n
-		case "sets":
-			st.Sets = n
-		case "dels":
-			st.Dels = n
-		case "errs":
-			st.Errs = n
-		case "toolong":
-			st.TooLong = n
-		case "shed":
-			st.Shed = n
-		case "deadline_drops":
-			st.DeadlineDrops = n
-		case "shards":
+		if dst != nil {
+			*dst = n
+		} else {
 			shards = int(n)
 		}
 	}
@@ -622,6 +778,83 @@ func (c *Client) ScanLimit(from, to uint64, limit int) (pairs []blinktree.KV, tr
 		return nil, false, err
 	}
 	return parseScanReply(reply)
+}
+
+// StaleValue is a bounded-staleness read's result. A replica answers with
+// the window of log sequence numbers that could have produced the
+// observation: SeqLo is its applied seq when the read was admitted, SeqHi
+// the primary's last-known seq when it replied, Lag their gap. A primary
+// answers GETR with a plain linearizable read (Primary=true, zero window).
+type StaleValue struct {
+	Value uint64
+	Found bool
+	// SeqLo..SeqHi bounds the log positions the observation may reflect.
+	SeqLo, SeqHi uint64
+	// Lag is the replica's estimate of how many committed records it had
+	// not yet applied when it served the read.
+	Lag uint64
+	// Primary reports that the server was the primary and served a strict
+	// read instead of a windowed one.
+	Primary bool
+}
+
+// GetStale fetches a key under an explicit staleness bound: the server
+// refuses (ErrStale) rather than answer from state more than maxLag
+// records behind the primary. maxLag 0 means "any lag". Idempotent —
+// replayed under the retry policy.
+func (c *Client) GetStale(key, maxLag uint64) (StaleValue, error) {
+	reply, err := c.do(fmt.Sprintf("GETR %d %d", key, maxLag), true)
+	if err != nil {
+		return StaleValue{}, err
+	}
+	return parseStaleReply(reply)
+}
+
+// parseStaleReply decodes the GETR reply grammar:
+//
+//	RVALUE <lo> <hi> <lag> <value>   replica, key present
+//	RNONE <lo> <hi> <lag>            replica, key absent
+//	RVALUEP <value>                  primary, strict read, key present
+//	RNONEP                           primary, strict read, key absent
+func parseStaleReply(reply string) (StaleValue, error) {
+	fields := strings.Fields(reply)
+	if len(fields) == 0 {
+		return StaleValue{}, replyError(reply)
+	}
+	var sv StaleValue
+	var nums []string
+	switch {
+	case fields[0] == "RVALUE" && len(fields) == 5:
+		sv.Found, nums = true, fields[1:]
+	case fields[0] == "RNONE" && len(fields) == 4:
+		nums = fields[1:]
+	case fields[0] == "RVALUEP" && len(fields) == 2:
+		sv.Found, sv.Primary, nums = true, true, fields[1:]
+	case fields[0] == "RNONEP" && len(fields) == 1:
+		sv.Primary = true
+	case fields[0] == "RVALUE" || fields[0] == "RNONE" || fields[0] == "RVALUEP" || fields[0] == "RNONEP":
+		return StaleValue{}, errors.New("kvstore: malformed " + fields[0] + " reply")
+	default:
+		return StaleValue{}, replyError(reply)
+	}
+	parsed := make([]uint64, len(nums))
+	for i, f := range nums {
+		n, err := strconv.ParseUint(f, 10, 64)
+		if err != nil {
+			return StaleValue{}, errors.New("kvstore: malformed " + fields[0] + " reply")
+		}
+		parsed[i] = n
+	}
+	switch {
+	case sv.Primary && sv.Found:
+		sv.Value = parsed[0]
+	case !sv.Primary:
+		sv.SeqLo, sv.SeqHi, sv.Lag = parsed[0], parsed[1], parsed[2]
+		if sv.Found {
+			sv.Value = parsed[3]
+		}
+	}
+	return sv, nil
 }
 
 func parseGetReply(reply string) (uint64, bool, error) {

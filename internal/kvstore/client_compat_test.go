@@ -1,0 +1,122 @@
+package kvstore
+
+import (
+	"errors"
+	"testing"
+)
+
+// TestStatsForwardCompat feeds the STATS parser fields from an imaginary
+// future server version. Unknown fields — numeric or not — must land in
+// Extra instead of failing the whole reply: a v1 client pointed at a v3
+// server still reads the counters it knows.
+func TestStatsForwardCompat(t *testing.T) {
+	reply := "STATS gets=7 sets=3 dels=1 errs=0 toolong=2 shed=5 deadline_drops=4 " +
+		"role=primary lag=3 applied_seq=42 peer=127.0.0.1:4021 flux_capacitor=1.21gw " +
+		"shards=2 s0=1/2/3 s1=6/1/0"
+	st, err := parseStatsReply(reply)
+	if err != nil {
+		t.Fatalf("future fields rejected: %v", err)
+	}
+	if st.Gets != 7 || st.Sets != 3 || st.Dels != 1 || st.TooLong != 2 || st.Shed != 5 || st.DeadlineDrops != 4 {
+		t.Fatalf("known counters misparsed: %+v", st)
+	}
+	if len(st.PerShard) != 2 || st.PerShard[1] != (Stats{Gets: 6, Sets: 1}) {
+		t.Fatalf("shard fields misparsed: %+v", st.PerShard)
+	}
+	want := map[string]string{
+		"role": "primary", "lag": "3", "applied_seq": "42",
+		"peer": "127.0.0.1:4021", "flux_capacitor": "1.21gw",
+	}
+	if len(st.Extra) != len(want) {
+		t.Fatalf("Extra = %v, want %v", st.Extra, want)
+	}
+	for k, v := range want {
+		if st.Extra[k] != v {
+			t.Errorf("Extra[%q] = %q, want %q", k, st.Extra[k], v)
+		}
+	}
+	if n, ok := st.ExtraUint("applied_seq"); !ok || n != 42 {
+		t.Errorf("ExtraUint(applied_seq) = %d, %v", n, ok)
+	}
+	if _, ok := st.ExtraUint("role"); ok {
+		t.Error("ExtraUint(role) parsed a non-numeric value")
+	}
+	if _, ok := st.ExtraUint("absent"); ok {
+		t.Error("ExtraUint(absent) reported present")
+	}
+}
+
+// Known fields keep their strict parsing: garbage in a field this client
+// version understands is a real protocol error, not forward compatibility.
+func TestStatsKnownFieldsStayStrict(t *testing.T) {
+	for _, reply := range []string{
+		"STATS gets=banana",
+		"STATS shards=1", // shard count with no shard fields
+		"STATS s0=1/2",   // malformed shard triple
+		"STATS orphan",   // field without '='
+		"ERR overloaded", // not a STATS reply at all
+	} {
+		if _, err := parseStatsReply(reply); err == nil {
+			t.Errorf("parseStatsReply(%q) accepted", reply)
+		}
+	}
+	// A clean modern reply has nil Extra — no allocation for the common case.
+	st, err := parseStatsReply("STATS gets=1 sets=2 dels=0 errs=0 toolong=0")
+	if err != nil || st.Extra != nil {
+		t.Fatalf("clean reply: st=%+v err=%v", st, err)
+	}
+}
+
+func TestParseReadonlyReply(t *testing.T) {
+	if p, ok := parseReadonlyReply("ERR readonly primary=10.0.0.7:4021"); !ok || p != "10.0.0.7:4021" {
+		t.Fatalf("got %q, %v", p, ok)
+	}
+	if p, ok := parseReadonlyReply("ERR readonly"); !ok || p != "" {
+		t.Fatalf("bare readonly: got %q, %v", p, ok)
+	}
+	if _, ok := parseReadonlyReply("ERR overloaded retry-after=5"); ok {
+		t.Fatal("overload misread as readonly")
+	}
+	err := replyError("ERR readonly primary=a:1")
+	if !errors.Is(err, ErrReadonly) {
+		t.Fatalf("replyError readonly = %v, want ErrReadonly match", err)
+	}
+	var ro *ReadonlyError
+	if !errors.As(err, &ro) || ro.Primary != "a:1" {
+		t.Fatalf("ReadonlyError = %+v", ro)
+	}
+	if !errors.Is(replyError("ERR stale lag=9 bound=2"), ErrStale) {
+		t.Fatal("stale rejection did not match ErrStale")
+	}
+	if !errors.Is(replyError("ERR catching-up"), ErrStale) {
+		t.Fatal("catching-up rejection did not match ErrStale")
+	}
+}
+
+func TestParseStaleReply(t *testing.T) {
+	cases := []struct {
+		reply string
+		want  StaleValue
+	}{
+		{"RVALUE 3 7 4 99", StaleValue{Value: 99, Found: true, SeqLo: 3, SeqHi: 7, Lag: 4}},
+		{"RNONE 3 7 4", StaleValue{SeqLo: 3, SeqHi: 7, Lag: 4}},
+		{"RVALUEP 99", StaleValue{Value: 99, Found: true, Primary: true}},
+		{"RNONEP", StaleValue{Primary: true}},
+	}
+	for _, c := range cases {
+		got, err := parseStaleReply(c.reply)
+		if err != nil || got != c.want {
+			t.Errorf("parseStaleReply(%q) = %+v, %v; want %+v", c.reply, got, err, c.want)
+		}
+	}
+	for _, bad := range []string{
+		"RVALUE 3 7 4", "RVALUE 3 7 4 99 0", "RNONE 3 7", "RVALUEP", "RVALUE x 7 4 99", "VALUE 99", "",
+	} {
+		if _, err := parseStaleReply(bad); err == nil {
+			t.Errorf("parseStaleReply(%q) accepted", bad)
+		}
+	}
+	if _, err := parseStaleReply("ERR stale lag=9 bound=2"); !errors.Is(err, ErrStale) {
+		t.Errorf("ERR stale reply = %v, want ErrStale", err)
+	}
+}

@@ -22,7 +22,8 @@ func FuzzServerHandle(f *testing.F) {
 	rt.Start()
 	defer rt.Stop()
 	store := New(rt)
-	srv := &Server{store: store}
+	srv := &Server{}
+	srv.backend.Store(func() *Backend { var b Backend = store; return &b }())
 
 	f.Fuzz(func(t *testing.T, line string) {
 		line = strings.TrimSpace(line)

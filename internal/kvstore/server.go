@@ -125,13 +125,14 @@ type Backend interface {
 // high-water mark — bounded queues instead of unbounded ones, with the
 // reaps and sheds surfaced in Metrics and the STATS reply.
 type Server struct {
-	store   Backend
+	backend atomic.Value // Backend; swappable for replica full-resync
 	ln      net.Listener
 	wg      sync.WaitGroup
 	done    chan struct{}
 	closed  bool
 	window  int
 	onError func(error)
+	repl    ReplHandler
 
 	// Resilience knobs (see the With* options).
 	idleTimeout  time.Duration
@@ -144,9 +145,10 @@ type Server struct {
 
 	m ServerMetrics
 
-	mu      sync.Mutex
-	conns   map[net.Conn]struct{}
-	lastErr error
+	mu        sync.Mutex
+	conns     map[net.Conn]struct{}
+	replConns map[net.Conn]struct{}
+	lastErr   error
 }
 
 // ServerMetrics exposes the server's wire-level counters and gauges.
@@ -237,6 +239,41 @@ func WithErrorLog(fn func(error)) ServerOption {
 	return func(s *Server) { s.onError = fn }
 }
 
+// ReplHandler is the replication subsystem's surface on the server. The
+// server stays replication-agnostic: it routes REPL verbs, write
+// admission, GETR, and STATS decoration through this interface, and
+// internal/repl implements it.
+type ReplHandler interface {
+	// WriteAllowed gates mutating commands (SET/DEL/MSET). When false,
+	// errReply is the full rejection line — canonically
+	// "ERR readonly primary=<addr>" — sent instead of dispatching.
+	WriteAllowed() (ok bool, errReply string)
+	// HandleControl answers a single-line REPL control verb
+	// (PROMOTE/FOLLOW). May block (a demotion drains in-flight writes);
+	// the server invokes it off the reader goroutine.
+	HandleControl(line string) (reply string)
+	// HandleStream takes ownership of a connection whose first line was
+	// "REPL HELLO ...": the replication stream. br holds any bytes
+	// already buffered past the hello line. The server closes conn after
+	// HandleStream returns.
+	HandleStream(helloLine string, conn net.Conn, br *bufio.Reader)
+	// HandleStaleGet serves GETR <key> <maxlag>; deliver receives the
+	// single reply line exactly once, possibly from another goroutine.
+	HandleStaleGet(key, maxLag uint64, deliver func(string))
+	// StatsExtra returns " key=value ..." fields appended to the STATS
+	// reply (role, term, applied sequence, lag). Empty for none; must
+	// start with a space when non-empty.
+	StatsExtra() string
+}
+
+// WithRepl connects the replication subsystem's handler to the server's
+// wire protocol: REPL HELLO hijacks its connection into a shipping
+// stream, REPL PROMOTE/FOLLOW become control verbs, GETR serves bounded-
+// staleness reads, writes are gated by role, and STATS grows role fields.
+func WithRepl(h ReplHandler) ServerOption {
+	return func(s *Server) { s.repl = h }
+}
+
 // NewServer starts listening on addr (e.g. "127.0.0.1:0"). The returned
 // server is already accepting; call Close to stop.
 func NewServer(store Backend, addr string, opts ...ServerOption) (*Server, error) {
@@ -244,13 +281,45 @@ func NewServer(store Backend, addr string, opts ...ServerOption) (*Server, error
 	if err != nil {
 		return nil, fmt.Errorf("kvstore: listen: %w", err)
 	}
-	s := &Server{store: store, ln: ln, done: make(chan struct{}), conns: make(map[net.Conn]struct{}), window: DefaultWindow}
+	s := &Server{ln: ln, done: make(chan struct{}), conns: make(map[net.Conn]struct{}), replConns: make(map[net.Conn]struct{}), window: DefaultWindow}
+	s.backend.Store(&store)
 	for _, opt := range opts {
 		opt(s)
 	}
 	s.wg.Add(1)
 	go s.acceptLoop()
 	return s, nil
+}
+
+// store returns the current backend.
+func (s *Server) store() Backend { return *s.backend.Load().(*Backend) }
+
+// SwapBackend atomically replaces the serving backend and returns the
+// previous one. Requests already dispatched finish against the old
+// backend; new requests see the new one. The replication subsystem uses
+// this when a replica discards divergent state and rebuilds from a
+// primary snapshot.
+func (s *Server) SwapBackend(b Backend) Backend {
+	old := s.store()
+	s.backend.Store(&b)
+	return old
+}
+
+// Quiesce blocks until every admitted store operation has delivered its
+// reply, or d elapses (error). Role demotion uses it: once new writes are
+// rejected, this drains the ones already in flight — including a deferred
+// neighbor batch, whose members hold admission slots until their replies
+// are ready — so no accepted durable ack is lost or reordered across a
+// promotion.
+func (s *Server) Quiesce(d time.Duration) error {
+	deadline := time.Now().Add(d)
+	for s.m.Busy.Value() != 0 {
+		if time.Now().After(deadline) {
+			return fmt.Errorf("kvstore: quiesce: %d operations still in flight after %v", s.m.Busy.Value(), d)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	return nil
 }
 
 // Addr returns the bound address.
@@ -300,9 +369,15 @@ func (s *Server) Close() error {
 	for conn := range s.conns {
 		conn.SetReadDeadline(time.Now())
 	}
+	// Hijacked replication streams pace their own deadlines and their
+	// peer may stay live indefinitely, so a deadline nudge cannot end
+	// them: hard-close so both their reader and shipper fail now.
+	for conn := range s.replConns {
+		conn.Close()
+	}
 	s.mu.Unlock()
 	s.wg.Wait()
-	if serr := s.store.Sync(); err == nil {
+	if serr := s.store().Sync(); err == nil {
 		err = serr
 	}
 	return err
@@ -534,9 +609,9 @@ func (s *Server) serve(conn net.Conn) {
 			for i, kv := range batchKVs {
 				keys[i] = kv.Key
 			}
-			s.store.GetBatch(keys, func(i int, r Result) { ps[i].deliver(formatGet(r)) })
+			s.store().GetBatch(keys, func(i int, r Result) { ps[i].deliver(formatGet(r)) })
 		case 'S':
-			s.store.SetBatch(batchKVs, func(i int, r Result) { ps[i].deliver(formatSet(r)) })
+			s.store().SetBatch(batchKVs, func(i int, r Result) { ps[i].deliver(formatSet(r)) })
 		}
 		batchKind, batchKVs, batchPs = 0, nil, nil
 	}
@@ -554,6 +629,7 @@ func (s *Server) serve(conn net.Conn) {
 	}
 
 	var readErr error
+	firstLine := true
 loop:
 	for {
 		// Never block on the wire with a deferred batch pending — its
@@ -591,8 +667,42 @@ loop:
 		if line == "" {
 			continue
 		}
+		if firstLine && s.repl != nil && strings.HasPrefix(line, "REPL HELLO ") {
+			// A replication stream announces itself as the first line of a
+			// dedicated connection. Retire the reply pipeline, then hand
+			// the connection (and any bytes already buffered past the
+			// hello) to the replication subsystem; serve's deferred close
+			// still owns the socket's lifetime.
+			close(pending)
+			<-writerDone
+			s.mu.Lock()
+			if s.closed {
+				s.mu.Unlock()
+				return
+			}
+			conn.SetReadDeadline(time.Time{}) // the stream paces itself
+			s.replConns[conn] = struct{}{}
+			s.mu.Unlock()
+			defer func() {
+				s.mu.Lock()
+				delete(s.replConns, conn)
+				s.mu.Unlock()
+			}()
+			s.repl.HandleStream(line, conn, lr.br)
+			return
+		}
+		firstLine = false
 		p := newPending()
 		if kind, kv, ok := parseBatchable(line); ok {
+			if kind == 'S' && s.repl != nil {
+				if wok, reply := s.repl.WriteAllowed(); !wok {
+					// Readonly rejection, in order: like a shed, it takes
+					// the request's reply slot without touching the store.
+					p.deliver(reply)
+					enqueue(p)
+					continue
+				}
+			}
 			release, admitted := s.admitStore()
 			if !admitted {
 				// Shed, in order: the rejection takes the request's reply
@@ -773,10 +883,10 @@ func (s *Server) dispatch(line string, deliver func(string)) (quit bool) {
 	case "COUNT":
 		// Task-based live count: the serve loop pipelines, so the tree
 		// may never be quiescent when COUNT arrives.
-		s.store.CountLive(func(n int) { deliver(fmt.Sprintf("COUNT %d", n)) })
+		s.store().CountLive(func(n int) { deliver(fmt.Sprintf("COUNT %d", n)) })
 	case "STATS":
-		st := s.store.Stats()
-		per := s.store.StatsByShard()
+		st := s.store().Stats()
+		per := s.store().StatsByShard()
 		var sb strings.Builder
 		fmt.Fprintf(&sb, "STATS gets=%d sets=%d dels=%d errs=%d toolong=%d shed=%d deadline_drops=%d shards=%d",
 			st.Gets, st.Sets, st.Dels, s.m.ConnErrors.Value(), s.m.TooLong.Value(),
@@ -784,15 +894,49 @@ func (s *Server) dispatch(line string, deliver func(string)) (quit bool) {
 		for i, ss := range per {
 			fmt.Fprintf(&sb, " s%d=%d/%d/%d", i, ss.Gets, ss.Sets, ss.Dels)
 		}
+		if s.repl != nil {
+			sb.WriteString(s.repl.StatsExtra())
+		}
 		deliver(sb.String())
+	case "REPL":
+		// Control verbs (PROMOTE/FOLLOW). May block on a drain, so they
+		// run off the reader goroutine; deliver is safe from any
+		// goroutine. HELLO never reaches here on its own connection — the
+		// serve loop hijacks it — so a misplaced one gets the handler's
+		// error reply.
+		if s.repl == nil {
+			deliver("ERR replication not enabled")
+			return false
+		}
+		ctl := line
+		go func() { deliver(s.repl.HandleControl(ctl)) }()
+	case "GETR":
+		if s.repl == nil {
+			deliver("ERR replication not enabled")
+			return false
+		}
+		if len(fields) != 3 {
+			deliver("ERR usage: GETR <key> <maxlag>")
+			return false
+		}
+		key, err1 := strconv.ParseUint(fields[1], 10, 64)
+		lag, err2 := strconv.ParseUint(fields[2], 10, 64)
+		if err1 != nil || err2 != nil {
+			deliver("ERR key and maxlag must be uint64")
+			return false
+		}
+		s.repl.HandleStaleGet(key, lag, deliver)
 	case "GET":
 		key, err := parseKey(fields, 2)
 		if err != nil {
 			deliver("ERR " + err.Error())
 			return false
 		}
-		s.store.Get(key, func(r Result) { deliver(formatGet(r)) })
+		s.store().Get(key, func(r Result) { deliver(formatGet(r)) })
 	case "SET":
+		if !s.writeAllowed(deliver) {
+			return false
+		}
 		if len(fields) != 3 {
 			deliver("ERR usage: SET <key> <value>")
 			return false
@@ -803,14 +947,17 @@ func (s *Server) dispatch(line string, deliver func(string)) (quit bool) {
 			deliver("ERR key and value must be uint64")
 			return false
 		}
-		s.store.Set(key, val, func(r Result) { deliver(formatSet(r)) })
+		s.store().Set(key, val, func(r Result) { deliver(formatSet(r)) })
 	case "DEL":
+		if !s.writeAllowed(deliver) {
+			return false
+		}
 		key, err := parseKey(fields, 2)
 		if err != nil {
 			deliver("ERR " + err.Error())
 			return false
 		}
-		s.store.Delete(key, func(r Result) {
+		s.store().Delete(key, func(r Result) {
 			if r.Found {
 				deliver("DELETED")
 			} else {
@@ -837,8 +984,11 @@ func (s *Server) dispatch(line string, deliver func(string)) (quit bool) {
 			}
 			limit = min(n, MaxScanLimit)
 		}
-		s.store.ScanLimit(from, to, limit, func(res ScanResult) { deliver(formatRange(res)) })
+		s.store().ScanLimit(from, to, limit, func(res ScanResult) { deliver(formatRange(res)) })
 	case "MSET":
+		if !s.writeAllowed(deliver) {
+			return false
+		}
 		if len(fields) < 3 || len(fields)%2 == 0 {
 			deliver("ERR usage: MSET <key> <value> [<key> <value> ...]")
 			return false
@@ -858,7 +1008,7 @@ func (s *Server) dispatch(line string, deliver func(string)) (quit bool) {
 			pairs = append(pairs, blinktree.KV{Key: k, Value: v})
 		}
 		var done atomic.Int64
-		s.store.SetBatch(pairs, func(int, Result) {
+		s.store().SetBatch(pairs, func(int, Result) {
 			if done.Add(1) == int64(len(pairs)) {
 				deliver(fmt.Sprintf("STORED %d", len(pairs)))
 			}
@@ -883,7 +1033,7 @@ func (s *Server) dispatch(line string, deliver func(string)) (quit bool) {
 		}
 		results := make([]Result, len(keys))
 		var done atomic.Int64
-		s.store.GetBatch(keys, func(i int, r Result) {
+		s.store().GetBatch(keys, func(i int, r Result) {
 			results[i] = r
 			if done.Add(1) == int64(len(keys)) {
 				var sb strings.Builder
@@ -902,6 +1052,19 @@ func (s *Server) dispatch(line string, deliver func(string)) (quit bool) {
 		deliver("ERR unknown command " + cmd)
 	}
 	return false
+}
+
+// writeAllowed gates a mutating command through the replication role; the
+// rejection reply, when any, is delivered in the request's slot.
+func (s *Server) writeAllowed(deliver func(string)) bool {
+	if s.repl == nil {
+		return true
+	}
+	ok, reply := s.repl.WriteAllowed()
+	if !ok {
+		deliver(reply)
+	}
+	return ok
 }
 
 func formatGet(r Result) string {

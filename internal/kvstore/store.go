@@ -67,6 +67,12 @@ type Store struct {
 	// invoke/return pair for linearizability checking. Set via Instrument
 	// before any concurrent use.
 	rec *linearize.Recorder
+
+	// commitGate, when set, interposes between a mutation's local
+	// durability and its client-facing ack: the replication subsystem
+	// holds the ack until enough replicas acknowledged the sequence
+	// number (semi-synchronous commit). See SetCommitGate.
+	commitGate atomic.Pointer[func(seq uint64, fire func(error))]
 }
 
 // Stats reports operation counts since creation.
@@ -212,13 +218,15 @@ func (s *Store) Set(key, value uint64, done func(Result)) {
 		// for this key, so replay order and memory order agree.
 		op.Commit = func(o *blinktree.Op) {
 			found := o.Found
-			s.log.Append(wal.OpSet, key, value, func(err error) {
-				if s.rec != nil {
-					s.rec.Return(opID, value, found, err)
-				}
-				if done != nil {
-					done(Result{Value: value, Found: found, Err: err})
-				}
+			s.log.AppendSeq(wal.OpSet, key, value, func(seq uint64, err error) {
+				s.finishWrite(seq, err, func(err error) {
+					if s.rec != nil {
+						s.rec.Return(opID, value, found, err)
+					}
+					if done != nil {
+						done(Result{Value: value, Found: found, Err: err})
+					}
+				})
 			})
 		}
 		s.startOp(op)
@@ -253,13 +261,15 @@ func (s *Store) Delete(key uint64, done func(Result)) {
 		s.logged.Add(1)
 		op.Commit = func(o *blinktree.Op) {
 			found := o.Found
-			s.log.Append(wal.OpDelete, key, 0, func(err error) {
-				if s.rec != nil {
-					s.rec.Return(opID, 0, found, err)
-				}
-				if done != nil {
-					done(Result{Found: found, Err: err})
-				}
+			s.log.AppendSeq(wal.OpDelete, key, 0, func(seq uint64, err error) {
+				s.finishWrite(seq, err, func(err error) {
+					if s.rec != nil {
+						s.rec.Return(opID, 0, found, err)
+					}
+					if done != nil {
+						done(Result{Found: found, Err: err})
+					}
+				})
 			})
 		}
 		s.startOp(op)
@@ -282,6 +292,77 @@ func (s *Store) Delete(key uint64, done func(Result)) {
 
 func (s *Store) startOp(op *blinktree.Op) {
 	s.tree.StartFrom(nil, op)
+}
+
+// finishWrite routes a locally durable mutation through the commit gate
+// (when one is set) before firing its client-facing ack. A failed local
+// append never consults the gate — the error ack fires directly.
+func (s *Store) finishWrite(seq uint64, err error, fire func(error)) {
+	if err != nil {
+		fire(err)
+		return
+	}
+	if gate := s.commitGate.Load(); gate != nil {
+		(*gate)(seq, fire)
+		return
+	}
+	fire(nil)
+}
+
+// SetCommitGate interposes gate between local durability and client acks:
+// after a mutation's covering fsync, gate receives its sequence number and
+// the ack thunk, and fires the thunk once the commit condition (e.g.
+// enough replica acks) holds — or with an error to surface a commit
+// timeout. Pass nil to remove the gate; mutations already handed to a
+// previous gate still complete through it. The gate runs on WAL ack
+// workers and must not block.
+func (s *Store) SetCommitGate(gate func(seq uint64, fire func(error))) {
+	if gate == nil {
+		s.commitGate.Store(nil)
+		return
+	}
+	s.commitGate.Store(&gate)
+}
+
+// WAL exposes the store's log to the replication subsystem (nil for
+// in-memory stores): the shipper tails it and watches DurableSeq.
+func (s *Store) WAL() *wal.Log { return s.log }
+
+// ApplyRecord appends one primary-assigned record to the local WAL,
+// bypassing tree, stats, recorder, and commit gate. The replica applier
+// calls it in ascending sequence order from one goroutine; done fires
+// after the record's covering fsync.
+func (s *Store) ApplyRecord(rec wal.Record, done func(error)) {
+	if s.log == nil {
+		if done != nil {
+			done(ErrNoDurability)
+		}
+		return
+	}
+	s.log.AppendRec(rec, done)
+}
+
+// ApplyToTree applies one replicated mutation to the in-memory tree
+// without logging, stats, or client acks: the record is already in the
+// local WAL via ApplyRecord. done (optional) fires when the tree op
+// completes.
+func (s *Store) ApplyToTree(rec wal.Record, done func()) {
+	var op *blinktree.Op
+	switch rec.Op {
+	case wal.OpSet:
+		op = s.tree.NewOp("insert", rec.Key, rec.Value, nil)
+	case wal.OpDelete:
+		op = s.tree.NewOp("delete", rec.Key, 0, nil)
+	default:
+		if done != nil {
+			done()
+		}
+		return
+	}
+	if done != nil {
+		op.Done = func(_ *mxtask.Context, _ *mxtask.Task) { done() }
+	}
+	s.startOp(op)
 }
 
 // maybeSnapshot triggers an automatic checkpoint when enough mutations

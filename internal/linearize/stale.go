@@ -1,0 +1,146 @@
+// Bounded-staleness checking for replica reads.
+//
+// Replica reads are not linearizable — they may lag the primary — but the
+// replication design still makes a checkable promise: a replica serves the
+// store state as of some applied sequence number, applied prefixes are
+// gapless prefixes of the primary's log, and the server rejects reads
+// whose lag exceeds the client's bound. A replica read is therefore
+// correct iff the value it observed is explained by SOME sequence number
+// within the window the server stamped on the reply: at least the
+// replica's applied watermark when the read was admitted, at most the
+// watermark when the reply was built. The authority for "state as of seq
+// S" is the surviving primary's log, replayed after the run.
+package linearize
+
+import "fmt"
+
+// LogWrite is one record of the authoritative (post-run, surviving
+// primary) log timeline, in sequence order.
+type LogWrite struct {
+	Seq    uint64
+	Key    uint64
+	Value  uint64
+	Delete bool
+}
+
+// StaleRead is one replica read with the sequence window the server
+// stamped on its reply.
+type StaleRead struct {
+	Key   uint64
+	Value uint64
+	Found bool
+	// SeqLo and SeqHi bound the applied sequence number the read could
+	// have been served at: applied watermark at admit, watermark at reply.
+	SeqLo, SeqHi uint64
+	// Lag is the primary-durable minus applied distance the server
+	// observed when serving; Bound is the client's max-lag request. The
+	// checker verifies the server honored the bound.
+	Lag, Bound uint64
+	// Replica names the serving node (diagnostics only).
+	Replica string
+}
+
+func (r StaleRead) String() string {
+	val := "absent"
+	if r.Found {
+		val = fmt.Sprintf("%d", r.Value)
+	}
+	return fmt.Sprintf("stale-read key=%d -> %s window=[%d,%d] lag=%d bound=%d replica=%s",
+		r.Key, val, r.SeqLo, r.SeqHi, r.Lag, r.Bound, r.Replica)
+}
+
+// StaleResult reports a bounded-staleness check.
+type StaleResult struct {
+	Ok bool
+	// Bad indexes the reads (into the input slice) that no sequence
+	// number in their window explains, or that exceeded their lag bound.
+	Bad []int
+	// Reason describes each bad read, parallel to Bad.
+	Reason []string
+}
+
+// CheckBoundedStale verifies every replica read against the authoritative
+// log: the observed (value, presence) must equal the key's state at some
+// sequence number within [SeqLo, SeqHi], and the served lag must be within
+// the requested bound. The log must be in ascending Seq order (gapless not
+// required for the check itself, but that is what the WAL provides).
+func CheckBoundedStale(log []LogWrite, reads []StaleRead) StaleResult {
+	// Per-key version chains: the state of a key as of S is the last
+	// entry with Seq <= S (or "absent, zero" when none).
+	chains := make(map[uint64][]version)
+	var lastSeq uint64
+	for _, w := range log {
+		if w.Seq < lastSeq {
+			return StaleResult{Ok: false, Bad: []int{-1},
+				Reason: []string{fmt.Sprintf("log out of order at seq %d after %d", w.Seq, lastSeq)}}
+		}
+		lastSeq = w.Seq
+		chains[w.Key] = append(chains[w.Key], version{seq: w.Seq, value: w.Value, present: !w.Delete})
+	}
+
+	res := StaleResult{Ok: true}
+	for i, r := range reads {
+		if r.Bound != 0 && r.Lag > r.Bound {
+			res.Ok = false
+			res.Bad = append(res.Bad, i)
+			res.Reason = append(res.Reason, fmt.Sprintf("served lag %d exceeds bound %d: %v", r.Lag, r.Bound, r))
+			continue
+		}
+		if r.SeqHi < r.SeqLo {
+			res.Ok = false
+			res.Bad = append(res.Bad, i)
+			res.Reason = append(res.Reason, fmt.Sprintf("inverted window: %v", r))
+			continue
+		}
+		if !staleReadExplained(chains[r.Key], r) {
+			res.Ok = false
+			res.Bad = append(res.Bad, i)
+			res.Reason = append(res.Reason, fmt.Sprintf("no seq in window explains observation: %v", r))
+		}
+	}
+	return res
+}
+
+// staleReadExplained reports whether some state of the key's version chain
+// within the read's window matches the observation. Candidate states are
+// the state as of SeqLo plus every version that lands inside the window.
+func staleReadExplained(chain []version, r StaleRead) bool {
+	// State as of SeqLo: last version with seq <= SeqLo.
+	var at version // zero value: absent
+	for _, v := range chain {
+		if v.seq > r.SeqLo {
+			break
+		}
+		at = v
+	}
+	if matches(at, r) {
+		return true
+	}
+	for _, v := range chain {
+		if v.seq <= r.SeqLo {
+			continue
+		}
+		if v.seq > r.SeqHi {
+			break
+		}
+		if matches(v, r) {
+			return true
+		}
+	}
+	return false
+}
+
+// version is one entry of a key's chain: its state from seq onward (until
+// the next version).
+type version struct {
+	seq     uint64
+	value   uint64
+	present bool
+}
+
+func matches(v version, r StaleRead) bool {
+	if !v.present {
+		return !r.Found
+	}
+	return r.Found && v.value == r.Value
+}

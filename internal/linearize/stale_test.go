@@ -1,0 +1,94 @@
+package linearize
+
+import "testing"
+
+// timeline: seq 1: k1=10, seq 2: k2=20, seq 3: k1=11, seq 4: del k2,
+// seq 5: k1=12.
+func staleLog() []LogWrite {
+	return []LogWrite{
+		{Seq: 1, Key: 1, Value: 10},
+		{Seq: 2, Key: 2, Value: 20},
+		{Seq: 3, Key: 1, Value: 11},
+		{Seq: 4, Key: 2, Delete: true},
+		{Seq: 5, Key: 1, Value: 12},
+	}
+}
+
+func TestBoundedStaleAccepts(t *testing.T) {
+	reads := []StaleRead{
+		// Exact states at single points.
+		{Key: 1, Value: 10, Found: true, SeqLo: 1, SeqHi: 2},
+		{Key: 1, Value: 11, Found: true, SeqLo: 3, SeqHi: 4},
+		{Key: 1, Value: 12, Found: true, SeqLo: 5, SeqHi: 5},
+		// A window spanning several versions: any of them explains.
+		{Key: 1, Value: 10, Found: true, SeqLo: 1, SeqHi: 5},
+		{Key: 1, Value: 12, Found: true, SeqLo: 1, SeqHi: 5},
+		// Absence before creation and after deletion.
+		{Key: 2, Found: false, SeqLo: 0, SeqHi: 1},
+		{Key: 2, Found: false, SeqLo: 4, SeqHi: 9},
+		// Key never written: absent at any window.
+		{Key: 99, Found: false, SeqLo: 0, SeqHi: 100},
+		// The state-as-of-SeqLo candidate: version landed before the
+		// window opened and is still current inside it.
+		{Key: 2, Value: 20, Found: true, SeqLo: 3, SeqHi: 3},
+		// Lag within bound.
+		{Key: 1, Value: 12, Found: true, SeqLo: 5, SeqHi: 5, Lag: 3, Bound: 8},
+	}
+	res := CheckBoundedStale(staleLog(), reads)
+	if !res.Ok {
+		t.Fatalf("valid reads rejected: %v", res.Reason)
+	}
+}
+
+func TestBoundedStaleRejectsUnexplainedValue(t *testing.T) {
+	cases := []StaleRead{
+		// Value from outside the window (too old).
+		{Key: 1, Value: 10, Found: true, SeqLo: 3, SeqHi: 4},
+		// Value from the future of the window.
+		{Key: 1, Value: 12, Found: true, SeqLo: 1, SeqHi: 4},
+		// Value never written at all.
+		{Key: 1, Value: 77, Found: true, SeqLo: 0, SeqHi: 100},
+		// Claims absence while the key existed throughout the window.
+		{Key: 1, Found: false, SeqLo: 3, SeqHi: 5},
+		// Claims presence while the key was deleted throughout.
+		{Key: 2, Value: 20, Found: true, SeqLo: 5, SeqHi: 9},
+	}
+	for i, r := range cases {
+		res := CheckBoundedStale(staleLog(), []StaleRead{r})
+		if res.Ok {
+			t.Errorf("case %d: invalid read %v accepted", i, r)
+		}
+	}
+}
+
+func TestBoundedStaleRejectsLagOverBound(t *testing.T) {
+	res := CheckBoundedStale(staleLog(), []StaleRead{
+		{Key: 1, Value: 12, Found: true, SeqLo: 5, SeqHi: 5, Lag: 9, Bound: 4},
+	})
+	if res.Ok {
+		t.Fatal("lag over bound accepted")
+	}
+}
+
+func TestBoundedStaleRejectsInvertedWindowAndBadLog(t *testing.T) {
+	if res := CheckBoundedStale(staleLog(), []StaleRead{
+		{Key: 1, Value: 11, Found: true, SeqLo: 4, SeqHi: 3},
+	}); res.Ok {
+		t.Fatal("inverted window accepted")
+	}
+	if res := CheckBoundedStale([]LogWrite{{Seq: 5, Key: 1}, {Seq: 4, Key: 1}}, nil); res.Ok {
+		t.Fatal("out-of-order log accepted")
+	}
+}
+
+func TestBoundedStaleReportsIndices(t *testing.T) {
+	reads := []StaleRead{
+		{Key: 1, Value: 10, Found: true, SeqLo: 1, SeqHi: 1}, // ok
+		{Key: 1, Value: 12, Found: true, SeqLo: 1, SeqHi: 1}, // bad
+		{Key: 2, Value: 20, Found: true, SeqLo: 2, SeqHi: 3}, // ok
+	}
+	res := CheckBoundedStale(staleLog(), reads)
+	if res.Ok || len(res.Bad) != 1 || res.Bad[0] != 1 {
+		t.Fatalf("Bad=%v Reason=%v", res.Bad, res.Reason)
+	}
+}

@@ -1,0 +1,386 @@
+package repl
+
+// Crown jewel: a 3-node cluster driven through seeded fault schedules —
+// primary crashes (kill -9 with torn-tail disk images), replica crashes,
+// one-way replication-link partitions — with concurrent redirect-following
+// writers and bounded-staleness readers, all links through netfault
+// proxies. The merged history is then checked:
+//
+//   - Strict reads and writes must be linearizable WITHIN each
+//     inter-crash phase: a primary crash rolls volatile (read-visible,
+//     not-yet-durable) state back to the durable prefix, so reads that
+//     straddle a crash may observe a write that later vanishes. The
+//     timeline is cut at every primary crash; each phase must linearize
+//     taking every mutation invoked by then (pending if unresolved
+//     inside the phase) plus the phase's own reads.
+//   - Acked durability is the final phase's job: after healing, every
+//     surviving acked write must be consistent with strict verification
+//     reads on the last primary — an acked-then-lost write fails the
+//     check on its key.
+//   - Replica reads are exempt from crash cuts: only durable primary
+//     records ever ship, so a windowed read is explained by the
+//     authoritative log no matter who crashed later. Every one is
+//     checked against the final primary's replayed WAL via
+//     CheckBoundedStale.
+//
+// Schedule count: MXKV_CLUSTER_SCHEDULES (default 3 for tier-1; the
+// cluster-chaos make target runs the full matrix).
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"os"
+	"strconv"
+	"sync"
+	"testing"
+	"time"
+
+	"mxtasking/internal/faultfs"
+	"mxtasking/internal/linearize"
+	"mxtasking/internal/netfault"
+	"mxtasking/internal/wal"
+)
+
+const chaosKeySpace = 24
+
+func TestClusterChaosSchedules(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cluster chaos: skipped in -short")
+	}
+	schedules := 3
+	if s := os.Getenv("MXKV_CLUSTER_SCHEDULES"); s != "" {
+		n, err := strconv.Atoi(s)
+		if err != nil || n < 1 {
+			t.Fatalf("MXKV_CLUSTER_SCHEDULES=%q: want a positive integer", s)
+		}
+		schedules = n
+	}
+	for i := 0; i < schedules; i++ {
+		seed := int64(9000 + 97*i)
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			runClusterChaos(t, seed)
+		})
+	}
+}
+
+func runClusterChaos(t *testing.T, seed int64) {
+	c := newCluster(t, seed, 3)
+	for _, name := range c.order {
+		tn := c.node(name)
+		tn.ack = 1
+		tn.lease = tLease
+	}
+	sup, err := NewSupervisor(SupervisorConfig{
+		Members:        c.order,
+		Route:          c.supRoute,
+		HeartbeatEvery: 25 * time.Millisecond,
+		LeaseTimeout:   tLease,
+		DeadMisses:     3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sup.Start()
+	defer sup.Close()
+	c.startAll()
+	waitFor(t, 10*time.Second, func() bool { return sup.Primary() == "n0" }, "supervisor never found the seed primary")
+
+	rng := rand.New(rand.NewSource(seed))
+	rec := linearize.NewRecorder()
+	var smu sync.Mutex
+	var staleReads []linearize.StaleRead
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+
+	// Writers: redirect-following, seeded on every member, each key's
+	// value unique so observations identify their writer.
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			lrng := rand.New(rand.NewSource(seed + int64(100+w)))
+			cli, err := c.dialClient(fmt.Sprintf("w%d", w), seed+int64(w), "n0", "n1", "n2")
+			if err != nil {
+				t.Errorf("writer %d dial: %v", w, err)
+				return
+			}
+			defer cli.Close()
+			for i := uint64(1); ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				key := 1 + lrng.Uint64()%chaosKeySpace
+				val := uint64(w+1)*1_000_000 + i
+				id := rec.Invoke(w, linearize.OpSet, key, val)
+				overwrote, err := cli.Set(key, val)
+				// A transport error leaves the write's fate unknown:
+				// Return with err keeps it Pending, which is exactly
+				// what the checker assumes.
+				rec.Return(id, val, overwrote, err)
+				if err != nil {
+					// Back off hard on failure: every failed write is a
+					// Pending op forever, and the per-key checker is
+					// exponential in unresolved ops.
+					cli.Reconnect()
+					time.Sleep(time.Duration(20+lrng.Intn(30)) * time.Millisecond)
+				}
+				time.Sleep(time.Duration(lrng.Intn(2000)) * time.Microsecond)
+			}
+		}(w)
+	}
+
+	// Readers: one pinned to each replica seed. A windowed reply becomes
+	// a StaleRead for the log check; a strict (primary-served) reply
+	// joins the linearizable history — if the lease fencing is wrong,
+	// these are the reads that catch it.
+	for r, name := range []string{"n1", "n2"} {
+		wg.Add(1)
+		go func(r int, name string) {
+			defer wg.Done()
+			lrng := rand.New(rand.NewSource(seed + int64(200+r)))
+			cli, err := c.dialClient("r"+name, seed+int64(10+r), name)
+			if err != nil {
+				t.Errorf("reader %s dial: %v", name, err)
+				return
+			}
+			defer cli.Close()
+			bounds := []uint64{0, 2, 8}
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				key := 1 + lrng.Uint64()%chaosKeySpace
+				bound := bounds[lrng.Intn(len(bounds))]
+				id := rec.Invoke(10+r, linearize.OpGet, key, 0)
+				sv, err := cli.GetStale(key, bound)
+				switch {
+				case err != nil:
+					// Refused or failed: pending read, dropped from the
+					// history; it constrains nothing.
+					rec.Return(id, 0, false, err)
+					cli.Reconnect()
+					time.Sleep(time.Duration(1+lrng.Intn(4)) * time.Millisecond)
+				case sv.Primary:
+					rec.Return(id, sv.Value, sv.Found, nil)
+				default:
+					rec.Return(id, 0, false, fmt.Errorf("windowed"))
+					smu.Lock()
+					staleReads = append(staleReads, linearize.StaleRead{
+						Key: key, Value: sv.Value, Found: sv.Found,
+						SeqLo: sv.SeqLo, SeqHi: sv.SeqHi,
+						Lag: sv.Lag, Bound: bound, Replica: name,
+					})
+					smu.Unlock()
+				}
+				time.Sleep(time.Duration(lrng.Intn(2000)) * time.Microsecond)
+			}
+		}(r, name)
+	}
+
+	// The fault schedule. Every primary crash cuts the strict timeline.
+	var cuts []int64
+	events := 2 + rng.Intn(2)
+	for e := 0; e < events; e++ {
+		time.Sleep(time.Duration(150+rng.Intn(250)) * time.Millisecond)
+		switch rng.Intn(3) {
+		case 0: // kill the primary, wait out failover, rejoin it
+			p := sup.Primary()
+			if p == "" || !c.node(p).isUp() {
+				continue
+			}
+			c.node(p).crash()
+			cuts = append(cuts, rec.Now())
+			waitFor(t, 30*time.Second, func() bool {
+				np := sup.Primary()
+				return np != "" && np != p && c.node(np).isUp()
+			}, "supervisor never failed over")
+			if err := c.node(p).start(sup.Primary()); err != nil {
+				t.Fatalf("rejoin %s: %v", p, err)
+			}
+		case 1: // kill a replica, restart it shortly after
+			p := sup.Primary()
+			var candidates []string
+			for _, name := range c.order {
+				if name != p && c.node(name).isUp() {
+					candidates = append(candidates, name)
+				}
+			}
+			if len(candidates) == 0 {
+				continue
+			}
+			victim := candidates[rng.Intn(len(candidates))]
+			c.node(victim).crash()
+			time.Sleep(time.Duration(100+rng.Intn(200)) * time.Millisecond)
+			if err := c.node(victim).start(sup.Primary()); err != nil {
+				t.Fatalf("restart %s: %v", victim, err)
+			}
+		case 2: // one-way partition on a replication link, then heal it
+			p := sup.Primary()
+			var replicas []string
+			for _, name := range c.order {
+				if name != p && c.node(name).isUp() {
+					replicas = append(replicas, name)
+				}
+			}
+			if p == "" || len(replicas) == 0 {
+				continue
+			}
+			r := replicas[rng.Intn(len(replicas))]
+			cut := []netfault.Cut{netfault.Blackhole, netfault.DropS2C, netfault.DropC2S}[rng.Intn(3)]
+			c.setScript(r, p, netfault.Fixed(netfault.Plan{Cut: cut, CutAfterBytes: int64(rng.Intn(2048))}))
+			c.sever(r, p)
+			time.Sleep(time.Duration(200+rng.Intn(300)) * time.Millisecond)
+			c.setScript(r, p, netfault.Clean())
+			c.sever(r, p)
+		}
+	}
+
+	close(stop)
+	wg.Wait()
+
+	// Settle: heal everything, restart anything down, wait for one
+	// primary plus two caught-up replicas.
+	c.healAll()
+	for _, name := range c.order {
+		if !c.node(name).isUp() {
+			if err := c.node(name).start(sup.Primary()); err != nil {
+				t.Fatalf("final restart %s: %v", name, err)
+			}
+		}
+	}
+	waitFor(t, 30*time.Second, func() bool {
+		p := sup.Primary()
+		if p == "" || !c.node(p).isUp() || c.node(p).live().Role() != RolePrimary {
+			return false
+		}
+		for _, name := range c.order {
+			if name == p {
+				continue
+			}
+			n := c.node(name).live()
+			if n == nil || n.Role() != RoleReplica || !n.CaughtUp() {
+				return false
+			}
+		}
+		return true
+	}, "cluster never settled after the schedule")
+	final := sup.Primary()
+
+	// Verification reads: strict GETs of the whole key space on the
+	// final primary, into the same history.
+	vc := c.node(final).directClient(t)
+	for key := uint64(1); key <= chaosKeySpace; key++ {
+		id := rec.Invoke(20, linearize.OpGet, key, 0)
+		v, found, err := vc.Get(key)
+		rec.Return(id, v, found, err)
+		if err != nil {
+			t.Errorf("verification read %d: %v", key, err)
+		}
+	}
+	vc.Close()
+
+	// Stop every node gracefully (final WAL sync), then replay the final
+	// primary's log as the authority for the replica-read check.
+	finalFS := c.node(final).fs
+	for _, name := range c.order {
+		c.node(name).stop()
+	}
+
+	checkStrictPhases(t, rec.History(), cuts)
+	checkReplicaReads(t, finalFS, staleReads)
+}
+
+// checkStrictPhases cuts the strict history at every primary crash and
+// requires each phase to linearize on its own: all mutations invoked by
+// the phase end (pending when unresolved within it) plus the reads that
+// completed inside the phase.
+func checkStrictPhases(t *testing.T, history []linearize.Op, cuts []int64) {
+	t.Helper()
+	prev := int64(0)
+	bounds := append(append([]int64{}, cuts...), math.MaxInt64)
+	for pi, cut := range bounds {
+		var ops []linearize.Op
+		reads, writes := 0, 0
+		for _, op := range history {
+			if op.Call > cut {
+				continue
+			}
+			if op.Kind == linearize.OpGet {
+				if !op.Pending && op.Call > prev && op.Return <= cut {
+					ops = append(ops, op)
+					reads++
+				}
+				continue
+			}
+			if !op.Pending && op.Return > cut {
+				op.Pending = true
+			}
+			ops = append(ops, op)
+			writes++
+		}
+		if res := linearize.Check(ops); !res.Ok {
+			t.Errorf("phase %d (through cut %d): %v (%d writes, %d reads)", pi, cut, res, writes, reads)
+		}
+		prev = cut
+	}
+}
+
+// checkReplicaReads replays the final primary's WAL (snapshot horizon
+// included) and verifies every windowed replica read against it. Reads
+// whose window opens below the snapshot horizon are dropped: the
+// compacted log cannot adjudicate per-sequence states it no longer
+// carries.
+func checkReplicaReads(t *testing.T, fs *faultfs.FaultFS, staleReads []linearize.StaleRead) {
+	t.Helper()
+	dir, err := ActiveWALDir(fs, "/", "/wal")
+	if err != nil {
+		t.Fatalf("final wal dir: %v", err)
+	}
+	var pairs []wal.KV
+	var log []linearize.LogWrite
+	stats, err := wal.ReplayFS(fs, dir,
+		func(kv wal.KV) { pairs = append(pairs, kv) },
+		func(r wal.Record) error {
+			log = append(log, linearize.LogWrite{Seq: r.Seq, Key: r.Key, Value: r.Value, Delete: r.Op == wal.OpDelete})
+			return nil
+		})
+	if err != nil {
+		t.Fatalf("replay final wal: %v", err)
+	}
+	if stats.SnapshotSeq > 0 {
+		head := make([]linearize.LogWrite, 0, len(pairs)+len(log))
+		for _, kv := range pairs {
+			head = append(head, linearize.LogWrite{Seq: stats.SnapshotSeq, Key: kv.Key, Value: kv.Value})
+		}
+		log = append(head, log...)
+	}
+	var kept []linearize.StaleRead
+	dropped := 0
+	for _, r := range staleReads {
+		if r.SeqLo < stats.SnapshotSeq {
+			dropped++
+			continue
+		}
+		kept = append(kept, r)
+	}
+	if dropped > 0 {
+		t.Logf("replica reads below snapshot horizon (seq %d) dropped: %d of %d", stats.SnapshotSeq, dropped, len(staleReads))
+	}
+	res := linearize.CheckBoundedStale(log, kept)
+	if !res.Ok {
+		for i := range res.Bad {
+			if i >= 5 {
+				t.Errorf("... and %d more replica-read violations", len(res.Bad)-i)
+				break
+			}
+			t.Errorf("replica read violation: %s", res.Reason[i])
+		}
+	}
+	t.Logf("replica reads checked: %d against %d log entries (snapshot seq %d)", len(kept), len(log), stats.SnapshotSeq)
+}

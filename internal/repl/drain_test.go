@@ -1,0 +1,248 @@
+package repl
+
+// Satellite: role changes must not strand in-flight writes. A demoted
+// primary drains — admitted writes run to their replies and the WAL
+// syncs before the role flips — so every pipelined request resolves to
+// either a definite STORED (and the record is on the new timeline) or a
+// definite rejection. A crashed primary cannot drain, but with semi-sync
+// acks every STORED it managed to emit must already be on the promoted
+// replica.
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"mxtasking/internal/kvstore"
+)
+
+// pipelineOutcome resolves one pipelined SET's fate.
+type pipelineOutcome struct {
+	key    uint64
+	stored bool
+	err    error
+}
+
+// pipelineSets streams SETs (key i → value i) through one connection
+// with a bounded await window, so requests are genuinely in flight on
+// the wire while the role changes under them. progress (optional) is
+// signalled once after progressAt outcomes have resolved — the hook
+// mid-stream events key on. Transport errors after a crash are fine; a
+// hang is not — the caller bounds the whole run.
+func pipelineSets(cli *kvstore.Client, from, to uint64, progressAt int, progress chan<- struct{}) []pipelineOutcome {
+	const window = 32
+	var out []pipelineOutcome
+	inflight := make([]uint64, 0, window)
+	awaitOne := func() {
+		k := inflight[0]
+		inflight = inflight[1:]
+		_, err := cli.AwaitSet()
+		out = append(out, pipelineOutcome{key: k, stored: err == nil, err: err})
+		if progress != nil && len(out) == progressAt {
+			close(progress)
+			progress = nil
+		}
+	}
+	for i := from; i <= to; i++ {
+		if err := cli.SendSet(i, i); err != nil {
+			out = append(out, pipelineOutcome{key: i, err: err})
+			break
+		}
+		cli.Flush()
+		inflight = append(inflight, i)
+		if len(inflight) == window {
+			awaitOne()
+		}
+	}
+	for len(inflight) > 0 {
+		awaitOne()
+	}
+	if progress != nil {
+		close(progress)
+	}
+	return out
+}
+
+// stableApplied waits until a node's applied counter stops moving (it
+// has drained every record already buffered on its stream) and returns
+// the final value.
+func stableApplied(n *Node) uint64 {
+	last := n.Applied()
+	for streak := 0; streak < 10; {
+		time.Sleep(10 * time.Millisecond)
+		if a := n.Applied(); a == last {
+			streak++
+		} else {
+			last, streak = a, 0
+		}
+	}
+	return last
+}
+
+// TestGracefulDemoteDrainsPipeline demotes the primary by FOLLOW while a
+// client pipeline is in full flight. Every request must resolve (no
+// hangs), the outcomes must split into STOREDs and readonly rejections,
+// and every STORED key must be durable on the node the primary was told
+// to follow once it is promoted.
+func TestGracefulDemoteDrainsPipeline(t *testing.T) {
+	c := newCluster(t, 700, 2)
+	c.node("n0").ack = 1
+	c.startAll()
+
+	cli, err := c.dialClient("cli", 10, "n0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	// Warm the pipe so the connection is established and admitted.
+	if _, err := cli.Set(1, 1); err != nil {
+		t.Fatal(err)
+	}
+
+	// Fire the pipeline; while it is in flight, demote n0 onto n1 from a
+	// second connection (the control path runs off the reader goroutine,
+	// exactly as the supervisor would).
+	type res struct{ outs []pipelineOutcome }
+	done := make(chan res, 1)
+	progress := make(chan struct{})
+	go func() {
+		done <- res{pipelineSets(cli, 2, 1001, 100, progress)}
+	}()
+	// Demote once a chunk of the stream has landed but most of it is
+	// still to come: the FOLLOW is guaranteed to bisect the pipeline.
+	<-progress
+	reply, err := c.node("n0").control("REPL FOLLOW 2 n1")
+	if err != nil || !strings.HasPrefix(reply, "FOLLOWING") {
+		t.Fatalf("FOLLOW = %q, %v", reply, err)
+	}
+
+	var outs []pipelineOutcome
+	select {
+	case r := <-done:
+		outs = r.outs
+	case <-time.After(30 * time.Second):
+		t.Fatal("pipeline never resolved across the demotion")
+	}
+
+	stored, rejected := 0, 0
+	var storedKeys []uint64
+	for _, o := range outs {
+		switch {
+		case o.stored:
+			stored++
+			storedKeys = append(storedKeys, o.key)
+		case errors.Is(o.err, kvstore.ErrReadonly):
+			rejected++
+		default:
+			// A transport error mid-drain would mean the server cut the
+			// connection instead of answering: the drain failed.
+			t.Fatalf("key %d: %v (want STORED or readonly)", o.key, o.err)
+		}
+	}
+	if stored == 0 || rejected == 0 {
+		t.Fatalf("outcomes did not straddle the demotion: %d stored, %d rejected of %d", stored, rejected, len(outs))
+	}
+	t.Logf("pipeline across demotion: %d stored, %d rejected", stored, rejected)
+
+	// Promote the node n0 now follows; everything n0 acked must be there.
+	if _, err := c.node("n1").live().Promote(2); err != nil {
+		t.Fatal(err)
+	}
+	vc := c.node("n1").directClient(t)
+	defer vc.Close()
+	for _, k := range storedKeys {
+		v, found, err := vc.Get(k)
+		if err != nil || !found || v != k {
+			t.Fatalf("acked key %d lost across demotion: (%d, %v, %v)", k, v, found, err)
+		}
+	}
+}
+
+// TestCrashedPrimaryPipelineAckedSurvive crashes the primary with a
+// client pipeline mid-flight. Replies degrade to transport errors — the
+// crash forecloses graceful answers — but with AckReplicas=1 every
+// STORED the client did collect must be on the promoted replica, and the
+// deposed primary must rejoin the new timeline cleanly.
+func TestCrashedPrimaryPipelineAckedSurvive(t *testing.T) {
+	c := newCluster(t, 800, 3)
+	for _, name := range c.order {
+		c.node(name).ack = 1
+	}
+	c.startAll()
+
+	cli, err := c.dialClient("cli", 11, "n0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	if _, err := cli.Set(1, 1); err != nil {
+		t.Fatal(err)
+	}
+
+	done := make(chan []pipelineOutcome, 1)
+	progress := make(chan struct{})
+	go func() {
+		done <- pipelineSets(cli, 2, 1001, 100, progress)
+	}()
+	<-progress
+	c.node("n0").crash()
+
+	var outs []pipelineOutcome
+	select {
+	case o := <-done:
+		outs = o
+	case <-time.After(30 * time.Second):
+		t.Fatal("pipeline never resolved across the crash")
+	}
+	var storedKeys []uint64
+	for _, o := range outs {
+		if o.stored {
+			storedKeys = append(storedKeys, o.key)
+		}
+	}
+
+	// Promote the furthest-ahead replica, exactly as the supervisor would
+	// — AFTER each has drained the records already buffered on its dying
+	// stream; sampling mid-drain could crown the wrong node. (The real
+	// supervisor gets this for free from its lease wait.)
+	n1, n2 := c.node("n1").live(), c.node("n2").live()
+	winner, loser := "n1", "n2"
+	if stableApplied(n2) > stableApplied(n1) {
+		winner, loser = "n2", "n1"
+	}
+	if _, err := c.node(winner).live().Promote(2); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.node(loser).live().Follow(2, winner); err != nil {
+		t.Fatal(err)
+	}
+
+	vc := c.node(winner).directClient(t)
+	defer vc.Close()
+	for _, k := range storedKeys {
+		v, found, err := vc.Get(k)
+		if err != nil || !found || v != k {
+			t.Fatalf("acked key %d lost in crash failover: (%d, %v, %v)", k, v, found, err)
+		}
+	}
+	t.Logf("crash pipeline: %d of %d acked and verified", len(storedKeys), len(outs))
+
+	// The deposed primary restarts as a replica and resyncs (it may hold
+	// records the client never got answers for — divergence the dirty
+	// flag forces it to discard).
+	if err := c.node("n0").start(winner); err != nil {
+		t.Fatal(err)
+	}
+	rejoined := c.node("n0").live()
+	target := c.node(winner).live().storeNow().WAL().DurableSeq()
+	waitFor(t, 15*time.Second, func() bool {
+		return rejoined.CaughtUp() && rejoined.Applied() >= target
+	}, "deposed primary never rejoined")
+	for _, k := range storedKeys {
+		r := rejoined.storeNow().GetSync(k)
+		if r.Err != nil || !r.Found || r.Value != k {
+			t.Fatalf("acked key %d missing on rejoined node: %+v", k, r)
+		}
+	}
+}

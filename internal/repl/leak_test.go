@@ -1,0 +1,12 @@
+package repl
+
+import (
+	"os"
+	"testing"
+
+	"mxtasking/internal/testleak"
+)
+
+func TestMain(m *testing.M) {
+	os.Exit(testleak.Main(m))
+}

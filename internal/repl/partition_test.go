@@ -1,0 +1,168 @@
+package repl
+
+// Satellite: one-way partitions on the replication link. The replication
+// stream and its ACKs travel opposite directions over the same
+// connection, so each drop direction exercises a different failure mode:
+// losing RECS/BEAT (S2C from the replica-dialer's point of view) stalls
+// the replica without wedging the primary; losing ACKs (C2S) must stall
+// the SHIPPER at its window instead of growing primary state without
+// bound.
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"mxtasking/internal/kvstore"
+	"mxtasking/internal/netfault"
+)
+
+// TestPartitionStreamLossStallsReplicaOnly blackholes the record
+// direction of the replication link. The replica must stop advancing and
+// start refusing bounded reads once the primary goes quiet — while the
+// primary keeps serving writes at full speed.
+func TestPartitionStreamLossStallsReplicaOnly(t *testing.T) {
+	c := newCluster(t, 500, 2)
+	c.startAll()
+
+	cli, err := c.dialClient("cli", 6, "n0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	watchdog(t, 30*time.Second, func() error {
+		for i := uint64(1); i <= 100; i++ {
+			if _, err := cli.Set(i, i); err != nil {
+				return fmt.Errorf("warmup set %d: %w", i, err)
+			}
+		}
+		return nil
+	})
+	replica := c.node("n1").live()
+	waitFor(t, 10*time.Second, func() bool {
+		return replica.Applied() >= 100 && replica.CaughtUp()
+	}, "replica never warmed up")
+
+	// The replica dials the primary, so on the link n1>n0 the stream
+	// (RECS/BEAT) is server-to-client. Blackhole it after a handful of
+	// bytes: the established connection keeps carrying ACKs out but
+	// nothing comes back, so the replica wedges mid-stream — the worst
+	// case, since neither side sees a clean close.
+	c.setScript("n1", "n0", netfault.Fixed(netfault.Plan{Cut: netfault.DropS2C}))
+	c.sever("n1", "n0") // doom the live conn; the redial gets the drop plan
+
+	// The primary must keep taking writes at full speed while its
+	// follower is dark.
+	watchdog(t, 30*time.Second, func() error {
+		for i := uint64(101); i <= 400; i++ {
+			if err := setRetry(cli, i, i, time.Now().Add(5*time.Second)); err != nil {
+				return fmt.Errorf("partitioned %w", err)
+			}
+		}
+		return nil
+	})
+
+	// The replica saw none of it, and once StaleAfter passes without a
+	// primary frame its bounded reads refuse rather than lie.
+	if a := replica.Applied(); a >= 400 {
+		t.Fatalf("replica applied %d through a blackholed stream", a)
+	}
+	rcli, err := c.dialClient("cli-r", 7, "n1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rcli.Close()
+	waitFor(t, 10*time.Second, func() bool {
+		_, err := rcli.GetStale(1, 5)
+		return errors.Is(err, kvstore.ErrStale)
+	}, "bounded read kept serving with an unreachable primary")
+	// Unbounded reads still serve from what the replica has.
+	sv, err := rcli.GetStale(1, 0)
+	if err != nil || !sv.Found || sv.Value != 1 {
+		t.Fatalf("unbounded read during partition = %+v, %v", sv, err)
+	}
+
+	// Heal: the replica redials clean and converges.
+	c.healAll()
+	durable := c.node("n0").live().storeNow().WAL().DurableSeq()
+	waitFor(t, 15*time.Second, func() bool {
+		return replica.Applied() >= durable && replica.CaughtUp()
+	}, "replica never converged after heal")
+	// healAll doomed rcli's own proxy too; read through a fresh link.
+	rcli2, err := c.dialClient("cli-r2", 9, "n1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rcli2.Close()
+	sv, err = rcli2.GetStale(400, 1)
+	if err != nil || !sv.Found || sv.Value != 400 {
+		t.Fatalf("post-heal bounded read = %+v, %v", sv, err)
+	}
+}
+
+// TestPartitionAckLossBoundsShipWindow drops the ACK direction after the
+// handshake. The shipper must stall at ShipWindow unacked records — the
+// bound on primary-side stream state — while the primary itself keeps
+// acking client writes (async replication), then converge after heal.
+func TestPartitionAckLossBoundsShipWindow(t *testing.T) {
+	const window = 8
+	c := newCluster(t, 600, 2)
+	c.node("n0").shipWindow = window
+	c.startAll()
+
+	cli, err := c.dialClient("cli", 8, "n0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	watchdog(t, 30*time.Second, func() error {
+		for i := uint64(1); i <= 50; i++ {
+			if _, err := cli.Set(i, i); err != nil {
+				return fmt.Errorf("warmup set %d: %w", i, err)
+			}
+		}
+		return nil
+	})
+	replica := c.node("n1").live()
+	waitFor(t, 10*time.Second, func() bool { return replica.Applied() >= 50 }, "replica never warmed up")
+
+	// Let the handshake (HELLO out, REPL OK back) through, then eat every
+	// ACK. CutAfterBytes counts BOTH directions, so give it enough for
+	// the handshake plus a few ACK/BEAT rounds before the drop engages.
+	c.setScript("n1", "n0", netfault.Fixed(netfault.Plan{Cut: netfault.DropC2S, CutAfterBytes: 512}))
+	c.sever("n1", "n0")
+
+	// Write a storm through the primary. Far more records become durable
+	// than the window lets ship.
+	watchdog(t, 30*time.Second, func() error {
+		for i := uint64(51); i <= 450; i++ {
+			if err := setRetry(cli, i, i, time.Now().Add(5*time.Second)); err != nil {
+				return fmt.Errorf("storm %w", err)
+			}
+		}
+		return nil
+	})
+
+	// The shipper must be parked at its window, not tracking the storm.
+	primary := c.node("n0").live()
+	waitFor(t, 10*time.Second, func() bool {
+		fs := primary.Followers()
+		return len(fs) == 1 && fs[0].Shipped-fs[0].Acked > 0
+	}, "follower stream never established under ack loss")
+	for deadline := time.Now().Add(2 * time.Second); time.Now().Before(deadline); time.Sleep(5 * time.Millisecond) {
+		for _, f := range primary.Followers() {
+			if d := f.Shipped - f.Acked; d > window {
+				t.Fatalf("shipped %d past acked %d: window %d violated", f.Shipped, f.Acked, window)
+			}
+		}
+	}
+
+	// Heal; the replica's conn is doomed (its reads time out at
+	// StaleAfter), it redials clean and converges.
+	c.healAll()
+	durable := primary.storeNow().WAL().DurableSeq()
+	waitFor(t, 20*time.Second, func() bool {
+		return replica.Applied() >= durable && replica.CaughtUp()
+	}, "replica never converged after ack-loss heal")
+}

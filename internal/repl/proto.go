@@ -1,0 +1,118 @@
+package repl
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"mxtasking/internal/wal"
+)
+
+// hello is the parsed first line of a replication stream:
+// "REPL HELLO <term> <applied> <dirty> <advertise>".
+type hello struct {
+	term      uint64
+	applied   uint64
+	dirty     bool
+	advertise string
+}
+
+func parseHello(line string) (hello, error) {
+	fields := strings.Fields(line)
+	if len(fields) != 6 || fields[0] != "REPL" || fields[1] != "HELLO" {
+		return hello{}, errors.New("repl: malformed HELLO")
+	}
+	term, err1 := strconv.ParseUint(fields[2], 10, 64)
+	applied, err2 := strconv.ParseUint(fields[3], 10, 64)
+	dirty, err3 := strconv.ParseUint(fields[4], 10, 1)
+	if err1 != nil || err2 != nil || err3 != nil {
+		return hello{}, errors.New("repl: malformed HELLO")
+	}
+	return hello{term: term, applied: applied, dirty: dirty != 0, advertise: fields[5]}, nil
+}
+
+func formatHello(term, applied uint64, dirty bool, advertise string) string {
+	d := 0
+	if dirty {
+		d = 1
+	}
+	return fmt.Sprintf("REPL HELLO %d %d %d %s", term, applied, d, advertise)
+}
+
+// control is a parsed REPL control verb (LEASE/PROMOTE/FOLLOW).
+type control struct {
+	verb string
+	term uint64
+	addr string // FOLLOW only
+}
+
+func parseControl(line string) (control, error) {
+	fields := strings.Fields(line)
+	if len(fields) < 2 || fields[0] != "REPL" {
+		return control{}, errors.New("malformed REPL command")
+	}
+	c := control{verb: strings.ToUpper(fields[1])}
+	switch c.verb {
+	case "LEASE", "PROMOTE":
+		if len(fields) != 3 {
+			return control{}, fmt.Errorf("usage: REPL %s <term>", c.verb)
+		}
+	case "FOLLOW":
+		if len(fields) != 4 {
+			return control{}, errors.New("usage: REPL FOLLOW <term> <addr>")
+		}
+		c.addr = fields[3]
+	case "HELLO":
+		return control{}, errors.New("REPL HELLO must be the first line of its connection")
+	default:
+		return control{}, errors.New("unknown REPL verb " + c.verb)
+	}
+	term, err := strconv.ParseUint(fields[2], 10, 64)
+	if err != nil {
+		return control{}, errors.New("term must be uint64")
+	}
+	c.term = term
+	return c, nil
+}
+
+// formatRec renders one shipped record: "R <seq> <op> <key> <value>".
+// op is "S" for set, "D" for delete.
+func formatRec(rec wal.Record) string {
+	op := "S"
+	if rec.Op == wal.OpDelete {
+		op = "D"
+	}
+	return fmt.Sprintf("R %d %s %d %d", rec.Seq, op, rec.Key, rec.Value)
+}
+
+func parseRec(line string) (wal.Record, error) {
+	fields := strings.Fields(line)
+	if len(fields) != 5 || fields[0] != "R" {
+		return wal.Record{}, errors.New("repl: malformed record line")
+	}
+	seq, err1 := strconv.ParseUint(fields[1], 10, 64)
+	key, err3 := strconv.ParseUint(fields[3], 10, 64)
+	value, err4 := strconv.ParseUint(fields[4], 10, 64)
+	if err1 != nil || err3 != nil || err4 != nil {
+		return wal.Record{}, errors.New("repl: malformed record line")
+	}
+	var op wal.OpKind
+	switch fields[2] {
+	case "S":
+		op = wal.OpSet
+	case "D":
+		op = wal.OpDelete
+	default:
+		return wal.Record{}, errors.New("repl: unknown record op " + fields[2])
+	}
+	return wal.Record{Seq: seq, Op: op, Key: key, Value: value}, nil
+}
+
+// uintField parses field i of a space-split frame as uint64.
+func uintField(fields []string, i int) (uint64, error) {
+	if i >= len(fields) {
+		return 0, errors.New("repl: short frame")
+	}
+	return strconv.ParseUint(fields[i], 10, 64)
+}

@@ -1,0 +1,114 @@
+package repl
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"mxtasking/internal/faultfs"
+	"mxtasking/internal/kvstore"
+	"mxtasking/internal/mxtask"
+	"mxtasking/internal/wal"
+)
+
+// A snapshot resync cannot rebuild into the live WAL directory — the old
+// store still has the segments open — so each resync materializes into a
+// fresh generation directory and flips a pointer file to it. The pointer
+// flip is crash-ordered BEFORE bootstrap clears the dirty flag: a crash
+// between the two boots from the new (clean) directory with dirty still
+// set, which costs one redundant resync but can never replay divergent
+// pre-resync records as if they were clean.
+
+// walPointerFile names the file under the node's data root that records
+// the live WAL directory.
+const walPointerFile = "wal.current"
+
+// ActiveWALDir resolves the live WAL directory under root: the pointer
+// file's target when present, fallback otherwise. Store factories must
+// open the WAL here so a post-resync restart does not resurrect the
+// pre-resync generation.
+func ActiveWALDir(fsys faultfs.FS, root, fallback string) (string, error) {
+	if fsys == nil {
+		fsys = faultfs.Disk
+	}
+	data, err := fsys.ReadFile(filepath.Join(root, walPointerFile))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return fallback, nil
+		}
+		return "", fmt.Errorf("repl: read wal pointer: %w", err)
+	}
+	dir := strings.TrimSpace(string(data))
+	if dir == "" {
+		return fallback, nil
+	}
+	return filepath.Join(root, dir), nil
+}
+
+// setActiveWALDir flips the pointer file to dir (relative to root),
+// crash-atomically (tmp + fsync + rename + dir fsync).
+func setActiveWALDir(fsys faultfs.FS, root, dir string) error {
+	tmp := filepath.Join(root, walPointerFile+".tmp")
+	f, err := fsys.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("repl: write wal pointer: %w", err)
+	}
+	_, werr := f.Write([]byte(dir + "\n"))
+	if werr == nil {
+		werr = f.Sync()
+	}
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr != nil {
+		return fmt.Errorf("repl: write wal pointer: %w", werr)
+	}
+	if err := fsys.Rename(tmp, filepath.Join(root, walPointerFile)); err != nil {
+		return fmt.Errorf("repl: write wal pointer: %w", err)
+	}
+	if err := fsys.SyncDir(root); err != nil {
+		return fmt.Errorf("repl: write wal pointer: %w", err)
+	}
+	return nil
+}
+
+// SnapshotRebuild returns a Config.Rebuild hook that materializes a
+// primary snapshot as a fresh WAL generation under root: write the pairs
+// as a WAL snapshot file at snapSeq in a new directory, flip the pointer
+// file, and open a durable store there. d supplies the WAL tuning (its
+// Dir is ignored); rt must be the node's running runtime.
+func SnapshotRebuild(rt *mxtask.Runtime, root string, d kvstore.Durability) func(uint64, []wal.KV) (*kvstore.Store, error) {
+	return func(snapSeq uint64, pairs []wal.KV) (*kvstore.Store, error) {
+		fsys := d.FS
+		if fsys == nil {
+			fsys = faultfs.Disk
+		}
+		cur, err := ActiveWALDir(fsys, root, "")
+		if err != nil {
+			return nil, err
+		}
+		gen := 1
+		if n, perr := fmt.Sscanf(filepath.Base(cur), "wal-resync-%d", &gen); perr == nil && n == 1 {
+			gen++
+		}
+		rel := fmt.Sprintf("wal-resync-%d", gen)
+		dir := filepath.Join(root, rel)
+		if err := fsys.MkdirAll(dir, 0o755); err != nil {
+			return nil, err
+		}
+		if err := wal.WriteSnapshotFS(fsys, dir, snapSeq, pairs); err != nil {
+			return nil, fmt.Errorf("repl: rebuild snapshot: %w", err)
+		}
+		if err := setActiveWALDir(fsys, root, rel); err != nil {
+			return nil, err
+		}
+		dd := d
+		dd.Dir = dir
+		st, _, err := kvstore.Open(rt, dd)
+		if err != nil {
+			return nil, fmt.Errorf("repl: open rebuilt store: %w", err)
+		}
+		return st, nil
+	}
+}

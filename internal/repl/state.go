@@ -1,0 +1,74 @@
+package repl
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"mxtasking/internal/faultfs"
+)
+
+// state is the node's durable replication identity: the term it last
+// operated in, and whether it has held the primary role since its last
+// snapshot resync (a "dirty" node may hold divergent records and must
+// resync before applying an incremental stream).
+type state struct {
+	term  uint64
+	dirty bool
+}
+
+const stateFile = "repl.state"
+
+// loadState reads the persisted state; a missing file is a fresh node.
+func loadState(fsys faultfs.FS, dir string) (state, error) {
+	data, err := fsys.ReadFile(filepath.Join(dir, stateFile))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return state{}, nil
+		}
+		return state{}, fmt.Errorf("repl: read state: %w", err)
+	}
+	var st state
+	var dirty int
+	if _, err := fmt.Sscanf(strings.TrimSpace(string(data)), "term=%d dirty=%d", &st.term, &dirty); err != nil {
+		return state{}, fmt.Errorf("repl: corrupt state file %q: %w", strings.TrimSpace(string(data)), err)
+	}
+	st.dirty = dirty != 0
+	return st, nil
+}
+
+// saveState persists the state crash-atomically: write + fsync a temp
+// file, rename over the live one, fsync the directory. A crash leaves
+// either the old or the new state, never a torn one.
+func saveState(fsys faultfs.FS, dir string, st state) error {
+	if err := fsys.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("repl: state dir: %w", err)
+	}
+	dirty := 0
+	if st.dirty {
+		dirty = 1
+	}
+	tmp := filepath.Join(dir, stateFile+".tmp")
+	f, err := fsys.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("repl: write state: %w", err)
+	}
+	_, werr := f.Write([]byte(fmt.Sprintf("term=%d dirty=%d\n", st.term, dirty)))
+	if werr == nil {
+		werr = f.Sync()
+	}
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr != nil {
+		return fmt.Errorf("repl: write state: %w", werr)
+	}
+	if err := fsys.Rename(tmp, filepath.Join(dir, stateFile)); err != nil {
+		return fmt.Errorf("repl: write state: %w", err)
+	}
+	if err := fsys.SyncDir(dir); err != nil {
+		return fmt.Errorf("repl: write state: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,349 @@
+package repl
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+	"time"
+
+	"mxtasking/internal/kvstore"
+)
+
+// SupervisorConfig assembles a Supervisor.
+type SupervisorConfig struct {
+	// Members are the cluster's canonical advertise addresses. The first
+	// reachable primary found among them is leased; on its death the
+	// highest-applied replica member is promoted.
+	Members []string
+
+	// Route maps a canonical address to the address this supervisor
+	// actually dials (nil = identity). Chaos tests route through netfault
+	// proxies here.
+	Route func(addr string) string
+
+	// HeartbeatEvery paces probe/lease ticks (0 = DefaultHeartbeatEvery).
+	HeartbeatEvery time.Duration
+
+	// LeaseTimeout must match the nodes' LeaseTimeout: after declaring the
+	// primary dead the supervisor waits this long past its last successful
+	// lease before promoting, so a paused-not-dead primary has fenced
+	// itself by the time a new one takes writes. 0 = promote immediately
+	// (test setups that crash nodes for real).
+	LeaseTimeout time.Duration
+
+	// DeadMisses is how many consecutive failed probes of the primary
+	// trigger failover (0 = 3).
+	DeadMisses int
+
+	// Logf, when set, receives debug lines.
+	Logf func(format string, args ...any)
+}
+
+// Supervisor is the cluster's failure detector and promotion agent: it
+// renews the primary's lease, detects its death, promotes the
+// highest-applied replica, and points the other members (including a
+// rejoining ex-primary) at the winner.
+type Supervisor struct {
+	cfg SupervisorConfig
+
+	mu      sync.Mutex
+	primary string // canonical addr of the member currently leased
+	term    uint64 // highest term observed
+	misses  int
+	leaseOK time.Time // last successful lease renewal
+
+	closed bool
+	stop   chan struct{}
+	done   chan struct{}
+}
+
+// NewSupervisor validates the config and builds the supervisor; call
+// Start for the background loop, or drive Tick directly in tests.
+func NewSupervisor(cfg SupervisorConfig) (*Supervisor, error) {
+	if len(cfg.Members) == 0 {
+		return nil, errors.New("repl: supervisor needs members")
+	}
+	if cfg.Route == nil {
+		cfg.Route = func(addr string) string { return addr }
+	}
+	if cfg.HeartbeatEvery <= 0 {
+		cfg.HeartbeatEvery = DefaultHeartbeatEvery
+	}
+	if cfg.DeadMisses <= 0 {
+		cfg.DeadMisses = 3
+	}
+	return &Supervisor{
+		cfg:     cfg,
+		stop:    make(chan struct{}),
+		done:    make(chan struct{}),
+		leaseOK: time.Now(),
+	}, nil
+}
+
+// Start runs Tick at heartbeat cadence until Close.
+func (s *Supervisor) Start() {
+	go func() {
+		defer close(s.done)
+		t := time.NewTicker(s.cfg.HeartbeatEvery)
+		defer t.Stop()
+		for {
+			select {
+			case <-s.stop:
+				return
+			case <-t.C:
+				s.Tick()
+			}
+		}
+	}()
+}
+
+// Close stops the background loop.
+func (s *Supervisor) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	s.mu.Unlock()
+	close(s.stop)
+	<-s.done
+}
+
+// Primary returns the canonical address of the member the supervisor
+// currently believes is primary ("" before the first successful probe).
+func (s *Supervisor) Primary() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.primary
+}
+
+func (s *Supervisor) logf(format string, args ...any) {
+	if s.cfg.Logf != nil {
+		s.cfg.Logf("supervisor "+format, args...)
+	}
+}
+
+// memberStat is one probe result.
+type memberStat struct {
+	addr    string
+	role    string
+	term    uint64
+	applied uint64
+}
+
+// probe asks one member for its STATS.
+func (s *Supervisor) probe(addr string) (memberStat, error) {
+	c, err := kvstore.DialWith(s.cfg.Route(addr), kvstore.DialConfig{
+		DialTimeout:  500 * time.Millisecond,
+		ReadTimeout:  2 * time.Second,
+		WriteTimeout: 2 * time.Second,
+	})
+	if err != nil {
+		return memberStat{}, err
+	}
+	defer c.Close()
+	st, err := c.Stats()
+	if err != nil {
+		return memberStat{}, err
+	}
+	m := memberStat{addr: addr, role: st.Extra["role"]}
+	m.term, _ = st.ExtraUint("term")
+	m.applied, _ = st.ExtraUint("applied_seq")
+	return m, nil
+}
+
+// control sends one REPL control line to a member and returns the reply.
+// The timeout is generous: FOLLOW on a primary drains in-flight writes.
+func (s *Supervisor) control(addr, line string) (string, error) {
+	conn, err := net.DialTimeout("tcp", s.cfg.Route(addr), 2*time.Second)
+	if err != nil {
+		return "", err
+	}
+	defer conn.Close()
+	deadline := time.Now().Add(2*time.Second + DefaultQuiesce)
+	conn.SetDeadline(deadline)
+	if _, err := fmt.Fprintf(conn, "%s\n", line); err != nil {
+		return "", err
+	}
+	reply, err := bufio.NewReader(conn).ReadString('\n')
+	if err != nil {
+		return "", err
+	}
+	return strings.TrimSpace(reply), nil
+}
+
+// Tick runs one supervision round: find/confirm the primary and renew
+// its lease, sweep stragglers onto it, or fail over when it is gone.
+// Exported so tests can drive supervision deterministically.
+func (s *Supervisor) Tick() {
+	s.mu.Lock()
+	primary := s.primary
+	s.mu.Unlock()
+
+	if primary == "" {
+		s.discover()
+		return
+	}
+
+	st, err := s.probe(primary)
+	if err != nil || st.role != "primary" {
+		s.mu.Lock()
+		s.misses++
+		misses := s.misses
+		s.mu.Unlock()
+		if misses >= s.cfg.DeadMisses {
+			s.logf("primary %s unreachable (%d misses): failing over", primary, misses)
+			s.Failover()
+		}
+		return
+	}
+
+	s.mu.Lock()
+	s.misses = 0
+	if st.term > s.term {
+		s.term = st.term
+	}
+	term := s.term
+	s.mu.Unlock()
+
+	if reply, err := s.control(primary, fmt.Sprintf("REPL LEASE %d", term)); err == nil && strings.HasPrefix(reply, "OK") {
+		s.mu.Lock()
+		s.leaseOK = time.Now()
+		s.mu.Unlock()
+	}
+	s.sweep(primary, term)
+}
+
+// discover finds the current primary among the members (startup, or
+// after the supervisor itself restarted).
+func (s *Supervisor) discover() {
+	var best memberStat
+	found := false
+	for _, addr := range s.cfg.Members {
+		st, err := s.probe(addr)
+		if err != nil {
+			continue
+		}
+		if st.role == "primary" && (!found || st.term > best.term) {
+			best, found = st, true
+		}
+		s.mu.Lock()
+		if st.term > s.term {
+			s.term = st.term
+		}
+		s.mu.Unlock()
+	}
+	if found {
+		s.mu.Lock()
+		s.primary = best.addr
+		s.misses = 0
+		s.leaseOK = time.Now()
+		s.mu.Unlock()
+		s.logf("discovered primary %s at term %d", best.addr, best.term)
+	}
+}
+
+// sweep points members that are not following the current primary at it:
+// rejoining ex-primaries (fenced or stale-term primaries) and replicas
+// left on an older term.
+func (s *Supervisor) sweep(primary string, term uint64) {
+	for _, addr := range s.cfg.Members {
+		if addr == primary {
+			continue
+		}
+		st, err := s.probe(addr)
+		if err != nil {
+			continue
+		}
+		if st.role == "replica" && st.term == term {
+			continue
+		}
+		s.logf("sweeping %s (role=%s term=%d) onto %s term=%d", addr, st.role, st.term, primary, term)
+		if _, err := s.control(addr, fmt.Sprintf("REPL FOLLOW %d %s", term, primary)); err != nil {
+			s.logf("sweep %s: %v", addr, err)
+		}
+	}
+}
+
+// Failover promotes the highest-applied replica at a fresh term and
+// points the surviving members at it. Safe to call directly in tests.
+func (s *Supervisor) Failover() error {
+	// Wait out the old primary's lease so it has fenced itself before the
+	// new one accepts writes. The node's fence check runs on a heartbeat
+	// ticker, so add two beats of slack past the bare lease; leaseOK was
+	// stamped after the node's own renewal, so node time is never ahead.
+	if s.cfg.LeaseTimeout > 0 {
+		s.mu.Lock()
+		wakeAt := s.leaseOK.Add(s.cfg.LeaseTimeout + 2*s.cfg.HeartbeatEvery)
+		s.mu.Unlock()
+		if d := time.Until(wakeAt); d > 0 {
+			select {
+			case <-s.stop:
+				return errors.New("repl: supervisor closed")
+			case <-time.After(d):
+			}
+		}
+	}
+
+	var stats []memberStat
+	maxTerm := uint64(0)
+	s.mu.Lock()
+	if s.term > maxTerm {
+		maxTerm = s.term
+	}
+	oldPrimary := s.primary
+	s.mu.Unlock()
+	for _, addr := range s.cfg.Members {
+		st, err := s.probe(addr)
+		if err != nil {
+			continue
+		}
+		stats = append(stats, st)
+		if st.term > maxTerm {
+			maxTerm = st.term
+		}
+	}
+
+	// Highest applied replica wins; ties break by member order. A node
+	// that still claims primary is skipped — if it is truly alive the
+	// probe path would have leased it instead.
+	var winner *memberStat
+	for i := range stats {
+		st := &stats[i]
+		if st.role != "replica" {
+			continue
+		}
+		if winner == nil || st.applied > winner.applied {
+			winner = st
+		}
+	}
+	if winner == nil {
+		return errors.New("repl: no promotable replica reachable")
+	}
+
+	newTerm := maxTerm + 1
+	reply, err := s.control(winner.addr, fmt.Sprintf("REPL PROMOTE %d", newTerm))
+	if err != nil {
+		return fmt.Errorf("repl: promote %s: %w", winner.addr, err)
+	}
+	if !strings.HasPrefix(reply, "PROMOTED") {
+		return fmt.Errorf("repl: promote %s: %s", winner.addr, reply)
+	}
+	s.logf("promoted %s at term %d (applied=%d, was %s)", winner.addr, newTerm, winner.applied, oldPrimary)
+
+	s.mu.Lock()
+	s.primary = winner.addr
+	s.term = newTerm
+	s.misses = 0
+	s.leaseOK = time.Now()
+	s.mu.Unlock()
+
+	// Point the other survivors at the winner now; unreachable ones are
+	// picked up by later sweeps when they come back.
+	s.sweep(winner.addr, newTerm)
+	return nil
+}

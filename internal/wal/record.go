@@ -29,10 +29,10 @@ func (k OpKind) String() string {
 	}
 }
 
-// Record is one durable mutation. Seq is the commit sequence number
-// assigned at append time; records for the same key always appear in the
-// log in Seq order (the appender holds the key's leaf synchronization),
-// while records for unrelated keys may interleave slightly out of order.
+// Record is one durable mutation. Seq is the commit sequence number,
+// assigned by the group-commit writer as it drains its queue: records
+// appear in the log in strictly increasing, gapless Seq order, which is
+// what lets replication describe progress as a single watermark.
 type Record struct {
 	Seq   uint64
 	Op    OpKind

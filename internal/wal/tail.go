@@ -1,0 +1,204 @@
+package wal
+
+import (
+	"errors"
+	"fmt"
+	"os"
+
+	"mxtasking/internal/faultfs"
+)
+
+// ErrSeqTruncated reports that the requested starting sequence number is
+// no longer in the log: snapshot truncation deleted the segments that held
+// it. The caller must fall back to a snapshot bootstrap.
+var ErrSeqTruncated = errors.New("wal: requested sequence truncated into a snapshot")
+
+// Reader iterates log records with Seq >= the requested start, in
+// sequence order. It tolerates a live log: when it reaches the end of the
+// written data it reports "nothing more for now" rather than EOF, and a
+// later Next picks up records appended since. Readers are not safe for
+// concurrent use; one goroutine (the shipper) owns each Reader.
+//
+// A Reader never re-decodes bytes it has consumed — it remembers its byte
+// offset in the current segment — but each refill re-reads the segment
+// file through the FS (faultfs has no partial reads). At chaos-test scale
+// that is cheap; a production port would switch to ReadAt.
+type Reader struct {
+	fsys    faultfs.FS
+	dir     string
+	next    uint64 // sequence number the next delivered record must carry
+	segBase uint64 // base label of the segment the reader is positioned in
+	segPath string
+	off     int64 // byte offset of the first undecoded record
+	pending []Record
+	started bool // at least one record delivered (enables gap checks)
+}
+
+// Tail opens a sequence-ordered iterator over the log in dir on the real
+// filesystem, starting at fromSeq. See TailFS.
+func Tail(dir string, fromSeq uint64) (*Reader, error) {
+	return TailFS(faultfs.Disk, dir, fromSeq)
+}
+
+// TailFS opens a sequence-ordered iterator over the log in dir, starting
+// at fromSeq (records with smaller sequence numbers are skipped, including
+// a mid-segment start). If snapshot truncation has already deleted the
+// records at fromSeq the error is ErrSeqTruncated; mid-stream damage
+// surfaces as ErrCorrupt from Next, never as silent truncation.
+func TailFS(fsys faultfs.FS, dir string, fromSeq uint64) (*Reader, error) {
+	if fromSeq == 0 {
+		fromSeq = 1
+	}
+	fsys = orDisk(fsys)
+	r := &Reader{fsys: fsys, dir: dir, next: fromSeq}
+	segs, err := listSegments(fsys, dir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return r, nil // empty log: valid iff nothing was ever truncated
+		}
+		return nil, err
+	}
+	if len(segs) == 0 {
+		// No segments at all. If a snapshot covers fromSeq the records
+		// were truncated away; otherwise the log is simply empty/ahead.
+		snaps, err := listSnapshots(fsys, dir)
+		if err != nil && !os.IsNotExist(err) {
+			return nil, err
+		}
+		if len(snaps) > 0 && snaps[0].base >= fromSeq {
+			return nil, ErrSeqTruncated
+		}
+		return r, nil
+	}
+	if segs[0].base > fromSeq {
+		return nil, ErrSeqTruncated
+	}
+	// Position in the last segment whose base label is <= fromSeq: bases
+	// are one past the previous segment's highest sequence number, so that
+	// segment is where fromSeq lives (or would live).
+	start := 0
+	for i, s := range segs {
+		if s.base <= fromSeq {
+			start = i
+		}
+	}
+	r.segBase, r.segPath = segs[start].base, segs[start].path
+	return r, nil
+}
+
+// Next returns the next record. ok is false with a nil error when the
+// reader has consumed everything durable so far — a live log may yield
+// more on a later call. Errors are terminal: ErrCorrupt for mid-stream
+// damage, ErrSeqTruncated when truncation deleted the reader's position, a
+// sequence-gap error if the log violates its gapless invariant.
+func (r *Reader) Next() (rec Record, ok bool, err error) {
+	for {
+		if len(r.pending) > 0 {
+			rec, r.pending = r.pending[0], r.pending[1:]
+			if rec.Seq < r.next && !r.started {
+				continue // mid-segment start: skip below fromSeq
+			}
+			if rec.Seq != r.next {
+				return Record{}, false, fmt.Errorf("%w: tail expected seq %d, found %d in %s",
+					ErrCorrupt, r.next, rec.Seq, r.segPath)
+			}
+			r.started = true
+			r.next++
+			return rec, true, nil
+		}
+		more, err := r.refill()
+		if err != nil {
+			return Record{}, false, err
+		}
+		if !more {
+			return Record{}, false, nil
+		}
+	}
+}
+
+// refill decodes newly available records from the current segment, or
+// advances to the next segment once this one is complete. Returns false
+// when nothing new is available yet.
+func (r *Reader) refill() (bool, error) {
+	if r.segPath == "" {
+		stepped, _, err := r.advance()
+		return stepped, err
+	}
+	data, err := r.fsys.ReadFile(r.segPath)
+	if err != nil {
+		if os.IsNotExist(err) {
+			// Truncation raced us and deleted the segment under the
+			// reader; the records are only in a snapshot now.
+			return false, ErrSeqTruncated
+		}
+		return false, err
+	}
+	if int64(len(data)) < r.off {
+		return false, fmt.Errorf("%w: %s shrank under tail reader", ErrCorrupt, r.segPath)
+	}
+	got := false
+	off := int(r.off)
+	for off < len(data) {
+		rec, n, derr := DecodeRecord(data[off:])
+		if derr != nil {
+			if tailHasRecord(data[off:]) {
+				return false, fmt.Errorf("%w: invalid record at offset %d of %s is followed by further valid records",
+					ErrCorrupt, off, r.segPath)
+			}
+			// A clean tear: either a crash artifact at the very end of
+			// the log, or an append racing our read that has not finished
+			// landing. Leave the offset alone; a later refill re-decodes.
+			break
+		}
+		r.pending = append(r.pending, rec)
+		off += n
+		got = true
+	}
+	r.off = int64(off)
+	if got {
+		return true, nil
+	}
+	cur := r.segPath
+	stepped, later, err := r.advance()
+	if err != nil {
+		return false, err
+	}
+	if stepped {
+		return true, nil
+	}
+	if later {
+		// A later segment exists, so this segment was complete when it
+		// was rotated away — yet it neither decodes further nor reaches
+		// the next segment's base. That is mid-log damage (a tear or a
+		// sequence gap), never a live tail.
+		return false, fmt.Errorf("%w: log ends at seq %d in %s but a later segment follows",
+			ErrCorrupt, r.next-1, cur)
+	}
+	return false, nil
+}
+
+// advance moves the reader to the next segment when the current one is
+// fully consumed and a successor exists. later reports that a segment
+// beyond the current position exists even when stepping was not possible.
+func (r *Reader) advance() (stepped, later bool, err error) {
+	segs, err := listSegments(r.fsys, r.dir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return false, false, nil
+		}
+		return false, false, err
+	}
+	for _, s := range segs {
+		if s.base > r.segBase {
+			// Step forward only once the current segment is consumed up
+			// to the successor's base: bases are one past the previous
+			// segment's highest sequence number.
+			if r.segPath != "" && s.base > r.next {
+				return false, true, nil
+			}
+			r.segBase, r.segPath, r.off = s.base, s.path, 0
+			return true, false, nil
+		}
+	}
+	return false, false, nil
+}

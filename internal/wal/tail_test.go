@@ -1,0 +1,262 @@
+package wal
+
+import (
+	"errors"
+	"os"
+	"testing"
+
+	"mxtasking/internal/faultfs"
+)
+
+// drainTail reads every currently available record from r.
+func drainTail(t testing.TB, r *Reader) []Record {
+	t.Helper()
+	var recs []Record
+	for {
+		rec, ok, err := r.Next()
+		if err != nil {
+			t.Fatalf("tail next: %v", err)
+		}
+		if !ok {
+			return recs
+		}
+		recs = append(recs, rec)
+	}
+}
+
+// buildLog writes n records (key i, value i*10, every 7th a delete) across
+// several small segments and closes the log.
+func buildLog(t *testing.T, dir string, n uint64) {
+	t.Helper()
+	rt := newRuntime(t)
+	l, err := Open(rt, Options{Dir: dir, SegmentBytes: 5 * FrameSize})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(1); i <= n; i++ {
+		if i%7 == 0 {
+			appendWait(t, l, OpDelete, i, 0)
+		} else {
+			appendWait(t, l, OpSet, i, i*10)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTailSweepEveryFromSeq is the property test the shipping path stands
+// on: for every valid starting sequence, Tail must yield exactly the suffix
+// a full Replay yields — including starts that land mid-segment.
+func TestTailSweepEveryFromSeq(t *testing.T) {
+	const n = 41
+	dir := t.TempDir()
+	buildLog(t, dir, n)
+
+	_, all, _ := collectReplay(t, dir)
+	if len(all) != n {
+		t.Fatalf("replay found %d records, want %d", len(all), n)
+	}
+
+	for from := uint64(1); from <= n+2; from++ {
+		r, err := Tail(dir, from)
+		if err != nil {
+			t.Fatalf("Tail(%d): %v", from, err)
+		}
+		got := drainTail(t, r)
+		var want []Record
+		for _, rec := range all {
+			if rec.Seq >= from {
+				want = append(want, rec)
+			}
+		}
+		if len(got) != len(want) {
+			t.Fatalf("Tail(%d): %d records, want %d", from, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("Tail(%d) record %d = %+v, want %+v", from, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestTailZeroStartsAtOne documents that fromSeq 0 means "from the
+// beginning".
+func TestTailZeroStartsAtOne(t *testing.T) {
+	dir := t.TempDir()
+	buildLog(t, dir, 9)
+	r, err := Tail(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := drainTail(t, r); len(got) != 9 || got[0].Seq != 1 {
+		t.Fatalf("Tail(0) yielded %d records (first %+v)", len(got), got[0])
+	}
+}
+
+// TestTailTruncatedIntoSnapshot verifies the truncation sentinel: once a
+// snapshot has swallowed the segments below it, a Tail from inside that
+// range must fail loudly so the shipper falls back to a snapshot
+// bootstrap — and a Tail from just past the horizon still works.
+func TestTailTruncatedIntoSnapshot(t *testing.T) {
+	rt := newRuntime(t)
+	dir := t.TempDir()
+	l, err := Open(rt, Options{Dir: dir, SegmentBytes: 5 * FrameSize})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(1); i <= 20; i++ {
+		appendWait(t, l, OpSet, i, i)
+	}
+	// Rotate so the pre-snapshot segments become deletable, snapshot at
+	// the current horizon, and truncate.
+	rotated := make(chan error, 1)
+	l.Rotate(func(err error) { rotated <- err })
+	if err := <-rotated; err != nil {
+		t.Fatal(err)
+	}
+	snapSeq := l.Seq()
+	pairs := make([]KV, 0, 20)
+	for i := uint64(1); i <= 20; i++ {
+		pairs = append(pairs, KV{Key: i, Value: i})
+	}
+	if err := WriteSnapshotFS(nil, dir, snapSeq, pairs); err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(21); i <= 30; i++ {
+		appendWait(t, l, OpSet, i, i)
+	}
+	trunc := make(chan error, 1)
+	l.TruncateThrough(snapSeq, func(err error) { trunc <- err })
+	if err := <-trunc; err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	for from := uint64(1); from <= snapSeq; from++ {
+		if _, err := Tail(dir, from); !errors.Is(err, ErrSeqTruncated) {
+			t.Fatalf("Tail(%d) after truncation: err=%v, want ErrSeqTruncated", from, err)
+		}
+	}
+	r, err := Tail(dir, snapSeq+1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := drainTail(t, r)
+	if len(got) != 10 || got[0].Seq != snapSeq+1 || got[9].Seq != snapSeq+10 {
+		t.Fatalf("Tail past snapshot: %d records %+v", len(got), got)
+	}
+}
+
+// TestTailMidStreamCorruption flips bytes inside the log and demands
+// ErrCorrupt from the reader — damage must never be silently skipped or
+// read as end-of-log.
+func TestTailMidStreamCorruption(t *testing.T) {
+	corrupt := func(t *testing.T, dir string, segIdx int, recIdx int) {
+		t.Helper()
+		segs, err := listSegments(faultfs.Disk, dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if segIdx >= len(segs) {
+			t.Fatalf("only %d segments", len(segs))
+		}
+		path := segs[segIdx].path
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		off := recIdx*FrameSize + headerSize + 2 // inside the payload
+		data[off] ^= 0xff
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tailAll := func(dir string, from uint64) error {
+		r, err := Tail(dir, from)
+		if err != nil {
+			return err
+		}
+		for {
+			_, ok, err := r.Next()
+			if err != nil {
+				return err
+			}
+			if !ok {
+				return nil
+			}
+		}
+	}
+
+	t.Run("mid-segment", func(t *testing.T) {
+		// Damage inside a segment with valid records after it.
+		dir := t.TempDir()
+		buildLog(t, dir, 20)
+		corrupt(t, dir, 1, 1)
+		if err := tailAll(dir, 1); !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("err=%v, want ErrCorrupt", err)
+		}
+	})
+	t.Run("segment-tail-mid-log", func(t *testing.T) {
+		// Damage at the very end of a non-final segment: nothing valid
+		// after it in that file, but a later segment proves the log
+		// continued — still corruption, not a tear.
+		dir := t.TempDir()
+		buildLog(t, dir, 20)
+		corrupt(t, dir, 1, 4)
+		if err := tailAll(dir, 1); !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("err=%v, want ErrCorrupt", err)
+		}
+	})
+	t.Run("before-start", func(t *testing.T) {
+		// Damage below fromSeq in an earlier segment is invisible to a
+		// tail that starts past it.
+		dir := t.TempDir()
+		buildLog(t, dir, 20)
+		corrupt(t, dir, 0, 1)
+		r, err := Tail(dir, 11)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := drainTail(t, r); len(got) != 10 {
+			t.Fatalf("got %d records, want 10", len(got))
+		}
+	})
+}
+
+// TestTailLive verifies the tailing contract against a log that keeps
+// appending: Next reports "nothing more for now" at the durable edge and
+// later picks up new records, across segment rotations.
+func TestTailLive(t *testing.T) {
+	rt := newRuntime(t)
+	dir := t.TempDir()
+	l, err := Open(rt, Options{Dir: dir, SegmentBytes: 5 * FrameSize})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+
+	for i := uint64(1); i <= 7; i++ {
+		appendWait(t, l, OpSet, i, i)
+	}
+	r, err := Tail(dir, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := drainTail(t, r); len(got) != 7 {
+		t.Fatalf("first drain: %d records, want 7", len(got))
+	}
+	if got := drainTail(t, r); len(got) != 0 {
+		t.Fatalf("drain at tail: %d records, want 0", len(got))
+	}
+	for i := uint64(8); i <= 23; i++ {
+		appendWait(t, l, OpSet, i, i)
+	}
+	got := drainTail(t, r)
+	if len(got) != 16 || got[0].Seq != 8 || got[15].Seq != 23 {
+		t.Fatalf("second drain: %d records %+v", len(got), got)
+	}
+}

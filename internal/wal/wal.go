@@ -6,8 +6,10 @@
 // extended from memory words to an I/O device: the open segment file is one
 // exclusive mxtask.Resource, so every flush task is routed to that
 // resource's pool and executes serially — appends need no mutex anywhere.
-// Producers assign a sequence number and push the record onto a latch-free
-// MPSC queue (one atomic exchange, the same discipline as task spawns); the
+// Producers push records onto a latch-free MPSC queue (one atomic
+// exchange, the same discipline as task spawns) and the single-threaded
+// drain assigns sequence numbers, so log order and sequence order are one
+// and the same — the invariant replication watermarks stand on; the
 // first producer to find the writer idle arms a low-priority flush task.
 // By the time that task runs, more appends have typically queued behind it,
 // so the flush drains the whole batch, writes once, fsyncs once, and then
@@ -74,11 +76,15 @@ const deferredSyncGrace = 50 * time.Millisecond
 // under a firehose of producers.
 const maxBatch = 4096
 
-// pending is one appended-but-not-yet-durable record.
+// pending is one appended-but-not-yet-durable record. Records enter the
+// queue without a sequence number (preseq false); the flush drain assigns
+// one, so sequence order and log order are the same thing. Replication
+// applies carry the primary's sequence number (preseq true).
 type pending struct {
-	rec  Record
-	done func(error)
-	enq  time.Time
+	rec    Record
+	done   func(seq uint64, err error)
+	enq    time.Time
+	preseq bool
 }
 
 // Log is an append-only write-ahead log over segment files.
@@ -88,9 +94,12 @@ type Log struct {
 	res  *mxtask.Resource // exclusive: serializes all writer-state tasks
 	q    *queue.MPSC[pending]
 
-	seq    atomic.Uint64 // last assigned sequence number
-	armed  atomic.Bool   // a flush task is scheduled or running
-	closed atomic.Bool
+	seq     atomic.Uint64 // last assigned sequence number (flush-time)
+	durable atomic.Uint64 // highest sequence number covered by an ack point
+	armed   atomic.Bool   // a flush task is scheduled or running
+	closed  atomic.Bool
+
+	onDurable atomic.Pointer[func(uint64)]
 
 	m Metrics
 
@@ -169,6 +178,7 @@ func Open(rt *mxtask.Runtime, opts Options) (*Log, error) {
 		maxSeq = snapSeq
 	}
 	l.seq.Store(maxSeq)
+	l.durable.Store(maxSeq)
 	l.maxWritten = maxSeq
 
 	// Resume the last segment when it has room, else start a fresh one.
@@ -212,35 +222,95 @@ func (l *Log) openSegment(base uint64) error {
 	return nil
 }
 
-// Seq returns the last assigned sequence number.
+// Seq returns the last sequence number assigned by the writer. Sequence
+// numbers are assigned when the group-commit drain dequeues a record, so
+// after any full flush (Sync, Rotate, Close) this equals the highest
+// sequence number in the log.
 func (l *Log) Seq() uint64 { return l.seq.Load() }
+
+// DurableSeq returns the highest sequence number covered by an ack point:
+// everything at or below it has been written and — unless NoSync — fsynced.
+// Because sequence numbers are assigned in log order, the durable prefix is
+// gapless; replication ships exactly the records at or below this
+// watermark.
+func (l *Log) DurableSeq() uint64 { return l.durable.Load() }
+
+// SetOnDurable registers fn to be called (from the writer's serialization,
+// so it must not block) whenever the durable watermark advances. One hook;
+// nil unregisters.
+func (l *Log) SetOnDurable(fn func(seq uint64)) {
+	if fn == nil {
+		l.onDurable.Store(nil)
+		return
+	}
+	l.onDurable.Store(&fn)
+}
 
 // Metrics exposes the writer's counters and histograms.
 func (l *Log) Metrics() *Metrics { return &l.m }
 
-// Append assigns the next sequence number to one mutation and queues it
-// for the group-commit writer. done (optional) is dispatched as a task
-// once the record is durable per the sync policy — or with an error if the
-// log failed or closed. Append never blocks and is safe from any
-// goroutine or task; callers that need same-key ordering must order their
-// Append calls themselves (the KV store calls it under the leaf's write
-// synchronization).
-func (l *Log) Append(op OpKind, key, value uint64, done func(error)) uint64 {
+// Dir returns the log's directory, for tail readers (see Tail).
+func (l *Log) Dir() string { return l.opts.Dir }
+
+// FS returns the filesystem the log writes through (never nil after
+// Open), so tail readers share the same — possibly fault-injected — view.
+func (l *Log) FS() faultfs.FS { return l.opts.FS }
+
+// Append queues one mutation for the group-commit writer. The sequence
+// number is assigned when the writer drains the record — log order and
+// sequence order are therefore identical, gapless, and monotonic. done
+// (optional) is dispatched as a task once the record is durable per the
+// sync policy — or with an error if the log failed or closed. Append never
+// blocks and is safe from any goroutine or task; callers that need
+// same-key ordering must order their Append calls themselves (the KV store
+// calls it under the leaf's write synchronization).
+func (l *Log) Append(op OpKind, key, value uint64, done func(error)) {
+	var d func(uint64, error)
+	if done != nil {
+		d = func(_ uint64, err error) { done(err) }
+	}
+	l.AppendSeq(op, key, value, d)
+}
+
+// AppendSeq is Append for callers that need the assigned sequence number:
+// done receives it together with the durability result. The sequence
+// number is meaningless (zero or stale) when err is non-nil.
+func (l *Log) AppendSeq(op OpKind, key, value uint64, done func(seq uint64, err error)) {
 	if l.closed.Load() {
 		if done != nil {
-			done(ErrClosed)
+			done(0, ErrClosed)
 		}
-		return 0
+		return
 	}
-	seq := l.seq.Add(1)
 	l.m.Appends.Add(1)
 	l.q.Push(pending{
-		rec:  Record{Seq: seq, Op: op, Key: key, Value: value},
+		rec:  Record{Op: op, Key: key, Value: value},
 		done: done,
 		enq:  time.Now(),
 	})
 	l.arm()
-	return seq
+}
+
+// AppendRec queues a record that already carries its sequence number — the
+// replication apply path, where the primary assigned it. The caller must
+// push records in ascending sequence order from a single goroutine and
+// must not interleave AppendRec with Append/AppendSeq; the log trusts the
+// given numbers and advances its counter past them, so a later promotion
+// continues the same sequence.
+func (l *Log) AppendRec(rec Record, done func(error)) {
+	if l.closed.Load() {
+		if done != nil {
+			done(ErrClosed)
+		}
+		return
+	}
+	var d func(uint64, error)
+	if done != nil {
+		d = func(_ uint64, err error) { done(err) }
+	}
+	l.m.Appends.Add(1)
+	l.q.Push(pending{rec: rec, done: d, enq: time.Now(), preseq: true})
+	l.arm()
 }
 
 // arm schedules a flush task unless one is already scheduled or running.
@@ -288,6 +358,18 @@ func (l *Log) flush(force bool) {
 		if !ok {
 			break
 		}
+		// Sequence numbers are assigned here, in the single-threaded
+		// drain, so the log's byte order and its sequence order are the
+		// same thing: gapless and monotonic. Pre-sequenced records
+		// (replication applies) keep the primary's number and pull the
+		// counter forward.
+		if p.preseq {
+			if p.rec.Seq > l.seq.Load() {
+				l.seq.Store(p.rec.Seq)
+			}
+		} else {
+			p.rec.Seq = l.seq.Add(1)
+		}
 		batch = append(batch, p)
 	}
 	l.scratch = batch[:0]
@@ -331,6 +413,7 @@ func (l *Log) flush(force bool) {
 	switch {
 	case l.opts.NoSync:
 		// Durability is best-effort: ack right after the write.
+		l.advanceDurable()
 		l.ack(batch, nil)
 		l.unsynced = 0
 	case l.shouldSync(force, len(batch)):
@@ -343,6 +426,9 @@ func (l *Log) flush(force bool) {
 		if err != nil {
 			l.werr = err
 		}
+		if err == nil {
+			l.advanceDurable()
+		}
 		l.ackDeferred(err)
 		l.ack(batch, err)
 	default:
@@ -350,6 +436,18 @@ func (l *Log) flush(force bool) {
 		// if the record flow stops.
 		l.deferred = append(l.deferred, batch...)
 		l.armTimer()
+	}
+}
+
+// advanceDurable moves the durable watermark to everything written so far
+// and notifies the OnDurable hook. Runs under the writer's serialization.
+func (l *Log) advanceDurable() {
+	if l.maxWritten <= l.durable.Load() {
+		return
+	}
+	l.durable.Store(l.maxWritten)
+	if fn := l.onDurable.Load(); fn != nil {
+		(*fn)(l.maxWritten)
 	}
 }
 
@@ -436,7 +534,7 @@ func (l *Log) ack(group []pending, err error) {
 		for _, p := range t.Arg.([]pending) {
 			l.m.AckLatency.Observe(now.Sub(p.enq))
 			if p.done != nil {
-				p.done(err)
+				p.done(p.rec.Seq, err)
 			}
 		}
 	}, acked)
