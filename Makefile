@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench chaos cluster-chaos fuzz ci figures verify dat clean
+.PHONY: all build vet test race bench chaos cluster-chaos steal-stress fuzz ci figures verify dat clean
 
 all: build vet test
 
@@ -28,6 +28,7 @@ race:
 		./internal/wal ./internal/kvstore ./internal/faultfs ./internal/linearize \
 		./internal/netfault ./internal/repl ./cmd/mxload
 	MXKV_SHARDS=4 $(GO) test -race -count=1 ./internal/kvstore
+	$(GO) test -race -count=1 -shuffle=on -run 'TestGroup' ./internal/mxtask
 
 bench:
 	$(GO) test -bench=. -benchmem .
@@ -44,6 +45,17 @@ chaos:
 	$(GO) test -race -count=1 ./internal/netfault
 	MXKV_CLUSTER_SCHEDULES=10 $(GO) test -race -count=1 -timeout 600s \
 		-run 'TestClusterChaosSchedules' ./internal/repl
+	$(MAKE) steal-stress
+
+# Scheduler stress (DESIGN.md §7): the cross-runtime stealing test suite
+# swept over 20 seeds under the race detector — adversarial spawn patterns
+# (hot node, bursty waves, resource-bound mixes) with exactly-once and
+# mutual-exclusion ledgers, the steal-exclusion invariants, pending
+# accounting, and shared-epoch reclamation. Shuffled so inter-test state
+# leaks can't hide.
+steal-stress:
+	MXTASK_STEAL_SEEDS=20 $(GO) test -race -count=1 -shuffle=on -timeout 600s \
+		-run 'TestGroup' -v ./internal/mxtask
 
 # Cluster chaos (DESIGN.md §6): a 3-node replicated cluster — all links
 # through netfault proxies — driven through 20 seeded fault schedules of

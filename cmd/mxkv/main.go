@@ -106,6 +106,8 @@ func main() {
 		writeTO  = flag.Duration("write-timeout", 0, "reap connections whose reply flush stalls this long (0 = never)")
 		maxInfl  = flag.Int("max-inflight", 0, "admission high-water mark: shed store requests past this in-flight depth (0 = unbounded)")
 		retryAft = flag.Duration("retry-after", 0, "backoff hint attached to overload rejections (0 = default)")
+		steal    = flag.Bool("steal", false, "let idle shard runtimes steal task pools from overloaded siblings (requires -shards > 1)")
+		stealMin = flag.Int("steal-backlog", 0, "min stealable backlog before a shard is stolen from (0 = default 16)")
 
 		advertise = flag.String("advertise", "", "canonical address peers and redirected clients dial; enables replication (requires -wal-dir, -shards 1)")
 		replicaOf = flag.String("replica-of", "", "start as a replica of this primary's advertise address (requires -advertise)")
@@ -137,11 +139,18 @@ func main() {
 		log.Fatalf("mxkv: replication requires -shards 1, got %d", *shards)
 	}
 
+	if *steal && *shards < 2 {
+		log.Fatal("mxkv: -steal requires -shards > 1 (stealing balances across shard runtimes)")
+	}
 	cfg := mxtask.Config{
 		Workers:          *workers,
 		PrefetchDistance: *distance,
 		EpochPolicy:      epoch.Batched,
 		PinWorkers:       *pin,
+		Steal: mxtask.StealConfig{
+			Enabled:    *steal,
+			MinBacklog: *stealMin,
+		},
 	}
 
 	var d kvstore.Durability
@@ -183,7 +192,12 @@ func main() {
 			sharded = kvstore.NewSharded(g.Runtimes())
 		}
 		store = sharded
-		fmt.Printf("mxkv: %d shards, %s each\n", sharded.Shards(), g.Runtime(0))
+		if g.StealEnabled() {
+			fmt.Printf("mxkv: %d shards, %s each, stealing on (min backlog %d)\n",
+				sharded.Shards(), g.Runtime(0), g.Steal().MinBacklog)
+		} else {
+			fmt.Printf("mxkv: %d shards, %s each\n", sharded.Shards(), g.Runtime(0))
+		}
 	} else {
 		rt := mxtask.New(cfg)
 		rt.Start()

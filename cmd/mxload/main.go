@@ -128,6 +128,19 @@ func reportShards(addr string, cfg kvstore.DialConfig, want int) error {
 	for i, ss := range st.PerShard {
 		fmt.Printf("shard %d: %d gets, %d sets, %d dels\n", i, ss.Gets, ss.Sets, ss.Dels)
 	}
+	// Scheduler stealing activity, present when the server runs its
+	// shards on a cooperating mxtask.Group (-steal). The fields arrive
+	// via the forward-compatible Extra map, so older servers simply
+	// print nothing here.
+	if _, ok := st.Extra["steal_attempts"]; ok {
+		field := func(name string) uint64 {
+			v, _ := st.ExtraUint(name)
+			return v
+		}
+		fmt.Printf("stealing: %d attempts, %d ok, %d aborts, %d tasks moved, imbalance %s\n",
+			field("steal_attempts"), field("steal_ok"),
+			field("steal_aborts"), field("steal_tasks"), st.Extra["imbalance"])
+	}
 	return nil
 }
 

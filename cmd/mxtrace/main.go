@@ -86,6 +86,7 @@ func profile(events []mxtask.TraceEvent, workers int) {
 	type row struct {
 		exec     [4]int
 		steals   int
+		gsteals  int
 		retries  int
 		prefetch int
 		collect  int
@@ -100,6 +101,8 @@ func profile(events []mxtask.TraceEvent, workers int) {
 			}
 		case mxtask.TraceSteal:
 			r.steals++
+		case mxtask.TraceGroupSteal:
+			r.gsteals++
 		case mxtask.TraceRetry:
 			r.retries++
 		case mxtask.TracePrefetch:
@@ -113,7 +116,7 @@ func profile(events []mxtask.TraceEvent, workers int) {
 	for _, c := range execClass {
 		fmt.Fprintf(tw, "\t%s", c)
 	}
-	fmt.Fprintln(tw, "\tsteals\tretries\tprefetch\tcollect")
+	fmt.Fprintln(tw, "\tsteals\tgsteals\tretries\tprefetch\tcollect")
 	order := make([]int, workers)
 	for i := range order {
 		order[i] = i
@@ -125,7 +128,7 @@ func profile(events []mxtask.TraceEvent, workers int) {
 		for _, c := range r.exec {
 			fmt.Fprintf(tw, "\t%d", c)
 		}
-		fmt.Fprintf(tw, "\t%d\t%d\t%d\t%d\n", r.steals, r.retries, r.prefetch, r.collect)
+		fmt.Fprintf(tw, "\t%d\t%d\t%d\t%d\t%d\n", r.steals, r.gsteals, r.retries, r.prefetch, r.collect)
 	}
 	tw.Flush()
 	fmt.Printf("(last %d events per worker; enlarge -trace for full runs)\n", capEvents(events, workers))

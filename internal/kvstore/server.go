@@ -16,6 +16,7 @@ import (
 
 	"mxtasking/internal/blinktree"
 	"mxtasking/internal/metrics"
+	"mxtasking/internal/mxtask"
 )
 
 // Protocol and pipelining limits. MaxLineBytes bounds both request and
@@ -893,6 +894,17 @@ func (s *Server) dispatch(line string, deliver func(string)) (quit bool) {
 			s.m.Shed.Value(), s.m.DeadlineDrops.Value(), len(per))
 		for i, ss := range per {
 			fmt.Fprintf(&sb, " s%d=%d/%d/%d", i, ss.Gets, ss.Sets, ss.Dels)
+		}
+		// Scheduler stealing stats, when the backend's shards run on a
+		// cooperating mxtask.Group (DESIGN.md §7). Clients that predate
+		// these fields pick them up via ServerStats.Extra.
+		if sg, ok := s.store().(interface{ SchedulerGroup() *mxtask.Group }); ok {
+			if g := sg.SchedulerGroup(); g != nil {
+				gs := g.Stats()
+				fmt.Fprintf(&sb, " steal_attempts=%d steal_ok=%d steal_aborts=%d steal_tasks=%d imbalance=%d",
+					gs.StealAttempts, gs.StealSuccesses, gs.StealAborts,
+					gs.TasksStolen, gs.Imbalance)
+			}
 		}
 		if s.repl != nil {
 			sb.WriteString(s.repl.StatsExtra())

@@ -167,6 +167,23 @@ func (s *Sharded) Shard(i int) *Store { return s.shards[i] }
 // RouterMetrics returns the router's live fan-out counters.
 func (s *Sharded) RouterMetrics() *RouterMetrics { return &s.m }
 
+// SchedulerGroup returns the stealing mxtask.Group every shard runtime
+// belongs to, or nil when the shards run on standalone runtimes, on
+// different groups, or on a group without stealing enabled. The server's
+// STATS handler uses it to surface GroupStats (steal_* fields).
+func (s *Sharded) SchedulerGroup() *mxtask.Group {
+	g := s.shards[0].Runtime().Group()
+	if g == nil {
+		return nil
+	}
+	for _, sh := range s.shards[1:] {
+		if sh.Runtime().Group() != g {
+			return nil
+		}
+	}
+	return g
+}
+
 // Durable reports whether the shards write WALs (all or none do).
 func (s *Sharded) Durable() bool { return s.shards[0].Durable() }
 

@@ -7,8 +7,10 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"sync"
 	"testing"
 
+	"mxtasking/internal/epoch"
 	"mxtasking/internal/faultfs"
 	"mxtasking/internal/mxtask"
 	"mxtasking/internal/wal"
@@ -143,6 +145,111 @@ func TestShardCountInvariance(t *testing.T) {
 			}
 		}
 	}
+}
+
+// newStealingShardedN builds an in-memory Sharded over an n-node group
+// with cross-runtime stealing on and thresholds lowered so steals can
+// trigger even on small test workloads.
+func newStealingShardedN(t testing.TB, n, workers int) (*Sharded, *mxtask.Group, func()) {
+	t.Helper()
+	g := mxtask.NewGroup(mxtask.Config{
+		Workers:          workers,
+		PrefetchDistance: 2,
+		EpochPolicy:      epoch.Batched,
+		EpochInterval:    -1,
+		Steal: mxtask.StealConfig{
+			Enabled:    true,
+			MinBacklog: 2,
+			IdleStreak: 1,
+		},
+	}, n)
+	g.Start()
+	return NewSharded(g.Runtimes()), g, g.Stop
+}
+
+// asyncMutOps is the asynchronous mutation surface shared by Store and
+// Sharded; the stealing lockstep test drives both through it.
+type asyncMutOps interface {
+	Set(key, value uint64, done func(Result))
+	Delete(key uint64, done func(Result))
+}
+
+// Stealing must not change what the store computes — only where tasks run.
+// The same seeded op stream is applied to an unsharded reference and to a
+// 4-node stealing group, as concurrent bursts over distinct keys (so the
+// ops of a burst commute and backlog actually builds up for thieves);
+// after every burst completes on both, the full store contents must be
+// identical. Extends TestShardCountInvariance to cover stealing.
+func TestShardCountInvarianceStealing(t *testing.T) {
+	ref, stopRef := newStore(t, 2)
+	defer stopRef()
+	sh, g, stop := newStealingShardedN(t, 4, 4)
+	defer stop()
+	refOps, shOps := storeOps(ref), shardedOps(sh)
+
+	rng := rand.New(rand.NewSource(0x57ea1))
+	const bursts, perBurst = 12, 300
+	// Key universe skewed onto shard 0 (low quarter of the keyspace) so
+	// the stealing group sees the hot-shard pattern, with a full-range
+	// tail so every shard owns something.
+	universe := make([]uint64, 2048)
+	for i := range universe {
+		if i%8 == 0 {
+			universe[i] = rng.Uint64()
+		} else {
+			universe[i] = rng.Uint64() >> 2
+		}
+	}
+	type burstOp struct {
+		key, val uint64
+		del      bool
+	}
+	submit := func(s asyncMutOps, ops []burstOp) *sync.WaitGroup {
+		var wg sync.WaitGroup
+		wg.Add(len(ops))
+		for _, op := range ops {
+			if op.del {
+				s.Delete(op.key, func(Result) { wg.Done() })
+			} else {
+				s.Set(op.key, op.val, func(Result) { wg.Done() })
+			}
+		}
+		return &wg
+	}
+	for b := 0; b < bursts; b++ {
+		rng.Shuffle(len(universe), func(i, j int) {
+			universe[i], universe[j] = universe[j], universe[i]
+		})
+		ops := make([]burstOp, perBurst)
+		for i := range ops {
+			// Distinct keys within the burst: its ops commute, so the
+			// two stores may execute them in any interleaving.
+			ops[i] = burstOp{key: universe[i], val: rng.Uint64(), del: rng.Intn(5) == 0}
+		}
+		wgRef := submit(ref, ops)
+		wgSh := submit(sh, ops)
+		wgRef.Wait()
+		wgSh.Wait()
+	}
+	want := refOps.scan(0, math.MaxUint64, 0)
+	got := shOps.scan(0, math.MaxUint64, 0)
+	if len(got.Pairs) != len(want.Pairs) {
+		t.Fatalf("stealing store has %d keys, ref %d", len(got.Pairs), len(want.Pairs))
+	}
+	for i := range got.Pairs {
+		if got.Pairs[i] != want.Pairs[i] {
+			t.Fatalf("pair %d = %+v, ref %+v", i, got.Pairs[i], want.Pairs[i])
+		}
+	}
+	for _, k := range universe[:64] {
+		w, gt := refOps.get(k), shOps.get(k)
+		if w.Found != gt.Found || w.Value != gt.Value {
+			t.Fatalf("GET(%d) = (%d,%v), ref (%d,%v)", k, gt.Value, gt.Found, w.Value, w.Found)
+		}
+	}
+	// Whether steals fired depends on host parallelism; determinism must
+	// hold either way. Record the activity for the curious.
+	t.Logf("group stats after lockstep run: %+v", g.Stats())
 }
 
 // Per-shard recovery isolation: damage one shard's log mid-segment and the

@@ -5,8 +5,7 @@ package mxtask
 // allocator access without synchronization (§5.2) and local spawning
 // (Figure 5, scheduler side, line 5).
 type Context struct {
-	w  *Worker
-	rt *Runtime
+	w *Worker
 }
 
 // WorkerID returns the logical core executing the task.
@@ -15,8 +14,23 @@ func (c *Context) WorkerID() int { return c.w.id }
 // NUMANode returns the executing worker's NUMA node.
 func (c *Context) NUMANode() int { return c.w.numa }
 
-// Runtime returns the owning runtime.
-func (c *Context) Runtime() *Runtime { return c.rt }
+// Runtime returns the runtime the task belongs to. For a task stolen
+// across runtimes within a Group, that is its home runtime, not the
+// thief's — resource pool indices and pending accounting are home-relative
+// coordinates, so follow-up work must route through home.
+func (c *Context) Runtime() *Runtime { return c.w.homeRT() }
+
+// Node returns the group-node index of the runtime whose worker is
+// executing the task (0 for a standalone runtime). Combined with HomeNode
+// it lets task bodies observe where they actually ran.
+func (c *Context) Node() int { return c.w.rt.node }
+
+// HomeNode returns the group-node index of the task's home runtime.
+func (c *Context) HomeNode() int { return c.w.homeRT().node }
+
+// Stolen reports whether the task is executing on a foreign runtime's
+// worker via cross-runtime pool stealing.
+func (c *Context) Stolen() bool { return c.w.execHome != nil }
 
 // NewTask allocates a task from the worker's core heap. Because tasks run
 // to completion, the heap needs no synchronization, making this a handful
@@ -40,11 +54,13 @@ func (c *Context) Spawn(t *Task) {
 		c.w.spawnBuf = append(c.w.spawnBuf, t)
 		return
 	}
-	c.rt.pending.Add(1)
-	if b := t.after; b != nil && b.enqueue(t, c.w.id) {
+	home := c.w.homeRT()
+	home.pending.Add(1)
+	hint := c.w.spawnHint()
+	if b := t.after; b != nil && b.enqueue(t, hint) {
 		return // withheld until the barrier releases
 	}
-	c.rt.schedule(t, c.w.id)
+	home.schedule(t, hint)
 }
 
 // Retire registers free to run once no task can still hold an optimistic

@@ -1,20 +1,64 @@
 package mxtask
 
-// Group is a set of independent runtimes, one per simulated NUMA node —
-// the execution substrate for sharded applications that keep a partition's
-// data, task pools, and synchronization domains on a single node (the
-// paper's locality argument, §2.3/§6, applied at the system level instead
-// of inside one runtime). Each member runtime has its own workers, task
-// allocator, and epoch manager, so nothing is shared across nodes: a task
-// spawned on node i can only ever touch node i's pools, which is exactly
-// the isolation a per-NUMA-node shard wants.
+import (
+	"sync/atomic"
+
+	"mxtasking/internal/epoch"
+)
+
+// Group is a set of runtimes, one per simulated NUMA node — the execution
+// substrate for sharded applications that keep a partition's data, task
+// pools, and synchronization domains on a single node (the paper's
+// locality argument, §2.3/§6, applied at the system level instead of
+// inside one runtime). Each member runtime has its own workers, task
+// allocator, and pool table, so on the common path nothing is shared
+// across nodes: a task spawned on node i executes on node i's workers.
+//
+// With Config.Steal.Enabled the group becomes a cooperating scheduler
+// (DESIGN.md §7): a member whose workers idle past a threshold steals
+// whole task pools from overloaded siblings, under the victim pool's own
+// consume latch, so the at-most-one-executor invariant holds across
+// runtime boundaries exactly as it does within one. Tasks bound to an
+// exclusive resource or carrying a core/NUMA locality annotation are never
+// stolen. Stealing members share one epoch manager — a thief inside a
+// victim's data structure must hold reclamation back the same way the
+// victim's own workers do.
 //
 // Workers are divided as evenly as possible across the nodes (the first
 // Workers mod nodes runtimes get one extra), and every member runs with
 // NUMANodes=1 — the group models the topology, the members model one node
 // each.
 type Group struct {
-	rts []*Runtime
+	rts   []*Runtime
+	steal StealConfig
+
+	// loads caches each member's stealable backlog so victim selection
+	// reads N padded atomics instead of touching sibling pools. Each
+	// slot is only written by its member's workers (plus a corrective
+	// store after a steal), padded to its own cache line.
+	loads []paddedLoad
+
+	stealAttempts  atomic.Uint64
+	stealSuccesses atomic.Uint64
+	stealAborts    atomic.Uint64
+	tasksStolen    atomic.Uint64
+}
+
+// paddedLoad is a cache-line-padded load gauge: one per member, so
+// publication from different nodes never false-shares.
+type paddedLoad struct {
+	v atomic.Int64
+	_ [56]byte
+}
+
+// GroupStats is a snapshot of the group's stealing activity.
+type GroupStats struct {
+	StealAttempts  uint64 // victim selections that passed the hysteresis gate
+	StealSuccesses uint64 // attempts that executed at least one stolen task
+	StealAborts    uint64 // attempts that found the victim already drained
+	TasksStolen    uint64 // tasks executed on a foreign runtime
+	Imbalance      int64  // current max−min stealable backlog across members
+	Loads          []int64
 }
 
 // NewGroup creates nodes runtimes from one template configuration,
@@ -26,20 +70,58 @@ func NewGroup(cfg Config, nodes int) *Group {
 		nodes = 1
 	}
 	cfg.applyDefaults()
-	g := &Group{rts: make([]*Runtime, nodes)}
+	g := &Group{
+		rts:   make([]*Runtime, nodes),
+		steal: cfg.Steal,
+		loads: make([]paddedLoad, nodes),
+	}
 	base := cfg.Workers / nodes
 	extra := cfg.Workers % nodes
+	counts := make([]int, nodes)
+	total := 0
+	for i := range counts {
+		counts[i] = base
+		if i < extra {
+			counts[i]++
+		}
+		if counts[i] < 1 {
+			counts[i] = 1
+		}
+		total += counts[i]
+	}
+	var shared *epoch.Manager
+	if cfg.Steal.Enabled {
+		shared = epoch.NewManager(total, cfg.EpochPolicy, cfg.EpochBatch)
+	}
+	offset := 0
 	for i := range g.rts {
 		c := cfg
-		c.Workers = base
-		if i < extra {
-			c.Workers++
-		}
-		if c.Workers < 1 {
-			c.Workers = 1
-		}
+		c.Workers = counts[i]
 		c.NUMANodes = 1
-		g.rts[i] = New(c)
+		if shared != nil {
+			c.sharedEpoch = shared
+			c.epochOffset = offset
+			if i > 0 && c.EpochInterval > 0 {
+				// One epoch clock per shared manager: member 0's
+				// ticker advances everyone.
+				c.EpochInterval = -1
+			}
+			if c.Steal.SparePools == 0 {
+				// Default spare pools: enough extra consume latches
+				// that the whole group's workers could drain this
+				// member concurrently, capped at 8.
+				sp := total - counts[i]
+				if sp > 8 {
+					sp = 8
+				}
+				c.Steal.SparePools = sp
+			}
+		}
+		rt := New(c)
+		rt.group = g
+		rt.node = i
+		g.rts[i] = rt
+		offset += counts[i]
 	}
 	return g
 }
@@ -53,6 +135,38 @@ func (g *Group) Runtime(i int) *Runtime { return g.rts[i] }
 // Runtimes returns the member runtimes in node order. The slice is the
 // group's own; callers must not mutate it.
 func (g *Group) Runtimes() []*Runtime { return g.rts }
+
+// StealEnabled reports whether cross-runtime pool stealing is on.
+func (g *Group) StealEnabled() bool { return g.steal.Enabled }
+
+// Steal returns the group's effective stealing configuration (defaults
+// resolved).
+func (g *Group) Steal() StealConfig { return g.steal }
+
+// Stats snapshots the group's stealing counters and current per-member
+// stealable backlogs (recomputed from the pools, not the published cache).
+func (g *Group) Stats() GroupStats {
+	s := GroupStats{
+		StealAttempts:  g.stealAttempts.Load(),
+		StealSuccesses: g.stealSuccesses.Load(),
+		StealAborts:    g.stealAborts.Load(),
+		TasksStolen:    g.tasksStolen.Load(),
+		Loads:          make([]int64, len(g.rts)),
+	}
+	var min, max int64
+	for i, rt := range g.rts {
+		l := rt.stealableBacklog()
+		s.Loads[i] = l
+		if i == 0 || l < min {
+			min = l
+		}
+		if i == 0 || l > max {
+			max = l
+		}
+	}
+	s.Imbalance = max - min
+	return s
+}
 
 // Start launches every member runtime.
 func (g *Group) Start() {

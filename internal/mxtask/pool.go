@@ -28,6 +28,30 @@ func (l *taskLane) push(t *Task) {
 	prev.next.Store(t)
 }
 
+// peek returns the oldest task without removing it; the caller must hold
+// the pool's consume latch. ok is false when the lane is empty or a
+// producer is mid-push. peek may advance the lane head past the stub,
+// which is safe under the consume latch and transparent to pop.
+func (l *taskLane) peek() (t *Task, ok bool) {
+	head := l.head
+	next := head.next.Load()
+	if head == &l.stub {
+		if next == nil {
+			return nil, false
+		}
+		l.head = next
+		head = next
+		next = head.next.Load()
+	}
+	if next != nil {
+		return head, true
+	}
+	if head != l.tail.Load() {
+		return nil, false // producer in flight
+	}
+	return head, true // head is the last (fully linked) task
+}
+
 // pop dequeues the oldest task; the caller must hold the pool's consume
 // latch. ok is false when the lane is empty or a producer is mid-push.
 func (l *taskLane) pop() (t *Task, ok bool) {
@@ -70,16 +94,21 @@ func (l *taskLane) pop() (t *Task, ok bool) {
 //
 // Workers normally drain their own pool, but an idle worker may steal a
 // whole pool (never individual tasks, §4.1 "worker threads may also steal
-// task pools") by winning the consume latch.
+// task pools") by winning the consume latch. When the runtime belongs to a
+// stealing Group, idle workers of sibling runtimes may drain the pool too
+// — the same consume latch is what keeps the at-most-one-executor
+// invariant across runtime boundaries (DESIGN.md §7).
 type Pool struct {
 	lanes   [3]taskLane // indexed by Priority
 	consume latch.Spinlock
 	size    atomic.Int64
-	home    int // worker that owns the pool by default
+	pinned  atomic.Int64 // queued tasks bound to this runtime (see Task.homeBound)
+	idx     int          // position in the owning runtime's pool table
+	home    int          // worker that owns the pool by default; -1 for spare pools
 }
 
-func newPool(home int) *Pool {
-	p := &Pool{home: home}
+func newPool(idx, home int) *Pool {
+	p := &Pool{idx: idx, home: home}
 	for i := range p.lanes {
 		p.lanes[i].init()
 	}
@@ -89,6 +118,9 @@ func newPool(home int) *Pool {
 // Push adds a task according to its priority annotation. Safe for
 // concurrent use.
 func (p *Pool) Push(t *Task) {
+	if t.homeBound() {
+		p.pinned.Add(1)
+	}
 	p.lanes[t.prio].push(t)
 	p.size.Add(1)
 }
@@ -105,7 +137,30 @@ func (p *Pool) Pop() (*Task, bool) {
 	for _, prio := range [3]Priority{PriorityHigh, PriorityNormal, PriorityLow} {
 		if t, ok := p.lanes[prio].pop(); ok {
 			p.size.Add(-1)
+			if t.homeBound() {
+				p.pinned.Add(-1)
+			}
 			return t, true
+		}
+	}
+	return nil, false
+}
+
+// PopStealable removes the highest-priority task that may execute on a
+// foreign runtime. A home-bound task at a lane's head blocks that lane —
+// tasks queued behind it keep their order and stay home — so a cross-
+// runtime thief can never observe, let alone run, an excluded task. The
+// caller must hold the consume latch.
+func (p *Pool) PopStealable() (*Task, bool) {
+	for _, prio := range [3]Priority{PriorityHigh, PriorityNormal, PriorityLow} {
+		l := &p.lanes[prio]
+		t, ok := l.peek()
+		if !ok || t.homeBound() {
+			continue
+		}
+		if popped, ok := l.pop(); ok {
+			p.size.Add(-1)
+			return popped, true
 		}
 	}
 	return nil, false
@@ -114,5 +169,21 @@ func (p *Pool) Pop() (*Task, bool) {
 // Len reports the approximate number of queued tasks.
 func (p *Pool) Len() int { return int(p.size.Load()) }
 
-// Home returns the index of the worker that owns this pool by default.
+// StealableLen reports the approximate number of queued tasks a foreign
+// runtime's worker could execute (total minus home-bound). Both counters
+// are sampled independently, so the estimate is clamped at zero.
+func (p *Pool) StealableLen() int {
+	n := p.size.Load() - p.pinned.Load()
+	if n < 0 {
+		n = 0
+	}
+	return int(n)
+}
+
+// Home returns the index of the worker that owns this pool by default, or
+// -1 for a spare pool (an extra scheduling channel with no resident
+// worker; see Config.Steal).
 func (p *Pool) Home() int { return p.home }
+
+// Index returns the pool's position in its runtime's pool table.
+func (p *Pool) Index() int { return p.idx }

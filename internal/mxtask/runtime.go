@@ -48,6 +48,54 @@ type Config struct {
 	// batch execution time — the dynamic adjustment §3 sketches as a
 	// natural extension. PrefetchDistance remains the starting point.
 	AdaptivePrefetch bool
+	// Steal configures cross-runtime pool stealing for runtimes created
+	// as members of a Group (DESIGN.md §7). It has no effect on a
+	// standalone Runtime.
+	Steal StealConfig
+
+	// sharedEpoch, when set by NewGroup, replaces the runtime's private
+	// epoch manager so retired objects survive until cross-runtime
+	// thieves have left their critical sections too; epochOffset is this
+	// member's first worker slot in the shared manager.
+	sharedEpoch *epoch.Manager
+	epochOffset int
+}
+
+// StealConfig parameterizes cross-runtime pool stealing within a Group:
+// idle workers of one member runtime drain whole task pools of overloaded
+// sibling members, under the victim pool's own consume latch (DESIGN.md
+// §7). Zero values select the documented defaults; stealing itself is off
+// unless Enabled is set.
+type StealConfig struct {
+	// Enabled turns on cross-runtime stealing for Group members.
+	Enabled bool
+	// MinBacklog is the minimum stealable backlog (queued tasks not
+	// bound to their home runtime) a victim must have before any member
+	// attempts to steal from it. Defaults to 16.
+	MinBacklog int
+	// SparePools is the number of extra task pools each member carves
+	// out beyond its per-worker pools. Spare pools are scheduling
+	// channels without a resident worker: external spawns and resource
+	// assignment round-robin over them too, so a hot member can expose
+	// more independent consume latches than it has workers — the
+	// structural headroom thieves need. Defaults to min(8, groupWorkers
+	// − memberWorkers); 0 keeps the default, negative disables spares.
+	SparePools int
+	// IdleStreak is how many consecutive empty scheduling rounds a
+	// worker must observe before it considers stealing from a sibling
+	// runtime (the hysteresis that keeps a busy group from ping-ponging
+	// pools). Failed attempts back the worker off exponentially on top.
+	// Defaults to 2.
+	IdleStreak int
+}
+
+func (c *StealConfig) applyDefaults() {
+	if c.MinBacklog <= 0 {
+		c.MinBacklog = 16
+	}
+	if c.IdleStreak <= 0 {
+		c.IdleStreak = 2
+	}
 }
 
 func (c *Config) applyDefaults() {
@@ -63,6 +111,7 @@ func (c *Config) applyDefaults() {
 	if c.EpochInterval == 0 {
 		c.EpochInterval = 50 * time.Millisecond
 	}
+	c.Steal.applyDefaults()
 }
 
 // Runtime is the MxTasking engine: a set of workers, their task pools, the
@@ -72,8 +121,12 @@ func (c *Config) applyDefaults() {
 type Runtime struct {
 	cfg      Config
 	workers  []*Worker
+	pools    []*Pool // per-worker pools first, then spare pools
 	epochMgr *epoch.Manager
 	alloc    *alloc.Allocator
+
+	group *Group // stealing group this runtime belongs to, or nil
+	node  int    // this runtime's index within group
 
 	pending  atomic.Int64 // spawned but not yet completed tasks
 	spawnRR  atomic.Uint64
@@ -89,9 +142,24 @@ func New(cfg Config) *Runtime {
 	cfg.applyDefaults()
 	rt := &Runtime{
 		cfg:      cfg,
-		epochMgr: epoch.NewManager(cfg.Workers, cfg.EpochPolicy, cfg.EpochBatch),
+		epochMgr: cfg.sharedEpoch,
 		alloc:    alloc.New(cfg.Workers, cfg.NUMANodes),
 		stopTick: make(chan struct{}),
+	}
+	if rt.epochMgr == nil {
+		rt.epochMgr = epoch.NewManager(cfg.Workers, cfg.EpochPolicy, cfg.EpochBatch)
+	}
+	spares := 0
+	if cfg.Steal.Enabled && cfg.Steal.SparePools > 0 {
+		spares = cfg.Steal.SparePools
+	}
+	rt.pools = make([]*Pool, cfg.Workers+spares)
+	for i := range rt.pools {
+		home := i
+		if i >= cfg.Workers {
+			home = -1 // spare pool: no resident worker
+		}
+		rt.pools[i] = newPool(i, home)
 	}
 	perNode := (cfg.Workers + cfg.NUMANodes - 1) / cfg.NUMANodes
 	rt.workers = make([]*Worker, cfg.Workers)
@@ -104,15 +172,40 @@ func New(cfg Config) *Runtime {
 			id:    i,
 			numa:  node,
 			rt:    rt,
-			pool:  newPool(i),
-			epoch: rt.epochMgr.Worker(i),
+			pool:  rt.pools[i],
+			epoch: rt.epochMgr.Worker(cfg.epochOffset + i),
 			heap:  rt.alloc.Core(i),
 			trace: newTracer(cfg.TraceCapacity),
 		}
-		w.ctx = Context{w: w, rt: rt}
+		w.ctx = Context{w: w}
 		rt.workers[i] = w
 	}
 	return rt
+}
+
+// Group returns the stealing group this runtime belongs to, or nil for a
+// standalone runtime (or a member of a non-stealing group).
+func (rt *Runtime) Group() *Group {
+	if rt.group != nil && rt.group.steal.Enabled {
+		return rt.group
+	}
+	return nil
+}
+
+// Node returns this runtime's index within its group (0 standalone).
+func (rt *Runtime) Node() int { return rt.node }
+
+// Pools returns the number of task pools (worker pools plus spares).
+func (rt *Runtime) Pools() int { return len(rt.pools) }
+
+// stealableBacklog estimates how many queued tasks a sibling runtime's
+// workers could legally execute right now.
+func (rt *Runtime) stealableBacklog() int64 {
+	var n int64
+	for _, p := range rt.pools {
+		n += int64(p.StealableLen())
+	}
+	return n
 }
 
 // Workers returns the number of logical cores.
@@ -191,7 +284,7 @@ func (rt *Runtime) CreateResource(obj any, size int, iso Isolation, ratio RWRati
 		frequency: freq,
 		prim:      SelectPrimitive(iso, ratio, freq),
 	}
-	r.pool = int(rt.resRR.Add(1)-1) % rt.cfg.Workers
+	r.pool = int(rt.resRR.Add(1)-1) % len(rt.pools)
 	return r
 }
 
@@ -221,23 +314,26 @@ func (rt *Runtime) Spawn(t *Task) {
 
 // schedule implements the scheduler side of Figure 5: route to the
 // resource's pool when scheduling synchronizes the access, else honour an
-// explicit core/NUMA annotation, else stay local.
-func (rt *Runtime) schedule(t *Task, localWorker int) {
+// explicit core/NUMA annotation, else stay local. localPool is an index
+// into rt.pools (a worker id on the common path, or the home pool a stolen
+// task was drained from); out-of-range hints fall back to round-robin.
+func (rt *Runtime) schedule(t *Task, localPool int) {
 	res := t.res
 	switch {
 	case res != nil && (res.prim.serializesAll() ||
 		(res.prim.serializesWrites() && t.mode == Write)):
-		rt.workers[res.pool].pool.Push(t)
+		rt.pools[res.pool].Push(t)
 	case t.targetCore != AnyCore:
-		rt.workers[t.targetCore%rt.cfg.Workers].pool.Push(t)
+		rt.pools[t.targetCore%rt.cfg.Workers].Push(t)
 	case t.targetNUMA != AnyCore:
-		rt.workers[rt.pickInNUMA(t.targetNUMA)].pool.Push(t)
-	case localWorker != AnyCore:
-		rt.workers[localWorker].pool.Push(t)
+		rt.pools[rt.pickInNUMA(t.targetNUMA)].Push(t)
+	case localPool != AnyCore && localPool < len(rt.pools):
+		rt.pools[localPool].Push(t)
 	default:
 		// External producers have no local pool; distribute
-		// round-robin.
-		rt.workers[int(rt.spawnRR.Add(1)-1)%rt.cfg.Workers].pool.Push(t)
+		// round-robin over every pool, spares included, so a hot
+		// runtime exposes all its consume latches to thieves.
+		rt.pools[int(rt.spawnRR.Add(1)-1)%len(rt.pools)].Push(t)
 	}
 }
 

@@ -86,6 +86,17 @@ func (t *Task) AnnotateNUMA(node int) *Task {
 	return t
 }
 
+// homeBound reports whether the task must execute on its home runtime and
+// is therefore excluded from cross-runtime stealing (DESIGN.md §7): tasks
+// pinned to a core or NUMA node carry a locality annotation the thief
+// cannot honour, and tasks on an exclusive resource (PrimSerialize) rely
+// on the resource's pool index — a home-relative coordinate — for their
+// entire correctness argument.
+func (t *Task) homeBound() bool {
+	return t.targetCore != AnyCore || t.targetNUMA != AnyCore ||
+		(t.res != nil && t.res.prim.serializesAll())
+}
+
 // Resource returns the annotated resource, or nil.
 func (t *Task) Resource() *Resource { return t.res }
 

@@ -18,6 +18,9 @@ const (
 	TracePrefetch
 	// TraceCollect: epoch reclamation freed objects (Info: count).
 	TraceCollect
+	// TraceGroupSteal: the worker drained a pool of a sibling runtime in
+	// its Group (Info: victim node).
+	TraceGroupSteal
 )
 
 // String names the event kind.
@@ -33,6 +36,8 @@ func (k TraceKind) String() string {
 		return "prefetch"
 	case TraceCollect:
 		return "collect"
+	case TraceGroupSteal:
+		return "group-steal"
 	default:
 		return "invalid"
 	}

@@ -56,6 +56,18 @@ type Worker struct {
 	holdingOwnPool bool
 	lastEpoch      uint64
 
+	// Cross-runtime stealing state (DESIGN.md §7). While the worker
+	// drains a pool stolen from a sibling runtime, execHome is that
+	// runtime and execPool the stolen pool: task completion must be
+	// accounted against the home runtime's pending counter, and spawns
+	// from stolen tasks must route through the home runtime's scheduler
+	// (resource pool indices are home-relative coordinates). Both are nil
+	// outside a stolen batch.
+	execHome  *Runtime
+	execPool  *Pool
+	idleStreak int
+	stealFail  int // consecutive failed group-steal attempts (backoff)
+
 	// Adaptive prefetch-distance state (§3's dynamic-adjustment
 	// extension): hill-climbing on observed batch execution rate. dist
 	// is atomic because diagnostics may read it while the worker runs;
@@ -82,6 +94,26 @@ type Worker struct {
 // ID returns the worker's logical core number.
 func (w *Worker) ID() int { return w.id }
 
+// homeRT returns the runtime the currently executing task belongs to: the
+// victim runtime during a stolen batch, the worker's own otherwise.
+func (w *Worker) homeRT() *Runtime {
+	if w.execHome != nil {
+		return w.execHome
+	}
+	return w.rt
+}
+
+// spawnHint returns the pool index follow-up spawns should prefer, in the
+// coordinates of homeRT's pool table: the stolen pool during a stolen
+// batch (keeping task chains in their home runtime), the worker's own pool
+// otherwise.
+func (w *Worker) spawnHint() int {
+	if w.execPool != nil {
+		return w.execPool.idx
+	}
+	return w.id
+}
+
 // NUMA returns the worker's NUMA node.
 func (w *Worker) NUMA() int { return w.numa }
 
@@ -106,32 +138,43 @@ func (w *Worker) run() {
 		runtime.LockOSThread()
 		defer runtime.UnlockOSThread()
 	}
-	idleStreak := 0
+	stealing := w.rt.group != nil && w.rt.group.steal.Enabled
 	for {
 		if w.rt.stopped.Load() {
 			return
 		}
-		did := w.drainAndExecute(w.pool, true)
+		did := w.drainPool(w.pool, true, w.rt, false) > 0
 		if !did {
-			// Idle: steal a whole pool from another worker
-			// (pools, not tasks — §4.1).
-			n := len(w.rt.workers)
+			// Idle: steal a whole pool from another worker of this
+			// runtime (pools, not tasks — §4.1). Spare pools have no
+			// resident worker, so this loop is also how they get
+			// drained locally.
+			n := len(w.rt.pools)
 			for i := 1; i < n; i++ {
-				victim := w.rt.workers[(w.id+i)%n]
-				if victim.pool.Len() == 0 {
+				victim := w.rt.pools[(w.id+i)%n]
+				if victim.Len() == 0 {
 					continue
 				}
-				if w.drainAndExecute(victim.pool, false) {
+				if w.drainPool(victim, false, w.rt, false) > 0 {
 					w.stats.poolsStolen.Add(1)
-					w.trace.record(w.id, TraceSteal, uint64(victim.id))
+					w.trace.record(w.id, TraceSteal, uint64(victim.idx))
 					did = true
 					break
 				}
 			}
 		}
+		if stealing {
+			// Publish our runtime's stealable backlog so idle
+			// siblings can pick victims without touching our pools.
+			g := w.rt.group
+			g.loads[w.rt.node].v.Store(w.rt.stealableBacklog())
+			if !did && w.stealFromGroup() > 0 {
+				did = true
+			}
+		}
 		w.maybeCollect()
 		if did {
-			idleStreak = 0
+			w.idleStreak = 0
 			continue
 		}
 		w.epoch.Idle()
@@ -142,11 +185,11 @@ func (w *Worker) run() {
 		// application goroutines when the host has fewer CPUs than
 		// workers (the paper's testbed pins one worker per core; this
 		// library must also behave on oversubscribed machines).
-		idleStreak++
-		if idleStreak < 32 {
+		w.idleStreak++
+		if w.idleStreak < 32 {
 			runtime.Gosched()
 		} else {
-			pause := time.Duration(idleStreak) * time.Microsecond
+			pause := time.Duration(w.idleStreak) * time.Microsecond
 			if pause > 200*time.Microsecond {
 				pause = 200 * time.Microsecond
 			}
@@ -155,16 +198,26 @@ func (w *Worker) run() {
 	}
 }
 
-// drainAndExecute acquires the pool, drains up to batchLimit tasks into the
+// drainPool acquires the pool, drains up to batchLimit tasks into the
 // lookahead window, and executes them with prefetching and injected
-// synchronization. It reports whether any task ran.
-func (w *Worker) drainAndExecute(p *Pool, own bool) bool {
+// synchronization. It returns how many tasks ran. home is the runtime the
+// pool belongs to; stolen selects the cross-runtime path, which drains via
+// PopStealable so home-bound tasks are never observed by a foreign worker.
+// The consume latch is held for the whole batch — at most one worker,
+// local or foreign, executes a given pool's tasks at any time.
+func (w *Worker) drainPool(p *Pool, own bool, home *Runtime, stolen bool) int {
 	if !p.TryAcquire() {
-		return false
+		return 0
 	}
 	w.window = w.window[:0]
 	for len(w.window) < batchLimit {
-		t, ok := p.Pop()
+		var t *Task
+		var ok bool
+		if stolen {
+			t, ok = p.PopStealable()
+		} else {
+			t, ok = p.Pop()
+		}
 		if !ok {
 			break
 		}
@@ -172,7 +225,10 @@ func (w *Worker) drainAndExecute(p *Pool, own bool) bool {
 	}
 	if len(w.window) == 0 {
 		p.Release()
-		return false
+		return 0
+	}
+	if home != w.rt {
+		w.execHome, w.execPool = home, p
 	}
 	w.holdingOwnPool = own
 	dist := w.prefetchDistance()
@@ -192,11 +248,74 @@ func (w *Worker) drainAndExecute(p *Pool, own bool) bool {
 		w.window[i] = nil
 	}
 	w.holdingOwnPool = false
+	w.execHome, w.execPool = nil, nil
+	n := len(w.window)
 	p.Release()
 	if !start.IsZero() {
-		w.adaptObserve(len(w.window), time.Since(start))
+		w.adaptObserve(n, time.Since(start))
 	}
-	return true
+	return n
+}
+
+// stealFromGroup attempts to drain one pool from an overloaded sibling
+// runtime (DESIGN.md §7). Hysteresis gates the attempt: the worker must
+// have idled for IdleStreak rounds (doubled per consecutive failure, up to
+// 32×), the victim must advertise at least MinBacklog stealable tasks, and
+// at least twice this runtime's own backlog. Returns tasks executed.
+func (w *Worker) stealFromGroup() int {
+	g := w.rt.group
+	gate := g.steal.IdleStreak
+	if f := w.stealFail; f > 0 {
+		if f > 5 {
+			f = 5
+		}
+		gate <<= uint(f)
+	}
+	if w.idleStreak < gate {
+		return 0
+	}
+	own := w.rt.stealableBacklog()
+	victim := -1
+	var best int64
+	for i := range g.rts {
+		if i == w.rt.node || g.rts[i].stopped.Load() {
+			continue
+		}
+		if l := g.loads[i].v.Load(); l > best {
+			best, victim = l, i
+		}
+	}
+	if victim < 0 || best < int64(g.steal.MinBacklog) || best < 2*own {
+		return 0
+	}
+	g.stealAttempts.Add(1)
+	vrt := g.rts[victim]
+	var bp *Pool
+	bestLen := 0
+	for _, p := range vrt.pools {
+		if l := p.StealableLen(); l > bestLen {
+			bestLen, bp = l, p
+		}
+	}
+	var n int
+	if bp != nil {
+		n = w.drainPool(bp, false, vrt, true)
+	}
+	// Re-publish the victim's load from the source of truth either way:
+	// a stale overestimate would keep attracting thieves to a drained
+	// runtime (the ping-pong hysteresis is meant to prevent).
+	g.loads[victim].v.Store(vrt.stealableBacklog())
+	if n == 0 {
+		g.stealAborts.Add(1)
+		w.stealFail++
+		return 0
+	}
+	g.stealSuccesses.Add(1)
+	g.tasksStolen.Add(uint64(n))
+	w.stats.poolsStolen.Add(1)
+	w.stealFail = 0
+	w.trace.record(w.id, TraceGroupSteal, uint64(victim))
+	return n
 }
 
 // prefetchDistance returns the distance in effect for this worker.
@@ -310,8 +429,11 @@ func (w *Worker) execute(t *Task) {
 	w.epoch.Leave()
 	w.stats.executed.Add(1)
 	w.trace.record(w.id, TraceExecute, uint64(execKind(t)))
+	home := w.homeRT()
 	w.freeTask(t)
-	w.rt.pending.Add(-1)
+	// Completion is accounted against the task's home runtime — its
+	// Drain is what waits for this task, even when a thief ran it.
+	home.pending.Add(-1)
 }
 
 // execKind classifies an execution for the tracer.
@@ -364,11 +486,14 @@ func (w *Worker) optimisticRead(t *Task, res *Resource) {
 		}
 	}
 	w.buffering = false
-	// Publish the validated run's side effects.
+	// Publish the validated run's side effects — against the home
+	// runtime, whose pool table the spawn hints index.
+	home := w.homeRT()
+	hint := w.spawnHint()
 	for j, bt := range w.spawnBuf {
-		w.rt.pending.Add(1)
-		if b := bt.after; b == nil || !b.enqueue(bt, w.id) {
-			w.rt.schedule(bt, w.id)
+		home.pending.Add(1)
+		if b := bt.after; b == nil || !b.enqueue(bt, hint) {
+			home.schedule(bt, hint)
 		}
 		w.spawnBuf[j] = nil
 	}
