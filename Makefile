@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench chaos cluster-chaos steal-stress fuzz ci figures verify dat clean
+.PHONY: all build vet test race bench chaos cluster-chaos steal-stress prefetch-stress fuzz ci figures verify dat clean
 
 all: build vet test
 
@@ -26,9 +26,10 @@ race:
 		./internal/epoch ./internal/alloc ./internal/tbb ./internal/metrics \
 		./internal/ycsb ./internal/tpch ./internal/hashjoin ./internal/sim \
 		./internal/wal ./internal/kvstore ./internal/faultfs ./internal/linearize \
-		./internal/netfault ./internal/repl ./cmd/mxload
+		./internal/netfault ./internal/repl ./internal/prefetch ./cmd/mxload
 	MXKV_SHARDS=4 $(GO) test -race -count=1 ./internal/kvstore
 	$(GO) test -race -count=1 -shuffle=on -run 'TestGroup' ./internal/mxtask
+	$(MAKE) prefetch-stress
 
 bench:
 	$(GO) test -bench=. -benchmem .
@@ -56,6 +57,16 @@ chaos:
 steal-stress:
 	MXTASK_STEAL_SEEDS=20 $(GO) test -race -count=1 -shuffle=on -timeout 600s \
 		-run 'TestGroup' -v ./internal/mxtask
+
+# Learned-prefetcher stress (DESIGN.md §8): the seeded access-pattern
+# suite — sequential, strided, phase-changing, interleaved, and random
+# streams — swept over 20 seeds under the race detector, checking stride
+# induction, adaptive-window behavior, the self-disable gate, and
+# re-enable on fresh patterns. Shuffled so stream state can't leak
+# between pattern classes.
+prefetch-stress:
+	MXPF_SEEDS=20 $(GO) test -race -count=1 -shuffle=on -timeout 600s \
+		-run 'TestPrefetchPatterns' -v ./internal/prefetch
 
 # Cluster chaos (DESIGN.md §6): a 3-node replicated cluster — all links
 # through netfault proxies — driven through 20 seeded fault schedules of
@@ -93,6 +104,7 @@ ci:
 	MXKV_SHARDS=4 $(GO) test -race -count=1 ./internal/kvstore
 	$(GO) test -run '^$$' -bench 'BenchmarkServerSharded' -benchtime 100x .
 	$(MAKE) chaos
+	$(MAKE) prefetch-stress
 	$(MAKE) fuzz
 
 figures:

@@ -8,13 +8,16 @@
 package mxtasking_test
 
 import (
+	"bufio"
 	"fmt"
+	"net"
 	"strings"
 	"testing"
 
 	"mxtasking/internal/epoch"
 	"mxtasking/internal/kvstore"
 	"mxtasking/internal/mxtask"
+	"mxtasking/internal/prefetch"
 	"mxtasking/internal/ycsb"
 )
 
@@ -245,6 +248,185 @@ func BenchmarkServerShardedZipf(b *testing.B) {
 				}
 			})
 		}
+	}
+}
+
+// benchLearnedServer is benchServer with learned prefetching switchable:
+// the A/B pairs below run the same workload against both settings.
+func benchLearnedServer(b *testing.B, n uint64, learned bool) *kvstore.Server {
+	b.Helper()
+	rt := mxtask.New(mxtask.Config{Workers: 4, PrefetchDistance: 2, EpochPolicy: epoch.Batched})
+	rt.Start()
+	b.Cleanup(rt.Stop)
+	var opts []kvstore.ServerOption
+	if learned {
+		opts = append(opts, kvstore.WithLearnedPrefetch(prefetch.Config{}))
+	}
+	srv, err := kvstore.NewServer(kvstore.New(rt), "127.0.0.1:0", opts...)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { srv.Close() })
+	c, err := kvstore.Dial(srv.Addr())
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer c.Close()
+	for k := uint64(0); k < n; k++ {
+		if c.InFlight() == kvstore.DefaultWindow {
+			if _, err := c.AwaitSet(); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if err := c.SendSet(k, k); err != nil {
+			b.Fatal(err)
+		}
+	}
+	for c.InFlight() > 0 {
+		if _, err := c.AwaitSet(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return srv
+}
+
+// BenchmarkServerScanPaging pages sequentially through the keyspace —
+// the YCSB-E shape — with learned prefetching off vs on. With it on, the
+// server induces the paging stride from the SCAN start keys and warms the
+// leaf chain each next page will walk before the page arrives. Acceptance
+// on multi-core hardware: learned=on at least matches learned=off and
+// wins as the tree outgrows cache. On a single-core box the touch chains
+// time-share the same CPU as the scans, so the ratio is noise; like the
+// sharding benchmarks above, this reports rather than asserts.
+func BenchmarkServerScanPaging(b *testing.B) {
+	const page = 256
+	const depth = 4
+	for _, learned := range []bool{false, true} {
+		b.Run(fmt.Sprintf("learned=%v", learned), func(b *testing.B) {
+			srv := benchLearnedServer(b, benchKeys, learned)
+			c, err := kvstore.Dial(srv.Addr())
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer c.Close()
+			await := func() {
+				if _, _, err := c.AwaitScan(); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ResetTimer()
+			from := uint64(0)
+			for i := 0; i < b.N; i++ {
+				if c.InFlight() == depth {
+					await()
+				}
+				if err := c.SendScan(from, from+page, page); err != nil {
+					b.Fatal(err)
+				}
+				from += page
+				if from+page > benchKeys {
+					from = 0
+				}
+			}
+			for c.InFlight() > 0 {
+				await()
+			}
+		})
+	}
+}
+
+// BenchmarkServerMGETRuns streams MGETs of consecutive 32-key runs, the
+// runs themselves advancing sequentially — a batch loader replaying a key
+// range. Learned prefetching induces the stride from the batch members
+// and warms the predicted keys' leaves. Report-only, like ScanPaging.
+func BenchmarkServerMGETRuns(b *testing.B) {
+	const run = 32
+	const depth = 8
+	for _, learned := range []bool{false, true} {
+		b.Run(fmt.Sprintf("learned=%v", learned), func(b *testing.B) {
+			srv := benchLearnedServer(b, benchKeys, learned)
+			conn, err := net.Dial("tcp", srv.Addr())
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer conn.Close()
+			w := bufio.NewWriter(conn)
+			r := bufio.NewReaderSize(conn, 1<<20)
+			inflight := 0
+			await := func() {
+				reply, err := r.ReadString('\n')
+				if err != nil || !strings.HasPrefix(reply, "VALUES") {
+					b.Fatalf("reply %q, err %v", reply, err)
+				}
+				inflight--
+			}
+			var sb strings.Builder
+			b.ResetTimer()
+			base := uint64(0)
+			for i := 0; i < b.N; i++ {
+				if inflight == depth {
+					if err := w.Flush(); err != nil {
+						b.Fatal(err)
+					}
+					await()
+				}
+				sb.Reset()
+				sb.WriteString("MGET")
+				for k := base; k < base+run; k++ {
+					fmt.Fprintf(&sb, " %d", k)
+				}
+				sb.WriteByte('\n')
+				if _, err := w.WriteString(sb.String()); err != nil {
+					b.Fatal(err)
+				}
+				inflight++
+				base += run
+				if base+run > benchKeys {
+					base = 0
+				}
+			}
+			if err := w.Flush(); err != nil {
+				b.Fatal(err)
+			}
+			for inflight > 0 {
+				await()
+			}
+		})
+	}
+}
+
+// BenchmarkServerRandomGets is the overhead guard: a YCSB-C random-read
+// stream on which the learned streams self-disable. learned=on must track
+// learned=off closely — the disabled stream's fast path is three compares
+// and a ring store per request.
+func BenchmarkServerRandomGets(b *testing.B) {
+	const depth = 16
+	for _, learned := range []bool{false, true} {
+		b.Run(fmt.Sprintf("learned=%v", learned), func(b *testing.B) {
+			srv := benchLearnedServer(b, benchKeys, learned)
+			c, err := kvstore.Dial(srv.Addr())
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer c.Close()
+			zipf := ycsb.NewZipf(benchKeys, 0.99, 7)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if c.InFlight() == depth {
+					if _, _, err := c.AwaitGet(); err != nil {
+						b.Fatal(err)
+					}
+				}
+				if err := c.SendGet(ycsb.ScrambleKey(zipf.Next()) % benchKeys); err != nil {
+					b.Fatal(err)
+				}
+			}
+			for c.InFlight() > 0 {
+				if _, _, err := c.AwaitGet(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

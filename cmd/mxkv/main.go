@@ -56,6 +56,7 @@ import (
 	"mxtasking/internal/epoch"
 	"mxtasking/internal/kvstore"
 	"mxtasking/internal/mxtask"
+	"mxtasking/internal/prefetch"
 	"mxtasking/internal/repl"
 )
 
@@ -108,6 +109,7 @@ func main() {
 		retryAft = flag.Duration("retry-after", 0, "backoff hint attached to overload rejections (0 = default)")
 		steal    = flag.Bool("steal", false, "let idle shard runtimes steal task pools from overloaded siblings (requires -shards > 1)")
 		stealMin = flag.Int("steal-backlog", 0, "min stealable backlog before a shard is stolen from (0 = default 16)")
+		learned  = flag.Bool("learned-prefetch", false, "learn per-connection access strides and warm predicted leaves (DESIGN.md §8)")
 
 		advertise = flag.String("advertise", "", "canonical address peers and redirected clients dial; enables replication (requires -wal-dir, -shards 1)")
 		replicaOf = flag.String("replica-of", "", "start as a replica of this primary's advertise address (requires -advertise)")
@@ -261,6 +263,9 @@ func main() {
 	if node != nil {
 		opts = append(opts, kvstore.WithRepl(node))
 	}
+	if *learned {
+		opts = append(opts, kvstore.WithLearnedPrefetch(prefetch.Config{}))
+	}
 	srv, err := kvstore.NewServer(store, *addr, opts...)
 	if err != nil {
 		log.Fatal(err)
@@ -313,6 +318,11 @@ func main() {
 		rm := sharded.RouterMetrics()
 		fmt.Printf("mxkv: router routed=%v scan-fanout[%s] batch-fanout[%s]\n",
 			rm.Routed.Values(), rm.ScanFanout.String(), rm.BatchFanout.String())
+	}
+	if m := srv.LearnedPrefetchMetrics(); m != nil {
+		fmt.Printf("mxkv: learned prefetch streams=%d observed=%d hits=%d misses=%d induced=%d issued=%d window-max=%d disables=%d reenables=%d\n",
+			m.Streams.Load(), m.Observed.Load(), m.Hits.Load(), m.Misses.Load(),
+			m.Induced.Load(), m.Issued.Load(), m.WindowMax(), m.Disables.Load(), m.Reenables.Load())
 	}
 	fmt.Printf("mxkv: wire %s\n", srv.Metrics())
 }

@@ -141,6 +141,16 @@ func reportShards(addr string, cfg kvstore.DialConfig, want int) error {
 			field("steal_attempts"), field("steal_ok"),
 			field("steal_aborts"), field("steal_tasks"), st.Extra["imbalance"])
 	}
+	if _, ok := st.Extra["pf_induced"]; ok {
+		field := func(name string) uint64 {
+			v, _ := st.ExtraUint(name)
+			return v
+		}
+		fmt.Printf("learned prefetch: %d streams, %d observed, %d hits, %d misses, %d strides induced, %d issued, window max %d, %d disables, %d reenables\n",
+			field("pf_streams"), field("pf_observed"), field("pf_hits"),
+			field("pf_misses"), field("pf_induced"), field("pf_issued"),
+			field("pf_window"), field("pf_disables"), field("pf_reenables"))
+	}
 	return nil
 }
 

@@ -20,6 +20,7 @@ import (
 	"mxtasking/internal/blinktree"
 	"mxtasking/internal/epoch"
 	"mxtasking/internal/mxtask"
+	"mxtasking/internal/prefetch"
 	"mxtasking/internal/ycsb"
 )
 
@@ -30,6 +31,7 @@ func main() {
 		ops      = flag.Int("ops", 50000, "workload operations")
 		workload = flag.String("workload", "A", "workload: A or C")
 		capacity = flag.Int("trace", 65536, "trace ring capacity per worker")
+		learned  = flag.Bool("learned-prefetch", false, "run a learned stride stream over the op keys and warm predicted leaves (DESIGN.md §8)")
 	)
 	flag.Parse()
 
@@ -60,9 +62,26 @@ func main() {
 	}
 	rt.Drain()
 
+	var (
+		pfM      *prefetch.Metrics
+		pfStream *prefetch.Stream
+		pfBuf    []uint64
+	)
+	if *learned {
+		pfM = &prefetch.Metrics{}
+		rt.AttachLearnedPrefetch(pfM)
+		pfStream = prefetch.New(prefetch.Config{}, pfM)
+	}
+
 	gen := ycsb.NewGenerator(w, uint64(*records), 7)
 	for i := 0; i < *ops; i++ {
 		op := gen.Next()
+		if pfStream != nil {
+			pfBuf = pfStream.Observe(op.Key, pfBuf[:0])
+			for _, k := range pfBuf {
+				tree.Touch(k, nil)
+			}
+		}
 		switch op.Kind {
 		case ycsb.OpRead:
 			tree.Lookup(op.Key)
@@ -77,6 +96,13 @@ func main() {
 	s := rt.Stats()
 	fmt.Printf("\ntotals: executed=%d spawned=%d prefetches=%d retries=%d steals=%d localFastPath=%d\n",
 		s.Executed, s.Spawned, s.Prefetches, s.ReadRetries, s.PoolsStolen, s.LocalFastPath)
+	if pfStream != nil {
+		st := pfStream.Stats()
+		fmt.Printf("learned prefetch: observed=%d hits=%d misses=%d induced=%d issued=%d window=%d disabled=%v disables=%d reenables=%d\n",
+			st.Observed, st.Hits, st.Misses, st.Induced, st.Issued, st.Window, st.Disabled, st.Disables, pfM.Reenables.Load())
+		fmt.Printf("runtime fold: learned_hits=%d learned_misses=%d learned_strides=%d learned_issued=%d learned_window_max=%d\n",
+			s.LearnedHits, s.LearnedMisses, s.LearnedStrides, s.LearnedIssued, s.LearnedWindowMax)
+	}
 }
 
 // execClass names the TraceExecute Info codes.

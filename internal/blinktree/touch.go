@@ -1,0 +1,110 @@
+package blinktree
+
+import (
+	"sync/atomic"
+
+	"mxtasking/internal/mxtask"
+)
+
+// Touch chains are the learned prefetcher's cache-warming primitive: a
+// best-effort descent to a key's leaf (and optionally onward along the
+// sibling chain) whose only side effect is reading the visited nodes —
+// Node.Prefetch pulls one word per cache line toward the CPU. Each step is
+// a normal annotated task, so the worker's batch window prefetches the
+// next node's resource ahead of the step exactly as it does for real
+// operations (§3): the touch chain rides the same prefetchFor path.
+//
+// Touch chains race the demand operations they warm the cache for and may
+// outlive their issuer (a connection can close with predictions still in
+// flight), so every step checks the issuer's stop flag and the chain
+// terminates quietly on any irregularity (nil child, torn sibling
+// pointer) instead of retrying: warming the wrong leaf costs nothing,
+// chasing a perfect answer would.
+
+// touchOp carries one touch chain. Each chain step that advances along
+// the leaf chain allocates a fresh op with a decremented count: the body
+// may re-run under optimistic validation, and a shared mutable countdown
+// would double-decrement.
+type touchOp struct {
+	tree   *TaskTree
+	key    Key
+	leaves int          // leaves still to read along the sibling chain
+	stop   *atomic.Bool // issuer's cancellation flag (nil = never cancelled)
+}
+
+func (op *touchOp) cancelled() bool { return op.stop != nil && op.stop.Load() }
+
+// Touch spawns a best-effort descent to key's leaf and reads it. stop
+// (optional) cancels the chain at its next step — the issuer sets it when
+// the access stream the prediction came from dies.
+func (t *TaskTree) Touch(key Key, stop *atomic.Bool) {
+	t.TouchAhead(key, 1, stop)
+}
+
+// TouchAhead descends to from's leaf and reads up to leaves consecutive
+// leaves along the sibling chain — next-leaf warming for a scan that is
+// predicted to continue past from.
+func (t *TaskTree) TouchAhead(from Key, leaves int, stop *atomic.Bool) {
+	if leaves < 1 {
+		leaves = 1
+	}
+	if stop != nil && stop.Load() {
+		return
+	}
+	root := t.loadRoot()
+	if root == nil {
+		return
+	}
+	op := &touchOp{tree: t, key: from, leaves: leaves, stop: stop}
+	t.spawnOnNode(nil, op, root, touchStep, t.scanStepMode())
+}
+
+// touchStep is one descent step of a touch chain.
+func touchStep(ctx *mxtask.Context, task *mxtask.Task) {
+	op := task.Arg.(*touchOp)
+	node, _ := task.Arg2.(*Node)
+	t := op.tree
+	if node == nil || op.cancelled() {
+		return
+	}
+	if !node.covers(op.key) && node.Type() != LeafNode {
+		// The key moved right past this node; follow the sibling, or give
+		// up on a torn read — this is only a warming hint.
+		if next := node.right; next != nil {
+			t.spawnOnNode(ctx, op, next, touchStep, t.scanStepMode())
+		}
+		return
+	}
+	if node.Type() != LeafNode {
+		if next := node.childFor(op.key); next != nil {
+			t.spawnOnNode(ctx, op, next, touchStep, t.scanStepMode())
+		}
+		return
+	}
+	touchLeaf(ctx, op, node)
+}
+
+// touchLeafStep continues a touch chain along the leaf level.
+func touchLeafStep(ctx *mxtask.Context, task *mxtask.Task) {
+	op := task.Arg.(*touchOp)
+	node, _ := task.Arg2.(*Node)
+	if node == nil || op.cancelled() {
+		return
+	}
+	touchLeaf(ctx, op, node)
+}
+
+// touchLeaf reads the leaf and, when the chain has leaves left, spawns the
+// next sibling step with a fresh op (see touchOp).
+func touchLeaf(ctx *mxtask.Context, op *touchOp, leaf *Node) {
+	leaf.Prefetch()
+	if op.leaves <= 1 {
+		return
+	}
+	next := leaf.right
+	if next == nil {
+		return
+	}
+	cont := &touchOp{tree: op.tree, key: op.key, leaves: op.leaves - 1, stop: op.stop}
+	op.tree.spawnOnNode(ctx, cont, next, touchLeafStep, op.tree.scanStepMode())
+}

@@ -1,0 +1,88 @@
+package blinktree
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+// TestTouchChains exercises the warming descent across sync modes: chains
+// must drain cleanly whether they hit a leaf, run off the right edge of
+// the tree, or target a key past every leaf.
+func TestTouchChains(t *testing.T) {
+	for _, mode := range taskModes {
+		t.Run(mode.String(), func(t *testing.T) {
+			rt := newTreeRuntime(2)
+			rt.Start()
+			defer rt.Stop()
+			tr := NewTaskTree(rt, mode)
+
+			const n = 4000
+			for i := Key(0); i < n; i++ {
+				tr.Insert(i, Value(i))
+			}
+			rt.Drain()
+
+			tr.Touch(123, nil)
+			tr.TouchAhead(1000, 8, nil)
+			// Chain longer than the remaining leaf level: must stop at the
+			// right edge, not spin.
+			tr.TouchAhead(n-5, 1000, nil)
+			// Key past every leaf lands on the rightmost leaf.
+			tr.Touch(n+500, nil)
+			rt.Drain()
+
+			// The tree must be untouched: warming has no side effects.
+			if c := tr.Count(); c != n {
+				t.Fatalf("touch chains changed Count: %d, want %d", c, n)
+			}
+		})
+	}
+}
+
+// TestTouchCancelled asserts a set stop flag kills the chain before it
+// spawns, and that flipping it mid-flight still drains the runtime.
+func TestTouchCancelled(t *testing.T) {
+	rt := newTreeRuntime(2)
+	rt.Start()
+	defer rt.Stop()
+	tr := NewTaskTree(rt, TaskSyncOptimistic)
+	for i := Key(0); i < 4000; i++ {
+		tr.Insert(i, Value(i))
+	}
+	rt.Drain()
+
+	var stop atomic.Bool
+	stop.Store(true)
+	tr.TouchAhead(0, 64, &stop)
+	rt.Drain() // pre-cancelled: nothing to do, must not hang
+
+	// Cancel mid-flight: issue long chains, flip stop while they run.
+	stop.Store(false)
+	for i := 0; i < 32; i++ {
+		tr.TouchAhead(Key(i*100), 32, &stop)
+	}
+	stop.Store(true)
+	rt.Drain() // remaining steps observe stop and fall through
+}
+
+// TestTouchRacesWithMutation runs touch chains against concurrent splits;
+// under -race this is the memory-safety check for the best-effort reads.
+func TestTouchRacesWithMutation(t *testing.T) {
+	rt := newTreeRuntime(4)
+	rt.Start()
+	defer rt.Stop()
+	tr := NewTaskTree(rt, TaskSyncOptimistic)
+	for i := Key(0); i < 512; i++ {
+		tr.Insert(i*8, Value(i))
+	}
+	rt.Drain()
+
+	var stop atomic.Bool
+	for i := Key(0); i < 2048; i++ {
+		tr.Insert(i*2+1, Value(i))
+		if i%4 == 0 {
+			tr.TouchAhead(i, 4, &stop)
+		}
+	}
+	rt.Drain()
+}

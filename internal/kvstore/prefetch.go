@@ -1,0 +1,213 @@
+package kvstore
+
+import (
+	"sync/atomic"
+
+	"mxtasking/internal/blinktree"
+	"mxtasking/internal/prefetch"
+)
+
+// Learned access-pattern prefetching (DESIGN.md §8): the server keeps two
+// prefetch.Streams per connection — one over point-operation keys
+// (GET/SET and each MGET member) and one over SCAN start keys — and turns
+// confirmed stride predictions into best-effort cache-warming task chains
+// against the backend's Blink-trees. A client paging sequentially through
+// the keyspace (YCSB-E) induces a stride on the scan stream, so the leaf
+// chain its next pages will walk is already warm; a client replaying a
+// key-sequential batch load induces one on the point stream. Random
+// clients (YCSB-C) never confirm a stride and their streams self-disable,
+// so they pay only the stream's gated fast path per request.
+
+// Toucher is the optional backend surface the learned prefetcher drives.
+// Store and Sharded implement it; the server discovers it by type
+// assertion per use (so SwapBackend to a toucher-less backend simply
+// turns warming off) and never requires it of a Backend.
+type Toucher interface {
+	// TouchKeys warms the leaves holding the predicted keys. Best-effort:
+	// chains observing stop terminate at their next step.
+	TouchKeys(keys []uint64, stop *atomic.Bool)
+	// TouchScanAhead warms up to leaves consecutive leaves starting at
+	// from's leaf — the pages a sequentially paging scan will read next.
+	TouchScanAhead(from uint64, leaves int, stop *atomic.Bool)
+	// AttachLearnedPrefetch registers the server's aggregate prefetch
+	// metrics with the backend's runtime so WorkerStats/Runtime.Stats
+	// surface them.
+	AttachLearnedPrefetch(m *prefetch.Metrics)
+}
+
+// TouchKeys warms each predicted key's leaf through a touch chain.
+func (s *Store) TouchKeys(keys []uint64, stop *atomic.Bool) {
+	for _, k := range keys {
+		s.tree.Touch(k, stop)
+	}
+}
+
+// TouchScanAhead warms the leaf chain a paging scan is predicted to walk.
+func (s *Store) TouchScanAhead(from uint64, leaves int, stop *atomic.Bool) {
+	s.tree.TouchAhead(from, leaves, stop)
+}
+
+// AttachLearnedPrefetch folds the aggregate learned-prefetch metrics into
+// the store runtime's stats.
+func (s *Store) AttachLearnedPrefetch(m *prefetch.Metrics) {
+	s.rt.AttachLearnedPrefetch(m)
+}
+
+// TouchKeys routes each predicted key's touch chain to its owning shard.
+func (s *Sharded) TouchKeys(keys []uint64, stop *atomic.Bool) {
+	for _, k := range keys {
+		s.shards[s.ShardOf(k)].tree.Touch(k, stop)
+	}
+}
+
+// TouchScanAhead warms the leaf chain on the shard owning from. The chain
+// stops at the shard boundary's rightmost leaf; a prediction landing in
+// the next shard routes there on its own observation.
+func (s *Sharded) TouchScanAhead(from uint64, leaves int, stop *atomic.Bool) {
+	s.shards[s.ShardOf(from)].tree.TouchAhead(from, leaves, stop)
+}
+
+// AttachLearnedPrefetch attaches the shared aggregate metrics to shard 0's
+// runtime only: the metrics object is one server-wide aggregate, and
+// attaching it everywhere would make a Group-level stats sweep count it
+// once per shard.
+func (s *Sharded) AttachLearnedPrefetch(m *prefetch.Metrics) {
+	s.shards[0].AttachLearnedPrefetch(m)
+}
+
+// WithLearnedPrefetch arms per-connection learned prefetching with cfg
+// (zero value = defaults). The server aggregates all connections' stream
+// counters into one prefetch.Metrics, surfaced via STATS pf_* fields and
+// the backend runtime's WorkerStats.
+func WithLearnedPrefetch(cfg prefetch.Config) ServerOption {
+	return func(s *Server) {
+		s.pfCfg = &cfg
+		s.pfMetrics = &prefetch.Metrics{}
+	}
+}
+
+// LearnedPrefetchMetrics returns the server-wide aggregate prefetcher
+// counters, or nil when WithLearnedPrefetch was not configured.
+func (s *Server) LearnedPrefetchMetrics() *prefetch.Metrics { return s.pfMetrics }
+
+// maxScanAheadLeaves caps how far ahead of a paging scan the warmer runs:
+// warming the whole tree for one huge predicted page would evict more
+// than it saves.
+const maxScanAheadLeaves = 8
+
+// scanAheadLeaves converts a SCAN limit into a leaf-chain warming depth:
+// enough leaves to cover the page at typical half-full occupancy, capped.
+func scanAheadLeaves(limit int) int {
+	if limit <= 0 {
+		limit = DefaultScanLimit
+	}
+	leaves := 1 + limit/(blinktree.Capacity/2)
+	if leaves > maxScanAheadLeaves {
+		leaves = maxScanAheadLeaves
+	}
+	return leaves
+}
+
+// connPrefetch is one connection's learned prefetch state. Both streams
+// are fed only from the connection's reader goroutine; stop is the shared
+// cancellation flag every touch chain the connection issues carries, set
+// when the connection (and therefore the access stream the predictions
+// were induced from) dies. Methods are nil-receiver-safe so un-armed
+// servers and the blocking handle() path pass nil.
+type connPrefetch struct {
+	srv   *Server
+	point *prefetch.Stream
+	scan  *prefetch.Stream
+	stop  atomic.Bool
+	buf   []uint64
+	// Leaf-granular dedup for point predictions: a dense stride's frontier
+	// advances one key per observation while a leaf holds ~Capacity/2 keys,
+	// so touching every predicted key would descend the tree ~30x per
+	// leaf's worth of useful warming. A prediction within half a leaf of
+	// the last touch is already warm.
+	lastTouch uint64
+	haveTouch bool
+	touchBuf  []uint64
+}
+
+// shouldTouch reports whether a predicted key plausibly lands on a leaf
+// not already warmed by the previous touch.
+func (pf *connPrefetch) shouldTouch(p uint64) bool {
+	if pf.haveTouch {
+		d := p - pf.lastTouch
+		if int64(d) < 0 {
+			d = -d
+		}
+		if d < blinktree.Capacity/2 {
+			return false
+		}
+	}
+	pf.lastTouch, pf.haveTouch = p, true
+	return true
+}
+
+// newConnPrefetch returns nil when learned prefetching is not configured.
+func (s *Server) newConnPrefetch() *connPrefetch {
+	if s.pfCfg == nil {
+		return nil
+	}
+	return &connPrefetch{
+		srv:   s,
+		point: prefetch.New(*s.pfCfg, s.pfMetrics),
+		scan:  prefetch.New(*s.pfCfg, s.pfMetrics),
+	}
+}
+
+// observeKey feeds one point access; confirmed predictions become key
+// touch chains on the backend.
+func (pf *connPrefetch) observeKey(key uint64) {
+	if pf == nil {
+		return
+	}
+	pf.buf = pf.point.Observe(key, pf.buf[:0])
+	if len(pf.buf) == 0 {
+		return
+	}
+	pf.touchBuf = pf.touchBuf[:0]
+	for _, p := range pf.buf {
+		if pf.shouldTouch(p) {
+			pf.touchBuf = append(pf.touchBuf, p)
+		}
+	}
+	if len(pf.touchBuf) == 0 {
+		return
+	}
+	if t, ok := pf.srv.store().(Toucher); ok {
+		t.TouchKeys(pf.touchBuf, &pf.stop)
+	}
+}
+
+// observeScan feeds a SCAN's start key; a confirmed paging stride warms
+// the leaf chains the predicted next pages will walk.
+func (pf *connPrefetch) observeScan(from uint64, limit int) {
+	if pf == nil {
+		return
+	}
+	pf.buf = pf.scan.Observe(from, pf.buf[:0])
+	if len(pf.buf) == 0 {
+		return
+	}
+	t, ok := pf.srv.store().(Toucher)
+	if !ok {
+		return
+	}
+	leaves := scanAheadLeaves(limit)
+	for _, start := range pf.buf {
+		t.TouchScanAhead(start, leaves, &pf.stop)
+	}
+}
+
+// cancel terminates every touch chain this connection issued: in-flight
+// steps observe the flag and fall through, so predictions cannot outlive
+// the stream that induced them.
+func (pf *connPrefetch) cancel() {
+	if pf == nil {
+		return
+	}
+	pf.stop.Store(true)
+}

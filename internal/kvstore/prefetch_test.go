@@ -1,0 +1,213 @@
+package kvstore
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"mxtasking/internal/prefetch"
+)
+
+// newLearnedServer stands up a backend (Store or Sharded per MXKV_SHARDS)
+// behind a server with learned prefetching armed, plus a connected client.
+func newLearnedServer(t *testing.T) (testBackend, *Server, *Client, func()) {
+	t.Helper()
+	b, stopBackend := newBackend(t, 2)
+	srv, err := NewServer(b, "127.0.0.1:0", WithLearnedPrefetch(prefetch.Config{}))
+	if err != nil {
+		stopBackend()
+		t.Fatal(err)
+	}
+	c, err := Dial(srv.Addr())
+	if err != nil {
+		srv.Close()
+		stopBackend()
+		t.Fatal(err)
+	}
+	return b, srv, c, func() {
+		c.Close()
+		srv.Close()
+		stopBackend()
+	}
+}
+
+// pfStat reads one pf_* aggregate off the STATS reply.
+func pfStat(t *testing.T, c *Client, name string) uint64 {
+	t.Helper()
+	st, err := c.Stats()
+	if err != nil {
+		t.Fatalf("STATS: %v", err)
+	}
+	v, ok := st.ExtraUint(name)
+	if !ok {
+		t.Fatalf("STATS reply missing %s (extra=%v)", name, st.Extra)
+	}
+	return v
+}
+
+// TestLearnedPrefetchSequentialScan pages a client sequentially through
+// the keyspace — the YCSB-E shape — and asserts the scan stream induced
+// the paging stride, scored hits, widened its window, and issued
+// leaf-warming predictions, all visible through STATS pf_* fields.
+func TestLearnedPrefetchSequentialScan(t *testing.T) {
+	b, srv, c, stop := newLearnedServer(t)
+	defer stop()
+
+	const n = 20000
+	for i := uint64(0); i < n; i += 1 {
+		b.Set(i, i, nil)
+	}
+	b.Drain()
+
+	const page = 500
+	for from := uint64(0); from+page <= n; from += page {
+		if _, _, err := c.ScanLimit(from, from+page, page); err != nil {
+			t.Fatalf("SCAN page at %d: %v", from, err)
+		}
+	}
+
+	if got := pfStat(t, c, "pf_induced"); got == 0 {
+		t.Fatal("sequential scan paging induced no stride")
+	}
+	if got := pfStat(t, c, "pf_hits"); got == 0 {
+		t.Fatal("confirmed paging stride scored no hits")
+	}
+	if got := pfStat(t, c, "pf_issued"); got == 0 {
+		t.Fatal("confirmed paging stride issued no predictions")
+	}
+	cfg := prefetch.Config{}
+	if got := pfStat(t, c, "pf_window"); got <= 2 {
+		t.Fatalf("lookahead window never widened: pf_window=%d (min=2, max=%d)", got, cfg.MaxWindow)
+	}
+	if got := pfStat(t, c, "pf_disables"); got != 0 {
+		t.Fatalf("predictable scan stream gated itself off (pf_disables=%d)", got)
+	}
+	// The aggregate is also attached to the backend runtime, so scheduler
+	// observability (WorkerStats / mxload) sees the same counters.
+	if m := srv.LearnedPrefetchMetrics(); m == nil || m.Issued.Load() == 0 {
+		t.Fatal("server aggregate metrics not populated")
+	}
+	// Let issued touch chains finish before teardown.
+	b.Drain()
+}
+
+// TestLearnedPrefetchSequentialMGET feeds consecutive key runs through
+// MGET — every batch member hits the point stream — and asserts key-run
+// warming kicked in.
+func TestLearnedPrefetchSequentialMGET(t *testing.T) {
+	b, _, c, stop := newLearnedServer(t)
+	defer stop()
+
+	const n = 8192
+	for i := uint64(0); i < n; i++ {
+		b.Set(i, i*3, nil)
+	}
+	b.Drain()
+
+	const run = 32
+	for base := uint64(0); base+run <= n; base += run {
+		var sb strings.Builder
+		sb.WriteString("MGET")
+		for k := base; k < base+run; k++ {
+			fmt.Fprintf(&sb, " %d", k)
+		}
+		reply, err := c.roundTrip(sb.String())
+		if err != nil || !strings.HasPrefix(reply, "VALUES") {
+			t.Fatalf("MGET at %d = %q, %v", base, reply, err)
+		}
+	}
+
+	if got := pfStat(t, c, "pf_induced"); got == 0 {
+		t.Fatal("sequential MGET runs induced no stride")
+	}
+	if got := pfStat(t, c, "pf_hits"); got == 0 {
+		t.Fatal("sequential MGET runs scored no hits")
+	}
+	if got := pfStat(t, c, "pf_issued"); got == 0 {
+		t.Fatal("sequential MGET runs issued no key-warming predictions")
+	}
+	b.Drain()
+}
+
+// TestLearnedPrefetchRandomSelfDisables drives a random-read stream — the
+// YCSB-C shape — and asserts the gate turned the stream off instead of
+// issuing junk predictions.
+func TestLearnedPrefetchRandomSelfDisables(t *testing.T) {
+	b, _, c, stop := newLearnedServer(t)
+	defer stop()
+
+	state := uint64(0x5eed)
+	next := func() uint64 {
+		state += 0x9e3779b97f4a7c15
+		z := state
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4b9fe
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		return z ^ (z >> 31)
+	}
+	for i := 0; i < 200; i++ {
+		if _, _, err := c.Get(next()); err != nil {
+			t.Fatalf("GET: %v", err)
+		}
+	}
+
+	if got := pfStat(t, c, "pf_disables"); got == 0 {
+		t.Fatal("random point stream never self-disabled")
+	}
+	if got := pfStat(t, c, "pf_issued"); got > 32 {
+		t.Fatalf("random stream issued %d predictions, want ~0", got)
+	}
+	b.Drain()
+}
+
+// TestLearnedPrefetchCloseMidScan confirms a paging stride (so touch
+// chains are in flight), then drops the connection without draining its
+// replies: the chains must observe the connection's stop flag and fall
+// through — no panic, no deadlock, and the server keeps serving.
+func TestLearnedPrefetchCloseMidScan(t *testing.T) {
+	b, srv, c, stop := newLearnedServer(t)
+	defer stop()
+
+	const n = 50000
+	for i := uint64(0); i < n; i++ {
+		b.Set(i, i, nil)
+	}
+	b.Drain()
+
+	conn, err := net.Dial("tcp", srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := bufio.NewWriter(conn)
+	const page = 400
+	// Pipeline enough sequential pages to confirm the stride and keep
+	// predictions (and their touch chains) flowing, then vanish without
+	// reading a single reply.
+	for from := uint64(0); from+page <= n; from += page {
+		fmt.Fprintf(w, "SCAN %d %d %d\n", from, from+page, page)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(20 * time.Millisecond) // let the reader dispatch some pages
+	conn.Close()
+
+	// The dead connection's chains cancel; the runtime must drain.
+	done := make(chan struct{})
+	go func() { b.Drain(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("backend did not drain after close-mid-scan")
+	}
+
+	// And the server is still healthy for other clients.
+	if err := c.Ping(); err != nil {
+		t.Fatalf("server unhealthy after close-mid-scan: %v", err)
+	}
+	if v, found, err := c.Get(1234); err != nil || !found || v != 1234 {
+		t.Fatalf("Get after close-mid-scan = %d,%v,%v", v, found, err)
+	}
+}

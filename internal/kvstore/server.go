@@ -17,6 +17,7 @@ import (
 	"mxtasking/internal/blinktree"
 	"mxtasking/internal/metrics"
 	"mxtasking/internal/mxtask"
+	"mxtasking/internal/prefetch"
 )
 
 // Protocol and pipelining limits. MaxLineBytes bounds both request and
@@ -143,6 +144,11 @@ type Server struct {
 	// busy is the admission gate's slot count (see admitStore); the Busy
 	// gauge mirrors it but only after a slot is actually won.
 	busy atomic.Int64
+
+	// Learned prefetching (see WithLearnedPrefetch / prefetch.go). pfCfg
+	// nil means disabled; pfMetrics aggregates every connection's streams.
+	pfCfg     *prefetch.Config
+	pfMetrics *prefetch.Metrics
 
 	m ServerMetrics
 
@@ -286,6 +292,11 @@ func NewServer(store Backend, addr string, opts ...ServerOption) (*Server, error
 	s.backend.Store(&store)
 	for _, opt := range opts {
 		opt(s)
+	}
+	if s.pfMetrics != nil {
+		if t, ok := store.(Toucher); ok {
+			t.AttachLearnedPrefetch(s.pfMetrics)
+		}
 	}
 	s.wg.Add(1)
 	go s.acceptLoop()
@@ -592,6 +603,11 @@ func (s *Server) serve(conn net.Conn) {
 
 	lr := newLineReader(conn, MaxLineBytes)
 
+	// Learned prefetch streams live and die with the connection: cancel
+	// stops any touch chains still in flight once the reader exits.
+	pf := s.newConnPrefetch()
+	defer pf.cancel()
+
 	// Neighbor batch: consecutive GET (or SET) requests already buffered
 	// on the wire are submitted to the store as one multi-op batch.
 	var (
@@ -719,6 +735,7 @@ loop:
 				batchKind = kind
 				batchKVs = append(batchKVs, kv)
 				batchPs = append(batchPs, p)
+				pf.observeKey(kv.Key)
 				// Submit when the batch is full or the wire has no further
 				// complete request to merge; otherwise keep accumulating.
 				if len(batchPs) >= maxNeighborBatch || !lr.hasBufferedLine() {
@@ -736,7 +753,7 @@ loop:
 				}
 				p.release = release
 			}
-			quit := s.dispatch(line, p.deliver)
+			quit := s.dispatch(line, pf, p.deliver)
 			enqueue(p)
 			if quit {
 				break loop
@@ -864,15 +881,17 @@ func parseBatchable(line string) (kind byte, kv blinktree.KV, ok bool) {
 // and fuzzing.
 func (s *Server) handle(line string) (reply string, quit bool) {
 	ch := make(chan string, 1)
-	quit = s.dispatch(line, func(r string) { ch <- r })
+	quit = s.dispatch(line, nil, func(r string) { ch <- r })
 	return <-ch, quit
 }
 
 // dispatch parses one request line and starts it. deliver receives the
 // single reply line exactly once — inline for immediate commands and
 // malformed requests, from a worker for store operations. dispatch itself
-// never blocks on the store.
-func (s *Server) dispatch(line string, deliver func(string)) (quit bool) {
+// never blocks on the store. pf (nil when learned prefetching is off) is
+// the connection's learned prefetch state; dispatch feeds it the request's
+// access-pattern observations.
+func (s *Server) dispatch(line string, pf *connPrefetch, deliver func(string)) (quit bool) {
 	fields := strings.Fields(line)
 	cmd := strings.ToUpper(fields[0])
 	switch cmd {
@@ -905,6 +924,13 @@ func (s *Server) dispatch(line string, deliver func(string)) (quit bool) {
 					gs.StealAttempts, gs.StealSuccesses, gs.StealAborts,
 					gs.TasksStolen, gs.Imbalance)
 			}
+		}
+		// Learned-prefetcher aggregates, when armed (DESIGN.md §8). Old
+		// clients pick the fields up via ServerStats.Extra.
+		if m := s.pfMetrics; m != nil {
+			fmt.Fprintf(&sb, " pf_streams=%d pf_observed=%d pf_hits=%d pf_misses=%d pf_induced=%d pf_issued=%d pf_window=%d pf_disables=%d pf_reenables=%d",
+				m.Streams.Load(), m.Observed.Load(), m.Hits.Load(), m.Misses.Load(),
+				m.Induced.Load(), m.Issued.Load(), m.WindowMax(), m.Disables.Load(), m.Reenables.Load())
 		}
 		if s.repl != nil {
 			sb.WriteString(s.repl.StatsExtra())
@@ -944,6 +970,7 @@ func (s *Server) dispatch(line string, deliver func(string)) (quit bool) {
 			deliver("ERR " + err.Error())
 			return false
 		}
+		pf.observeKey(key)
 		s.store().Get(key, func(r Result) { deliver(formatGet(r)) })
 	case "SET":
 		if !s.writeAllowed(deliver) {
@@ -959,6 +986,7 @@ func (s *Server) dispatch(line string, deliver func(string)) (quit bool) {
 			deliver("ERR key and value must be uint64")
 			return false
 		}
+		pf.observeKey(key)
 		s.store().Set(key, val, func(r Result) { deliver(formatSet(r)) })
 	case "DEL":
 		if !s.writeAllowed(deliver) {
@@ -996,6 +1024,7 @@ func (s *Server) dispatch(line string, deliver func(string)) (quit bool) {
 			}
 			limit = min(n, MaxScanLimit)
 		}
+		pf.observeScan(from, limit)
 		s.store().ScanLimit(from, to, limit, func(res ScanResult) { deliver(formatRange(res)) })
 	case "MSET":
 		if !s.writeAllowed(deliver) {
@@ -1042,6 +1071,11 @@ func (s *Server) dispatch(line string, deliver func(string)) (quit bool) {
 				return false
 			}
 			keys = append(keys, k)
+		}
+		// Feed the point stream every batch member: a client replaying a
+		// key-run as MGETs is exactly the pattern key-run warming targets.
+		for _, k := range keys {
+			pf.observeKey(k)
 		}
 		results := make([]Result, len(keys))
 		var done atomic.Int64

@@ -9,6 +9,7 @@ import (
 
 	"mxtasking/internal/alloc"
 	"mxtasking/internal/epoch"
+	"mxtasking/internal/prefetch"
 )
 
 // Config parameterizes a Runtime.
@@ -127,6 +128,11 @@ type Runtime struct {
 
 	group *Group // stealing group this runtime belongs to, or nil
 	node  int    // this runtime's index within group
+
+	// learned, when set via AttachLearnedPrefetch, is the learned
+	// prefetcher's shared metrics aggregate; Stats folds it into the
+	// WorkerStats Learned* fields.
+	learned atomic.Pointer[prefetch.Metrics]
 
 	pending  atomic.Int64 // spawned but not yet completed tasks
 	spawnRR  atomic.Uint64
@@ -354,7 +360,18 @@ func (rt *Runtime) pickInNUMA(node int) int {
 	return best
 }
 
-// Stats aggregates all workers' counters.
+// AttachLearnedPrefetch connects a learned prefetcher's shared metrics to
+// the runtime so Stats surfaces its counters next to the workers' own
+// (hits, misses, induced strides, widest window). The streams themselves
+// live in the application layer — e.g. one per server connection — and
+// feed m concurrently; attaching is observability wiring only.
+func (rt *Runtime) AttachLearnedPrefetch(m *prefetch.Metrics) { rt.learned.Store(m) }
+
+// LearnedPrefetch returns the attached learned-prefetch metrics, or nil.
+func (rt *Runtime) LearnedPrefetch() *prefetch.Metrics { return rt.learned.Load() }
+
+// Stats aggregates all workers' counters, plus the attached learned
+// prefetcher's (when any).
 func (rt *Runtime) Stats() WorkerStats {
 	var s WorkerStats
 	for _, w := range rt.workers {
@@ -365,6 +382,13 @@ func (rt *Runtime) Stats() WorkerStats {
 		s.ReadRetries += ws.ReadRetries
 		s.PoolsStolen += ws.PoolsStolen
 		s.LocalFastPath += ws.LocalFastPath
+	}
+	if m := rt.learned.Load(); m != nil {
+		s.LearnedHits = m.Hits.Load()
+		s.LearnedMisses = m.Misses.Load()
+		s.LearnedStrides = m.Induced.Load()
+		s.LearnedIssued = m.Issued.Load()
+		s.LearnedWindowMax = m.WindowMax()
 	}
 	return s
 }

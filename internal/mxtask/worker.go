@@ -15,7 +15,11 @@ import (
 // at most one worker executes a given pool's tasks at any time.
 const batchLimit = 64
 
-// WorkerStats is a snapshot of a worker's execution counters.
+// WorkerStats is a snapshot of a worker's execution counters. The
+// Learned* fields are filled only by Runtime.Stats, from the learned
+// prefetcher attached via AttachLearnedPrefetch (per-worker snapshots
+// report zero: learned streams belong to the application layer, e.g. one
+// per server connection, not to a worker).
 type WorkerStats struct {
 	Executed      uint64 // tasks run to completion
 	Spawned       uint64 // tasks produced by this worker
@@ -23,6 +27,12 @@ type WorkerStats struct {
 	ReadRetries   uint64 // optimistic reads re-executed after validation failure
 	PoolsStolen   uint64 // foreign pools drained while idle
 	LocalFastPath uint64 // optimistic reads that skipped validation (§4.2)
+
+	LearnedHits      uint64 // accesses that matched a learned prediction
+	LearnedMisses    uint64 // accesses that broke a confirmed stride
+	LearnedStrides   uint64 // strides induced (confirmations + revivals)
+	LearnedIssued    uint64 // predicted addresses turned into touch tasks
+	LearnedWindowMax uint64 // widest adaptive lookahead window reached
 }
 
 // workerCounters are the live counters behind WorkerStats. They are
@@ -233,7 +243,11 @@ func (w *Worker) drainPool(p *Pool, own bool, home *Runtime, stolen bool) int {
 	w.holdingOwnPool = own
 	dist := w.prefetchDistance()
 	start := time.Time{}
-	if w.rt.cfg.AdaptivePrefetch && len(w.window) >= 16 {
+	// Stolen batches are excluded from the hill climber: their latency
+	// profile belongs to the victim runtime (foreign resources, foreign
+	// NUMA node), and feeding it into the thief's climber walks the
+	// thief's distance off its own optimum.
+	if w.rt.cfg.AdaptivePrefetch && !stolen && len(w.window) >= 16 {
 		start = time.Now()
 	}
 	for i, t := range w.window {
@@ -326,10 +340,19 @@ func (w *Worker) prefetchDistance() int {
 	return w.rt.cfg.PrefetchDistance
 }
 
+// adaptDeadband is the relative tolerance below which a rate change is
+// treated as measurement noise rather than a real regression (~2%).
+const adaptDeadband = 0.02
+
+// adaptWindowBatches is how many measured batches the climber accumulates
+// before comparing rates.
+const adaptWindowBatches = 24
+
 // adaptObserve feeds one measured batch into the hill climber. After a
 // window of batches it compares the task rate against the previous window
 // and keeps walking in the improving direction, clamped to
-// [1, 2·PrefetchDistance].
+// [1, 2·PrefetchDistance]. Decreases within adaptDeadband are treated as
+// flat: the climber keeps its direction instead of flipping on noise.
 func (w *Worker) adaptObserve(tasks int, elapsed time.Duration) {
 	a := &w.adapt
 	dist := int(a.dist.Load())
@@ -344,11 +367,15 @@ func (w *Worker) adaptObserve(tasks int, elapsed time.Duration) {
 	a.batches++
 	a.tasks += uint64(tasks)
 	a.elapsed += elapsed
-	if a.batches < 24 || a.elapsed <= 0 {
+	if a.batches < adaptWindowBatches || a.elapsed <= 0 {
 		return
 	}
 	rate := float64(a.tasks) / a.elapsed.Seconds()
-	if a.prevRate > 0 && rate < a.prevRate {
+	// Only a decrease beyond the deadband counts as "got worse": batch
+	// timing jitters a percent or two between identical windows, and
+	// flipping on every such wiggle leaves the climber oscillating ±1
+	// around the optimum forever instead of settling.
+	if a.prevRate > 0 && rate < a.prevRate*(1-adaptDeadband) {
 		a.dir = -a.dir // got worse: walk back
 	}
 	maxDist := 2 * w.rt.cfg.PrefetchDistance

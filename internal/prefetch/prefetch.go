@@ -1,0 +1,361 @@
+// Package prefetch is a learned access-pattern prefetcher: instead of the
+// paper's static annotations ("this task will touch that node"), a Stream
+// watches the addresses an access sequence actually touches, induces the
+// stride between consecutive accesses, and — once the stride has repeated
+// often enough to be trusted — predicts the next K addresses so the caller
+// can issue cache-warming touches ahead of demand.
+//
+// The design follows AIFM's Prefetcher (SNIPPETS.md Snippet 1): a
+// fixed-size access-trace ring, Induce/Infer pattern functions, a
+// hit-threshold before any prediction is issued, and an adaptive lookahead
+// window that widens while predictions keep hitting and collapses when
+// they miss. On top of that sits a self-disable gate: when the hit rate
+// over a gating period stays below threshold (a random point-read stream
+// never develops a stride), the stream switches itself off and each
+// further access costs three compares and a ring store — no predictions,
+// no touch tasks, ~zero overhead. A disabled stream keeps running stride
+// detection, so a phase change back to a sequential pattern re-enables it.
+//
+// Streams are single-goroutine (the kvstore server keeps one per
+// connection on the reader goroutine); the shared Metrics aggregate is
+// atomic so any number of streams can feed one observability sink.
+package prefetch
+
+import "sync/atomic"
+
+// Pattern is an induced access pattern: the stride between consecutive
+// accesses. Strides are signed — descending walks learn just as well.
+type Pattern = int64
+
+// InduceFunc derives the pattern linking two consecutive accesses.
+type InduceFunc func(prev, cur uint64) Pattern
+
+// InferFunc predicts the k-th next access (k >= 1) following cur under an
+// induced pattern.
+type InferFunc func(cur uint64, p Pattern, k int) uint64
+
+// InduceStride is the default InduceFunc: the delta between consecutive
+// accesses (two's complement, so descending strides come out negative).
+func InduceStride(prev, cur uint64) Pattern { return int64(cur - prev) }
+
+// InferStride is the default InferFunc: cur + k·stride.
+func InferStride(cur uint64, p Pattern, k int) uint64 {
+	return cur + uint64(p)*uint64(k)
+}
+
+// Config parameterizes a Stream. Zero values select the defaults.
+type Config struct {
+	// TraceSize is the access-trace ring capacity (default 64).
+	TraceSize int
+	// HitThreshold is how many consecutive accesses must repeat a stride
+	// before it is confirmed and predictions start (default 4; AIFM uses
+	// 8 over a coarser trace).
+	HitThreshold int
+	// MinWindow / MaxWindow bound the adaptive lookahead window: how many
+	// predicted addresses may be outstanding ahead of the newest access.
+	// The window starts at MinWindow on confirmation, grows by one per
+	// hit, and halves per miss (defaults 2 and 32).
+	MinWindow int
+	MaxWindow int
+	// GateWindow is the gating period in accesses (default 64): at the
+	// end of each period the hit rate is compared against GateBelow
+	// (default 0.25) and the stream self-disables when it falls short.
+	GateWindow int
+	GateBelow  float64
+	// Induce / Infer override the pattern functions (defaults:
+	// InduceStride / InferStride).
+	Induce InduceFunc
+	Infer  InferFunc
+}
+
+func (c *Config) applyDefaults() {
+	if c.TraceSize <= 0 {
+		c.TraceSize = 64
+	}
+	if c.HitThreshold <= 0 {
+		c.HitThreshold = 4
+	}
+	if c.MinWindow <= 0 {
+		c.MinWindow = 2
+	}
+	if c.MaxWindow < c.MinWindow {
+		c.MaxWindow = 32
+		if c.MaxWindow < c.MinWindow {
+			c.MaxWindow = c.MinWindow
+		}
+	}
+	if c.GateWindow <= 0 {
+		c.GateWindow = 64
+	}
+	if c.GateBelow <= 0 {
+		c.GateBelow = 0.25
+	}
+	if c.Induce == nil {
+		c.Induce = InduceStride
+	}
+	if c.Infer == nil {
+		c.Infer = InferStride
+	}
+}
+
+// Metrics is the shared, atomically updated aggregate across any number of
+// streams (one per server, fed by every connection's streams). All
+// counters are monotonic; WindowMax is a high-water gauge.
+type Metrics struct {
+	Streams   atomic.Uint64 // streams created
+	Observed  atomic.Uint64 // accesses observed (enabled or not)
+	Hits      atomic.Uint64 // accesses that matched an outstanding prediction
+	Misses    atomic.Uint64 // accesses that broke a confirmed stride
+	Induced   atomic.Uint64 // strides confirmed (first inductions + re-inductions)
+	Issued    atomic.Uint64 // predicted addresses handed to the caller
+	Disables  atomic.Uint64 // self-disable gate trips
+	Reenables atomic.Uint64 // disabled streams revived by a fresh stride
+	windowMax atomic.Uint64
+}
+
+// NoteWindow records a window size into the high-water gauge.
+func (m *Metrics) NoteWindow(w int) {
+	for {
+		cur := m.windowMax.Load()
+		if uint64(w) <= cur || m.windowMax.CompareAndSwap(cur, uint64(w)) {
+			return
+		}
+	}
+}
+
+// WindowMax returns the widest lookahead window any stream reached.
+func (m *Metrics) WindowMax() uint64 { return m.windowMax.Load() }
+
+// StreamStats is a snapshot of one stream's counters and state.
+type StreamStats struct {
+	Observed uint64
+	Hits     uint64
+	Misses   uint64
+	Induced  uint64
+	Issued   uint64
+	Disables uint64
+	Window   int  // current lookahead window
+	Disabled bool // gate tripped, stream in cheap re-probe mode
+}
+
+// Stream is one access sequence's learned prefetcher. Not safe for
+// concurrent use: exactly one goroutine observes a stream.
+type Stream struct {
+	cfg Config
+	m   *Metrics
+
+	// Access-trace ring (newest at (pos-1) mod len).
+	ring []uint64
+	pos  int
+	n    int
+
+	lastIdx  uint64
+	haveLast bool
+
+	// Induction candidate: the most recent delta and how many consecutive
+	// accesses repeated it.
+	cand    Pattern
+	candRun int
+
+	// Confirmed pattern state. ahead counts how many predicted addresses
+	// are outstanding beyond the newest access, so repeated Observe calls
+	// extend the prediction frontier instead of re-issuing it.
+	confirmed bool
+	pattern   Pattern
+	window    int
+	ahead     int
+
+	// Gating period accumulators.
+	periodObs  int
+	periodHits int
+	disabled   bool
+
+	stats StreamStats
+}
+
+// New creates a stream. m may be nil (no shared aggregation).
+func New(cfg Config, m *Metrics) *Stream {
+	cfg.applyDefaults()
+	s := &Stream{cfg: cfg, m: m, ring: make([]uint64, cfg.TraceSize), window: cfg.MinWindow}
+	if m != nil {
+		m.Streams.Add(1)
+	}
+	return s
+}
+
+// Observe feeds one access into the stream and appends any newly predicted
+// addresses to dst (reuse a buffer across calls to stay allocation-free).
+// At most MaxWindow predictions are returned per call.
+func (s *Stream) Observe(idx uint64, dst []uint64) []uint64 {
+	s.stats.Observed++
+	if s.m != nil {
+		s.m.Observed.Add(1)
+	}
+	s.ring[s.pos] = idx
+	s.pos = (s.pos + 1) % len(s.ring)
+	if s.n < len(s.ring) {
+		s.n++
+	}
+	if !s.haveLast {
+		s.haveLast = true
+		s.lastIdx = idx
+		return dst
+	}
+	p := s.cfg.Induce(s.lastIdx, idx)
+	s.lastIdx = idx
+
+	if s.disabled {
+		// Cheap re-probe path: stride detection only. A phase change back
+		// to a predictable pattern re-enables the stream; anything else
+		// costs three compares.
+		s.trackCandidate(p)
+		if p != 0 && s.candRun >= s.cfg.HitThreshold {
+			s.reenable(p)
+			return s.predict(idx, dst)
+		}
+		return dst
+	}
+
+	s.periodObs++
+	switch {
+	case s.confirmed && p == s.pattern:
+		// The access followed the prediction frontier: a hit. Widen.
+		s.periodHits++
+		s.stats.Hits++
+		if s.m != nil {
+			s.m.Hits.Add(1)
+		}
+		if s.window < s.cfg.MaxWindow {
+			s.window++
+			if s.m != nil {
+				s.m.NoteWindow(s.window)
+			}
+		}
+		if s.ahead > 0 {
+			s.ahead--
+		}
+	case s.confirmed:
+		// Confirmed stride broken: a miss. Collapse the window, drop the
+		// confirmation, and start inducing afresh from this delta.
+		s.stats.Misses++
+		if s.m != nil {
+			s.m.Misses.Add(1)
+		}
+		s.confirmed = false
+		s.ahead = 0
+		s.window /= 2
+		if s.window < s.cfg.MinWindow {
+			s.window = s.cfg.MinWindow
+		}
+		s.cand, s.candRun = p, 1
+	default:
+		s.trackCandidate(p)
+		if p != 0 && s.candRun >= s.cfg.HitThreshold {
+			s.confirm(p)
+		}
+	}
+
+	if s.confirmed {
+		dst = s.predict(idx, dst)
+	}
+	if s.periodObs >= s.cfg.GateWindow {
+		rate := float64(s.periodHits) / float64(s.periodObs)
+		s.periodObs, s.periodHits = 0, 0
+		if rate < s.cfg.GateBelow {
+			s.disable()
+		}
+	}
+	return dst
+}
+
+// trackCandidate advances the induction run for delta p. A zero delta
+// (repeated identical access) never builds a run — predicting the address
+// just touched warms nothing.
+func (s *Stream) trackCandidate(p Pattern) {
+	if p != 0 && p == s.cand {
+		s.candRun++
+	} else {
+		s.cand, s.candRun = p, 1
+	}
+}
+
+// confirm promotes the induction candidate to the active pattern.
+func (s *Stream) confirm(p Pattern) {
+	s.confirmed = true
+	s.pattern = p
+	s.ahead = 0
+	s.window = s.cfg.MinWindow
+	s.stats.Induced++
+	if s.m != nil {
+		s.m.Induced.Add(1)
+		s.m.NoteWindow(s.window)
+	}
+}
+
+// predict extends the prediction frontier to window addresses beyond idx,
+// appending only the addresses not already predicted.
+func (s *Stream) predict(idx uint64, dst []uint64) []uint64 {
+	issued := 0
+	for k := s.ahead + 1; k <= s.window; k++ {
+		dst = append(dst, s.cfg.Infer(idx, s.pattern, k))
+		issued++
+	}
+	if issued > 0 {
+		s.ahead = s.window
+		s.stats.Issued += uint64(issued)
+		if s.m != nil {
+			s.m.Issued.Add(uint64(issued))
+		}
+	}
+	return dst
+}
+
+// disable trips the self-disable gate.
+func (s *Stream) disable() {
+	s.disabled = true
+	s.confirmed = false
+	s.ahead = 0
+	s.cand, s.candRun = 0, 0
+	s.window = s.cfg.MinWindow
+	s.stats.Disables++
+	if s.m != nil {
+		s.m.Disables.Add(1)
+	}
+}
+
+// reenable revives a gated stream around a freshly detected stride.
+func (s *Stream) reenable(p Pattern) {
+	s.disabled = false
+	s.periodObs, s.periodHits = 0, 0
+	s.confirm(p)
+	if s.m != nil {
+		s.m.Reenables.Add(1)
+	}
+}
+
+// Stats returns a snapshot of the stream's counters and gate state.
+func (s *Stream) Stats() StreamStats {
+	st := s.stats
+	st.Window = s.window
+	st.Disabled = s.disabled
+	return st
+}
+
+// Disabled reports whether the self-disable gate has the stream off.
+func (s *Stream) Disabled() bool { return s.disabled }
+
+// Window returns the current lookahead window.
+func (s *Stream) Window() int { return s.window }
+
+// Trace returns the access-trace ring's contents, oldest first.
+func (s *Stream) Trace() []uint64 {
+	out := make([]uint64, 0, s.n)
+	start := s.pos - s.n
+	if start < 0 {
+		start += len(s.ring)
+	}
+	for i := 0; i < s.n; i++ {
+		out = append(out, s.ring[(start+i)%len(s.ring)])
+	}
+	return out
+}

@@ -1,0 +1,282 @@
+package prefetch
+
+import (
+	"os"
+	"strconv"
+	"testing"
+)
+
+// splitmix64 drives the seeded random streams; deterministic per seed.
+func splitmix64(state *uint64) uint64 {
+	*state += 0x9e3779b97f4a7c15
+	z := *state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4b9fe
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+func TestSequentialInducesAndWidens(t *testing.T) {
+	m := &Metrics{}
+	s := New(Config{}, m)
+	var preds []uint64
+	var buf []uint64
+	for i := uint64(0); i < 256; i++ {
+		buf = s.Observe(i, buf[:0])
+		preds = append(preds, buf...)
+	}
+	st := s.Stats()
+	if st.Induced == 0 {
+		t.Fatalf("sequential stream induced no stride: %+v", st)
+	}
+	if st.Disabled {
+		t.Fatalf("sequential stream self-disabled: %+v", st)
+	}
+	if st.Window <= s.cfg.MinWindow {
+		t.Fatalf("window did not widen on hits: window=%d min=%d", st.Window, s.cfg.MinWindow)
+	}
+	if st.Window != s.cfg.MaxWindow {
+		t.Errorf("256 sequential accesses should saturate the window: window=%d max=%d", st.Window, s.cfg.MaxWindow)
+	}
+	if st.Hits == 0 || st.Issued == 0 {
+		t.Fatalf("expected hits and issued predictions: %+v", st)
+	}
+	// Predictions must be strictly ahead of the access that issued them
+	// and follow the +1 stride.
+	for _, p := range preds {
+		if p == 0 {
+			t.Fatalf("predicted address 0 (behind the stream)")
+		}
+	}
+	if m.Hits.Load() != st.Hits || m.Induced.Load() != st.Induced {
+		t.Fatalf("metrics disagree with stream stats: m.Hits=%d st.Hits=%d", m.Hits.Load(), st.Hits)
+	}
+	if m.WindowMax() != uint64(s.cfg.MaxWindow) {
+		t.Errorf("WindowMax=%d, want %d", m.WindowMax(), s.cfg.MaxWindow)
+	}
+}
+
+func TestStridedPatternPredictsStride(t *testing.T) {
+	for _, stride := range []int64{7, -3, 4096} {
+		s := New(Config{}, nil)
+		base := uint64(1 << 32)
+		var last []uint64
+		var buf []uint64
+		cur := base
+		for i := 0; i < 64; i++ {
+			buf = s.Observe(cur, buf[:0])
+			if len(buf) > 0 {
+				last = append(last[:0], buf...)
+			}
+			cur += uint64(stride)
+		}
+		if s.Stats().Induced == 0 {
+			t.Fatalf("stride %d never induced", stride)
+		}
+		if len(last) == 0 {
+			t.Fatalf("stride %d issued no predictions", stride)
+		}
+		// Every prediction in the last batch lies a whole number of
+		// strides (1..MaxWindow) ahead of the final observed access, and
+		// consecutive predictions are one stride apart.
+		final := cur - uint64(stride) // the final observed access
+		for i, p := range last {
+			steps := int64(p-final) / stride
+			if int64(p-final)%stride != 0 || steps < 1 || steps > int64(s.cfg.MaxWindow) {
+				t.Fatalf("stride %d: prediction %d is %d (mod %d) past access %d", stride, p, int64(p-final), stride, final)
+			}
+			if i > 0 && int64(p-last[i-1]) != stride {
+				t.Fatalf("stride %d: batch not stride-consecutive: %v", stride, last)
+			}
+		}
+	}
+}
+
+func TestRandomSelfDisables(t *testing.T) {
+	m := &Metrics{}
+	s := New(Config{}, m)
+	state := uint64(42)
+	var buf []uint64
+	issuedAfterDisable := 0
+	for i := 0; i < 1024; i++ {
+		wasDisabled := s.Disabled()
+		buf = s.Observe(splitmix64(&state), buf[:0])
+		if wasDisabled && len(buf) > 0 {
+			issuedAfterDisable += len(buf)
+		}
+	}
+	st := s.Stats()
+	if !st.Disabled {
+		t.Fatalf("random stream did not self-disable: %+v", st)
+	}
+	if st.Disables == 0 || m.Disables.Load() == 0 {
+		t.Fatalf("disable gate never tripped: %+v", st)
+	}
+	if issuedAfterDisable != 0 {
+		t.Fatalf("disabled stream issued %d predictions", issuedAfterDisable)
+	}
+	// A 64-bit random walk virtually never repeats a delta 4 times, so
+	// the stream should pay ~zero prediction work overall.
+	if st.Issued > uint64(s.cfg.MaxWindow) {
+		t.Errorf("random stream issued %d predictions, want ~0", st.Issued)
+	}
+}
+
+func TestPhaseChangeReenables(t *testing.T) {
+	m := &Metrics{}
+	s := New(Config{}, m)
+	state := uint64(7)
+	var buf []uint64
+	// Phase 1: random until gated off.
+	for i := 0; i < 512 && !s.Disabled(); i++ {
+		buf = s.Observe(splitmix64(&state), buf[:0])
+	}
+	if !s.Disabled() {
+		t.Fatal("random phase did not gate the stream off")
+	}
+	// Phase 2: sequential; the cheap re-probe must revive the stream.
+	predicted := 0
+	for i := uint64(0); i < 64; i++ {
+		buf = s.Observe(1000+i, buf[:0])
+		predicted += len(buf)
+	}
+	if s.Disabled() {
+		t.Fatal("sequential phase did not re-enable the stream")
+	}
+	if m.Reenables.Load() == 0 {
+		t.Fatal("Reenables counter stayed zero across a revival")
+	}
+	if predicted == 0 {
+		t.Fatal("revived stream issued no predictions")
+	}
+}
+
+func TestSameSeedDeterminism(t *testing.T) {
+	run := func() (StreamStats, []uint64) {
+		s := New(Config{}, nil)
+		state := uint64(99)
+		var all, buf []uint64
+		for i := 0; i < 300; i++ {
+			var a uint64
+			if i%3 == 0 {
+				a = splitmix64(&state)
+			} else {
+				a = uint64(i) * 8
+			}
+			buf = s.Observe(a, buf[:0])
+			all = append(all, buf...)
+		}
+		return s.Stats(), all
+	}
+	s1, p1 := run()
+	s2, p2 := run()
+	if s1 != s2 {
+		t.Fatalf("same input, different stats: %+v vs %+v", s1, s2)
+	}
+	if len(p1) != len(p2) {
+		t.Fatalf("same input, different prediction counts: %d vs %d", len(p1), len(p2))
+	}
+	for i := range p1 {
+		if p1[i] != p2[i] {
+			t.Fatalf("prediction %d differs: %d vs %d", i, p1[i], p2[i])
+		}
+	}
+}
+
+func TestTraceRing(t *testing.T) {
+	s := New(Config{TraceSize: 8}, nil)
+	for i := uint64(0); i < 20; i++ {
+		s.Observe(i, nil)
+	}
+	tr := s.Trace()
+	if len(tr) != 8 {
+		t.Fatalf("trace length %d, want 8", len(tr))
+	}
+	for i, v := range tr {
+		if v != uint64(12+i) {
+			t.Fatalf("trace[%d]=%d, want %d (oldest-first ring of the last 8)", i, v, 12+i)
+		}
+	}
+}
+
+// TestPrefetchPatterns is the seeded stress matrix behind `make
+// prefetch-stress`: sequential, strided, random, and phase-change streams
+// under multiple seeds, asserting the gate behaves correctly for each
+// pattern class. MXPF_SEEDS widens the sweep.
+func TestPrefetchPatterns(t *testing.T) {
+	seeds := 4
+	if v := os.Getenv("MXPF_SEEDS"); v != "" {
+		if n, err := strconv.Atoi(v); err == nil && n > 0 {
+			seeds = n
+		}
+	}
+	type pattern struct {
+		name string
+		// next returns the i-th access for a seed.
+		next func(seed uint64, state *uint64, i int) uint64
+		// wantDisabled is the expected terminal gate state.
+		wantDisabled bool
+	}
+	patterns := []pattern{
+		{"sequential", func(seed uint64, _ *uint64, i int) uint64 { return seed + uint64(i) }, false},
+		{"strided", func(seed uint64, _ *uint64, i int) uint64 { return seed + uint64(i)*uint64(3+seed%13) }, false},
+		{"random", func(_ uint64, state *uint64, _ int) uint64 { return splitmix64(state) }, true},
+		{"phase-change", func(seed uint64, state *uint64, i int) uint64 {
+			if i < 256 {
+				return splitmix64(state) // random phase gates the stream off
+			}
+			return seed + uint64(i) // sequential phase must revive it
+		}, false},
+	}
+	for _, p := range patterns {
+		p := p
+		t.Run(p.name, func(t *testing.T) {
+			for seed := uint64(1); seed <= uint64(seeds); seed++ {
+				m := &Metrics{}
+				s := New(Config{}, m)
+				state := seed * 0x9e3779b97f4a7c15
+				var buf []uint64
+				for i := 0; i < 512; i++ {
+					buf = s.Observe(p.next(seed, &state, i), buf[:0])
+				}
+				st := s.Stats()
+				if st.Disabled != p.wantDisabled {
+					t.Fatalf("seed %d: disabled=%v, want %v (%+v)", seed, st.Disabled, p.wantDisabled, st)
+				}
+				if !p.wantDisabled && st.Issued == 0 {
+					t.Fatalf("seed %d: predictable pattern issued no predictions (%+v)", seed, st)
+				}
+				if p.wantDisabled && st.Hits > uint64(s.cfg.GateWindow) {
+					t.Fatalf("seed %d: random pattern hit %d times (%+v)", seed, st.Hits, st)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkObserveRandomDisabled(b *testing.B) {
+	// The cost YCSB-C pays: a gated stream observing random accesses.
+	s := New(Config{}, nil)
+	state := uint64(1)
+	var buf []uint64
+	for i := 0; i < 256; i++ {
+		buf = s.Observe(splitmix64(&state), buf[:0])
+	}
+	if !s.Disabled() {
+		b.Fatal("stream not disabled after random warmup")
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = s.Observe(splitmix64(&state), buf[:0])
+	}
+	_ = buf
+}
+
+func BenchmarkObserveSequential(b *testing.B) {
+	s := New(Config{}, nil)
+	var buf []uint64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = s.Observe(uint64(i), buf[:0])
+	}
+	_ = buf
+}

@@ -1,0 +1,145 @@
+package sim
+
+// This file extends the prefetch-pipeline model (pipeline.go) with the
+// learned per-stream prefetcher of internal/prefetch: instead of the
+// annotation-driven fixed distance — every task's data address is known
+// `distance` slots ahead because the spawner declared it — the learned
+// mode discovers the access pattern online. It drives a REAL
+// prefetch.Stream (the same code the kvstore server runs per connection)
+// with a synthetic access sequence whose predictability is a dial: each
+// access continues the stride with probability Confidence and jumps to a
+// random address otherwise. Coverage vs. Confidence is the ablation the
+// figure harness renders next to the static-distance model — the learned
+// prefetcher approaches the annotated pipeline as the stream becomes
+// predictable, and degrades to the no-prefetch floor (rather than below
+// it) on random streams because the gate turns it off.
+
+import "mxtasking/internal/prefetch"
+
+// LearnedConfig describes one learned-prefetch pipeline run.
+type LearnedConfig struct {
+	Tasks       int     // accesses to execute
+	ExecCycles  float64 // execution cycles per access (data in cache)
+	MissLatency float64 // cycles to load an address from memory
+	EvictAfter  float64 // cache lifetime of a prefetched line
+	// Confidence is the probability each access continues the stride; the
+	// complement jumps to a random address (and the stride resumes from
+	// there).
+	Confidence float64
+	Stride     uint64 // stride of the predictable phase (0 = 1)
+	Seed       uint64 // PRNG seed; same seed, same run
+	// Prefetch configures the stream under test (zero value = defaults).
+	Prefetch prefetch.Config
+}
+
+// DefaultLearned mirrors DefaultPipeline's workload shape with a
+// predictability dial. The stream's window cap is matched to the cache
+// lifetime: a line prefetched w accesses ahead sits idle for
+// w·ExecCycles − MissLatency cycles, which must stay under EvictAfter —
+// here w ≤ (600+300)/140 ≈ 6 — or widening the window on hits walks
+// every prefetch past eviction and coverage collapses to zero (§3's
+// "too wide" failure mode, rediscovered by the learner).
+func DefaultLearned(confidence float64) LearnedConfig {
+	return LearnedConfig{
+		Tasks:       1000,
+		ExecCycles:  140,
+		MissLatency: 300,
+		EvictAfter:  600,
+		Confidence:  confidence,
+		Stride:      1,
+		Seed:        1,
+		Prefetch:    prefetch.Config{MaxWindow: 4},
+	}
+}
+
+// LearnedResult summarizes a learned-prefetch run.
+type LearnedResult struct {
+	TotalCycles float64
+	StallCycles float64
+	// Coverage is the fraction of miss latency hidden vs. no prefetching.
+	Coverage float64
+	// Stats is the stream's own account: strides induced, hits, window,
+	// whether the gate turned it off.
+	Stats prefetch.StreamStats
+}
+
+// simSplitmix64 is the deterministic PRNG step behind the synthetic
+// access sequence.
+func simSplitmix64(state *uint64) uint64 {
+	*state += 0x9e3779b97f4a7c15
+	z := *state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4b9fe
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// SimulateLearnedPipeline runs the event-driven pipeline with a learned
+// prefetcher in the loop. Semantics: when the worker finishes access i it
+// feeds the address to the stream; predictions issue at that clock and
+// their loads complete MissLatency cycles later. A later access to a
+// predicted address is ready at the load's arrival — unless the line
+// already aged past EvictAfter, in which case it demand-misses like any
+// unpredicted access. Learning happens after the access pays its own
+// latency, so the model never lets a prediction hide the miss of the
+// access that produced it.
+func SimulateLearnedPipeline(cfg LearnedConfig) LearnedResult {
+	if cfg.Tasks <= 0 {
+		return LearnedResult{}
+	}
+	stride := cfg.Stride
+	if stride == 0 {
+		stride = 1
+	}
+	stream := prefetch.New(cfg.Prefetch, nil)
+	rng := cfg.Seed
+	issuedAt := make(map[uint64]float64) // address -> latest prefetch issue clock
+
+	var res LearnedResult
+	clock := 0.0
+	addr := uint64(1) << 32 // arbitrary start, away from 0
+	var buf []uint64
+	for i := 0; i < cfg.Tasks; i++ {
+		// Demand the address: predicted and still resident ⇒ the stall
+		// shrinks to the load's remaining flight time.
+		ready := clock + cfg.MissLatency
+		if at, ok := issuedAt[addr]; ok {
+			arrived := at + cfg.MissLatency
+			if !(cfg.EvictAfter > 0 && clock-arrived > cfg.EvictAfter) {
+				ready = arrived
+			}
+			delete(issuedAt, addr)
+		}
+		stall := ready - clock
+		if stall < 0 {
+			stall = 0
+		}
+		res.StallCycles += stall
+		clock += stall + cfg.ExecCycles
+
+		// Learn from the access; confirmed predictions issue now.
+		buf = stream.Observe(addr, buf[:0])
+		for _, p := range buf {
+			issuedAt[p] = clock
+		}
+
+		// Next access: continue the stride or jump.
+		if cfg.Confidence >= 1 || float64(simSplitmix64(&rng)>>11)/float64(1<<53) < cfg.Confidence {
+			addr += stride
+		} else {
+			addr = simSplitmix64(&rng)
+		}
+	}
+	res.TotalCycles = clock
+	baseline := float64(cfg.Tasks) * cfg.MissLatency
+	if baseline > 0 {
+		res.Coverage = 1 - res.StallCycles/baseline
+	}
+	res.Stats = stream.Stats()
+	return res
+}
+
+// LearnedCoverage returns the coverage the learned prefetcher achieves at
+// a given stream predictability under the default workload shape.
+func LearnedCoverage(confidence float64) float64 {
+	return SimulateLearnedPipeline(DefaultLearned(confidence)).Coverage
+}
