@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench chaos cluster-chaos steal-stress prefetch-stress fuzz ci figures verify dat clean
+.PHONY: all build vet test race bench chaos cluster-chaos steal-stress prefetch-stress interleave-stress fuzz ci figures verify dat clean
 
 all: build vet test
 
@@ -30,6 +30,7 @@ race:
 	MXKV_SHARDS=4 $(GO) test -race -count=1 ./internal/kvstore
 	$(GO) test -race -count=1 -shuffle=on -run 'TestGroup' ./internal/mxtask
 	$(MAKE) prefetch-stress
+	$(MAKE) interleave-stress
 
 bench:
 	$(GO) test -bench=. -benchmem .
@@ -80,12 +81,24 @@ cluster-chaos:
 	MXKV_CLUSTER_SCHEDULES=20 $(GO) test -race -count=1 -timeout 900s \
 		-run 'TestClusterChaosSchedules' -v ./internal/repl
 
+# Interleaved-descent stress (DESIGN.md §9): the batched-traversal suite —
+# lockstep invariance against the sequential reference, group descents
+# racing splits and root growth, mixed batch workloads with exactly-once
+# ledgers — swept over 20 seeds under the race detector (where the store
+# runs the all-fallback serialized mode, covering both sides of the
+# contract). Shuffled so tree/runtime state can't leak between tests.
+interleave-stress:
+	MXIL_SEEDS=20 $(GO) test -race -count=1 -shuffle=on -timeout 600s \
+		-run 'TestInterleave|TestBatchCompletionContract' -v \
+		./internal/blinktree ./internal/kvstore
+
 # Fuzz smoke: 10s of coverage-guided input generation per target (`go test`
 # allows one fuzz target per invocation).
 fuzz:
 	$(GO) test -run '^$$' -fuzz 'FuzzDecodeRecord' -fuzztime=10s ./internal/wal
 	$(GO) test -run '^$$' -fuzz 'FuzzServerHandle$$' -fuzztime=10s ./internal/kvstore
 	$(GO) test -run '^$$' -fuzz 'FuzzServerProtocol' -fuzztime=10s ./internal/kvstore
+	$(GO) test -run '^$$' -fuzz 'FuzzLookupBatch' -fuzztime=10s ./internal/kvstore
 	$(GO) test -run '^$$' -fuzz 'FuzzThreadTreeOps' -fuzztime=10s ./internal/blinktree
 	$(GO) test -run '^$$' -fuzz 'FuzzNodeLowerBound' -fuzztime=10s ./internal/blinktree
 
@@ -105,6 +118,7 @@ ci:
 	$(GO) test -run '^$$' -bench 'BenchmarkServerSharded' -benchtime 100x .
 	$(MAKE) chaos
 	$(MAKE) prefetch-stress
+	$(MAKE) interleave-stress
 	$(MAKE) fuzz
 
 figures:

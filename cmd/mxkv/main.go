@@ -110,6 +110,7 @@ func main() {
 		steal    = flag.Bool("steal", false, "let idle shard runtimes steal task pools from overloaded siblings (requires -shards > 1)")
 		stealMin = flag.Int("steal-backlog", 0, "min stealable backlog before a shard is stolen from (0 = default 16)")
 		learned  = flag.Bool("learned-prefetch", false, "learn per-connection access strides and warm predicted leaves (DESIGN.md §8)")
+		ilWidth  = flag.Int("interleave", 0, "batched-read group-descent width: 0 = default, 1 = sequential per-key chains (DESIGN.md §9)")
 
 		advertise = flag.String("advertise", "", "canonical address peers and redirected clients dial; enables replication (requires -wal-dir, -shards 1)")
 		replicaOf = flag.String("replica-of", "", "start as a replica of this primary's advertise address (requires -advertise)")
@@ -247,6 +248,10 @@ func main() {
 	}
 	defer stop()
 
+	if *ilWidth != 0 {
+		store.(interface{ SetInterleave(int) }).SetInterleave(*ilWidth)
+	}
+
 	opts := []kvstore.ServerOption{
 		kvstore.WithWindow(*window),
 		kvstore.WithErrorLog(func(err error) { log.Printf("mxkv: conn: %v", err) }),
@@ -311,6 +316,15 @@ func main() {
 	}
 	st := store.Stats()
 	fmt.Printf("mxkv: served %d gets, %d sets, %d dels\n", st.Gets, st.Sets, st.Dels)
+	if is, ok := store.(interface {
+		InterleaveStats() mxtask.InterleaveStats
+	}); ok {
+		if il := is.InterleaveStats(); il.Groups > 0 {
+			fmt.Printf("mxkv: interleave groups=%d cursors=%d retired=%d fallbacks=%d steps/turn=%.1f width<=%d\n",
+				il.Groups, il.Cursors, il.Retired, il.Fallbacks,
+				float64(il.Steps)/float64(il.Turns), il.MaxWidth)
+		}
+	}
 	if sharded != nil {
 		for i, ss := range sharded.StatsByShard() {
 			fmt.Printf("mxkv: shard %d served %d gets, %d sets, %d dels\n", i, ss.Gets, ss.Sets, ss.Dels)

@@ -1,0 +1,309 @@
+package blinktree
+
+import (
+	"fmt"
+	"math/rand"
+	"sync/atomic"
+	"testing"
+
+	"mxtasking/internal/mxtask"
+)
+
+// Naming convention, mirrored by the Makefile's interleave-stress target:
+// TestInterleave* run under -race and therefore restrict themselves to the
+// data-race-free synchronization modes (serialized, rwlock). The
+// TestLookupBatch*/TestStartBatch* family also covers optimistic mode,
+// whose validated-racy reads are correct but not race-detector-clean, and
+// runs only in the plain suite (like the rest of the optimistic tests).
+
+// raceCleanModes are the modes whose read paths are latch-protected.
+var raceCleanModes = []TaskSyncMode{TaskSyncSerialized, TaskSyncRWLatch}
+
+// fillTree inserts keys 1..n (value = 10*key) and drains.
+func fillTree(t testing.TB, rt *mxtask.Runtime, tr *TaskTree, n int) {
+	t.Helper()
+	for k := 1; k <= n; k++ {
+		tr.Insert(Key(k), Value(10*k))
+	}
+	rt.Drain()
+}
+
+// checkBatch runs LookupBatch over keys and verifies every index fired
+// exactly once with the expected (value, found) for a 1..n fill.
+func checkBatch(t *testing.T, rt *mxtask.Runtime, tr *TaskTree, keys []Key, n int) {
+	t.Helper()
+	results := make([]Value, len(keys))
+	found := make([]bool, len(keys))
+	fired := make([]int32, len(keys))
+	tr.LookupBatch(keys, func(i int, v Value, ok bool) {
+		atomic.AddInt32(&fired[i], 1)
+		results[i], found[i] = v, ok
+	})
+	rt.Drain()
+	for i, k := range keys {
+		if fired[i] != 1 {
+			t.Fatalf("index %d fired %d times, want exactly once", i, fired[i])
+		}
+		wantFound := k >= 1 && int(k) <= n
+		if found[i] != wantFound {
+			t.Fatalf("key %d: found=%v, want %v", k, found[i], wantFound)
+		}
+		if wantFound && results[i] != Value(10*int(k)) {
+			t.Fatalf("key %d: value=%d, want %d", k, results[i], 10*int(k))
+		}
+	}
+}
+
+// TestLookupBatchBasic covers every mode with duplicate, missing, and
+// boundary keys across several widths (including width 1 = sequential and
+// a batch smaller than the width).
+func TestLookupBatchBasic(t *testing.T) {
+	const n = 3000
+	for _, mode := range taskModes {
+		t.Run(mode.String(), func(t *testing.T) {
+			rt := newTreeRuntime(2)
+			rt.Start()
+			defer rt.Stop()
+			tr := NewTaskTree(rt, mode)
+			fillTree(t, rt, tr, n)
+
+			rng := rand.New(rand.NewSource(1))
+			keys := make([]Key, 0, 128)
+			for i := 0; i < 100; i++ {
+				keys = append(keys, Key(1+rng.Intn(n)))
+			}
+			keys = append(keys, keys[0], keys[0])        // duplicates
+			keys = append(keys, 0, Key(n+1), Key(1<<40)) // missing
+			keys = append(keys, 1, Key(n))               // boundaries
+
+			for _, width := range []int{0, 1, 2, 3, DefaultInterleave, MaxInterleave} {
+				tr.SetInterleave(width)
+				checkBatch(t, rt, tr, keys, n)
+				checkBatch(t, rt, tr, keys[:1], n) // batch below any width
+				tr.LookupBatch(nil, func(int, Value, bool) {
+					t.Fatal("empty batch fired a completion")
+				})
+			}
+			rt.Drain()
+
+			il := tr.InterleaveStats()
+			if il.Groups == 0 {
+				t.Fatal("no groups started despite width >= 2 batches")
+			}
+			if il.Cursors != il.Retired+il.Fallbacks {
+				t.Fatalf("cursor accounting: %d admitted != %d retired + %d fallbacks",
+					il.Cursors, il.Retired, il.Fallbacks)
+			}
+			if mode == TaskSyncSerialized && il.Retired != 0 {
+				t.Fatalf("serialized mode retired %d cursors inline; ReadInline must refuse", il.Retired)
+			}
+			if mode != TaskSyncSerialized && il.Retired == 0 {
+				t.Fatal("no cursor ever completed inline")
+			}
+		})
+	}
+}
+
+// TestStartBatchWrites drives inserts (including splits and root growth)
+// through StartBatch in every mode: writers interleave across inner levels
+// and must hand off at their write boundary with per-key completion intact.
+func TestStartBatchWrites(t *testing.T) {
+	const n = 4000
+	for _, mode := range taskModes {
+		t.Run(mode.String(), func(t *testing.T) {
+			rt := newTreeRuntime(2)
+			rt.Start()
+			defer rt.Stop()
+			tr := NewTaskTree(rt, mode)
+
+			var doneCount atomic.Int64
+			batch := make([]*Op, 0, 256)
+			for k := 1; k <= n; k++ {
+				batch = append(batch, tr.NewOp("insert", Key(k), Value(10*k),
+					func(_ *mxtask.Context, task *mxtask.Task) {
+						if task.Arg.(*Op).Found {
+							t.Error("fresh insert reported existing key")
+						}
+						doneCount.Add(1)
+					}))
+				if len(batch) == 256 {
+					tr.StartBatch(batch)
+					batch = batch[:0]
+				}
+			}
+			tr.StartBatch(batch)
+			rt.Drain()
+			if got := doneCount.Load(); got != n {
+				t.Fatalf("write completions = %d, want %d", got, n)
+			}
+			if tr.Count() != n {
+				t.Fatalf("tree count = %d, want %d", tr.Count(), n)
+			}
+			if tr.Height() < 2 {
+				t.Fatal("batch too small to split; test is vacuous")
+			}
+			keys := make([]Key, 0, n/7)
+			for k := 1; k <= n; k += 7 {
+				keys = append(keys, Key(k))
+			}
+			checkBatch(t, rt, tr, keys, n)
+		})
+	}
+}
+
+// TestInterleaveRacingSplits runs interleaved lookup batches of stable
+// keys while concurrent insert chains drive splits through the same nodes.
+// Race-clean modes only (see the file comment); `go test -race` exercises
+// the inline RLock path against real writers.
+func TestInterleaveRacingSplits(t *testing.T) {
+	const stable = 2000
+	const churn = 6000
+	for _, mode := range raceCleanModes {
+		t.Run(mode.String(), func(t *testing.T) {
+			rt := newTreeRuntime(4)
+			rt.Start()
+			defer rt.Stop()
+			tr := NewTaskTree(rt, mode)
+			fillTree(t, rt, tr, stable)
+
+			// Writers: fresh keys beyond the stable range, inserted through
+			// normal chains while the batches below are in flight.
+			for k := stable + 1; k <= stable+churn; k++ {
+				tr.Insert(Key(k), Value(10*k))
+			}
+			rng := rand.New(rand.NewSource(42))
+			for b := 0; b < 30; b++ {
+				keys := make([]Key, 64)
+				for i := range keys {
+					keys[i] = Key(1 + rng.Intn(stable))
+				}
+				var fired atomic.Int64
+				tr.LookupBatch(keys, func(i int, v Value, ok bool) {
+					if !ok || v != Value(10*int(keys[i])) {
+						t.Errorf("key %d: got %d,%v mid-churn", keys[i], v, ok)
+					}
+					fired.Add(1)
+				})
+				if b%10 == 9 {
+					rt.Drain()
+					if got := fired.Load(); got != 64 {
+						t.Fatalf("batch %d: %d completions, want 64", b, got)
+					}
+				}
+			}
+			rt.Drain()
+			if tr.Count() != stable+churn {
+				t.Fatalf("count = %d, want %d", tr.Count(), stable+churn)
+			}
+		})
+	}
+}
+
+// TestInterleaveRacingRootGrowth batches lookups against a tree whose root
+// is actively being split and re-grown: groups snapshot the root at
+// dispatch, so a grown root must still route every cursor correctly (the
+// old root stays valid via sibling links).
+func TestInterleaveRacingRootGrowth(t *testing.T) {
+	for _, mode := range raceCleanModes {
+		t.Run(mode.String(), func(t *testing.T) {
+			rt := newTreeRuntime(4)
+			rt.Start()
+			defer rt.Stop()
+			tr := NewTaskTree(rt, mode)
+			tr.Insert(1, 10)
+			rt.Drain()
+
+			next := 2
+			applied := 1 // highest key known applied (drained)
+			for round := 0; round < 12; round++ {
+				// Grow: enough inserts to split whatever the root is now.
+				for i := 0; i < 400; i++ {
+					tr.Insert(Key(next), Value(10*next))
+					next++
+				}
+				// Interleaved lookups of keys from drained earlier rounds
+				// race this round's growth.
+				keys := make([]Key, 32)
+				for i := range keys {
+					keys[i] = Key(1 + (i*37)%applied)
+				}
+				round := round
+				tr.LookupBatch(keys, func(i int, v Value, ok bool) {
+					if !ok || v != Value(10*int(keys[i])) {
+						t.Errorf("round %d key %d: got %d,%v", round, keys[i], v, ok)
+					}
+				})
+				rt.Drain()
+				applied = next - 1
+			}
+			if h := tr.Height(); h < 3 {
+				t.Fatalf("height %d: root growth never raced the batches", h)
+			}
+		})
+	}
+}
+
+// TestInterleaveLockstep is the tree-level invariance check: the same
+// seeded lookup stream answered by interleaved groups and by the 1-cursor
+// sequential reference must be identical, while interleaved write batches
+// on a disjoint key range drive splits underneath.
+func TestInterleaveLockstep(t *testing.T) {
+	const stable = 2500
+	seeds := []int64{1, 7, 1234}
+	for _, mode := range raceCleanModes {
+		for _, seed := range seeds {
+			t.Run(fmt.Sprintf("%s/seed=%d", mode, seed), func(t *testing.T) {
+				run := func(width int) []Value {
+					rt := newTreeRuntime(4)
+					rt.Start()
+					defer rt.Stop()
+					tr := NewTaskTree(rt, mode)
+					tr.SetInterleave(width)
+					fillTree(t, rt, tr, stable)
+
+					rng := rand.New(rand.NewSource(seed))
+					out := make([]Value, 0, 40*64)
+					// Writers live far above every readable key (present
+					// or missing): they churn the tree's shape without
+					// being able to change any read's answer.
+					writeKey := 1 << 30
+					for b := 0; b < 40; b++ {
+						// Disjoint-range writers churn the tree shape but
+						// cannot change any read answer.
+						wops := make([]*Op, 32)
+						for i := range wops {
+							wops[i] = tr.NewOp("insert", Key(writeKey), Value(writeKey), nil)
+							writeKey++
+						}
+						tr.StartBatch(wops)
+
+						keys := make([]Key, 64)
+						for i := range keys {
+							keys[i] = Key(1 + rng.Intn(stable+stable/2)) // ~1/3 missing
+						}
+						vals := make([]Value, len(keys))
+						tr.LookupBatch(keys, func(i int, v Value, ok bool) {
+							if !ok {
+								v = 1 << 62
+							}
+							vals[i] = v
+						})
+						rt.Drain()
+						out = append(out, vals...)
+					}
+					return out
+				}
+				il := run(DefaultInterleave)
+				seq := run(1)
+				if len(il) != len(seq) {
+					t.Fatalf("result lengths differ: %d vs %d", len(il), len(seq))
+				}
+				for i := range il {
+					if il[i] != seq[i] {
+						t.Fatalf("result %d differs: interleaved %d, sequential %d", i, il[i], seq[i])
+					}
+				}
+			})
+		}
+	}
+}

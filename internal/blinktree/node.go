@@ -126,18 +126,13 @@ func (n *Node) covers(key Key) bool {
 // Prefetch pulls the node's entry arrays toward the CPU cache, one read per
 // 64-byte cache line. It implements mxtask.Prefetchable, standing in for
 // the prefetcht0 sequence the paper's runtime injects (§3).
-func (n *Node) Prefetch() {
-	var sink uint64
-	for i := 0; i < Capacity; i += 8 { // 8 keys per cache line
-		sink += n.keys[i]
-	}
-	if n.typ == LeafNode {
-		for i := 0; i < Capacity; i += 8 {
-			sink += n.values[i]
-		}
-	}
-	_ = sink
-}
+//
+// The warming reads are deliberately unsynchronized — a prefetch hint may
+// race writers by design, exactly like the hardware instruction it stands
+// in for; no computed value escapes. Under the race detector that benign
+// race would still be flagged, so race builds compile Prefetch to a no-op
+// (node_prefetch_race.go) and keep every other path detector-clean.
+func (n *Node) Prefetch() { n.prefetchImpl() }
 
 // lowerBound returns the first index i in [0, count) with keys[i] >= key,
 // by binary search (the access pattern that defeats hardware prefetching,

@@ -1,0 +1,9 @@
+//go:build race
+
+package blinktree
+
+// prefetchImpl is a no-op under the race detector: the warming reads are
+// benign races by construction (see Node.Prefetch), but the detector
+// cannot know that. Dropping the hint changes no behavior — prefetching
+// is purely a performance signal.
+func (n *Node) prefetchImpl() {}

@@ -50,6 +50,9 @@ type TaskTree struct {
 	mode   TaskSyncMode
 	root   atomic.Pointer[Node]
 	rootMu latch.Spinlock // serializes root growth only
+
+	// il configures and counts interleaved group descents (interleave.go).
+	il interleaveState
 }
 
 // Op carries one tree operation through its task chain. Create it with the

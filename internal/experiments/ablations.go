@@ -10,7 +10,37 @@ import (
 // not already figures of the paper, plus the beyond-paper extension
 // experiments.
 func Ablations() []Report {
-	return []Report{AblationAllocatorLevels(), AblationEpochBatch(), AblationSMT(), AblationLearnedPrefetch(), ExtensionWorkloadB()}
+	return []Report{AblationAllocatorLevels(), AblationEpochBatch(), AblationSMT(), AblationLearnedPrefetch(), AblationInterleave(), ExtensionWorkloadB()}
+}
+
+// AblationInterleave sweeps the group width of the interleaved batched
+// descents (DESIGN.md §9): W traversal cursors share one task and advance
+// round-robin, so the miss of traversal i is serviced while traversals
+// j≠i execute — the CoroBase mechanism on MxTask chains. Speedup rises
+// until the other cursors' compute fully covers a node miss, plateaus,
+// then collapses once a fetched node's wait for its cursor's turn exceeds
+// the eviction horizon (the same too-early failure mode as over-deep
+// static prefetch distances; §3). The tree's DefaultInterleave sits in
+// the middle of the plateau.
+func AblationInterleave() Report {
+	r := Report{
+		ID:     "ablation-interleave",
+		Title:  "Interleaved group descents: width sweep (64-lookup batch, event model)",
+		XLabel: "group width (cursors per descent task)",
+		YLabel: "speedup over sequential (x) / miss coverage",
+		Paper:  "beyond the paper: batched traversals interleaved CoroBase-style over the task chains; stalls vanish for width in the miss/exec..eviction window and return past it",
+	}
+	speed := Series{Name: "batch speedup (x)"}
+	cov := Series{Name: "miss-latency coverage"}
+	for _, w := range []int{1, 2, 3, 4, 6, 8, 12, 16} {
+		res := sim.SimulateInterleave(sim.DefaultInterleaveSim(w))
+		speed.X = append(speed.X, float64(w))
+		speed.Y = append(speed.Y, sim.InterleaveSpeedup(w))
+		cov.X = append(cov.X, float64(w))
+		cov.Y = append(cov.Y, res.Coverage)
+	}
+	r.Series = []Series{speed, cov}
+	return r
 }
 
 // AblationLearnedPrefetch compares the learned per-stream prefetcher

@@ -1,0 +1,347 @@
+package kvstore
+
+import (
+	"bufio"
+	"fmt"
+	"math/rand"
+	"net"
+	"os"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"mxtasking/internal/blinktree"
+)
+
+// Interleaved batched reads (DESIGN.md §9) at the store/server layer.
+// These tests run under -race: the race build selects the serialized tree
+// mode (treemode_race.go), where every group cursor falls back to the
+// per-key chain — the batch CONTRACT must hold identically either way.
+
+// interleaveSeeds reads MXIL_SEEDS for the stress sweep (the Makefile's
+// interleave-stress target sets 20); default keeps `go test` fast.
+func interleaveSeeds() int {
+	n, err := strconv.Atoi(os.Getenv("MXIL_SEEDS"))
+	if err != nil || n < 1 {
+		return 3
+	}
+	return n
+}
+
+// TestBatchCompletionContract pins the documented GetBatch/SetBatch
+// contract: each index fires exactly once with its own key's result,
+// completion order is NOT submission order (members may complete in any
+// order, possibly before later members dispatch), duplicate keys are
+// independent operations, and an empty batch fires nothing. This is a
+// regression test for the old doc comment that promised the chains were
+// "spawned back to back before any completes" — group descents retire
+// early cursors inline, so no such ordering ever held.
+func TestBatchCompletionContract(t *testing.T) {
+	s, stop := newStore(t, 2)
+	defer stop()
+	const n = 2000
+	for i := uint64(1); i <= n; i++ {
+		s.Set(i, i*3, nil)
+	}
+	s.Runtime().Drain()
+
+	// Empty batches must not fire.
+	s.GetBatch(nil, func(int, Result) { t.Error("empty GetBatch fired") })
+	s.SetBatch(nil, func(int, Result) { t.Error("empty SetBatch fired") })
+
+	// Duplicates, missing keys, and boundary keys in one batch.
+	keys := []uint64{1, n, 5, 5, 5, 0, n + 1, 1 << 40, 7}
+	fired := make([]int32, len(keys))
+	s.GetBatch(keys, func(i int, r Result) {
+		atomic.AddInt32(&fired[i], 1)
+		k := keys[i]
+		wantFound := k >= 1 && k <= n
+		if r.Found != wantFound || (wantFound && r.Value != k*3) {
+			t.Errorf("key %d: got %+v", k, r)
+		}
+	})
+	s.Runtime().Drain()
+	for i, f := range fired {
+		if f != 1 {
+			t.Fatalf("GetBatch index %d fired %d times, want exactly once", i, f)
+		}
+	}
+
+	// SetBatch: exactly-once, overwrite reporting per key; a duplicated
+	// key may apply in either order but both completions must fire.
+	pairs := []blinktree.KV{{Key: 1, Value: 100}, {Key: n + 50, Value: 1}, {Key: n + 50, Value: 2}}
+	sfired := make([]int32, len(pairs))
+	s.SetBatch(pairs, func(i int, r Result) {
+		atomic.AddInt32(&sfired[i], 1)
+		if i == 0 && !r.Found {
+			t.Error("overwrite of key 1 not reported")
+		}
+	})
+	s.Runtime().Drain()
+	for i, f := range sfired {
+		if f != 1 {
+			t.Fatalf("SetBatch index %d fired %d times, want exactly once", i, f)
+		}
+	}
+	if r := s.GetSync(n + 50); !r.Found || (r.Value != 1 && r.Value != 2) {
+		t.Fatalf("duplicate-key upsert left %+v, want value 1 or 2", r)
+	}
+}
+
+// TestInterleaveStoreLockstep is the store-level invariance check: a
+// seeded GetBatch stream answered with interleaved group descents must be
+// byte-identical to the same stream answered by the 1-cursor sequential
+// reference, while concurrent SetBatch writers on a disjoint key range
+// drive splits underneath. Under -race this runs against the serialized
+// tree mode, covering the all-fallback path of the same contract.
+func TestInterleaveStoreLockstep(t *testing.T) {
+	const stable = 2500
+	for _, seed := range []int64{1, 7, 99} {
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			run := func(width int) []uint64 {
+				s, stop := newStore(t, 4)
+				defer stop()
+				s.SetInterleave(width)
+				for i := uint64(1); i <= stable; i++ {
+					s.Set(i, i*3, nil)
+				}
+				s.Runtime().Drain()
+
+				rng := rand.New(rand.NewSource(seed))
+				out := make([]uint64, 0, 30*64)
+				writeKey := uint64(1 << 30)
+				for b := 0; b < 30; b++ {
+					pairs := make([]blinktree.KV, 32)
+					for i := range pairs {
+						pairs[i] = blinktree.KV{Key: writeKey, Value: writeKey}
+						writeKey++
+					}
+					s.SetBatch(pairs, func(int, Result) {})
+
+					keys := make([]uint64, 64)
+					for i := range keys {
+						keys[i] = uint64(1 + rng.Intn(stable+stable/2)) // ~1/3 missing
+					}
+					vals := make([]uint64, len(keys))
+					s.GetBatch(keys, func(i int, r Result) {
+						if !r.Found {
+							r.Value = 1 << 62
+						}
+						vals[i] = r.Value
+					})
+					s.Runtime().Drain()
+					out = append(out, vals...)
+				}
+				return out
+			}
+			il := run(0) // default width
+			seq := run(1)
+			if len(il) != len(seq) {
+				t.Fatalf("result lengths differ: %d vs %d", len(il), len(seq))
+			}
+			for i := range il {
+				if il[i] != seq[i] {
+					t.Fatalf("result %d differs: interleaved %d, sequential %d", i, il[i], seq[i])
+				}
+			}
+		})
+	}
+}
+
+// TestInterleaveStress sweeps seeded mixed batch workloads: every round
+// submits overlapping GetBatch and SetBatch traffic and checks the
+// exactly-once ledger plus final store contents against a model map.
+// MXIL_SEEDS widens the sweep (Makefile interleave-stress: 20 seeds,
+// -race, -shuffle=on).
+func TestInterleaveStress(t *testing.T) {
+	for seed := int64(0); seed < int64(interleaveSeeds()); seed++ {
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			s, stop := newStore(t, 4)
+			defer stop()
+			rng := rand.New(rand.NewSource(seed))
+			s.SetInterleave(2 + rng.Intn(15))
+
+			const space = 5000
+			// Batches from different rounds overlap in flight, so any key
+			// written more than once may land in either order; the model
+			// checks only keys written exactly once over the whole run.
+			writes := make(map[uint64]uint64)
+			writeCount := make(map[uint64]int)
+			var getFired, setFired, wantGets, wantSets int64
+			for round := 0; round < 25; round++ {
+				pairs := make([]blinktree.KV, 1+rng.Intn(96))
+				for i := range pairs {
+					k := uint64(1 + rng.Intn(space))
+					v := rng.Uint64()
+					pairs[i] = blinktree.KV{Key: k, Value: v}
+					writes[k] = v
+					writeCount[k]++
+				}
+				wantSets += int64(len(pairs))
+				s.SetBatch(pairs, func(int, Result) { atomic.AddInt64(&setFired, 1) })
+
+				keys := make([]uint64, 1+rng.Intn(128))
+				for i := range keys {
+					keys[i] = uint64(1 + rng.Intn(space*2))
+				}
+				wantGets += int64(len(keys))
+				s.GetBatch(keys, func(i int, r Result) { atomic.AddInt64(&getFired, 1) })
+				if round%5 == 4 {
+					s.Runtime().Drain()
+				}
+			}
+			s.Runtime().Drain()
+			if getFired != wantGets || setFired != wantSets {
+				t.Fatalf("completions: gets %d/%d, sets %d/%d", getFired, wantGets, setFired, wantSets)
+			}
+			for k, v := range writes {
+				if writeCount[k] != 1 {
+					continue
+				}
+				if r := s.GetSync(k); !r.Found || r.Value != v {
+					t.Fatalf("seed %d: key %d = %+v, want %d", seed, k, r, v)
+				}
+			}
+			il := s.InterleaveStats()
+			if il.Cursors != il.Retired+il.Fallbacks {
+				t.Fatalf("cursor accounting: %d != %d retired + %d fallbacks",
+					il.Cursors, il.Retired, il.Fallbacks)
+			}
+		})
+	}
+}
+
+// TestInterleaveCloseMidMGET closes the server while pipelined MGETs are
+// in flight: every admitted batch member's completion must still fire
+// exactly once (the backend drain below would hang forever on a lost
+// cursor, and the package's testleak TestMain catches any stranded
+// worker), and the client-visible replies must be whole lines.
+func TestInterleaveCloseMidMGET(t *testing.T) {
+	s, stop := newBackend(t, 4)
+	defer stop()
+	const n = 4000
+	for i := uint64(0); i < n; i++ {
+		s.Set(i, i+1, nil)
+	}
+	s.Drain()
+	srv, err := NewServer(s, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	conn, err := net.Dial("tcp", srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := bufio.NewWriter(conn)
+	var sb strings.Builder
+	sb.WriteString("MGET")
+	for i := 0; i < 64; i++ {
+		fmt.Fprintf(&sb, " %d", i*61%n)
+	}
+	sb.WriteByte('\n')
+	line := sb.String()
+	for i := 0; i < 50; i++ {
+		if _, err := w.WriteString(line); err != nil {
+			break
+		}
+	}
+	_ = w.Flush()
+
+	// Read a few replies to be sure batches are actually dispatching,
+	// then tear the server down mid-stream.
+	r := bufio.NewReaderSize(conn, 1<<20)
+	for i := 0; i < 3; i++ {
+		reply, err := r.ReadString('\n')
+		if err != nil {
+			t.Fatalf("warm-up reply %d: %v", i, err)
+		}
+		if !strings.HasPrefix(reply, "VALUES ") {
+			t.Fatalf("warm-up reply %d = %q", i, reply)
+		}
+	}
+	srv.Close()
+	// Whatever still arrives must be whole VALUES lines, never a torn or
+	// interleaved write.
+	for {
+		reply, err := r.ReadString('\n')
+		if err != nil {
+			break
+		}
+		if !strings.HasPrefix(reply, "VALUES ") || !strings.HasSuffix(reply, "\n") {
+			t.Fatalf("post-close reply = %q", reply)
+		}
+	}
+	conn.Close()
+	// Every cursor the server admitted before Close must complete: a lost
+	// completion leaves a pending op and this drain never returns.
+	s.Drain()
+}
+
+// TestServerStatsInterleave drives batched reads through the wire and
+// checks the STATS il_* fields: present, parseable through the client's
+// Extra map, and consistent (cursors fully accounted as retired or
+// fallbacks; groups only when batches were wide enough to share a task).
+func TestServerStatsInterleave(t *testing.T) {
+	s, stop := newBackend(t, 2)
+	defer stop()
+	const n = 3000
+	for i := uint64(1); i <= n; i++ {
+		s.Set(i, i, nil)
+	}
+	s.Drain()
+	srv, err := NewServer(s, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	c, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	var sb strings.Builder
+	sb.WriteString("MGET")
+	for i := 1; i <= 64; i++ {
+		fmt.Fprintf(&sb, " %d", i*37%n)
+	}
+	for i := 0; i < 10; i++ {
+		if err := c.send(sb.String()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if _, err := c.Await(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Drain()
+
+	st, err := c.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var il [7]uint64
+	for i, f := range []string{"il_groups", "il_cursors", "il_turns", "il_steps", "il_retired", "il_fallbacks", "il_width"} {
+		v, ok := st.ExtraUint(f)
+		if !ok {
+			t.Fatalf("STATS missing %s (extra: %v)", f, st.Extra)
+		}
+		il[i] = v
+	}
+	groups, cursors, retired, fallbacks, width := il[0], il[1], il[4], il[5], il[6]
+	if groups == 0 || cursors == 0 {
+		t.Fatalf("no group descents counted after 10 batched MGETs: %v", il)
+	}
+	if cursors != retired+fallbacks {
+		t.Fatalf("cursors %d != retired %d + fallbacks %d", cursors, retired, fallbacks)
+	}
+	if width < 2 || width > blinktree.MaxInterleave {
+		t.Fatalf("il_width = %d, want within [2, %d]", width, blinktree.MaxInterleave)
+	}
+}

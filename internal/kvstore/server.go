@@ -925,6 +925,15 @@ func (s *Server) dispatch(line string, pf *connPrefetch, deliver func(string)) (
 					gs.TasksStolen, gs.Imbalance)
 			}
 		}
+		// Interleaved group-descent counters (DESIGN.md §9). Old clients
+		// pick the fields up via ServerStats.Extra.
+		if is, ok := s.store().(interface {
+			InterleaveStats() mxtask.InterleaveStats
+		}); ok {
+			il := is.InterleaveStats()
+			fmt.Fprintf(&sb, " il_groups=%d il_cursors=%d il_turns=%d il_steps=%d il_retired=%d il_fallbacks=%d il_width=%d",
+				il.Groups, il.Cursors, il.Turns, il.Steps, il.Retired, il.Fallbacks, il.MaxWidth)
+		}
 		// Learned-prefetcher aggregates, when armed (DESIGN.md §8). Old
 		// clients pick the fields up via ServerStats.Extra.
 		if m := s.pfMetrics; m != nil {

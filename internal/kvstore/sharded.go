@@ -409,6 +409,25 @@ func (s *Sharded) Stats() Stats {
 	return t
 }
 
+// SetInterleave sets every shard's batched-operation group width. A
+// re-split sub-batch interleaves within its shard; widths compose with
+// the router's fan-out unchanged.
+func (s *Sharded) SetInterleave(width int) {
+	for _, st := range s.shards {
+		st.SetInterleave(width)
+	}
+}
+
+// InterleaveStats sums the shards' group-descent counters (MaxWidth by
+// maximum).
+func (s *Sharded) InterleaveStats() mxtask.InterleaveStats {
+	var t mxtask.InterleaveStats
+	for _, st := range s.shards {
+		t.Add(st.InterleaveStats())
+	}
+	return t
+}
+
 // StatsByShard returns each shard's operation counters in shard order.
 func (s *Sharded) StatsByShard() []Stats {
 	out := make([]Stats, len(s.shards))

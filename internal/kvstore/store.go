@@ -91,7 +91,12 @@ var (
 // New creates an in-memory store on the runtime using the optimistic
 // annotation scheme (§4.2's cost-model defaults).
 func New(rt *mxtask.Runtime) *Store {
-	return &Store{rt: rt, tree: blinktree.NewTaskTree(rt, defaultTreeMode)}
+	s := &Store{rt: rt, tree: blinktree.NewTaskTree(rt, defaultTreeMode)}
+	// Surface the tree's group-descent counters through the runtime's
+	// WorkerStats (last store on a shared runtime wins, like
+	// AttachLearnedPrefetch).
+	rt.AttachInterleave(s.tree.InterleaveStats)
+	return s
 }
 
 // Open creates a durable store: it recovers the state persisted in
@@ -185,15 +190,16 @@ type Result struct {
 // before any concurrent use; pass nil to detach.
 func (s *Store) Instrument(rec *linearize.Recorder) { s.rec = rec }
 
-// Get fetches key asynchronously; done receives the outcome on the
-// worker that completed the lookup. Reads are not logged.
-func (s *Store) Get(key uint64, done func(Result)) {
+// getOp counts, instruments, and builds one lookup op without spawning
+// it; Get starts it as its own chain, GetBatch groups many into
+// interleaved descents.
+func (s *Store) getOp(key uint64, done func(Result)) *blinktree.Op {
 	s.gets.Add(1)
 	var opID int64
 	if s.rec != nil {
 		opID = s.rec.Invoke(0, linearize.OpGet, key, 0)
 	}
-	s.tree.LookupWith(key, func(_ *mxtask.Context, t *mxtask.Task) {
+	return s.tree.NewOp("lookup", key, 0, func(_ *mxtask.Context, t *mxtask.Task) {
 		op := t.Arg.(*blinktree.Op)
 		if s.rec != nil {
 			s.rec.Return(opID, op.Result, op.Found, nil)
@@ -202,9 +208,15 @@ func (s *Store) Get(key uint64, done func(Result)) {
 	})
 }
 
-// Set stores key=value asynchronously; done (optional) fires on completion
-// — for durable stores, only after the record's covering fsync.
-func (s *Store) Set(key, value uint64, done func(Result)) {
+// Get fetches key asynchronously; done receives the outcome on the
+// worker that completed the lookup. Reads are not logged.
+func (s *Store) Get(key uint64, done func(Result)) {
+	s.startOp(s.getOp(key, done))
+}
+
+// setOp counts, instruments, and builds one upsert op — with its WAL
+// Commit hook when the store is durable — without spawning it.
+func (s *Store) setOp(key, value uint64, done func(Result)) *blinktree.Op {
 	s.sets.Add(1)
 	var opID int64
 	if s.rec != nil {
@@ -229,9 +241,7 @@ func (s *Store) Set(key, value uint64, done func(Result)) {
 				})
 			})
 		}
-		s.startOp(op)
-		s.maybeSnapshot()
-		return
+		return op
 	}
 	if done != nil || s.rec != nil {
 		op.Done = func(_ *mxtask.Context, t *mxtask.Task) {
@@ -244,7 +254,16 @@ func (s *Store) Set(key, value uint64, done func(Result)) {
 			}
 		}
 	}
-	s.startOp(op)
+	return op
+}
+
+// Set stores key=value asynchronously; done (optional) fires on completion
+// — for durable stores, only after the record's covering fsync.
+func (s *Store) Set(key, value uint64, done func(Result)) {
+	s.startOp(s.setOp(key, value, done))
+	if s.log != nil {
+		s.maybeSnapshot()
+	}
 }
 
 // Delete removes key asynchronously; done (optional) reports whether the
@@ -486,25 +505,48 @@ func (s *Store) ScanLimit(from, to uint64, limit int, done func(ScanResult)) {
 	})
 }
 
-// GetBatch issues a batch of lookups as one multi-op submission: all chains
-// are spawned back to back before any completes, so the runtime's group
-// scheduling and prefetch window see the whole batch at once. each fires
-// per key, on the worker that completed it, with the key's index.
+// GetBatch issues a batch of lookups as interleaved group descents
+// (DESIGN.md §9): up to SetInterleave-width traversals share one task and
+// advance round-robin, so one key's node miss is overlapped by its
+// neighbors' compute.
+//
+// The contract is exactly that of a loop of independent Get calls, and no
+// more: each fires exactly once per index, on the worker that completed
+// that key's lookup. Submission order carries NO completion ordering —
+// members may complete in any order relative to each other, and an early
+// member's completion may run before later members are even dispatched.
+// Duplicate keys are independent lookups. Callers needing ordering must
+// sequence on their own completions.
 func (s *Store) GetBatch(keys []uint64, each func(int, Result)) {
+	if len(keys) == 0 {
+		return
+	}
+	ops := make([]*blinktree.Op, len(keys))
 	for i, k := range keys {
 		i := i
-		s.Get(k, func(r Result) { each(i, r) })
+		ops[i] = s.getOp(k, func(r Result) { each(i, r) })
 	}
+	s.tree.StartBatch(ops)
 }
 
-// SetBatch issues a batch of upserts as one multi-op submission (see
-// GetBatch). For durable stores each completion fires only after the
+// SetBatch issues a batch of upserts as interleaved group descents (see
+// GetBatch for the completion contract — exactly-once per index,
+// unordered; in particular duplicate keys in one batch may apply in
+// either order). For durable stores each completion fires only after the
 // record's covering fsync — the whole batch typically shares one group
 // commit.
 func (s *Store) SetBatch(pairs []blinktree.KV, each func(int, Result)) {
+	if len(pairs) == 0 {
+		return
+	}
+	ops := make([]*blinktree.Op, len(pairs))
 	for i, kv := range pairs {
 		i := i
-		s.Set(kv.Key, kv.Value, func(r Result) { each(i, r) })
+		ops[i] = s.setOp(kv.Key, kv.Value, func(r Result) { each(i, r) })
+	}
+	s.tree.StartBatch(ops)
+	if s.log != nil {
+		s.maybeSnapshot()
 	}
 }
 
@@ -560,6 +602,15 @@ func (s *Store) CountLive(done func(int)) {
 // Stats returns operation counters.
 func (s *Store) Stats() Stats {
 	return Stats{Gets: s.gets.Load(), Sets: s.sets.Load(), Dels: s.dels.Load()}
+}
+
+// SetInterleave sets the batched-operation group width (blinktree
+// semantics: 0 restores the default, 1 disables interleaving).
+func (s *Store) SetInterleave(width int) { s.tree.SetInterleave(width) }
+
+// InterleaveStats reports the tree's interleaved group-descent counters.
+func (s *Store) InterleaveStats() mxtask.InterleaveStats {
+	return s.tree.InterleaveStats()
 }
 
 // Shards returns 1: a Store is the single-shard backend (Sharded is the

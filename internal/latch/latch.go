@@ -38,6 +38,12 @@ func spinWait(i int) {
 	}
 }
 
+// SpinWait performs one step of the package's standard bounded-spin
+// backoff: spin for a budget of iterations, then yield the processor.
+// Exported for callers implementing their own retry loops over these
+// latches (e.g. inline optimistic readers).
+func SpinWait(i int) { spinWait(i) }
+
 // Spinlock is a test-and-test-and-set spinlock: the classic primitive used
 // to serialize all accesses (paper §4.1, "Latches"). The zero value is
 // unlocked.

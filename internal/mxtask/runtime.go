@@ -134,6 +134,11 @@ type Runtime struct {
 	// WorkerStats Learned* fields.
 	learned atomic.Pointer[prefetch.Metrics]
 
+	// interleave, when set via AttachInterleave, snapshots the attached
+	// group-descent counters; Stats folds them into the WorkerStats
+	// Interleave* fields.
+	interleave interleavePtr
+
 	pending  atomic.Int64 // spawned but not yet completed tasks
 	spawnRR  atomic.Uint64
 	resRR    atomic.Uint64
@@ -389,6 +394,16 @@ func (rt *Runtime) Stats() WorkerStats {
 		s.LearnedStrides = m.Induced.Load()
 		s.LearnedIssued = m.Issued.Load()
 		s.LearnedWindowMax = m.WindowMax()
+	}
+	if src := rt.interleave.Load(); src != nil {
+		il := src.fn()
+		s.InterleaveGroups = il.Groups
+		s.InterleaveCursors = il.Cursors
+		s.InterleaveTurns = il.Turns
+		s.InterleaveSteps = il.Steps
+		s.InterleaveRetired = il.Retired
+		s.InterleaveFallbacks = il.Fallbacks
+		s.InterleaveMaxWidth = il.MaxWidth
 	}
 	return s
 }

@@ -33,6 +33,14 @@ type WorkerStats struct {
 	LearnedStrides   uint64 // strides induced (confirmations + revivals)
 	LearnedIssued    uint64 // predicted addresses turned into touch tasks
 	LearnedWindowMax uint64 // widest adaptive lookahead window reached
+
+	InterleaveGroups    uint64 // interleaved group-descent tasks started
+	InterleaveCursors   uint64 // traversal cursors admitted to groups
+	InterleaveTurns     uint64 // group turns (each advances all live cursors)
+	InterleaveSteps     uint64 // successful inline node visits
+	InterleaveRetired   uint64 // cursors completed inside a group
+	InterleaveFallbacks uint64 // cursors handed off to per-key chains
+	InterleaveMaxWidth  uint64 // widest group started (peak overlap depth)
 }
 
 // workerCounters are the live counters behind WorkerStats. They are

@@ -1,0 +1,145 @@
+package sim
+
+// This file models the interleaved group descents of DESIGN.md §9 (the
+// CoroBase-style batched traversals blinktree.StartBatch implements): a
+// worker carries W traversal cursors and advances them round-robin, one
+// node visit per turn. The visit that computes cursor i's next node issues
+// that node's fetch immediately, so the miss is serviced while the other
+// W-1 cursors execute their own visits — the stall a sequential descent
+// pays on every level shrinks to max(0, miss − (W−1)·exec). Widening W
+// past the point where the fetch waits longer than the eviction horizon
+// re-introduces the miss (the same too-early failure as over-deep static
+// prefetch distances), which is why the tree clamps its group width.
+
+// InterleaveConfig describes one batched-traversal run.
+type InterleaveConfig struct {
+	Traversals  int     // root-to-leaf descents in the batch
+	Depth       int     // node visits per descent (tree height)
+	Width       int     // cursors per group; 1 = sequential descents
+	ExecCycles  float64 // per-visit execution once the node is cached
+	MissLatency float64 // cycles to fetch a node from memory
+	// EvictAfter is the cache-pressure window: a fetched node not touched
+	// within this many cycles of arriving is evicted and must be fetched
+	// again (see PipelineConfig.EvictAfter).
+	EvictAfter float64
+}
+
+// DefaultInterleaveSim mirrors the tree workload's per-visit costs
+// (DefaultPipeline) at a YCSB-scale tree height.
+func DefaultInterleaveSim(width int) InterleaveConfig {
+	return InterleaveConfig{
+		Traversals:  64,
+		Depth:       4,
+		Width:       width,
+		ExecCycles:  140,
+		MissLatency: 300,
+		EvictAfter:  600,
+	}
+}
+
+// InterleaveResult summarizes a run.
+type InterleaveResult struct {
+	TotalCycles float64
+	StallCycles float64 // cycles the worker waited for node fetches
+	Coverage    float64 // fraction of total miss latency hidden
+	// Refetches counts node fetches that arrived, were evicted before
+	// their cursor's turn returned, and had to be issued again.
+	Refetches int
+	// TimelineHead is the first turns' visit schedule (one group), for
+	// the stall-overlap figure: cursor i's miss window overlapping
+	// cursors j≠i executing.
+	TimelineHead []InterleaveVisit
+}
+
+// InterleaveVisit is one cursor's node visit in the timeline.
+type InterleaveVisit struct {
+	Cursor    int     // which traversal within the group
+	Level     int     // 0 = root visit, Depth-1 = leaf visit
+	FetchFrom float64 // when the node's fetch was issued (-1: demand miss)
+	DataReady float64 // when the node arrived in cache
+	ExecStart float64
+	ExecEnd   float64
+	Stalled   float64
+}
+
+// SimulateInterleave runs the event-driven group-descent model.
+//
+// Semantics: the batch splits into groups of Width cursors served by one
+// worker. Within a group the cursors advance round-robin; a cursor's visit
+// at level L computes its level-L+1 node and issues its fetch as the visit
+// ends (the StartBatch discipline: prefetch the next node, then serve the
+// other cursors). The root (level 0) is hot — every traversal touches it,
+// so it never leaves the cache. When a cursor's turn returns, it stalls
+// until its node is ready; a node that arrived more than EvictAfter cycles
+// earlier was evicted and is re-fetched on demand.
+func SimulateInterleave(cfg InterleaveConfig) InterleaveResult {
+	if cfg.Traversals <= 0 || cfg.Depth <= 0 {
+		return InterleaveResult{}
+	}
+	width := cfg.Width
+	if width < 1 {
+		width = 1
+	}
+	var res InterleaveResult
+	clock := 0.0
+	for start := 0; start < cfg.Traversals; start += width {
+		w := cfg.Traversals - start
+		if w > width {
+			w = width
+		}
+		fetchAt := make([]float64, w) // issue time of each cursor's pending node
+		for i := range fetchAt {
+			fetchAt[i] = -1 // root: demand miss
+		}
+		for level := 0; level < cfg.Depth; level++ {
+			for c := 0; c < w; c++ {
+				visit := InterleaveVisit{Cursor: start + c, Level: level, FetchFrom: fetchAt[c]}
+				ready := clock + cfg.MissLatency
+				if level == 0 {
+					ready = clock // hot root
+				} else if fetchAt[c] >= 0 {
+					arrived := fetchAt[c] + cfg.MissLatency
+					if cfg.EvictAfter > 0 && clock-arrived > cfg.EvictAfter {
+						res.Refetches++ // evicted before the turn returned
+					} else {
+						ready = arrived
+					}
+				}
+				visit.DataReady = ready
+				stall := ready - clock
+				if stall < 0 {
+					stall = 0
+				}
+				visit.Stalled = stall
+				visit.ExecStart = clock + stall
+				visit.ExecEnd = visit.ExecStart + cfg.ExecCycles
+				clock = visit.ExecEnd
+				res.StallCycles += stall
+				// The visit's last act: issue the next level's fetch.
+				fetchAt[c] = clock
+				if len(res.TimelineHead) < 2*8 {
+					res.TimelineHead = append(res.TimelineHead, visit)
+				}
+			}
+		}
+	}
+	res.TotalCycles = clock
+	// Coverage relative to the sequential baseline, in which every
+	// below-root visit stalls for the full miss latency.
+	baseline := float64(cfg.Traversals*(cfg.Depth-1)) * cfg.MissLatency
+	if baseline > 0 {
+		res.Coverage = 1 - res.StallCycles/baseline
+	}
+	return res
+}
+
+// InterleaveSpeedup returns the batch-completion speedup of width-W groups
+// over sequential descents under the default workload shape.
+func InterleaveSpeedup(width int) float64 {
+	seq := SimulateInterleave(DefaultInterleaveSim(1)).TotalCycles
+	il := SimulateInterleave(DefaultInterleaveSim(width)).TotalCycles
+	if il <= 0 {
+		return 0
+	}
+	return seq / il
+}

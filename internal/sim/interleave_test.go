@@ -1,0 +1,81 @@
+package sim
+
+import "testing"
+
+// Sequential descents (width 1) demand-miss every below-root node: zero
+// coverage and a total of traversals*(depth*exec + (depth-1)*miss) cycles.
+func TestInterleaveSequentialBaseline(t *testing.T) {
+	cfg := DefaultInterleaveSim(1)
+	res := SimulateInterleave(cfg)
+	want := float64(cfg.Traversals) *
+		(float64(cfg.Depth)*cfg.ExecCycles + float64(cfg.Depth-1)*cfg.MissLatency)
+	if res.TotalCycles != want {
+		t.Fatalf("sequential total = %v, want %v", res.TotalCycles, want)
+	}
+	if res.Coverage != 0 {
+		t.Fatalf("sequential coverage = %v, want 0", res.Coverage)
+	}
+}
+
+// Widening the group hides more of the miss until the compute of the other
+// cursors fully covers it.
+func TestInterleaveCoverageRises(t *testing.T) {
+	prev := -1.0
+	for _, w := range []int{1, 2, 3, 4} {
+		c := SimulateInterleave(DefaultInterleaveSim(w)).Coverage
+		if c < prev {
+			t.Fatalf("coverage fell from %v to %v at width %d", prev, c, w)
+		}
+		prev = c
+	}
+}
+
+// At the default width the other cursors' compute covers every miss: the
+// group runs execution-bound with full coverage.
+func TestInterleaveDefaultWidthHidesAllStalls(t *testing.T) {
+	res := SimulateInterleave(DefaultInterleaveSim(6))
+	if res.StallCycles != 0 {
+		t.Fatalf("stall = %v, want 0 at the default width", res.StallCycles)
+	}
+	if res.Coverage != 1 {
+		t.Fatalf("coverage = %v, want 1", res.Coverage)
+	}
+	if res.Refetches != 0 {
+		t.Fatalf("width 6 refetched %d nodes; should be inside the eviction horizon", res.Refetches)
+	}
+}
+
+// Past the eviction horizon the early fetches die before their turn
+// returns: refetches appear and the speedup collapses back toward 1.
+func TestInterleaveTooWideEvicts(t *testing.T) {
+	wide := SimulateInterleave(DefaultInterleaveSim(16))
+	if wide.Refetches == 0 {
+		t.Fatal("width 16 should overrun the eviction horizon")
+	}
+	if s6, s16 := InterleaveSpeedup(6), InterleaveSpeedup(16); s16 >= s6 {
+		t.Fatalf("speedup should fall past the horizon: width6=%v width16=%v", s6, s16)
+	}
+	if s := InterleaveSpeedup(6); s < 1.5 {
+		t.Fatalf("default width speedup = %v, want >= 1.5 under the calibrated costs", s)
+	}
+}
+
+// The timeline must actually exhibit the overlap: some cursor's miss
+// window (fetch issue → data ready) contains another cursor's execution.
+func TestInterleaveTimelineShowsOverlap(t *testing.T) {
+	res := SimulateInterleave(DefaultInterleaveSim(4))
+	overlaps := false
+	for _, a := range res.TimelineHead {
+		if a.FetchFrom < 0 {
+			continue
+		}
+		for _, b := range res.TimelineHead {
+			if b.Cursor != a.Cursor && b.ExecStart >= a.FetchFrom && b.ExecEnd <= a.DataReady {
+				overlaps = true
+			}
+		}
+	}
+	if !overlaps {
+		t.Fatal("no visit executed inside another cursor's miss window")
+	}
+}
