@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench chaos cluster-chaos steal-stress prefetch-stress interleave-stress fuzz ci figures verify dat clean
+.PHONY: all build vet test race bench chaos cluster-chaos steal-stress prefetch-stress interleave-stress pager-stress fuzz ci figures verify dat clean
 
 all: build vet test
 
@@ -26,11 +26,13 @@ race:
 		./internal/epoch ./internal/alloc ./internal/tbb ./internal/metrics \
 		./internal/ycsb ./internal/tpch ./internal/hashjoin ./internal/sim \
 		./internal/wal ./internal/kvstore ./internal/faultfs ./internal/linearize \
-		./internal/netfault ./internal/repl ./internal/prefetch ./cmd/mxload
+		./internal/netfault ./internal/repl ./internal/prefetch ./internal/pager \
+		./cmd/mxload
 	MXKV_SHARDS=4 $(GO) test -race -count=1 ./internal/kvstore
 	$(GO) test -race -count=1 -shuffle=on -run 'TestGroup' ./internal/mxtask
 	$(MAKE) prefetch-stress
 	$(MAKE) interleave-stress
+	$(MAKE) pager-stress
 
 bench:
 	$(GO) test -bench=. -benchmem .
@@ -92,6 +94,20 @@ interleave-stress:
 		-run 'TestInterleave|TestBatchCompletionContract' -v \
 		./internal/blinktree ./internal/kvstore
 
+# Paged-tier stress (DESIGN.md §10): the pager's seeded buffer-pool
+# shape sweep (page size x frames x workers, stores/loads/frees/touches
+# against an oracle under forced eviction) over 20 seeds, plus the paged
+# store's lockstep invariance and crash-at-every-fs-op suites, all under
+# the race detector. Shuffled so pool/runtime state can't leak between
+# shapes. The paged server suite rides MXKV_PAGED (every backend behind a
+# thrashing 8-frame pool).
+pager-stress:
+	MXPG_SEEDS=20 $(GO) test -race -count=1 -shuffle=on -timeout 600s \
+		-run 'TestPager' -v ./internal/pager
+	$(GO) test -race -count=1 -shuffle=on -timeout 600s \
+		-run 'TestPaged|TestChaosPaged' -v ./internal/kvstore
+	MXKV_PAGED=1 $(GO) test -race -count=1 ./internal/kvstore
+
 # Fuzz smoke: 10s of coverage-guided input generation per target (`go test`
 # allows one fuzz target per invocation).
 fuzz:
@@ -101,6 +117,7 @@ fuzz:
 	$(GO) test -run '^$$' -fuzz 'FuzzLookupBatch' -fuzztime=10s ./internal/kvstore
 	$(GO) test -run '^$$' -fuzz 'FuzzThreadTreeOps' -fuzztime=10s ./internal/blinktree
 	$(GO) test -run '^$$' -fuzz 'FuzzNodeLowerBound' -fuzztime=10s ./internal/blinktree
+	$(GO) test -run '^$$' -fuzz 'FuzzPageCodec' -fuzztime=10s ./internal/pager
 
 # The gate run before merging: vet, full build, an order-shuffled full
 # test pass (catches tests coupled through shared state), race-detected
@@ -113,12 +130,14 @@ ci:
 	$(GO) test -count=1 -shuffle=on ./...
 	$(GO) test -race ./internal/wal ./internal/kvstore ./internal/queue \
 		./internal/epoch ./internal/faultfs ./internal/linearize \
-		./internal/netfault ./internal/repl ./cmd/mxload
+		./internal/netfault ./internal/repl ./internal/pager ./cmd/mxload
 	MXKV_SHARDS=4 $(GO) test -race -count=1 ./internal/kvstore
 	$(GO) test -run '^$$' -bench 'BenchmarkServerSharded' -benchtime 100x .
+	$(GO) test -run '^$$' -bench 'BenchmarkServerPagedYCSB' -benchtime 100x .
 	$(MAKE) chaos
 	$(MAKE) prefetch-stress
 	$(MAKE) interleave-stress
+	$(MAKE) pager-stress
 	$(MAKE) fuzz
 
 figures:

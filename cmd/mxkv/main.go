@@ -56,6 +56,7 @@ import (
 	"mxtasking/internal/epoch"
 	"mxtasking/internal/kvstore"
 	"mxtasking/internal/mxtask"
+	"mxtasking/internal/pager"
 	"mxtasking/internal/prefetch"
 	"mxtasking/internal/repl"
 )
@@ -111,6 +112,10 @@ func main() {
 		stealMin = flag.Int("steal-backlog", 0, "min stealable backlog before a shard is stolen from (0 = default 16)")
 		learned  = flag.Bool("learned-prefetch", false, "learn per-connection access strides and warm predicted leaves (DESIGN.md §8)")
 		ilWidth  = flag.Int("interleave", 0, "batched-read group-descent width: 0 = default, 1 = sequential per-key chains (DESIGN.md §9)")
+
+		pageBytes  = flag.Int("page-bytes", 0, "paged value tier page size in bytes (0 with -pool-frames set = 4096; enables paging, DESIGN.md §10)")
+		poolFrames = flag.Int("pool-frames", 0, "paged value tier buffer pool frames (0 with -page-bytes set = 128; enables paging)")
+		spillOver  = flag.Uint64("spill-over", 0, "spill values >= this to page files (0 = every value; needs -page-bytes or -pool-frames)")
 
 		advertise = flag.String("advertise", "", "canonical address peers and redirected clients dial; enables replication (requires -wal-dir, -shards 1)")
 		replicaOf = flag.String("replica-of", "", "start as a replica of this primary's advertise address (requires -advertise)")
@@ -169,6 +174,24 @@ func main() {
 		}
 	}
 
+	// Paged value tier (DESIGN.md §10): values spill out of the trees into
+	// buffer-pool-managed page files, keeping the resident set bounded by
+	// -pool-frames regardless of dataset size.
+	paged := *pageBytes > 0 || *poolFrames > 0
+	var pc kvstore.PagedConfig
+	if paged {
+		pc = kvstore.PagedConfig{
+			PageBytes:  *pageBytes,
+			PoolFrames: *poolFrames,
+			SpillOver:  *spillOver,
+		}
+		if durable {
+			d.Paged = &pc
+		}
+	} else if *spillOver != 0 {
+		log.Fatal("mxkv: -spill-over requires -page-bytes or -pool-frames")
+	}
+
 	var stop func()
 	var store kvstore.Backend
 	var sharded *kvstore.Sharded
@@ -190,6 +213,12 @@ func main() {
 			}
 			if err != nil {
 				log.Fatalf("mxkv: recovery: %v", err)
+			}
+		} else if paged {
+			var err error
+			sharded, err = kvstore.NewShardedPaged(g.Runtimes(), pc)
+			if err != nil {
+				log.Fatalf("mxkv: paged tier: %v", err)
 			}
 		} else {
 			sharded = kvstore.NewSharded(g.Runtimes())
@@ -241,12 +270,32 @@ func main() {
 					log.Fatalf("mxkv: %v", err)
 				}
 			}
+		} else if paged {
+			single, err := kvstore.NewPaged(rt, pc)
+			if err != nil {
+				log.Fatalf("mxkv: paged tier: %v", err)
+			}
+			store = single
 		} else {
 			store = kvstore.New(rt)
 		}
 		fmt.Printf("mxkv: %s\n", rt)
 	}
 	defer stop()
+
+	if paged {
+		if ps, ok := store.(interface{ Paged() bool }); ok && ps.Paged() {
+			shape := pc
+			if shape.PageBytes == 0 {
+				shape.PageBytes = 4096
+			}
+			if shape.PoolFrames == 0 {
+				shape.PoolFrames = 128
+			}
+			fmt.Printf("mxkv: paged values: %d-byte pages x %d frames, spill >= %d\n",
+				shape.PageBytes, shape.PoolFrames, shape.SpillOver)
+		}
+	}
 
 	if *ilWidth != 0 {
 		store.(interface{ SetInterleave(int) }).SetInterleave(*ilWidth)
@@ -302,6 +351,15 @@ func main() {
 		node.Close()
 		store = node.Store()
 	}
+	if ps, ok := store.(interface {
+		PagerStats() (pager.Stats, bool)
+	}); ok {
+		if pg, on := ps.PagerStats(); on {
+			fmt.Printf("mxkv: pager hits=%d misses=%d (%.0f%% hit) evictions=%d writebacks=%d pages=%d resident=%d load-p50=%dus load-p99=%dus\n",
+				pg.Hits, pg.Misses, 100*pg.HitRate(), pg.Evictions, pg.Writebacks,
+				pg.Pages, pg.Resident, pg.LoadP50Micros, pg.LoadP99Micros)
+		}
+	}
 	if durable {
 		if err := store.(interface{ Close() error }).Close(); err != nil {
 			log.Printf("mxkv: wal close: %v", err)
@@ -312,6 +370,11 @@ func main() {
 			}
 		} else {
 			fmt.Printf("mxkv: wal %s\n", store.(*kvstore.Store).WALMetrics())
+		}
+	} else if paged {
+		// In-memory paged store: still close to release the page file.
+		if err := store.(interface{ Close() error }).Close(); err != nil {
+			log.Printf("mxkv: pager close: %v", err)
 		}
 	}
 	st := store.Stats()

@@ -151,6 +151,14 @@ func reportShards(addr string, cfg kvstore.DialConfig, want int) error {
 			field("pf_misses"), field("pf_induced"), field("pf_issued"),
 			field("pf_window"), field("pf_disables"), field("pf_reenables"))
 	}
+	// Paged value tier hit-rate report. Pager() is tolerant by contract:
+	// it reports absent on servers predating the paged tier and zero-fills
+	// individually missing fields, so this never misreads an old server.
+	if pg, ok := st.Pager(); ok {
+		fmt.Printf("pager: %d hits, %d misses (%.1f%% hit rate), %d evictions, %d writebacks, %d/%d pages resident, value load p50 %dus p99 %dus\n",
+			pg.Hits, pg.Misses, 100*pg.HitRate(), pg.Evictions, pg.Writebacks,
+			pg.Resident, pg.Pages, pg.LoadP50Us, pg.LoadP99Us)
+	}
 	return nil
 }
 

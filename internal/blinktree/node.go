@@ -188,35 +188,40 @@ func (n *Node) leafLookup(key Key) (Value, bool) {
 
 // leafInsert inserts or overwrites key in a leaf that has room (or already
 // contains key). It reports whether the leaf was full (insert not
-// performed) and whether the key already existed.
-func (n *Node) leafInsert(key Key, value Value) (full, existed bool) {
+// performed), whether the key already existed, and — when it did — the
+// value that was overwritten (the paged value tier frees the page slot
+// behind a displaced spilled value).
+func (n *Node) leafInsert(key Key, value Value) (full, existed bool, prev Value) {
 	i := n.lowerBound(key)
 	if i < int(n.count) && n.keys[i] == key {
+		prev = n.values[i]
 		n.values[i] = value
-		return false, true
+		return false, true, prev
 	}
 	if int(n.count) == Capacity {
-		return true, false
+		return true, false, 0
 	}
 	copy(n.keys[i+1:n.count+1], n.keys[i:n.count])
 	copy(n.values[i+1:n.count+1], n.values[i:n.count])
 	n.keys[i] = key
 	n.values[i] = value
 	n.count++
-	return false, false
+	return false, false, 0
 }
 
-// leafDelete removes key from a leaf, reporting whether it was present.
-// Blink-tree deletions do not merge nodes (matching the paper's baselines).
-func (n *Node) leafDelete(key Key) bool {
+// leafDelete removes key from a leaf, reporting whether it was present and
+// the value it held. Blink-tree deletions do not merge nodes (matching the
+// paper's baselines).
+func (n *Node) leafDelete(key Key) (existed bool, prev Value) {
 	i := n.lowerBound(key)
 	if i >= int(n.count) || n.keys[i] != key {
-		return false
+		return false, 0
 	}
+	prev = n.values[i]
 	copy(n.keys[i:n.count-1], n.keys[i+1:n.count])
 	copy(n.values[i:n.count-1], n.values[i+1:n.count])
 	n.count--
-	return true
+	return true, prev
 }
 
 // innerInsert inserts a (separator, child) pair into an inner node with

@@ -68,6 +68,15 @@ type Op struct {
 	Result Value
 	Found  bool
 
+	// Prev and PrevFound report the value a writing operation displaced:
+	// for insert/update the overwritten value, for delete the removed
+	// one. Only meaningful inside Commit and after completion — the
+	// paged value tier uses them to free the page slot behind a spilled
+	// value that is no longer reachable from the tree. Never set by
+	// lookups.
+	Prev      Value
+	PrevFound bool
+
 	// Done, when non-nil, is spawned (with the Op as Arg) after the
 	// operation completes. Spawns inside optimistic reads are buffered
 	// by the runtime, so Done fires exactly once.
@@ -307,16 +316,19 @@ func (o *Op) runLeaf(ctx *mxtask.Context, leaf *Node) {
 	case opUpdate:
 		i := leaf.lowerBound(o.key)
 		if i < leaf.Count() && leaf.keys[i] == o.key {
+			o.Prev, o.PrevFound = leaf.values[i], true
 			leaf.values[i] = o.value
 			o.Found = true
 		} else {
 			o.Found = false
 		}
 	case opDelete:
-		o.Found = leaf.leafDelete(o.key)
+		o.Found, o.Prev = leaf.leafDelete(o.key)
+		o.PrevFound = o.Found
 	case opInsert:
-		full, existed := leaf.leafInsert(o.key, o.value)
+		full, existed, prev := leaf.leafInsert(o.key, o.value)
 		o.Found = existed
+		o.Prev, o.PrevFound = prev, existed
 		if full {
 			// Split (§5.1 "Blink-tree Node Splits"): build the new
 			// sibling, place the record, publish, then spawn a

@@ -260,7 +260,7 @@ func (t *ThreadTree) lockCovering(node *Node, key Key) *Node {
 func (t *ThreadTree) Insert(key Key, value Value) bool {
 	leaf := t.descendToLeaf(key)
 	leaf = t.lockCovering(leaf, key)
-	full, existed := leaf.leafInsert(key, value)
+	full, existed, _ := leaf.leafInsert(key, value)
 	if !full {
 		t.unlockExclusive(leaf)
 		return !existed
@@ -274,7 +274,7 @@ func (t *ThreadTree) Insert(key Key, value Value) bool {
 	if key >= sep {
 		target = right
 	}
-	if f, _ := target.leafInsert(key, value); f {
+	if f, _, _ := target.leafInsert(key, value); f {
 		panic("blinktree: post-split leaf still full")
 	}
 	t.unlockExclusive(right)
@@ -303,7 +303,7 @@ func (t *ThreadTree) Update(key Key, value Value) bool {
 func (t *ThreadTree) Delete(key Key) bool {
 	leaf := t.descendToLeaf(key)
 	leaf = t.lockCovering(leaf, key)
-	ok := leaf.leafDelete(key)
+	ok, _ := leaf.leafDelete(key)
 	t.unlockExclusive(leaf)
 	return ok
 }

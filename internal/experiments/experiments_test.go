@@ -195,6 +195,47 @@ func TestAblationSMTInteraction(t *testing.T) {
 	}
 }
 
+func TestAblationPagedShape(t *testing.T) {
+	r := AblationPaged()
+	byName := map[string]Series{}
+	for _, s := range r.Series {
+		byName[s.Name] = s
+	}
+	for _, name := range []string{"zipf 0.99 (clock)", "zipf 0.99 (che/LRU)", "uniform (clock)", "uniform (che/LRU)"} {
+		if _, ok := byName[name]; !ok {
+			t.Fatalf("series %q missing", name)
+		}
+	}
+	// The implemented clock policy must track Che's LRU approximation.
+	for _, pair := range [][2]string{
+		{"zipf 0.99 (clock)", "zipf 0.99 (che/LRU)"},
+		{"zipf 0.8 (clock)", "zipf 0.8 (che/LRU)"},
+		{"uniform (clock)", "uniform (che/LRU)"},
+	} {
+		clock, che := byName[pair[0]], byName[pair[1]]
+		for i := range clock.Y {
+			if d := clock.Y[i] - che.Y[i]; d > 0.05 || d < -0.05 {
+				t.Fatalf("%s diverges from %s at x=%.2f: %.3f vs %.3f",
+					pair[0], pair[1], clock.X[i], clock.Y[i], che.Y[i])
+			}
+		}
+	}
+	// Skew is the whole point: at every partial pool size the Zipfian
+	// stream must beat uniform's resident-fraction floor, markedly so.
+	z, u := byName["zipf 0.99 (clock)"], byName["uniform (clock)"]
+	for i := range z.Y {
+		if z.X[i] < 1 && z.Y[i] < u.Y[i]+0.1 {
+			t.Fatalf("zipf hit rate %.3f barely above uniform %.3f at x=%.2f", z.Y[i], u.Y[i], z.X[i])
+		}
+	}
+	// Full-size pool: everything hits, both models.
+	for name, s := range byName {
+		if last := s.Y[len(s.Y)-1]; last < 0.999 {
+			t.Fatalf("%s at full pool = %.3f, want 1", name, last)
+		}
+	}
+}
+
 func TestWriteDat(t *testing.T) {
 	dir := t.TempDir()
 	paths, err := ExportAll(dir)

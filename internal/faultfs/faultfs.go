@@ -51,6 +51,11 @@ type FS interface {
 	// SyncDir fsyncs a directory, making creates/renames/removes in it
 	// durable.
 	SyncDir(dir string) error
+	// OpenRandom opens name for random access (ReadAt/WriteAt) — the
+	// page-file seam the buffer pool (internal/pager) writes through.
+	// Supported flag combinations: O_RDWR and O_CREATE|O_RDWR with
+	// optional O_TRUNC.
+	OpenRandom(name string, flag int, perm os.FileMode) (RandomFile, error)
 }
 
 // File is an open, append-only writable file.
@@ -59,6 +64,18 @@ type File interface {
 	Write(p []byte) (n int, err error)
 	Sync() error
 	Close() error
+}
+
+// RandomFile is an open random-access file: a File whose writes land at
+// explicit offsets instead of the tail. Unsynced WriteAt spans have the
+// page-cache crash semantics of real disks — after a crash each span may
+// have fully hit the medium, been dropped, or been torn mid-span, in any
+// combination (writeback is unordered) — so crash images built by the
+// fault engine model out-of-order page writeback, not just lost tails.
+type RandomFile interface {
+	File
+	ReadAt(p []byte, off int64) (n int, err error)
+	WriteAt(p []byte, off int64) (n int, err error)
 }
 
 // Disk is the passthrough FS over the real filesystem — the default for
@@ -71,6 +88,14 @@ type diskFS struct{}
 func (diskFS) MkdirAll(path string, perm os.FileMode) error { return os.MkdirAll(path, perm) }
 
 func (diskFS) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
+	f, err := os.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+func (diskFS) OpenRandom(name string, flag int, perm os.FileMode) (RandomFile, error) {
 	f, err := os.OpenFile(name, flag, perm)
 	if err != nil {
 		return nil, err

@@ -2,6 +2,7 @@ package faultfs
 
 import (
 	"errors"
+	"io"
 	"math/rand"
 	"os"
 	"path/filepath"
@@ -45,10 +46,25 @@ type TraceOp struct {
 	Bytes int
 }
 
+// writeSpan is one random-access write that has not yet been covered by a
+// Sync: the unit of the out-of-order writeback crash model.
+type writeSpan struct {
+	off  int64
+	data []byte
+}
+
 // memFile is one file's volatile and durable state.
 type memFile struct {
 	data   []byte
 	synced int // bytes guaranteed to survive a crash (fsync watermark)
+	// Random-access state (OpenRandom files). base is the durable image as
+	// of the last Sync; spans are the WriteAt spans issued since. A crash
+	// keeps base plus an arbitrary (seed-chosen) subset of spans, possibly
+	// tearing one mid-span — real page caches write dirty pages back in any
+	// order, so no prefix property holds across spans.
+	random bool
+	base   []byte
+	spans  []writeSpan
 	// linked: the volatile directory has an entry for this name.
 	// durableLinked: the on-disk directory is guaranteed to have it.
 	// A file with linked != durableLinked has a directory operation
@@ -239,6 +255,41 @@ func (f *FaultFS) OpenFile(name string, flag int, _ os.FileMode) (File, error) {
 	return &memHandle{fs: f, name: name, f: mf}, nil
 }
 
+// OpenRandom implements FS for the flag combinations the pager uses
+// (O_RDWR, optionally with O_CREATE and O_TRUNC).
+func (f *FaultFS) OpenRandom(name string, flag int, _ os.FileMode) (RandomFile, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	name = filepath.Clean(name)
+	if _, err := f.step("openrand", name, 0); err != nil {
+		return nil, err
+	}
+	mf := f.files[name]
+	exists := mf != nil && mf.linked
+	switch {
+	case exists && flag&os.O_EXCL != 0:
+		return nil, &os.PathError{Op: "open", Path: name, Err: os.ErrExist}
+	case !exists && flag&os.O_CREATE == 0:
+		return nil, notExist("open", name)
+	case !exists:
+		if mf == nil {
+			mf = &memFile{}
+			f.files[name] = mf
+		}
+		mf.data, mf.synced = nil, 0
+		mf.linked = true
+		mf.renamedTo = ""
+	case flag&os.O_TRUNC != 0:
+		mf.data, mf.synced = nil, 0
+	}
+	// Whatever content the file carries now is its durable base (it came
+	// from a synced image or a fresh create); random writes layer on top.
+	mf.random = true
+	mf.base = append([]byte(nil), mf.data...)
+	mf.spans = nil
+	return &randHandle{memHandle{fs: f, name: name, f: mf}}, nil
+}
+
 // ReadDir implements FS.
 func (f *FaultFS) ReadDir(name string) ([]os.DirEntry, error) {
 	f.mu.Lock()
@@ -426,6 +477,16 @@ func (f *FaultFS) CrashImage() *FaultFS {
 			continue
 		}
 		mf := f.files[p]
+		if mf.random {
+			data := crashRandomData(rng, mf, f.keep)
+			img.files[p] = &memFile{
+				data:          data,
+				synced:        len(data),
+				linked:        true,
+				durableLinked: true,
+			}
+			continue
+		}
 		n := len(mf.data)
 		switch f.keep {
 		case KeepNone:
@@ -441,6 +502,44 @@ func (f *FaultFS) CrashImage() *FaultFS {
 		}
 	}
 	return img
+}
+
+// crashRandomData materializes a random-access file's post-crash content:
+// the synced base plus a policy-chosen subset of the unsynced WriteAt
+// spans. Under KeepRandom each span independently lands in full, partially
+// (torn at an arbitrary byte), or not at all — spans are page-cache dirty
+// ranges and real writeback is unordered, so a LATER span may survive a
+// crash that an EARLIER one did not. File growth past the base survives
+// exactly as far as surviving spans extend it.
+func crashRandomData(rng *rand.Rand, mf *memFile, keep KeepPolicy) []byte {
+	data := append([]byte(nil), mf.base...)
+	apply := func(sp writeSpan, n int) {
+		end := sp.off + int64(n)
+		if int64(len(data)) < end {
+			grown := make([]byte, end)
+			copy(grown, data)
+			data = grown
+		}
+		copy(data[sp.off:end], sp.data[:n])
+	}
+	for _, sp := range mf.spans {
+		switch keep {
+		case KeepAll:
+			apply(sp, len(sp.data))
+		case KeepNone:
+			// Dropped entirely.
+		default: // KeepRandom
+			switch rng.Intn(3) {
+			case 0:
+				// Dropped: this dirty range never wrote back.
+			case 1:
+				apply(sp, len(sp.data))
+			default:
+				apply(sp, rng.Intn(len(sp.data)+1))
+			}
+		}
+	}
+	return data
 }
 
 // memHandle is an open append-only file on a FaultFS.
@@ -502,6 +601,98 @@ func (h *memHandle) Close() error {
 		return err
 	}
 	h.closed = true
+	return nil
+}
+
+// randHandle is an open random-access file on a FaultFS. It shares the
+// append-only handle's Name/Write/Close and overrides Sync with span
+// semantics.
+type randHandle struct {
+	memHandle
+}
+
+func (h *randHandle) ReadAt(p []byte, off int64) (int, error) {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	if _, err := h.fs.step("readat", h.name, len(p)); err != nil {
+		return 0, err
+	}
+	if h.closed {
+		return 0, os.ErrClosed
+	}
+	if off < 0 {
+		return 0, &os.PathError{Op: "readat", Path: h.name, Err: os.ErrInvalid}
+	}
+	if off >= int64(len(h.f.data)) {
+		return 0, io.EOF
+	}
+	n := copy(p, h.f.data[off:])
+	if n < len(p) {
+		return n, io.EOF
+	}
+	return n, nil
+}
+
+func (h *randHandle) WriteAt(p []byte, off int64) (int, error) {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	idx, err := h.fs.step("writeat", h.name, len(p))
+	if err != nil {
+		if errors.Is(err, ErrCrashed) && idx == h.fs.crashAt {
+			// The crash interrupts this very write: a seed-determined
+			// prefix becomes a dirty span that may or may not survive.
+			if cut := tornLen(h.fs.seed, idx, len(p)); cut > 0 {
+				h.apply(p[:cut], off)
+			}
+		}
+		return 0, err
+	}
+	if h.closed {
+		return 0, os.ErrClosed
+	}
+	if off < 0 {
+		return 0, &os.PathError{Op: "writeat", Path: h.name, Err: os.ErrInvalid}
+	}
+	if keep, ok := h.fs.tears[idx]; ok {
+		if keep > len(p) {
+			keep = len(p)
+		}
+		h.apply(p[:keep], off)
+		return keep, ErrInjected
+	}
+	h.apply(p, off)
+	return len(p), nil
+}
+
+// apply lands bytes in the volatile view and records the dirty span.
+// Caller must hold fs.mu.
+func (h *randHandle) apply(p []byte, off int64) {
+	mf := h.f
+	end := off + int64(len(p))
+	if int64(len(mf.data)) < end {
+		grown := make([]byte, end)
+		copy(grown, mf.data)
+		mf.data = grown
+	}
+	copy(mf.data[off:end], p)
+	mf.spans = append(mf.spans, writeSpan{off: off, data: append([]byte(nil), p...)})
+}
+
+func (h *randHandle) Sync() error {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	if _, err := h.fs.step("sync", h.name, 0); err != nil {
+		return err
+	}
+	if h.closed {
+		return os.ErrClosed
+	}
+	if h.fs.dropSyncs {
+		return nil // the lie: success without durability
+	}
+	h.f.base = append([]byte(nil), h.f.data...)
+	h.f.spans = nil
+	h.f.synced = len(h.f.data)
 	return nil
 }
 

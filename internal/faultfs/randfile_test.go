@@ -1,0 +1,238 @@
+package faultfs
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func openRand(t *testing.T, fs FS, name string) RandomFile {
+	t.Helper()
+	f, err := fs.OpenRandom(name, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		t.Fatalf("OpenRandom(%s): %v", name, err)
+	}
+	return f
+}
+
+func TestRandomFileRoundTrip(t *testing.T) {
+	fs := NewMem(1)
+	if err := fs.MkdirAll("/pg", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	f := openRand(t, fs, "/pg/pages")
+	if _, err := f.WriteAt([]byte("hellohello"), 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteAt([]byte("WORLD"), 5); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 10)
+	if _, err := f.ReadAt(buf, 0); err != nil {
+		t.Fatal(err)
+	}
+	if string(buf) != "helloWORLD" {
+		t.Fatalf("read back %q", buf)
+	}
+	// Sparse write extends with zeros.
+	if _, err := f.WriteAt([]byte("x"), 20); err != nil {
+		t.Fatal(err)
+	}
+	buf = make([]byte, 21)
+	if _, err := f.ReadAt(buf, 0); err != nil {
+		t.Fatal(err)
+	}
+	if buf[10] != 0 || buf[20] != 'x' {
+		t.Fatalf("sparse region = %q", buf)
+	}
+	// Short read past EOF.
+	if n, err := f.ReadAt(make([]byte, 8), 18); n != 3 || err != io.EOF {
+		t.Fatalf("tail read = (%d, %v), want (3, EOF)", n, err)
+	}
+	if n, err := f.ReadAt(make([]byte, 8), 100); n != 0 || err != io.EOF {
+		t.Fatalf("past-EOF read = (%d, %v), want (0, EOF)", n, err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// O_TRUNC reopens empty.
+	f2, err := fs.OpenRandom("/pg/pages", os.O_CREATE|os.O_RDWR|os.O_TRUNC, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, err := f2.ReadAt(make([]byte, 1), 0); n != 0 || err != io.EOF {
+		t.Fatalf("post-trunc read = (%d, %v), want (0, EOF)", n, err)
+	}
+}
+
+// Synced random writes must survive any crash; unsynced spans must land as
+// full / torn / dropped, independently per span — never garbage outside a
+// written range.
+func TestRandomFileCrashSpans(t *testing.T) {
+	fs := NewMem(7)
+	fs.MkdirAll("/pg", 0o755)
+	f := openRand(t, fs, "/pg/pages")
+	fs.SyncDir("/pg") // make the entry itself durable; spans are the subject
+	synced := bytes.Repeat([]byte{0xAA}, 64)
+	if _, err := f.WriteAt(synced, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	// Two unsynced spans: one overwriting the synced range, one extending.
+	spanA := bytes.Repeat([]byte{0xBB}, 16)
+	spanB := bytes.Repeat([]byte{0xCC}, 16)
+	if _, err := f.WriteAt(spanA, 8); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteAt(spanB, 64); err != nil {
+		t.Fatal(err)
+	}
+
+	img := fs.CrashImage()
+	got, err := img.ReadFile("/pg/pages")
+	if err != nil {
+		t.Fatalf("crash image lost the file: %v", err)
+	}
+	if len(got) < 64 {
+		t.Fatalf("crash image lost synced bytes: len=%d", len(got))
+	}
+	for i, b := range got {
+		switch {
+		case i >= 8 && i < 24:
+			if b != 0xAA && b != 0xBB {
+				t.Fatalf("byte %d = %#x, want synced 0xAA or span 0xBB", i, b)
+			}
+		case i < 64:
+			if b != 0xAA {
+				t.Fatalf("synced byte %d = %#x, want 0xAA", i, b)
+			}
+		default:
+			if b != 0xCC {
+				t.Fatalf("extension byte %d = %#x, want 0xCC", i, b)
+			}
+		}
+	}
+
+	// KeepNone: only the synced base survives.
+	fs.SetKeepPolicy(KeepNone)
+	got, err = fs.CrashImage().ReadFile("/pg/pages")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, synced) {
+		t.Fatalf("KeepNone image = %d bytes (first diff at %d), want the 64-byte synced base", len(got), bytes.IndexFunc(got, func(r rune) bool { return r != 0xAA }))
+	}
+
+	// KeepAll: everything survives.
+	fs.SetKeepPolicy(KeepAll)
+	got, err = fs.CrashImage().ReadFile("/pg/pages")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 80 || got[8] != 0xBB || got[79] != 0xCC {
+		t.Fatalf("KeepAll image wrong: len=%d", len(got))
+	}
+}
+
+// Out-of-order writeback: a later span may survive a crash that dropped an
+// earlier one. Sweep seeds until both orders are observed.
+func TestRandomFileWritebackIsUnordered(t *testing.T) {
+	sawLaterWithoutEarlier := false
+	sawEarlierWithoutLater := false
+	for seed := int64(0); seed < 200 && !(sawLaterWithoutEarlier && sawEarlierWithoutLater); seed++ {
+		fs := NewMem(seed)
+		fs.MkdirAll("/pg", 0o755)
+		f := openRand(t, fs, "/pg/pages")
+		f.WriteAt(bytes.Repeat([]byte{1}, 8), 0)  // earlier span
+		f.WriteAt(bytes.Repeat([]byte{2}, 8), 32) // later span
+		got, err := fs.CrashImage().ReadFile("/pg/pages")
+		if err != nil {
+			continue // the whole entry may miss: directory never synced
+		}
+		earlier := len(got) >= 8 && got[0] == 1 && got[7] == 1
+		later := len(got) == 40 && got[32] == 2 && got[39] == 2
+		if later && !earlier {
+			sawLaterWithoutEarlier = true
+		}
+		if earlier && !later {
+			sawEarlierWithoutLater = true
+		}
+	}
+	if !sawLaterWithoutEarlier || !sawEarlierWithoutLater {
+		t.Fatalf("crash model never reordered writeback (later-only=%v earlier-only=%v): spans are not independent",
+			sawLaterWithoutEarlier, sawEarlierWithoutLater)
+	}
+}
+
+// Crash-at-op enumeration covers random-file operations: the op that
+// crashes mid-WriteAt leaves at most a torn prefix of that span.
+func TestRandomFileCrashAtWriteAt(t *testing.T) {
+	// Reference run to find the writeat index.
+	ref := NewMem(3)
+	ref.MkdirAll("/pg", 0o755)
+	rf := openRand(t, ref, "/pg/pages")
+	rf.WriteAt(bytes.Repeat([]byte{9}, 32), 0)
+	var writeIdx int64 = -1
+	for _, op := range ref.Trace() {
+		if op.Kind == "writeat" {
+			writeIdx = op.Index
+		}
+	}
+	if writeIdx < 0 {
+		t.Fatal("no writeat op recorded in trace")
+	}
+
+	fs := NewMem(3)
+	fs.CrashAtOp(writeIdx)
+	fs.MkdirAll("/pg", 0o755)
+	f := openRand(t, fs, "/pg/pages")
+	if _, err := f.WriteAt(bytes.Repeat([]byte{9}, 32), 0); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("WriteAt at crash index returned %v, want ErrCrashed", err)
+	}
+	if !fs.Crashed() {
+		t.Fatal("crash did not fire")
+	}
+	fs.SetKeepPolicy(KeepAll)
+	got, err := fs.CrashImage().ReadFile("/pg/pages")
+	if err != nil {
+		return // entry itself lost: fine
+	}
+	if len(got) > 32 {
+		t.Fatalf("torn WriteAt left %d bytes, more than written", len(got))
+	}
+	for i, b := range got {
+		if b != 9 {
+			t.Fatalf("torn prefix byte %d = %#x, want 9", i, b)
+		}
+	}
+}
+
+func TestDiskOpenRandomPassthrough(t *testing.T) {
+	dir := t.TempDir()
+	f, err := Disk.OpenRandom(filepath.Join(dir, "pages"), os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if _, err := f.WriteAt([]byte("abcd"), 4); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 4)
+	if _, err := f.ReadAt(buf, 4); err != nil {
+		t.Fatal(err)
+	}
+	if string(buf) != "abcd" {
+		t.Fatalf("disk round trip = %q", buf)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -642,6 +642,56 @@ func (s *ServerStats) ExtraUint(name string) (uint64, bool) {
 	return n, err == nil
 }
 
+// PagerReport is the paged value tier's STATS digest (the pg_* fields a
+// paged server appends; see DESIGN.md §10).
+type PagerReport struct {
+	Hits, Misses          uint64
+	Evictions, Writebacks uint64
+	Pages, Resident       uint64
+	LoadP50Us, LoadP99Us  uint64
+}
+
+// HitRate returns Hits / (Hits + Misses), or 0 with no pool traffic.
+func (r PagerReport) HitRate() float64 {
+	if r.Hits+r.Misses == 0 {
+		return 0
+	}
+	return float64(r.Hits) / float64(r.Hits+r.Misses)
+}
+
+// Pager extracts the paged-tier report from the Extra fields. ok is false
+// when the server sent no pg_* fields at all — an old server, or one
+// without a paged backend — so callers gate the whole report on it.
+// Individual missing or malformed fields beyond the hits/misses pair are
+// tolerated as zero rather than failing the report: servers grow pg_*
+// fields across versions and a newer client must degrade, not reject.
+func (s *ServerStats) Pager() (PagerReport, bool) {
+	var r PagerReport
+	hits, okH := s.ExtraUint("pg_hits")
+	misses, okM := s.ExtraUint("pg_misses")
+	if !okH && !okM {
+		return PagerReport{}, false
+	}
+	r.Hits, r.Misses = hits, misses
+	opt := []struct {
+		name string
+		dst  *uint64
+	}{
+		{"pg_evictions", &r.Evictions},
+		{"pg_writebacks", &r.Writebacks},
+		{"pg_pages", &r.Pages},
+		{"pg_resident", &r.Resident},
+		{"pg_load_p50_us", &r.LoadP50Us},
+		{"pg_load_p99_us", &r.LoadP99Us},
+	}
+	for _, f := range opt {
+		if v, ok := s.ExtraUint(f.name); ok {
+			*f.dst = v
+		}
+	}
+	return r, true
+}
+
 // isShardField reports whether a STATS field name is a per-shard counter
 // (s<digits>), as opposed to a named field like "sets", "shards", "shed".
 func isShardField(name string) bool {

@@ -46,6 +46,57 @@ func TestStatsForwardCompat(t *testing.T) {
 	}
 }
 
+// TestStatsPagerReportCompat exercises the pg_* report against STATS
+// lines from every server vintage: an old server that predates the paged
+// tier (no pg_* fields at all), a paged server emitting the full set, and
+// a hypothetical middle vintage emitting only the core hit/miss pair.
+// The report must gate on presence — never invent fields, never error —
+// so cmd/mxload can print it unconditionally behind the ok flag.
+func TestStatsPagerReportCompat(t *testing.T) {
+	// Synthetic old-server reply: counters only, no paged tier.
+	old, err := parseStatsReply("STATS gets=9 sets=4 dels=0 errs=0 toolong=0")
+	if err != nil {
+		t.Fatalf("old-server reply rejected: %v", err)
+	}
+	if r, ok := old.Pager(); ok {
+		t.Fatalf("Pager() on old server = %+v, ok=true; want ok=false", r)
+	}
+
+	// Full modern paged reply.
+	full, err := parseStatsReply("STATS gets=9 sets=4 dels=0 errs=0 toolong=0 " +
+		"pg_hits=90 pg_misses=10 pg_evictions=7 pg_writebacks=6 " +
+		"pg_pages=12 pg_resident=4 pg_load_p50_us=3 pg_load_p99_us=250")
+	if err != nil {
+		t.Fatalf("paged reply rejected: %v", err)
+	}
+	r, ok := full.Pager()
+	if !ok {
+		t.Fatal("Pager() on paged server reported absent")
+	}
+	want := PagerReport{Hits: 90, Misses: 10, Evictions: 7, Writebacks: 6,
+		Pages: 12, Resident: 4, LoadP50Us: 3, LoadP99Us: 250}
+	if r != want {
+		t.Fatalf("PagerReport = %+v, want %+v", r, want)
+	}
+	if hr := r.HitRate(); hr != 0.9 {
+		t.Fatalf("HitRate = %v, want 0.9", hr)
+	}
+
+	// Partial vintage: hit/miss only. Optional fields degrade to zero.
+	part, err := parseStatsReply("STATS gets=1 sets=0 dels=0 errs=0 toolong=0 " +
+		"pg_hits=0 pg_misses=0")
+	if err != nil {
+		t.Fatalf("partial reply rejected: %v", err)
+	}
+	r, ok = part.Pager()
+	if !ok || r != (PagerReport{}) {
+		t.Fatalf("partial Pager() = %+v, %v; want zero report, ok=true", r, ok)
+	}
+	if hr := r.HitRate(); hr != 0 {
+		t.Fatalf("HitRate with no traffic = %v, want 0", hr)
+	}
+}
+
 // Known fields keep their strict parsing: garbage in a field this client
 // version understands is a real protocol error, not forward compatibility.
 func TestStatsKnownFieldsStayStrict(t *testing.T) {

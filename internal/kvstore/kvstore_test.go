@@ -44,8 +44,24 @@ func testShards() int {
 	return n
 }
 
-// newBackend returns the backend under test per MXKV_SHARDS and its stop
-// function.
+// testPaged reports whether MXKV_PAGED is set: the suite then runs every
+// backend through the paged value tier with a deliberately tiny buffer
+// pool (8 frames of 256-byte pages ≈ 112 resident values, SpillOver=0 so
+// every value spills), forcing heavy eviction under the full
+// server/protocol suite. Composes with MXKV_SHARDS (`make race` runs the
+// paged sweep via `make pager-stress`).
+func testPaged() bool {
+	return os.Getenv("MXKV_PAGED") != ""
+}
+
+// testPagedConfig is the tiny-pool shape the MXKV_PAGED sweep uses. Any
+// test writing more than ~4x its 112-slot capacity runs larger-than-RAM.
+func testPagedConfig() PagedConfig {
+	return PagedConfig{PageBytes: 256, PoolFrames: 8, SpillOver: 0}
+}
+
+// newBackend returns the backend under test per MXKV_SHARDS/MXKV_PAGED
+// and its stop function.
 func newBackend(t testing.TB, workers int) (testBackend, func()) {
 	t.Helper()
 	if n := testShards(); n > 1 {
@@ -56,10 +72,32 @@ func newBackend(t testing.TB, workers int) (testBackend, func()) {
 			EpochInterval:    -1,
 		}, n)
 		g.Start()
+		if testPaged() {
+			s, err := NewShardedPaged(g.Runtimes(), testPagedConfig())
+			if err != nil {
+				g.Stop()
+				t.Fatalf("NewShardedPaged: %v", err)
+			}
+			return s, func() { s.Close(); g.Stop() }
+		}
 		return NewSharded(g.Runtimes()), g.Stop
 	}
-	s, stop := newStore(t, workers)
-	return s, stop
+	rt := mxtask.New(mxtask.Config{
+		Workers:          workers,
+		PrefetchDistance: 2,
+		EpochPolicy:      epoch.Batched,
+		EpochInterval:    -1,
+	})
+	rt.Start()
+	if testPaged() {
+		s, err := NewPaged(rt, testPagedConfig())
+		if err != nil {
+			rt.Stop()
+			t.Fatalf("NewPaged: %v", err)
+		}
+		return s, func() { s.Close(); rt.Stop() }
+	}
+	return New(rt), rt.Stop
 }
 
 func TestStoreBasic(t *testing.T) {

@@ -1,0 +1,457 @@
+package kvstore
+
+import (
+	"path/filepath"
+	"strconv"
+	"sync"
+	"sync/atomic"
+
+	"mxtasking/internal/blinktree"
+	"mxtasking/internal/faultfs"
+	"mxtasking/internal/linearize"
+	"mxtasking/internal/mxtask"
+	"mxtasking/internal/pager"
+	"mxtasking/internal/wal"
+)
+
+// Paged value tier (DESIGN.md §10). The Blink-tree stays the index — keys
+// and tree structure in memory — but values at or above a spill threshold
+// live in pager-managed page files, so the dataset is no longer bounded
+// by the tree's heap. The tree word for a spilled value is a tagged pager
+// reference (pager.MakeRef); since the spill threshold is clamped to
+// 2^63, every value with the tag bit set spills and inline words can
+// never be mistaken for references.
+//
+// Durability is unchanged: the WAL logs client values (never references),
+// recovery replays through the spill path, and the page file is a
+// volatile cache rebuilt at open — which is what makes torn page
+// writebacks recoverable by construction (see internal/pager).
+
+// PagedConfig configures the paged value tier.
+type PagedConfig struct {
+	// PageBytes / PoolFrames size the buffer pool (pager defaults when 0).
+	PageBytes  int
+	PoolFrames int
+	// SpillOver is the smallest value stored in the paged tier; smaller
+	// values stay inline in the tree. 0 spills every value. Values ≥ 2^63
+	// always spill regardless of the threshold (the tag bit demands it).
+	SpillOver uint64
+	// Dir overrides the page-file directory. Default: "pages" under the
+	// store's WAL directory, or a private in-memory filesystem for
+	// non-durable stores.
+	Dir string
+	// FS overrides the filesystem. Default: the store's Durability FS.
+	FS faultfs.FS
+}
+
+// NewPaged creates an in-memory (non-durable) store with a paged value
+// tier. With no Dir and no FS the page file lives on a private in-memory
+// filesystem — the larger-than-RAM mechanics (eviction, writeback,
+// load tasks) all exercise identically, which is what the invariance and
+// stress suites use.
+func NewPaged(rt *mxtask.Runtime, cfg PagedConfig) (*Store, error) {
+	s := New(rt)
+	if err := s.initPager(cfg, "", nil); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// initPager opens the page file and arms the spill threshold. walDir and
+// walFS are the store's Durability settings, used as defaults.
+func (s *Store) initPager(cfg PagedConfig, walDir string, walFS faultfs.FS) error {
+	fs := cfg.FS
+	if fs == nil {
+		fs = walFS
+	}
+	dir := cfg.Dir
+	if dir == "" {
+		if walDir != "" {
+			dir = filepath.Join(walDir, "pages")
+		} else {
+			dir = "/pages"
+			if fs == nil {
+				fs = faultfs.NewMem(0)
+			}
+		}
+	}
+	pg, err := pager.Open(s.rt, pager.Config{
+		Path:       filepath.Join(dir, "pagefile"),
+		FS:         fs,
+		PageBytes:  cfg.PageBytes,
+		PoolFrames: cfg.PoolFrames,
+	})
+	if err != nil {
+		return err
+	}
+	s.pg = pg
+	s.spillMin = cfg.SpillOver
+	if s.spillMin > pager.RefTag {
+		// Bit 63 tags references, so every value carrying it must spill.
+		s.spillMin = pager.RefTag
+	}
+	return nil
+}
+
+// Paged reports whether the store has a paged value tier.
+func (s *Store) Paged() bool { return s.pg != nil }
+
+// PagerStats returns the buffer pool's counters; ok is false for
+// non-paged stores.
+func (s *Store) PagerStats() (pager.Stats, bool) {
+	if s.pg == nil {
+		return pager.Stats{}, false
+	}
+	return s.pg.Stats(), true
+}
+
+// spills reports whether value belongs in the paged tier.
+func (s *Store) spills(value uint64) bool {
+	return s.pg != nil && value >= s.spillMin
+}
+
+// spillStore routes value through the paged tier when it crosses the
+// threshold, then hands run the tree word (inline value or reference).
+// run executes inline for inline values and inside the pager task for
+// spilled ones.
+func (s *Store) spillStore(key, value uint64, fail func(error), run func(ctx *mxtask.Context, word uint64)) {
+	if !s.spills(value) {
+		run(nil, value)
+		return
+	}
+	s.pg.Store(nil, key, value, func(ctx *mxtask.Context, ref uint64, err error) {
+		if err != nil {
+			fail(err)
+			return
+		}
+		run(ctx, ref)
+	})
+}
+
+// armPrevFree chains onto op's Commit hook to free the page slot behind a
+// displaced reference. Commit runs in the leaf task under the leaf's
+// write synchronization, exactly once per applied write, so the free
+// cannot double-fire and cannot race the apply it observes. The freed
+// slot may still be read by a concurrent lookup holding the old
+// reference: slot self-validation turns that into a retried descent.
+func (s *Store) armPrevFree(op *blinktree.Op, newWord uint64) {
+	if s.pg == nil {
+		return
+	}
+	chained := op.Commit
+	op.Commit = func(o *blinktree.Op) {
+		if o.PrevFound && pager.IsRef(o.Prev) && o.Prev != newWord {
+			s.pg.Free(nil, o.Prev)
+		}
+		if chained != nil {
+			chained(o)
+		}
+	}
+}
+
+// loadValue resolves a pager reference for key, retrying the whole tree
+// descent when the slot was recycled under the reader (the reference was
+// captured by a lookup that has since been overtaken by a delete or
+// overwrite). Each retry observes a newer tree state, so the final answer
+// is a value some Set committed or a clean not-found — never a stale or
+// foreign value.
+func (s *Store) loadValue(ctx *mxtask.Context, ref, key uint64, finish func(value uint64, found bool, err error)) {
+	s.pg.Load(ctx, ref, key, func(ctx *mxtask.Context, v uint64, ok bool, err error) {
+		switch {
+		case err != nil:
+			finish(0, false, err)
+		case ok:
+			finish(v, true, nil)
+		default:
+			op := s.tree.NewOp("lookup", key, 0, func(ctx *mxtask.Context, t *mxtask.Task) {
+				o := t.Arg.(*blinktree.Op)
+				if !o.Found || !pager.IsRef(o.Result) {
+					finish(o.Result, o.Found, nil)
+					return
+				}
+				s.loadValue(ctx, o.Result, key, finish)
+			})
+			s.tree.StartFrom(ctx, op)
+		}
+	})
+}
+
+// setPaged is the Set path for spilling values: allocate the page slot
+// first (its own pool task), then run the tree insert with the reference
+// as the tree word. The WAL, recorder, and ack all carry the client
+// value; only the tree sees the reference.
+func (s *Store) setPaged(key, value uint64, opID int64, done func(Result)) {
+	s.pendingSpills.Add(1)
+	s.pg.Store(nil, key, value, func(ctx *mxtask.Context, ref uint64, err error) {
+		defer s.pendingSpills.Add(-1)
+		if err != nil {
+			if s.rec != nil {
+				s.rec.Return(opID, value, false, err)
+			}
+			if done != nil {
+				done(Result{Value: value, Err: err})
+			}
+			return
+		}
+		s.tree.StartFrom(ctx, s.setOpWord(key, value, ref, opID, done))
+	})
+}
+
+// setBatchPaged is SetBatch's spill path: all spilling values allocate
+// their page slots in ONE pool task (pager.StoreBatch), then the whole
+// batch — inline and spilled — starts as interleaved group descents
+// together, preserving SetBatch's batching benefits. A pager allocation
+// failure fails only the spilled members; inline members still apply.
+func (s *Store) setBatchPaged(pairs []blinktree.KV, each func(int, Result)) {
+	n := len(pairs)
+	opIDs := make([]int64, n)
+	s.sets.Add(uint64(n))
+	if s.rec != nil {
+		for i, kv := range pairs {
+			opIDs[i] = s.rec.Invoke(0, linearize.OpSet, kv.Key, kv.Value)
+		}
+	}
+	var spillIdx []int
+	var slots []pager.Slot
+	for i, kv := range pairs {
+		if s.spills(kv.Value) {
+			spillIdx = append(spillIdx, i)
+			slots = append(slots, pager.Slot{Key: kv.Key, Value: kv.Value})
+		}
+	}
+	s.pendingSpills.Add(1)
+	s.pg.StoreBatch(nil, slots, func(ctx *mxtask.Context, refs []uint64, err error) {
+		defer s.pendingSpills.Add(-1)
+		ops := make([]*blinktree.Op, 0, n)
+		words := make([]uint64, n)
+		failed := make([]bool, n)
+		for i, kv := range pairs {
+			words[i] = kv.Value
+		}
+		for j, i := range spillIdx {
+			if err != nil {
+				failed[i] = true
+				continue
+			}
+			words[i] = refs[j]
+		}
+		for i, kv := range pairs {
+			i, kv := i, kv
+			if failed[i] {
+				if s.rec != nil {
+					s.rec.Return(opIDs[i], kv.Value, false, err)
+				}
+				if each != nil {
+					each(i, Result{Value: kv.Value, Err: err})
+				}
+				continue
+			}
+			ops = append(ops, s.setOpWord(kv.Key, kv.Value, words[i], opIDs[i], func(r Result) {
+				if each != nil {
+					each(i, r)
+				}
+			}))
+		}
+		if len(ops) > 0 {
+			s.tree.StartBatch(ops)
+		}
+	})
+	if s.log != nil {
+		s.maybeSnapshot()
+	}
+}
+
+// resolveScan rewrites a scan's tree words into client values, batching
+// all reference loads into one pool task. Slots recycled between the scan
+// and the load re-resolve through a fresh descent; keys deleted in that
+// window drop out of the result, exactly as if the scan had run a moment
+// later.
+func (s *Store) resolveScan(ctx *mxtask.Context, pairs []blinktree.KV, truncated bool, done func(ScanResult)) {
+	var refIdx []int
+	var refs, keys []uint64
+	for i, kv := range pairs {
+		if pager.IsRef(kv.Value) {
+			refIdx = append(refIdx, i)
+			refs = append(refs, kv.Value)
+			keys = append(keys, kv.Key)
+		}
+	}
+	if len(refIdx) == 0 {
+		done(ScanResult{Pairs: pairs, Truncated: truncated})
+		return
+	}
+	s.pg.LoadBatch(ctx, refs, keys, func(ctx *mxtask.Context, values []uint64, oks []bool, err error) {
+		if err != nil {
+			done(ScanResult{Err: err})
+			return
+		}
+		out := make([]blinktree.KV, len(pairs))
+		copy(out, pairs)
+		var miss []int
+		for j, i := range refIdx {
+			if oks[j] {
+				out[i].Value = values[j]
+			} else {
+				miss = append(miss, i)
+			}
+		}
+		if len(miss) == 0 {
+			done(ScanResult{Pairs: out, Truncated: truncated})
+			return
+		}
+		// Stragglers: per-key re-resolution. Each callback owns distinct
+		// indices; the last one to finish assembles the result.
+		var (
+			pending atomic.Int64
+			errMu   sync.Mutex
+			firstEr error
+			drop    = make([]bool, len(out))
+		)
+		finishOne := func() {
+			if pending.Add(-1) != 0 {
+				return
+			}
+			errMu.Lock()
+			err := firstEr
+			errMu.Unlock()
+			if err != nil {
+				done(ScanResult{Err: err})
+				return
+			}
+			final := out[:0:0]
+			for i, kv := range out {
+				if !drop[i] {
+					final = append(final, kv)
+				}
+			}
+			done(ScanResult{Pairs: final, Truncated: truncated})
+		}
+		pending.Store(int64(len(miss)))
+		for _, i := range miss {
+			i := i
+			s.loadValue(ctx, out[i].Value, out[i].Key, func(v uint64, found bool, err error) {
+				switch {
+				case err != nil:
+					errMu.Lock()
+					if firstEr == nil {
+						firstEr = err
+					}
+					errMu.Unlock()
+				case found:
+					out[i].Value = v
+				default:
+					drop[i] = true
+				}
+				finishOne()
+			})
+		}
+	})
+}
+
+// applyPagedToTree is ApplyToTree's spill path: the replica applier's
+// record routes through the page tier before the tree insert. A pager
+// allocation failure leaves the tree untouched — the record is already in
+// the local WAL, so recovery replays it; done still fires to keep the
+// applier advancing.
+func (s *Store) applyPagedToTree(rec wal.Record, done func()) {
+	s.pendingSpills.Add(1)
+	s.pg.Store(nil, rec.Key, rec.Value, func(ctx *mxtask.Context, ref uint64, err error) {
+		defer s.pendingSpills.Add(-1)
+		if err != nil {
+			if done != nil {
+				done()
+			}
+			return
+		}
+		op := s.tree.NewOp("insert", rec.Key, ref, nil)
+		s.armPrevFree(op, ref)
+		if done != nil {
+			op.Done = func(*mxtask.Context, *mxtask.Task) { done() }
+		}
+		s.tree.StartFrom(ctx, op)
+	})
+}
+
+// NewShardedPaged is NewSharded with a paged value tier per shard: each
+// shard gets its own page file (on its own private in-memory filesystem
+// when cfg names no Dir/FS), so page-file tasks of different shards never
+// serialize against each other — the same per-shard independence the WAL
+// layout has. Durable paged sharding needs no special constructor:
+// OpenSharded propagates Durability.Paged and each shard's pager lands
+// under that shard's WAL directory.
+func NewShardedPaged(rts []*mxtask.Runtime, cfg PagedConfig) (*Sharded, error) {
+	s := NewSharded(rts)
+	for i, st := range s.shards {
+		shardCfg := cfg
+		if shardCfg.Dir != "" {
+			shardCfg.Dir = filepath.Join(shardCfg.Dir, "shard-"+strconv.Itoa(i))
+		}
+		if err := st.initPager(shardCfg, "", nil); err != nil {
+			for _, prev := range s.shards[:i] {
+				prev.Close()
+			}
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+// Paged reports whether the shards carry a paged value tier.
+func (s *Sharded) Paged() bool { return s.shards[0].Paged() }
+
+// PagerStats sums the shards' buffer-pool counters; ok is false when the
+// store is not paged. Latency percentiles are the max across shards (a
+// sum would be meaningless).
+func (s *Sharded) PagerStats() (pager.Stats, bool) {
+	var sum pager.Stats
+	any := false
+	for _, st := range s.shards {
+		ps, ok := st.PagerStats()
+		if !ok {
+			continue
+		}
+		any = true
+		sum.Hits += ps.Hits
+		sum.Misses += ps.Misses
+		sum.Evictions += ps.Evictions
+		sum.Writebacks += ps.Writebacks
+		sum.Loads += ps.Loads
+		sum.Allocs += ps.Allocs
+		sum.Frees += ps.Frees
+		sum.Touches += ps.Touches
+		sum.Pages += ps.Pages
+		sum.Resident += ps.Resident
+		if ps.LoadP50Micros > sum.LoadP50Micros {
+			sum.LoadP50Micros = ps.LoadP50Micros
+		}
+		if ps.LoadP99Micros > sum.LoadP99Micros {
+			sum.LoadP99Micros = ps.LoadP99Micros
+		}
+	}
+	return sum, any
+}
+
+// touchKey warms one predicted key: the tree's leaf chain, and — for a
+// spilled value — the page holding it, so a learned-prefetch hit saves
+// the page-load stall as well as the pointer chase. This is where the
+// paper's prefetch annotations meet real I/O latency: the page load runs
+// as an ordinary pool task ahead of the cursor instead of a blocking
+// fault inside it.
+func (s *Store) touchKey(key uint64, stop *atomic.Bool) {
+	s.tree.Touch(key, stop)
+	if s.pg == nil {
+		return
+	}
+	op := s.tree.NewOp("lookup", key, 0, func(ctx *mxtask.Context, t *mxtask.Task) {
+		if stop != nil && stop.Load() {
+			return
+		}
+		o := t.Arg.(*blinktree.Op)
+		if !o.Found || !pager.IsRef(o.Result) {
+			return
+		}
+		pageID, _ := pager.SplitRef(o.Result)
+		s.pg.Touch(ctx, pageID)
+	})
+	s.tree.StartFrom(nil, op)
+}

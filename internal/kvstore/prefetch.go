@@ -35,16 +35,21 @@ type Toucher interface {
 	AttachLearnedPrefetch(m *prefetch.Metrics)
 }
 
-// TouchKeys warms each predicted key's leaf through a touch chain.
+// TouchKeys warms each predicted key's leaf through a touch chain — and,
+// on a paged store, the page holding its spilled value (see touchKey).
 func (s *Store) TouchKeys(keys []uint64, stop *atomic.Bool) {
 	for _, k := range keys {
-		s.tree.Touch(k, stop)
+		s.touchKey(k, stop)
 	}
 }
 
-// TouchScanAhead warms the leaf chain a paging scan is predicted to walk.
+// TouchScanAhead warms the leaf chain a paging scan is predicted to walk,
+// plus the start key's value page on a paged store.
 func (s *Store) TouchScanAhead(from uint64, leaves int, stop *atomic.Bool) {
 	s.tree.TouchAhead(from, leaves, stop)
+	if s.pg != nil {
+		s.touchKey(from, stop)
+	}
 }
 
 // AttachLearnedPrefetch folds the aggregate learned-prefetch metrics into
@@ -56,7 +61,7 @@ func (s *Store) AttachLearnedPrefetch(m *prefetch.Metrics) {
 // TouchKeys routes each predicted key's touch chain to its owning shard.
 func (s *Sharded) TouchKeys(keys []uint64, stop *atomic.Bool) {
 	for _, k := range keys {
-		s.shards[s.ShardOf(k)].tree.Touch(k, stop)
+		s.shards[s.ShardOf(k)].touchKey(k, stop)
 	}
 }
 

@@ -17,6 +17,7 @@ import (
 	"mxtasking/internal/blinktree"
 	"mxtasking/internal/metrics"
 	"mxtasking/internal/mxtask"
+	"mxtasking/internal/pager"
 	"mxtasking/internal/prefetch"
 )
 
@@ -941,6 +942,18 @@ func (s *Server) dispatch(line string, pf *connPrefetch, deliver func(string)) (
 				m.Streams.Load(), m.Observed.Load(), m.Hits.Load(), m.Misses.Load(),
 				m.Induced.Load(), m.Issued.Load(), m.WindowMax(), m.Disables.Load(), m.Reenables.Load())
 		}
+		// Paged value tier counters (DESIGN.md §10). Old clients pick the
+		// fields up via ServerStats.Extra; new clients tolerate their
+		// absence on old servers (ServerStats.Pager).
+		if ps, ok := s.store().(interface {
+			PagerStats() (pager.Stats, bool)
+		}); ok {
+			if pg, paged := ps.PagerStats(); paged {
+				fmt.Fprintf(&sb, " pg_hits=%d pg_misses=%d pg_evictions=%d pg_writebacks=%d pg_pages=%d pg_resident=%d pg_load_p50_us=%d pg_load_p99_us=%d",
+					pg.Hits, pg.Misses, pg.Evictions, pg.Writebacks,
+					pg.Pages, pg.Resident, pg.LoadP50Micros, pg.LoadP99Micros)
+			}
+		}
 		if s.repl != nil {
 			sb.WriteString(s.repl.StatsExtra())
 		}
@@ -1123,6 +1136,11 @@ func (s *Server) writeAllowed(deliver func(string)) bool {
 }
 
 func formatGet(r Result) string {
+	if r.Err != nil {
+		// Paged stores can fail a read (page I/O or corruption); surface
+		// it rather than lying with NOT_FOUND.
+		return "ERR get failed"
+	}
 	if !r.Found {
 		return "NOT_FOUND"
 	}
@@ -1137,6 +1155,9 @@ func formatSet(r Result) string {
 }
 
 func formatRange(res ScanResult) string {
+	if res.Err != nil {
+		return "ERR scan failed"
+	}
 	var sb strings.Builder
 	fmt.Fprintf(&sb, "RANGE %d", len(res.Pairs))
 	for _, kv := range res.Pairs {

@@ -17,6 +17,7 @@ package kvstore
 import (
 	"errors"
 	"math"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -24,6 +25,7 @@ import (
 	"mxtasking/internal/faultfs"
 	"mxtasking/internal/linearize"
 	"mxtasking/internal/mxtask"
+	"mxtasking/internal/pager"
 	"mxtasking/internal/wal"
 )
 
@@ -44,12 +46,26 @@ type Durability struct {
 	// the real disk; the chaos tests inject a faultfs.FaultFS to enumerate
 	// crash points and verify recovery.
 	FS faultfs.FS
+	// Paged, when non-nil, adds the paged value tier (see paged.go):
+	// values at or above the spill threshold live in pager-managed page
+	// files under the WAL directory instead of the tree's heap.
+	Paged *PagedConfig
 }
 
 // Store is an embedded key-value store.
 type Store struct {
 	rt   *mxtask.Runtime
 	tree *blinktree.TaskTree
+
+	// Paged value tier (nil pg for fully in-memory values). spillMin is
+	// the smallest value routed to the pager, clamped to pager.RefTag so
+	// tag-bit values always spill. pendingSpills counts Sets that are
+	// between their page allocation and their tree insert; while it is
+	// non-zero, op dispatch detours through a pager barrier so later ops
+	// cannot overtake the pending insert (see dispatch).
+	pg            *pager.Pager
+	spillMin      uint64
+	pendingSpills atomic.Int64
 
 	// Durability (nil log for in-memory stores).
 	log          *wal.Log
@@ -131,13 +147,38 @@ func Open(rt *mxtask.Runtime, d Durability) (*Store, wal.ReplayStats, error) {
 		return nil, stats, err
 	}
 
+	// The paged tier opens before replay so recovered values route
+	// through the spill path: the page file is rebuilt from the WAL and
+	// snapshots here, which is why it never needs to be crash-consistent
+	// itself.
+	if d.Paged != nil {
+		if perr := s.initPager(*d.Paged, d.Dir, d.FS); perr != nil {
+			log.Close()
+			return nil, stats, perr
+		}
+	}
+	var replayMu sync.Mutex
+	var replayErr error
+	replayFail := func(err error) {
+		replayMu.Lock()
+		if replayErr == nil {
+			replayErr = err
+		}
+		replayMu.Unlock()
+	}
+	replayInsert := func(key, value uint64) {
+		s.spillStore(key, value, replayFail, func(ctx *mxtask.Context, word uint64) {
+			s.tree.StartFrom(ctx, s.tree.NewOp("insert", key, word, nil))
+		})
+	}
+
 	// Rebuild through the tree's own task chains. Snapshot pairs have
 	// unique keys, so they load fully in parallel; log records are
 	// compacted to the last record per key first — set/delete are
 	// complete overwrites, so only each key's final logged operation
 	// matters, and the compacted batch can also apply in parallel.
 	for _, kv := range pairs {
-		s.tree.StartFrom(nil, s.tree.NewOp("insert", kv.Key, kv.Value, nil))
+		replayInsert(kv.Key, kv.Value)
 	}
 	rt.Drain()
 	last := make(map[uint64]wal.Record, len(records))
@@ -147,12 +188,19 @@ func Open(rt *mxtask.Runtime, d Durability) (*Store, wal.ReplayStats, error) {
 	for _, r := range last {
 		switch r.Op {
 		case wal.OpSet:
-			s.tree.StartFrom(nil, s.tree.NewOp("insert", r.Key, r.Value, nil))
+			replayInsert(r.Key, r.Value)
 		case wal.OpDelete:
 			s.tree.StartFrom(nil, s.tree.NewOp("delete", r.Key, 0, nil))
 		}
 	}
 	rt.Drain()
+	if replayErr != nil {
+		log.Close()
+		if s.pg != nil {
+			s.pg.Close()
+		}
+		return nil, stats, replayErr
+	}
 
 	s.log = log
 	return s, stats, nil
@@ -199,12 +247,19 @@ func (s *Store) getOp(key uint64, done func(Result)) *blinktree.Op {
 	if s.rec != nil {
 		opID = s.rec.Invoke(0, linearize.OpGet, key, 0)
 	}
-	return s.tree.NewOp("lookup", key, 0, func(_ *mxtask.Context, t *mxtask.Task) {
-		op := t.Arg.(*blinktree.Op)
+	finish := func(value uint64, found bool, err error) {
 		if s.rec != nil {
-			s.rec.Return(opID, op.Result, op.Found, nil)
+			s.rec.Return(opID, value, found, err)
 		}
-		done(Result{Value: op.Result, Found: op.Found})
+		done(Result{Value: value, Found: found, Err: err})
+	}
+	return s.tree.NewOp("lookup", key, 0, func(ctx *mxtask.Context, t *mxtask.Task) {
+		op := t.Arg.(*blinktree.Op)
+		if s.pg == nil || !op.Found || !pager.IsRef(op.Result) {
+			finish(op.Result, op.Found, nil)
+			return
+		}
+		s.loadValue(ctx, op.Result, key, finish)
 	})
 }
 
@@ -215,14 +270,23 @@ func (s *Store) Get(key uint64, done func(Result)) {
 }
 
 // setOp counts, instruments, and builds one upsert op — with its WAL
-// Commit hook when the store is durable — without spawning it.
+// Commit hook when the store is durable — without spawning it. Only for
+// values that stay inline; spilling values route through setPaged.
 func (s *Store) setOp(key, value uint64, done func(Result)) *blinktree.Op {
 	s.sets.Add(1)
 	var opID int64
 	if s.rec != nil {
 		opID = s.rec.Invoke(0, linearize.OpSet, key, value)
 	}
-	op := s.tree.NewOp("insert", key, value, nil)
+	return s.setOpWord(key, value, value, opID, done)
+}
+
+// setOpWord builds the tree op for an upsert whose tree word (inline
+// value or pager reference) is already determined. The WAL record,
+// recorder return, and client ack all carry the client value; only the
+// tree stores the word.
+func (s *Store) setOpWord(key, value, word uint64, opID int64, done func(Result)) *blinktree.Op {
+	op := s.tree.NewOp("insert", key, word, nil)
 	if s.log != nil {
 		s.logged.Add(1)
 		// The Commit hook runs in the leaf task, under the leaf's write
@@ -241,6 +305,7 @@ func (s *Store) setOp(key, value uint64, done func(Result)) *blinktree.Op {
 				})
 			})
 		}
+		s.armPrevFree(op, word)
 		return op
 	}
 	if done != nil || s.rec != nil {
@@ -254,13 +319,23 @@ func (s *Store) setOp(key, value uint64, done func(Result)) *blinktree.Op {
 			}
 		}
 	}
+	s.armPrevFree(op, word)
 	return op
 }
 
 // Set stores key=value asynchronously; done (optional) fires on completion
 // — for durable stores, only after the record's covering fsync.
 func (s *Store) Set(key, value uint64, done func(Result)) {
-	s.startOp(s.setOp(key, value, done))
+	if s.spills(value) {
+		s.sets.Add(1)
+		var opID int64
+		if s.rec != nil {
+			opID = s.rec.Invoke(0, linearize.OpSet, key, value)
+		}
+		s.setPaged(key, value, opID, done)
+	} else {
+		s.startOp(s.setOp(key, value, done))
+	}
 	if s.log != nil {
 		s.maybeSnapshot()
 	}
@@ -291,6 +366,7 @@ func (s *Store) Delete(key uint64, done func(Result)) {
 				})
 			})
 		}
+		s.armPrevFree(op, 0)
 		s.startOp(op)
 		s.maybeSnapshot()
 		return
@@ -306,11 +382,29 @@ func (s *Store) Delete(key uint64, done func(Result)) {
 			}
 		}
 	}
+	s.armPrevFree(op, 0)
 	s.startOp(op)
 }
 
 func (s *Store) startOp(op *blinktree.Op) {
-	s.tree.StartFrom(nil, op)
+	s.dispatch(func(ctx *mxtask.Context) { s.tree.StartFrom(ctx, op) })
+}
+
+// dispatch runs start — which must enqueue the operation's first tree
+// task — either directly or, when a spilled Set is still between its
+// page allocation and its tree insert, behind a pager-pool barrier.
+// Pool tasks run FIFO on the pager's exclusive resource, so the barrier
+// lands after every pending allocation and this op's descent is
+// enqueued after theirs: the dispatch-order guarantee pipelined clients
+// rely on (a SET's effects visible to the GET issued right behind it on
+// the same connection) holds for the paged store exactly as it does for
+// the plain one, where dispatch enqueues straight onto the tree.
+func (s *Store) dispatch(start func(ctx *mxtask.Context)) {
+	if s.pg != nil && s.pendingSpills.Load() > 0 {
+		s.pg.Barrier(nil, start)
+		return
+	}
+	start(nil)
 }
 
 // finishWrite routes a locally durable mutation through the commit gate
@@ -369,9 +463,15 @@ func (s *Store) ApplyToTree(rec wal.Record, done func()) {
 	var op *blinktree.Op
 	switch rec.Op {
 	case wal.OpSet:
+		if s.spills(rec.Value) {
+			s.applyPagedToTree(rec, done)
+			return
+		}
 		op = s.tree.NewOp("insert", rec.Key, rec.Value, nil)
+		s.armPrevFree(op, rec.Value)
 	case wal.OpDelete:
 		op = s.tree.NewOp("delete", rec.Key, 0, nil)
+		s.armPrevFree(op, 0)
 	default:
 		if done != nil {
 			done()
@@ -434,14 +534,24 @@ func (s *Store) Snapshot(done func(error)) {
 			return
 		}
 		snapSeq := s.log.Seq()
-		s.tree.Scan(0, math.MaxUint64, func(_ *mxtask.Context, t *mxtask.Task) {
-			op := t.Arg.(*blinktree.ScanOp)
-			pairs := make([]wal.KV, 0, len(op.Results)+1)
-			for _, kv := range op.Results {
+		// ScanLimit resolves paged references into client values, so the
+		// snapshot always holds real values — a snapshot of references
+		// into a volatile page file would be unreplayable.
+		s.ScanLimit(0, math.MaxUint64, 0, func(res ScanResult) {
+			if res.Err != nil {
+				finish(res.Err)
+				return
+			}
+			pairs := make([]wal.KV, 0, len(res.Pairs)+1)
+			for _, kv := range res.Pairs {
 				pairs = append(pairs, wal.KV{Key: kv.Key, Value: kv.Value})
 			}
 			// Scan covers [0, MaxUint64); fetch the one key it cannot.
 			s.Get(math.MaxUint64, func(r Result) {
+				if r.Err != nil {
+					finish(r.Err)
+					return
+				}
 				if r.Found {
 					pairs = append(pairs, wal.KV{Key: math.MaxUint64, Value: r.Value})
 				}
@@ -464,18 +574,27 @@ func (s *Store) Sync() error {
 	return s.log.Sync()
 }
 
-// Close drains in-flight operations, flushes and fsyncs the WAL, and
-// closes the log files. The runtime itself keeps running (it is shared).
-// Must not be called from a task.
+// Close drains in-flight operations, flushes and fsyncs the WAL, closes
+// the log files, and closes the page file of a paged store. The runtime
+// itself keeps running (it is shared). Must not be called from a task.
 func (s *Store) Close() error {
-	if s.log == nil {
+	if s.log == nil && s.pg == nil {
 		return nil
 	}
-	s.rt.Drain()        // leaf applies + their WAL appends are queued
-	err := s.log.Sync() // every record durable, acks dispatched
-	s.rt.Drain()        // ack tasks delivered
-	if cerr := s.log.Close(); err == nil {
-		err = cerr
+	s.rt.Drain() // leaf applies + their WAL appends are queued
+	var err error
+	if s.log != nil {
+		err = s.log.Sync() // every record durable, acks dispatched
+		s.rt.Drain()       // ack tasks delivered
+		if cerr := s.log.Close(); err == nil {
+			err = cerr
+		}
+	}
+	if s.pg != nil {
+		s.rt.Drain() // stray frees spawned by late acks
+		if cerr := s.pg.Close(); err == nil {
+			err = cerr
+		}
 	}
 	return err
 }
@@ -486,6 +605,10 @@ type ScanResult struct {
 	// Truncated reports that the scan hit its result cap and records past
 	// the cap may exist; resume from Pairs[len(Pairs)-1].Key+1.
 	Truncated bool
+	// Err is non-nil when a paged store failed to resolve spilled values
+	// (I/O error or page corruption); Pairs is empty then. Always nil for
+	// non-paged stores.
+	Err error
 }
 
 // Scan fetches all records in [from, to) asynchronously; done receives the
@@ -499,9 +622,15 @@ func (s *Store) Scan(from, to uint64, done func(ScanResult)) {
 // the Blink-tree's leaf chain, so a short scan over a huge range does not
 // buffer the whole range). limit <= 0 scans everything.
 func (s *Store) ScanLimit(from, to uint64, limit int, done func(ScanResult)) {
-	s.tree.ScanLimit(from, to, limit, func(_ *mxtask.Context, t *mxtask.Task) {
-		op := t.Arg.(*blinktree.ScanOp)
-		done(ScanResult{Pairs: op.Results, Truncated: op.Truncated})
+	s.dispatch(func(*mxtask.Context) {
+		s.tree.ScanLimit(from, to, limit, func(ctx *mxtask.Context, t *mxtask.Task) {
+			op := t.Arg.(*blinktree.ScanOp)
+			if s.pg == nil {
+				done(ScanResult{Pairs: op.Results, Truncated: op.Truncated})
+				return
+			}
+			s.resolveScan(ctx, op.Results, op.Truncated, done)
+		})
 	})
 }
 
@@ -526,7 +655,7 @@ func (s *Store) GetBatch(keys []uint64, each func(int, Result)) {
 		i := i
 		ops[i] = s.getOp(k, func(r Result) { each(i, r) })
 	}
-	s.tree.StartBatch(ops)
+	s.dispatch(func(*mxtask.Context) { s.tree.StartBatch(ops) })
 }
 
 // SetBatch issues a batch of upserts as interleaved group descents (see
@@ -539,12 +668,23 @@ func (s *Store) SetBatch(pairs []blinktree.KV, each func(int, Result)) {
 	if len(pairs) == 0 {
 		return
 	}
+	spilled := false
+	for _, kv := range pairs {
+		if s.spills(kv.Value) {
+			spilled = true
+			break
+		}
+	}
+	if spilled {
+		s.setBatchPaged(pairs, each)
+		return
+	}
 	ops := make([]*blinktree.Op, len(pairs))
 	for i, kv := range pairs {
 		i := i
 		ops[i] = s.setOp(kv.Key, kv.Value, func(r Result) { each(i, r) })
 	}
-	s.tree.StartBatch(ops)
+	s.dispatch(func(*mxtask.Context) { s.tree.StartBatch(ops) })
 	if s.log != nil {
 		s.maybeSnapshot()
 	}

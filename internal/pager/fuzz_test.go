@@ -1,0 +1,99 @@
+package pager
+
+import (
+	"encoding/binary"
+	"errors"
+	"testing"
+)
+
+// FuzzPageCodec drives both codec directions from one corpus:
+//
+//  1. Treat the input as a hostile page image and decode it — any outcome
+//     but (valid page | ErrCorruptPage) is a bug; panics fail the fuzzer.
+//  2. Treat the input as a record stream, build a page, and round-trip it
+//     through Encode/Decode — the decoded page must be slot-for-slot
+//     identical.
+//  3. Re-corrupt the valid encoding one byte at a time (driven by the
+//     input bytes) and require a typed error, never a wrong decode.
+func FuzzPageCodec(f *testing.F) {
+	// Seed: a valid encoded page, a truncated one, garbage, and edge sizes.
+	valid := func(pageBytes int, records int) []byte {
+		p := NewPage(5, SlotsPerPage(pageBytes))
+		for i := 0; i < records && i < p.Cap(); i++ {
+			p.Set(i, uint64(i)*1664525+1013904223, uint64(i)^0xDEAD)
+		}
+		buf := make([]byte, pageBytes)
+		p.Encode(buf)
+		return buf
+	}
+	f.Add(valid(128, 3))
+	f.Add(valid(64, 2))
+	f.Add(valid(256, 100))
+	f.Add(valid(128, 0)[:100]) // truncated
+	f.Add([]byte("MXPG but not really a page at all..."))
+	f.Add(make([]byte, MinPageBytes))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// 1. Hostile decode: must return a page or ErrCorruptPage.
+		if p, err := DecodePage(data, 5); err != nil {
+			if !errors.Is(err, ErrCorruptPage) {
+				t.Fatalf("decode error not typed: %v", err)
+			}
+		} else if p.Used() != countOccupied(p) {
+			t.Fatalf("accepted page has inconsistent occupancy: used=%d", p.Used())
+		}
+
+		// 2. Round trip a page built from the input bytes.
+		pageBytes := 64 + len(data)%512
+		slotsPer := SlotsPerPage(pageBytes)
+		p := NewPage(9, slotsPer)
+		for i := 0; i+16 <= len(data) && i/16 < slotsPer; i += 16 {
+			k := binary.LittleEndian.Uint64(data[i:])
+			v := binary.LittleEndian.Uint64(data[i+8:])
+			p.Set(i/16, k, v)
+			if len(data) > i && data[i]%5 == 0 {
+				p.Clear(i / 16)
+			}
+		}
+		buf := make([]byte, pageBytes)
+		p.Encode(buf)
+		got, err := DecodePage(buf, 9)
+		if err != nil {
+			t.Fatalf("round trip rejected own encoding: %v", err)
+		}
+		if got.Used() != p.Used() || got.Cap() != p.Cap() {
+			t.Fatalf("round trip used/cap %d/%d, want %d/%d", got.Used(), got.Cap(), p.Used(), p.Cap())
+		}
+		for i := 0; i < p.Cap(); i++ {
+			ws, wok := p.Slot(i)
+			gs, gok := got.Slot(i)
+			if wok != gok || ws != gs {
+				t.Fatalf("slot %d: got (%+v,%v) want (%+v,%v)", i, gs, gok, ws, wok)
+			}
+		}
+
+		// 3. Single-byte corruption of the valid image: typed error or —
+		// only for bytes the codec does not cover (there are none: the
+		// CRC covers the whole page) — an identical decode.
+		if len(data) > 0 {
+			off := int(data[0]) % len(buf)
+			buf[off] ^= 1 + data[len(data)-1]%255
+			if _, err := DecodePage(buf, 9); err == nil {
+				t.Fatalf("flipped byte %d not detected", off)
+			} else if !errors.Is(err, ErrCorruptPage) {
+				t.Fatalf("corruption error not typed: %v", err)
+			}
+		}
+	})
+}
+
+func countOccupied(p *Page) int {
+	n := 0
+	for i := 0; i < p.Cap(); i++ {
+		if p.Occupied(i) {
+			n++
+		}
+	}
+	return n
+}

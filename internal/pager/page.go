@@ -1,0 +1,268 @@
+// Package pager is the larger-than-RAM storage engine (DESIGN.md §10): a
+// buffer pool of fixed-size page frames over one random-access page file,
+// with a page table, clock/second-chance eviction, and dirty-page
+// writeback through the faultfs seam. Every pool operation — slot
+// allocation, page load, writeback, prefetch touch — runs as an MxTask
+// annotated with one exclusive resource per page file, so the pool needs
+// no internal locking: serialize-by-scheduling, the paper's §4.2 argument
+// applied to an I/O-bound object. A page load is where the runtime's
+// prefetch story finally meets real I/O latency — Touch(pageID) issues the
+// load as an ordinary schedulable task ahead of the cursor that will need
+// it, instead of a blocking syscall inside a worker.
+//
+// The kvstore uses the pager as a spilled value tier: the Blink-tree keeps
+// keys and structure in memory, and values at or above a spill threshold
+// live in pager slots, addressed by tagged references (MakeRef). Slots are
+// self-validating — each stores its (key, value) pair, and a load checks
+// the key — so a slot recycled under a concurrent reader is detected and
+// the reader re-descends instead of returning another key's value.
+//
+// Page files are a volatile cache, not an authority: the WAL and
+// snapshots remain the durability story, and a restart rebuilds the page
+// file from recovery replay (Open truncates). A torn page writeback is
+// therefore recoverable by construction; within a run, every page carries
+// a CRC so any corruption surfaces as a typed error (ErrCorruptPage),
+// never as a silent wrong value.
+package pager
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"math/bits"
+)
+
+// ErrCorruptPage marks a page image that failed validation on load: bad
+// magic, version, length, page ID, occupancy, or CRC. Loads return it
+// wrapped with the failing detail; they never panic on hostile bytes.
+var ErrCorruptPage = errors.New("pager: corrupt page")
+
+// Page-format constants.
+const (
+	pageMagic   = 0x4D585047 // "MXPG"
+	pageVersion = 1
+
+	// headerBytes is the fixed page header: magic(4) version(2)
+	// reserved(2) pageID(8) used(4) crc(4).
+	headerBytes = 24
+
+	// SlotBytes is one record slot: the stored key and value, so loads
+	// can validate that a slot still belongs to the key the reference
+	// was minted for.
+	SlotBytes = 16
+
+	// MinPageBytes is the smallest legal page size (room for the header
+	// and at least two slots).
+	MinPageBytes = 64
+
+	// maxSlots is the hard slot-count ceiling: a slot index must fit the
+	// 16-bit slot field of a reference.
+	maxSlots = 1<<16 - 1
+)
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// SlotsPerPage returns how many record slots a page of the given size
+// holds alongside its header and occupancy bitmap.
+func SlotsPerPage(pageBytes int) int {
+	if pageBytes < MinPageBytes {
+		return 0
+	}
+	n := (pageBytes - headerBytes) * 8 / (SlotBytes*8 + 1)
+	if n > maxSlots {
+		n = maxSlots
+	}
+	return n
+}
+
+// Slot is one stored record.
+type Slot struct {
+	Key, Value uint64
+}
+
+// Page is the decoded in-memory form of one page: an occupancy bitmap and
+// the record slots.
+type Page struct {
+	ID     uint64
+	bitmap []uint64
+	slots  []Slot
+	used   int
+}
+
+// NewPage returns an empty page with the given slot capacity.
+func NewPage(id uint64, slotsPer int) *Page {
+	return &Page{
+		ID:     id,
+		bitmap: make([]uint64, (slotsPer+63)/64),
+		slots:  make([]Slot, slotsPer),
+	}
+}
+
+// Cap returns the page's slot capacity.
+func (p *Page) Cap() int { return len(p.slots) }
+
+// Used returns the number of occupied slots.
+func (p *Page) Used() int { return p.used }
+
+// Free returns the number of unoccupied slots.
+func (p *Page) Free() int { return len(p.slots) - p.used }
+
+// Occupied reports whether slot i holds a record.
+func (p *Page) Occupied(i int) bool {
+	if i < 0 || i >= len(p.slots) {
+		return false
+	}
+	return p.bitmap[i/64]&(1<<(i%64)) != 0
+}
+
+// Slot returns slot i's record and whether it is occupied.
+func (p *Page) Slot(i int) (Slot, bool) {
+	if !p.Occupied(i) {
+		return Slot{}, false
+	}
+	return p.slots[i], true
+}
+
+// Set stores a record in slot i, marking it occupied.
+func (p *Page) Set(i int, key, value uint64) {
+	if !p.Occupied(i) {
+		p.bitmap[i/64] |= 1 << (i % 64)
+		p.used++
+	}
+	p.slots[i] = Slot{Key: key, Value: value}
+}
+
+// Clear frees slot i.
+func (p *Page) Clear(i int) {
+	if p.Occupied(i) {
+		p.bitmap[i/64] &^= 1 << (i % 64)
+		p.used--
+		p.slots[i] = Slot{}
+	}
+}
+
+// Alloc stores a record in the first free slot and returns its index;
+// ok is false when the page is full.
+func (p *Page) Alloc(key, value uint64) (slot int, ok bool) {
+	for w, word := range p.bitmap {
+		free := ^word
+		if w == len(p.bitmap)-1 {
+			// Mask tail bits past the slot capacity.
+			if tail := len(p.slots) - w*64; tail < 64 {
+				free &= 1<<tail - 1
+			}
+		}
+		if free == 0 {
+			continue
+		}
+		i := w*64 + bits.TrailingZeros64(free)
+		p.Set(i, key, value)
+		return i, true
+	}
+	return 0, false
+}
+
+// Encode serializes the page into buf, which must be exactly the page
+// size the slot capacity was derived from. Layout: header, occupancy
+// bitmap, slots, zero padding; the CRC covers the whole page with its own
+// field zeroed.
+func (p *Page) Encode(buf []byte) {
+	for i := range buf {
+		buf[i] = 0
+	}
+	binary.LittleEndian.PutUint32(buf[0:], pageMagic)
+	binary.LittleEndian.PutUint16(buf[4:], pageVersion)
+	binary.LittleEndian.PutUint64(buf[8:], p.ID)
+	binary.LittleEndian.PutUint32(buf[16:], uint32(p.used))
+	off := headerBytes
+	// Bitmap is byte-packed on the page (SlotsPerPage accounts for
+	// ceil(n/8) bytes, not word-aligned words).
+	for j := 0; j < (len(p.slots)+7)/8; j++ {
+		buf[off] = byte(p.bitmap[j/8] >> ((j % 8) * 8))
+		off++
+	}
+	for _, s := range p.slots {
+		binary.LittleEndian.PutUint64(buf[off:], s.Key)
+		binary.LittleEndian.PutUint64(buf[off+8:], s.Value)
+		off += SlotBytes
+	}
+	binary.LittleEndian.PutUint32(buf[20:], crc32.Checksum(buf, crcTable))
+}
+
+// DecodePage parses and validates one page image. wantID is the page the
+// caller asked the file for; a valid page with another ID (a misdirected
+// or stale write) is corruption too.
+func DecodePage(buf []byte, wantID uint64) (*Page, error) {
+	slotsPer := SlotsPerPage(len(buf))
+	if slotsPer < 1 {
+		return nil, fmt.Errorf("%w: image of %d bytes is below the minimum page size", ErrCorruptPage, len(buf))
+	}
+	if m := binary.LittleEndian.Uint32(buf[0:]); m != pageMagic {
+		return nil, fmt.Errorf("%w: bad magic %#x", ErrCorruptPage, m)
+	}
+	if v := binary.LittleEndian.Uint16(buf[4:]); v != pageVersion {
+		return nil, fmt.Errorf("%w: unknown version %d", ErrCorruptPage, v)
+	}
+	stored := binary.LittleEndian.Uint32(buf[20:])
+	cp := make([]byte, len(buf))
+	copy(cp, buf)
+	binary.LittleEndian.PutUint32(cp[20:], 0)
+	if sum := crc32.Checksum(cp, crcTable); sum != stored {
+		return nil, fmt.Errorf("%w: crc mismatch (stored %#x, computed %#x)", ErrCorruptPage, stored, sum)
+	}
+	id := binary.LittleEndian.Uint64(buf[8:])
+	if id != wantID {
+		return nil, fmt.Errorf("%w: page claims id %d, want %d", ErrCorruptPage, id, wantID)
+	}
+	p := NewPage(id, slotsPer)
+	off := headerBytes
+	used := 0
+	for j := 0; j < (slotsPer+7)/8; j++ {
+		p.bitmap[j/8] |= uint64(buf[off]) << ((j % 8) * 8)
+		off++
+	}
+	for _, w := range p.bitmap {
+		used += bits.OnesCount64(w)
+	}
+	if tail := slotsPer - (len(p.bitmap)-1)*64; tail < 64 {
+		if p.bitmap[len(p.bitmap)-1]>>tail != 0 {
+			return nil, fmt.Errorf("%w: occupancy bits past slot capacity", ErrCorruptPage)
+		}
+	}
+	if stored := int(binary.LittleEndian.Uint32(buf[16:])); stored != used {
+		return nil, fmt.Errorf("%w: used count %d disagrees with bitmap population %d", ErrCorruptPage, stored, used)
+	}
+	p.used = used
+	for i := range p.slots {
+		p.slots[i].Key = binary.LittleEndian.Uint64(buf[off:])
+		p.slots[i].Value = binary.LittleEndian.Uint64(buf[off+8:])
+		off += SlotBytes
+	}
+	return p, nil
+}
+
+// Reference encoding: bit 63 tags a pager reference (the kvstore spills
+// every value with that bit set, so inline tree words and references never
+// collide); bits 62..16 are the page ID, bits 15..0 the slot index.
+const (
+	// RefTag is the tag bit distinguishing a pager reference from an
+	// inline value.
+	RefTag = uint64(1) << 63
+
+	refSlotBits = 16
+	maxPageID   = uint64(1)<<(63-refSlotBits) - 1
+)
+
+// IsRef reports whether a tree word is a pager reference.
+func IsRef(v uint64) bool { return v&RefTag != 0 }
+
+// MakeRef builds the tagged reference for (pageID, slot).
+func MakeRef(pageID uint64, slot int) uint64 {
+	return RefTag | pageID<<refSlotBits | uint64(slot)
+}
+
+// SplitRef decomposes a reference into its page ID and slot index.
+func SplitRef(ref uint64) (pageID uint64, slot int) {
+	return ref &^ RefTag >> refSlotBits, int(ref & (1<<refSlotBits - 1))
+}

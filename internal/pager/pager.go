@@ -1,0 +1,611 @@
+package pager
+
+import (
+	"errors"
+	"fmt"
+	"math/bits"
+	"os"
+	"path/filepath"
+	"sync/atomic"
+	"time"
+
+	"mxtasking/internal/faultfs"
+	"mxtasking/internal/mxtask"
+)
+
+// ErrNoFrames is returned when every frame in the pool is pinned and an
+// operation needs to bring in a page. With sane pin discipline (pins held
+// only across deliberate task boundaries) it indicates a pool sized
+// smaller than the pin working set.
+var ErrNoFrames = errors.New("pager: all frames pinned")
+
+// Config sizes one pager instance.
+type Config struct {
+	// Path is the page file. Its parent directory is created if missing.
+	Path string
+	// FS is the filesystem seam; faultfs.Disk when nil.
+	FS faultfs.FS
+	// PageBytes is the on-file page size (default 4096, min MinPageBytes).
+	PageBytes int
+	// PoolFrames is the buffer-pool capacity in frames (default 128).
+	PoolFrames int
+}
+
+type frame struct {
+	page  *Page // nil when the frame is empty
+	dirty bool
+	pins  int
+	ref   bool // second-chance bit
+}
+
+// Stats is a point-in-time snapshot of pool counters. All counters are
+// monotonic; Pages and Resident are gauges.
+type Stats struct {
+	Hits       uint64 // frame lookups satisfied from the pool
+	Misses     uint64 // lookups that had to load from the page file
+	Evictions  uint64 // frames recycled by the clock hand
+	Writebacks uint64 // dirty pages flushed on eviction or Flush
+	Loads      uint64 // page-file reads (== Misses unless loads failed)
+	Allocs     uint64 // slots handed out
+	Frees      uint64 // slots reclaimed
+	Touches    uint64 // prefetch touches processed
+	Pages      uint64 // pages ever allocated in the file
+	Resident   uint64 // pages currently in frames
+
+	// Load-task latency (page-file read + decode) percentiles,
+	// approximated from a power-of-two histogram.
+	LoadP50Micros uint64
+	LoadP99Micros uint64
+}
+
+// HitRate returns Hits / (Hits + Misses), or 0 with no traffic.
+func (s Stats) HitRate() float64 {
+	if s.Hits+s.Misses == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(s.Hits+s.Misses)
+}
+
+const latBuckets = 40 // power-of-two ns buckets: bucket i covers [2^i, 2^(i+1))
+
+// Pager is a buffer pool over one page file. Every operation runs as an
+// mxtask annotated with the pager's exclusive resource, so the mutable
+// pool state (frames, page table, clock hand, free lists) is accessed by
+// exactly one worker at a time without locks; only the stats counters are
+// atomic, so Stats can be read from any goroutine.
+type Pager struct {
+	rt   *mxtask.Runtime
+	res  *mxtask.Resource
+	file faultfs.RandomFile
+	cfg  Config
+
+	slotsPer int
+	buf      []byte // scratch page image for loads and writebacks
+
+	frames []frame
+	table  map[uint64]int // pageID -> frame index
+	hand   int
+	npages uint64
+
+	// Slot allocation: freeCnt tracks free slots per page; freeStack
+	// holds candidate pages with free slots (lazily pruned).
+	freeCnt   map[uint64]int
+	freeStack []uint64
+	inStack   map[uint64]bool
+
+	closed bool
+
+	hits, misses, evictions, writebacks atomic.Uint64
+	loads, allocs, frees, touches       atomic.Uint64
+	pagesGauge, residentGauge           atomic.Uint64
+	lat                                 [latBuckets]atomic.Uint64
+}
+
+// Open creates a pager over cfg.Path. The page file is truncated: it is a
+// volatile spill cache rebuilt from recovery replay, never an authority
+// (see the package comment), so stale images from a previous run are
+// garbage by definition.
+func Open(rt *mxtask.Runtime, cfg Config) (*Pager, error) {
+	if cfg.PageBytes == 0 {
+		cfg.PageBytes = 4096
+	}
+	if cfg.PoolFrames == 0 {
+		cfg.PoolFrames = 128
+	}
+	if cfg.PageBytes < MinPageBytes {
+		return nil, fmt.Errorf("pager: PageBytes %d below minimum %d", cfg.PageBytes, MinPageBytes)
+	}
+	if cfg.PoolFrames < 1 {
+		return nil, fmt.Errorf("pager: PoolFrames %d below minimum 1", cfg.PoolFrames)
+	}
+	if cfg.FS == nil {
+		cfg.FS = faultfs.Disk
+	}
+	if cfg.Path == "" {
+		return nil, errors.New("pager: Config.Path required")
+	}
+	if dir := filepath.Dir(cfg.Path); dir != "." && dir != "/" {
+		if err := cfg.FS.MkdirAll(dir, 0o755); err != nil {
+			return nil, fmt.Errorf("pager: mkdir %s: %w", dir, err)
+		}
+	}
+	f, err := cfg.FS.OpenRandom(cfg.Path, os.O_CREATE|os.O_RDWR|os.O_TRUNC, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("pager: open %s: %w", cfg.Path, err)
+	}
+	pg := &Pager{
+		rt:       rt,
+		file:     f,
+		cfg:      cfg,
+		slotsPer: SlotsPerPage(cfg.PageBytes),
+		buf:      make([]byte, cfg.PageBytes),
+		frames:   make([]frame, cfg.PoolFrames),
+		table:    make(map[uint64]int, cfg.PoolFrames),
+		freeCnt:  make(map[uint64]int),
+		inStack:  make(map[uint64]bool),
+	}
+	// The pool is an I/O-bound shared object: exclusive isolation (pool
+	// metadata plus a file cursor cannot be read optimistically) and
+	// write-heavy (loads mutate frames too).
+	pg.res = rt.CreateResource(pg, 0, mxtask.IsolationExclusive, mxtask.RWWriteHeavy, mxtask.FrequencyLow)
+	return pg, nil
+}
+
+// SlotsPer returns the record capacity of one page under this config.
+func (pg *Pager) SlotsPer() int { return pg.slotsPer }
+
+// PageBytes returns the configured page size.
+func (pg *Pager) PageBytes() int { return pg.cfg.PageBytes }
+
+// PoolFrames returns the configured pool capacity.
+func (pg *Pager) PoolFrames() int { return pg.cfg.PoolFrames }
+
+// Resource exposes the pager's exclusive resource so callers can chain
+// their own tasks behind pool operations.
+func (pg *Pager) Resource() *mxtask.Resource { return pg.res }
+
+// spawn schedules fn as a pool task: worker-local when a context is
+// available, via the runtime otherwise (safe from any goroutine).
+func (pg *Pager) spawn(ctx *mxtask.Context, fn mxtask.Func) {
+	if ctx != nil {
+		t := ctx.NewTask(fn, nil).AnnotateResource(pg.res, mxtask.Write)
+		ctx.Spawn(t)
+		return
+	}
+	t := pg.rt.NewTask(fn, nil).AnnotateResource(pg.res, mxtask.Write)
+	pg.rt.Spawn(t)
+}
+
+// --- frame management (every method below runs inside a pool task) ---
+
+// victim picks a frame for recycling with the clock / second-chance scan:
+// empty frames are taken immediately, a set reference bit buys one more
+// sweep, pinned frames are skipped.
+func (pg *Pager) victim() (int, error) {
+	n := len(pg.frames)
+	for pass := 0; pass < 2*n+1; pass++ {
+		i := pg.hand
+		pg.hand = (pg.hand + 1) % n
+		f := &pg.frames[i]
+		if f.page == nil {
+			return i, nil
+		}
+		if f.pins > 0 {
+			continue
+		}
+		if f.ref {
+			f.ref = false
+			continue
+		}
+		return i, nil
+	}
+	return 0, ErrNoFrames
+}
+
+// evict recycles frame i, writing the page back if dirty. On writeback
+// failure the frame is left intact and the error propagates: losing a
+// dirty page in-process would be silent data loss, the one thing the
+// paged tier must never do.
+func (pg *Pager) evict(i int) error {
+	f := &pg.frames[i]
+	if f.page == nil {
+		return nil
+	}
+	if f.dirty {
+		if err := pg.writeback(i); err != nil {
+			return err
+		}
+	}
+	delete(pg.table, f.page.ID)
+	f.page = nil
+	f.ref = false
+	pg.evictions.Add(1)
+	pg.residentGauge.Add(^uint64(0))
+	return nil
+}
+
+func (pg *Pager) writeback(i int) error {
+	f := &pg.frames[i]
+	f.page.Encode(pg.buf)
+	off := int64(f.page.ID) * int64(pg.cfg.PageBytes)
+	if _, err := pg.file.WriteAt(pg.buf, off); err != nil {
+		return fmt.Errorf("pager: writeback page %d: %w", f.page.ID, err)
+	}
+	f.dirty = false
+	pg.writebacks.Add(1)
+	return nil
+}
+
+// getFrame returns the frame index holding pageID, loading it from the
+// page file on a miss. Eviction invariant: a page leaves the pool only
+// after its image is on the file, so every non-resident page is loadable.
+func (pg *Pager) getFrame(pageID uint64) (int, error) {
+	if i, ok := pg.table[pageID]; ok {
+		pg.frames[i].ref = true
+		pg.hits.Add(1)
+		return i, nil
+	}
+	pg.misses.Add(1)
+	i, err := pg.victim()
+	if err != nil {
+		return 0, err
+	}
+	if err := pg.evict(i); err != nil {
+		return 0, err
+	}
+	start := time.Now()
+	off := int64(pageID) * int64(pg.cfg.PageBytes)
+	if _, err := pg.file.ReadAt(pg.buf, off); err != nil {
+		return 0, fmt.Errorf("pager: read page %d: %w", pageID, err)
+	}
+	page, err := DecodePage(pg.buf, pageID)
+	if err != nil {
+		return 0, err
+	}
+	pg.recordLoad(time.Since(start))
+	pg.loads.Add(1)
+	pg.install(i, page, false)
+	return i, nil
+}
+
+// install places page into frame i and indexes it.
+func (pg *Pager) install(i int, page *Page, dirty bool) {
+	f := &pg.frames[i]
+	f.page = page
+	f.dirty = dirty
+	f.ref = true
+	f.pins = 0
+	pg.table[page.ID] = i
+	pg.residentGauge.Add(1)
+}
+
+// allocTarget returns a frame holding a page with at least one free slot,
+// creating a fresh page when nothing has room. Preference order: a
+// resident page (no I/O), a known-free page from the stack (one load), a
+// brand-new page (no I/O; it is born dirty in a frame, so the eviction
+// invariant holds — its first file image is written on eviction).
+func (pg *Pager) allocTarget() (int, error) {
+	for i := range pg.frames {
+		f := &pg.frames[i]
+		if f.page != nil && f.page.Free() > 0 {
+			return i, nil
+		}
+	}
+	for len(pg.freeStack) > 0 {
+		id := pg.freeStack[len(pg.freeStack)-1]
+		pg.freeStack = pg.freeStack[:len(pg.freeStack)-1]
+		delete(pg.inStack, id)
+		if pg.freeCnt[id] <= 0 {
+			continue // stale entry: filled since it was pushed
+		}
+		return pg.getFrame(id)
+	}
+	id := pg.npages
+	i, err := pg.victim()
+	if err != nil {
+		return 0, err
+	}
+	if err := pg.evict(i); err != nil {
+		return 0, err
+	}
+	pg.npages++
+	pg.pagesGauge.Store(pg.npages)
+	pg.install(i, NewPage(id, pg.slotsPer), true)
+	return i, nil
+}
+
+// noteFree records page id's free-slot count and queues it for reuse.
+func (pg *Pager) noteFree(id uint64, free int) {
+	if free <= 0 {
+		delete(pg.freeCnt, id)
+		return
+	}
+	pg.freeCnt[id] = free
+	if !pg.inStack[id] {
+		pg.inStack[id] = true
+		pg.freeStack = append(pg.freeStack, id)
+	}
+}
+
+func (pg *Pager) storeOne(key, value uint64) (uint64, error) {
+	i, err := pg.allocTarget()
+	if err != nil {
+		return 0, err
+	}
+	f := &pg.frames[i]
+	slot, ok := f.page.Alloc(key, value)
+	if !ok {
+		return 0, fmt.Errorf("pager: page %d reported free space but is full", f.page.ID)
+	}
+	f.dirty = true
+	f.ref = true
+	pg.noteFree(f.page.ID, f.page.Free())
+	pg.allocs.Add(1)
+	if f.page.ID > maxPageID {
+		return 0, fmt.Errorf("pager: page id %d exceeds reference capacity", f.page.ID)
+	}
+	return MakeRef(f.page.ID, slot), nil
+}
+
+func (pg *Pager) loadOne(ref, key uint64) (uint64, bool, error) {
+	pageID, slot := SplitRef(ref)
+	if pageID >= pg.npages {
+		return 0, false, fmt.Errorf("%w: reference to unallocated page %d", ErrCorruptPage, pageID)
+	}
+	i, err := pg.getFrame(pageID)
+	if err != nil {
+		return 0, false, err
+	}
+	s, occupied := pg.frames[i].page.Slot(slot)
+	if !occupied || s.Key != key {
+		// The slot was freed (and possibly recycled for another key)
+		// after the caller captured the reference. Self-validation turns
+		// that race into a retryable miss instead of a wrong value.
+		return 0, false, nil
+	}
+	return s.Value, true, nil
+}
+
+func (pg *Pager) freeOne(ref uint64) {
+	pageID, slot := SplitRef(ref)
+	if pageID >= pg.npages {
+		return
+	}
+	i, err := pg.getFrame(pageID)
+	if err != nil {
+		return // best effort: a leaked slot is only wasted space
+	}
+	f := &pg.frames[i]
+	if !f.page.Occupied(slot) {
+		return
+	}
+	f.page.Clear(slot)
+	f.dirty = true
+	pg.noteFree(f.page.ID, f.page.Free())
+	pg.frees.Add(1)
+}
+
+// --- task-based public API ---
+
+// Store writes one record into the paged tier and hands its reference to
+// done. Scheduled as a pool task; done runs inside that task.
+func (pg *Pager) Store(ctx *mxtask.Context, key, value uint64, done func(ctx *mxtask.Context, ref uint64, err error)) {
+	pg.spawn(ctx, func(tc *mxtask.Context, _ *mxtask.Task) {
+		ref, err := pg.storeOne(key, value)
+		done(tc, ref, err)
+	})
+}
+
+// StoreBatch writes all pairs in one pool task — one scheduling round and
+// at most a handful of page loads for the whole batch. On error the
+// already-allocated prefix is freed and refs is nil.
+func (pg *Pager) StoreBatch(ctx *mxtask.Context, pairs []Slot, done func(ctx *mxtask.Context, refs []uint64, err error)) {
+	pg.spawn(ctx, func(tc *mxtask.Context, _ *mxtask.Task) {
+		refs := make([]uint64, len(pairs))
+		for i, p := range pairs {
+			ref, err := pg.storeOne(p.Key, p.Value)
+			if err != nil {
+				for _, r := range refs[:i] {
+					pg.freeOne(r)
+				}
+				done(tc, nil, err)
+				return
+			}
+			refs[i] = ref
+		}
+		done(tc, refs, nil)
+	})
+}
+
+// Load resolves a reference. ok is false when the slot no longer holds
+// key's record (freed or recycled since the reference was captured) — the
+// caller should retry from its index. err is reserved for real failures
+// (I/O, corruption).
+func (pg *Pager) Load(ctx *mxtask.Context, ref, key uint64, done func(ctx *mxtask.Context, value uint64, ok bool, err error)) {
+	pg.spawn(ctx, func(tc *mxtask.Context, _ *mxtask.Task) {
+		v, ok, err := pg.loadOne(ref, key)
+		done(tc, v, ok, err)
+	})
+}
+
+// LoadBatch resolves refs[i] against keys[i] in one pool task. A non-nil
+// err aborts the batch (values/oks nil).
+func (pg *Pager) LoadBatch(ctx *mxtask.Context, refs, keys []uint64, done func(ctx *mxtask.Context, values []uint64, oks []bool, err error)) {
+	pg.spawn(ctx, func(tc *mxtask.Context, _ *mxtask.Task) {
+		values := make([]uint64, len(refs))
+		oks := make([]bool, len(refs))
+		for i, ref := range refs {
+			v, ok, err := pg.loadOne(ref, keys[i])
+			if err != nil {
+				done(tc, nil, nil, err)
+				return
+			}
+			values[i], oks[i] = v, ok
+		}
+		done(tc, values, oks, nil)
+	})
+}
+
+// Free releases the slot behind ref. Fire-and-forget: frees are pure
+// space reclamation in a volatile cache, so errors only leak a slot.
+func (pg *Pager) Free(ctx *mxtask.Context, ref uint64) {
+	pg.spawn(ctx, func(*mxtask.Context, *mxtask.Task) {
+		pg.freeOne(ref)
+	})
+}
+
+// Touch schedules a page load ahead of need — the page-level analogue of
+// the tree's prefetch Touch. By the time the cursor's own task reaches
+// the page it is resident and the lookup is a pool hit; this is where the
+// paper's prefetch annotations meet real I/O latency instead of cache
+// lines.
+func (pg *Pager) Touch(ctx *mxtask.Context, pageID uint64) {
+	pg.spawn(ctx, func(*mxtask.Context, *mxtask.Task) {
+		pg.touches.Add(1)
+		if pageID >= pg.npages {
+			return
+		}
+		_, _ = pg.getFrame(pageID) // resident + ref bit set; errors are a missed prefetch, nothing more
+	})
+}
+
+// Barrier enqueues fn as a pool task that touches no pool state. Pool
+// tasks run FIFO on the pager's exclusive resource, so fn runs strictly
+// after every pool operation enqueued before the Barrier call — callers
+// use it to order their own dispatch behind in-flight allocations (the
+// paged store's read-your-writes fence rides this).
+func (pg *Pager) Barrier(ctx *mxtask.Context, fn func(ctx *mxtask.Context)) {
+	pg.spawn(ctx, func(tc *mxtask.Context, _ *mxtask.Task) {
+		fn(tc)
+	})
+}
+
+// PageRef is a pinned page handle. While pinned the frame is exempt from
+// eviction, so the *Page stays valid across task boundaries until Unpin.
+type PageRef struct {
+	pg     *Pager
+	frame  int
+	pageID uint64
+}
+
+// Page returns the pinned page. Mutating callers must MarkDirty.
+func (r *PageRef) Page() *Page { return r.pg.frames[r.frame].page }
+
+// PageID returns the pinned page's ID.
+func (r *PageRef) PageID() uint64 { return r.pageID }
+
+// MarkDirty flags the pinned page for writeback on eviction. Must run
+// inside a pool task (e.g. the Pin callback or a chained task on
+// Resource()).
+func (r *PageRef) MarkDirty() { r.pg.frames[r.frame].dirty = true }
+
+// Pin loads pageID and pins its frame, handing the caller a PageRef that
+// remains valid until Unpin.
+func (pg *Pager) Pin(ctx *mxtask.Context, pageID uint64, done func(ctx *mxtask.Context, ref *PageRef, err error)) {
+	pg.spawn(ctx, func(tc *mxtask.Context, _ *mxtask.Task) {
+		i, err := pg.getFrame(pageID)
+		if err != nil {
+			done(tc, nil, err)
+			return
+		}
+		pg.frames[i].pins++
+		done(tc, &PageRef{pg: pg, frame: i, pageID: pageID}, nil)
+	})
+}
+
+// Unpin releases the pin. The PageRef must not be used afterwards.
+func (pg *Pager) Unpin(ctx *mxtask.Context, ref *PageRef) {
+	pg.spawn(ctx, func(*mxtask.Context, *mxtask.Task) {
+		if f := &pg.frames[ref.frame]; f.pins > 0 {
+			f.pins--
+		}
+	})
+}
+
+// Flush writes every dirty resident page to the file, then calls done.
+func (pg *Pager) Flush(ctx *mxtask.Context, done func(ctx *mxtask.Context, err error)) {
+	pg.spawn(ctx, func(tc *mxtask.Context, _ *mxtask.Task) {
+		var firstErr error
+		for i := range pg.frames {
+			f := &pg.frames[i]
+			if f.page != nil && f.dirty {
+				if err := pg.writeback(i); err != nil && firstErr == nil {
+					firstErr = err
+				}
+			}
+		}
+		if done != nil {
+			done(tc, firstErr)
+		}
+	})
+}
+
+// Close closes the page file. The caller must have drained the runtime
+// first — no pool task may be in flight.
+func (pg *Pager) Close() error {
+	if pg.closed {
+		return nil
+	}
+	pg.closed = true
+	return pg.file.Close()
+}
+
+// --- stats ---
+
+func (pg *Pager) recordLoad(d time.Duration) {
+	ns := d.Nanoseconds()
+	if ns < 1 {
+		ns = 1
+	}
+	b := bits.Len64(uint64(ns)) - 1
+	if b >= latBuckets {
+		b = latBuckets - 1
+	}
+	pg.lat[b].Add(1)
+}
+
+// Stats snapshots the pool counters. Safe from any goroutine.
+func (pg *Pager) Stats() Stats {
+	s := Stats{
+		Hits:       pg.hits.Load(),
+		Misses:     pg.misses.Load(),
+		Evictions:  pg.evictions.Load(),
+		Writebacks: pg.writebacks.Load(),
+		Loads:      pg.loads.Load(),
+		Allocs:     pg.allocs.Load(),
+		Frees:      pg.frees.Load(),
+		Touches:    pg.touches.Load(),
+		Pages:      pg.pagesGauge.Load(),
+		Resident:   pg.residentGauge.Load(),
+	}
+	var counts [latBuckets]uint64
+	var total uint64
+	for i := range pg.lat {
+		counts[i] = pg.lat[i].Load()
+		total += counts[i]
+	}
+	s.LoadP50Micros = percentileMicros(counts[:], total, 0.50)
+	s.LoadP99Micros = percentileMicros(counts[:], total, 0.99)
+	return s
+}
+
+// percentileMicros walks the power-of-two histogram and returns the upper
+// bound of the bucket containing percentile p, in microseconds.
+func percentileMicros(counts []uint64, total uint64, p float64) uint64 {
+	if total == 0 {
+		return 0
+	}
+	rank := uint64(p * float64(total))
+	if rank == 0 {
+		rank = 1
+	}
+	var seen uint64
+	for i, c := range counts {
+		seen += c
+		if seen >= rank {
+			upperNs := uint64(1) << (i + 1)
+			return upperNs / 1000
+		}
+	}
+	return 0
+}

@@ -1,0 +1,133 @@
+package pager
+
+import (
+	"math/rand"
+	"os"
+	"strconv"
+	"sync"
+	"testing"
+
+	"mxtasking/internal/faultfs"
+	"mxtasking/internal/mxtask"
+)
+
+// TestPagerStress is the seeded eviction-pressure suite behind `make
+// pager-stress`: per seed it draws a pool far smaller than the dataset,
+// runs a random store/load/free/touch stream from several goroutines, and
+// lockstep-checks every load against an in-memory oracle. MXPG_SEEDS
+// raises the seed count in CI (default 4, 20 under `make pager-stress`).
+func TestPagerStress(t *testing.T) {
+	seeds := 4
+	if s := os.Getenv("MXPG_SEEDS"); s != "" {
+		n, err := strconv.Atoi(s)
+		if err != nil {
+			t.Fatalf("MXPG_SEEDS=%q: %v", s, err)
+		}
+		seeds = n
+	}
+	if testing.Short() {
+		seeds = 2
+	}
+	for seed := 0; seed < seeds; seed++ {
+		seed := seed
+		t.Run("seed="+strconv.Itoa(seed), func(t *testing.T) {
+			t.Parallel()
+			stressOnce(t, int64(seed))
+		})
+	}
+}
+
+func stressOnce(t *testing.T, seed int64) {
+	shape := rand.New(rand.NewSource(seed))
+	pageBytes := []int{64, 128, 256, 1024}[shape.Intn(4)]
+	frames := 1 + shape.Intn(4) // 1-4 frames: the dataset will dwarf the pool
+	workers := 1 + shape.Intn(3)
+
+	rt := newRuntime(workers)
+	defer rt.Stop()
+	fs := faultfs.NewMem(seed)
+	pg, err := Open(rt, Config{Path: "/pg/pages", FS: fs, PageBytes: pageBytes, PoolFrames: frames})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pg.Close()
+
+	const clients = 3
+	const opsPer = 300
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed*1000 + int64(c)))
+			// Per-client oracle: ref -> (key, value) while live. Clients
+			// own disjoint key ranges so frees never race with loads.
+			type rec struct{ key, value, ref uint64 }
+			var live []rec
+			for i := 0; i < opsPer; i++ {
+				switch op := rng.Intn(10); {
+				case op < 5 || len(live) == 0: // store
+					key := uint64(c)<<32 | uint64(rng.Intn(1<<20))
+					value := rng.Uint64() &^ RefTag
+					var done sync.WaitGroup
+					done.Add(1)
+					pg.Store(nil, key, value, func(_ *mxtask.Context, ref uint64, err error) {
+						defer done.Done()
+						if err != nil {
+							t.Errorf("seed %d store: %v", seed, err)
+							return
+						}
+						live = append(live, rec{key, value, ref})
+					})
+					done.Wait()
+				case op < 8: // load a live record, check against oracle
+					r := live[rng.Intn(len(live))]
+					var done sync.WaitGroup
+					done.Add(1)
+					pg.Load(nil, r.ref, r.key, func(_ *mxtask.Context, v uint64, ok bool, err error) {
+						defer done.Done()
+						if err != nil {
+							t.Errorf("seed %d load: %v", seed, err)
+							return
+						}
+						if !ok || v != r.value {
+							t.Errorf("seed %d load key %d = (%d, %v), want (%d, true)", seed, r.key, v, ok, r.value)
+						}
+					})
+					done.Wait()
+				case op < 9: // free a live record
+					i := rng.Intn(len(live))
+					pg.Free(nil, live[i].ref)
+					live[i] = live[len(live)-1]
+					live = live[:len(live)-1]
+				default: // prefetch touch of a random known page
+					r := live[rng.Intn(len(live))]
+					pageID, _ := SplitRef(r.ref)
+					pg.Touch(nil, pageID)
+				}
+			}
+			// Final sweep: every still-live record must read back.
+			for _, r := range live {
+				var done sync.WaitGroup
+				done.Add(1)
+				pg.Load(nil, r.ref, r.key, func(_ *mxtask.Context, v uint64, ok bool, err error) {
+					defer done.Done()
+					if err != nil || !ok || v != r.value {
+						t.Errorf("seed %d final load key %d = (%d, %v, %v), want %d", seed, r.key, v, ok, err, r.value)
+					}
+				})
+				done.Wait()
+			}
+		}(c)
+	}
+	wg.Wait()
+	rt.Drain()
+
+	st := pg.Stats()
+	if st.Evictions == 0 {
+		t.Errorf("seed %d: no evictions with %d frames over %d pages — not a stress test", seed, frames, st.Pages)
+	}
+	if st.Resident > uint64(frames) {
+		t.Errorf("seed %d: resident %d > frames %d", seed, st.Resident, frames)
+	}
+}
